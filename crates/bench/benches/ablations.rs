@@ -1,0 +1,83 @@
+//! Criterion benches for the DESIGN.md ablations: snapshot-diff algorithm
+//! choice and index-vs-scan timestamp extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use delta_bench::workload::SourceBuilder;
+use delta_core::snapshot::{diff_snapshots, take_snapshot, DiffAlgorithm};
+use delta_core::timestamp::TimestampExtractor;
+
+const ROWS: usize = 2000;
+
+fn bench(c: &mut Criterion) {
+    let b = SourceBuilder::new("crit-abl");
+
+    // Snapshot-diff inputs: 5% churn, in-place (small displacement).
+    let db = b.db(false).unwrap();
+    b.seeded_ts_table(&db, "parts", ROWS).unwrap();
+    let old_path = b.path("old.txt");
+    take_snapshot(&db, "parts", &old_path).unwrap();
+    db.session()
+        .execute(&format!("UPDATE parts SET grp = grp + 1000000 WHERE id < {}", ROWS / 20))
+        .unwrap();
+    let new_path = b.path("new.txt");
+    take_snapshot(&db, "parts", &new_path).unwrap();
+    let schema = db.table("parts").unwrap().schema.clone();
+
+    let mut g = c.benchmark_group("ablation_snapshot");
+    g.sample_size(20);
+    g.bench_function("sort_merge", |bench| {
+        bench.iter(|| {
+            diff_snapshots(
+                "parts",
+                &schema,
+                &[0],
+                &old_path,
+                &new_path,
+                DiffAlgorithm::SortMerge { run_size: 500 },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("window_256", |bench| {
+        bench.iter(|| {
+            diff_snapshots(
+                "parts",
+                &schema,
+                &[0],
+                &old_path,
+                &new_path,
+                DiffAlgorithm::Window { size: 256 },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+
+    // Timestamp extraction: 2% delta, with and without an index.
+    let plain = b.db(false).unwrap();
+    b.seeded_ts_table(&plain, "parts", ROWS).unwrap();
+    let indexed = b.db(false).unwrap();
+    b.seeded_ts_table(&indexed, "parts", ROWS).unwrap();
+    indexed.create_index("ts_idx", "parts", "last_modified", false).unwrap();
+    let n = ROWS / 50;
+    let (wm_plain, wm_indexed) = (plain.peek_clock(), indexed.peek_clock());
+    for db in [&plain, &indexed] {
+        db.session()
+            .execute(&format!("UPDATE parts SET grp = grp WHERE id < {n}"))
+            .unwrap();
+    }
+    let x = TimestampExtractor::new("parts", "last_modified");
+    let mut g = c.benchmark_group("ablation_ts_index");
+    g.sample_size(30);
+    g.bench_function("scan_2pct_delta", |bench| {
+        bench.iter(|| assert_eq!(x.extract(&plain, wm_plain).unwrap().len(), n))
+    });
+    g.bench_function("index_2pct_delta", |bench| {
+        bench.iter(|| assert_eq!(x.extract(&indexed, wm_indexed).unwrap().len(), n))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for **Experiment C**: OLAP query latency while the two
+//! maintenance strategies hold their locks. Measures a single warehouse scan
+//! issued (a) on an idle warehouse, (b) between Op-Delta transactions, and
+//! (c) the cost of waiting out a value-delta batch (lock handoff included).
+//! The full reader-pool experiment with starvation counts lives in
+//! `repro expc`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use delta_bench::workload::{filler, op_schema, seed_rows, update_txn_sql, SourceBuilder};
+use delta_core::opdelta::{collect_from_table, OpDeltaCapture, OpLogSink};
+use delta_core::trigger_extract::TriggerExtractor;
+use delta_warehouse::apply::{OpDeltaApplier, ValueDeltaApplier, Warehouse};
+use delta_warehouse::mirror::MirrorConfig;
+
+const ROWS: usize = 2000;
+const N: usize = 200;
+
+fn bench(c: &mut Criterion) {
+    let b = SourceBuilder::new("crit-c");
+    let src = b.db(false).unwrap();
+    b.seeded_op_table(&src, "parts", ROWS).unwrap();
+    let extractor = TriggerExtractor::new("parts");
+    extractor.install(&src).unwrap();
+    let mut cap = OpDeltaCapture::new(src.session(), OpLogSink::Table("op_log".into())).unwrap();
+    cap.execute(&update_txn_sql("parts", 0, N)).unwrap();
+    let value_delta = extractor.drain(&src).unwrap();
+    let op_deltas = collect_from_table(&src, "op_log").unwrap();
+
+    let db = b.db(false).unwrap();
+    let mut wh = Warehouse::new(db);
+    wh.add_mirror(MirrorConfig::full("parts", op_schema())).unwrap();
+    seed_rows(wh.db(), "parts", 0, ROWS, |id| {
+        format!("({id}, {id}, 0, '{}')", filler(id))
+    })
+    .unwrap();
+
+    let mut g = c.benchmark_group("expc");
+    g.sample_size(20);
+    let mut reader = wh.db().session();
+    g.bench_function("olap_scan_idle", |bench| {
+        bench.iter(|| reader.execute("SELECT * FROM parts").unwrap())
+    });
+    g.bench_function("olap_scan_after_op_delta_txn", |bench| {
+        bench.iter(|| {
+            OpDeltaApplier::apply_all(&wh, &op_deltas).unwrap();
+            reader.execute("SELECT * FROM parts").unwrap()
+        })
+    });
+    g.bench_function("olap_scan_after_value_batch", |bench| {
+        bench.iter(|| {
+            ValueDeltaApplier::apply(&wh, &value_delta).unwrap();
+            reader.execute("SELECT * FROM parts").unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for **Figure 2**: transaction cost with and without
+//! delta-capture triggers (update and insert transactions of 100 rows).
+//! Expected: with-trigger clearly above the baseline for both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use delta_bench::workload::{insert_txn_sql, update_txn_sql, SourceBuilder};
+use delta_core::trigger_extract::TriggerExtractor;
+
+const ROWS: usize = 5000;
+const N: usize = 100;
+
+fn bench(c: &mut Criterion) {
+    let b = SourceBuilder::new("crit-f2");
+    let plain = b.db(false).unwrap();
+    b.seeded_op_table(&plain, "parts", ROWS).unwrap();
+    let triggered = b.db(false).unwrap();
+    b.seeded_op_table(&triggered, "parts", ROWS).unwrap();
+    TriggerExtractor::new("parts").install(&triggered).unwrap();
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(30);
+    // Updates are state-stable (val = val + 1), so plain iteration is safe.
+    let mut s_plain = plain.session();
+    g.bench_function("update100_no_trigger", |bench| {
+        bench.iter(|| s_plain.execute(&update_txn_sql("parts", 0, N)).unwrap())
+    });
+    let mut s_trig = triggered.session();
+    g.bench_function("update100_with_trigger", |bench| {
+        bench.iter(|| s_trig.execute(&update_txn_sql("parts", 0, N)).unwrap())
+    });
+    // Inserts grow the table; use a moving id cursor (growth over the run is
+    // small relative to the table).
+    let mut next = (ROWS * 10) as i64;
+    g.bench_function("insert100_no_trigger", |bench| {
+        bench.iter(|| {
+            s_plain.execute(&insert_txn_sql("parts", next, N)).unwrap();
+            next += N as i64;
+        })
+    });
+    let mut next_t = (ROWS * 10) as i64;
+    g.bench_function("insert100_with_trigger", |bench| {
+        bench.iter(|| {
+            s_trig.execute(&insert_txn_sql("parts", next_t, N)).unwrap();
+            next_t += N as i64;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for **Figure 3**: transaction cost with and without
+//! Op-Delta capture (transactional DB-table log). Expected: insert capture
+//! costs noticeably (op volume ~ row volume); update capture costs almost
+//! nothing (op is ~70 bytes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use delta_bench::workload::{insert_txn_sql, update_txn_sql, SourceBuilder};
+use delta_core::opdelta::{OpDeltaCapture, OpLogSink};
+
+const ROWS: usize = 5000;
+const N: usize = 100;
+
+fn bench(c: &mut Criterion) {
+    let b = SourceBuilder::new("crit-f3");
+    let plain = b.db(false).unwrap();
+    b.seeded_op_table(&plain, "parts", ROWS).unwrap();
+    let captured = b.db(false).unwrap();
+    b.seeded_op_table(&captured, "parts", ROWS).unwrap();
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(30);
+    let mut s_plain = plain.session();
+    g.bench_function("update100_no_capture", |bench| {
+        bench.iter(|| s_plain.execute(&update_txn_sql("parts", 0, N)).unwrap())
+    });
+    let mut cap = OpDeltaCapture::new(captured.session(), OpLogSink::Table("op_log".into())).unwrap();
+    g.bench_function("update100_with_capture", |bench| {
+        bench.iter(|| cap.execute(&update_txn_sql("parts", 0, N)).unwrap())
+    });
+    let mut next = (ROWS * 10) as i64;
+    g.bench_function("insert100_no_capture", |bench| {
+        bench.iter(|| {
+            s_plain.execute(&insert_txn_sql("parts", next, N)).unwrap();
+            next += N as i64;
+        })
+    });
+    let mut next_c = (ROWS * 10) as i64;
+    g.bench_function("insert100_with_capture", |bench| {
+        bench.iter(|| {
+            cap.execute(&insert_txn_sql("parts", next_c, N)).unwrap();
+            next_c += N as i64;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

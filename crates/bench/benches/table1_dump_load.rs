@@ -1,0 +1,52 @@
+//! Criterion bench for **Table 1**: Export vs Import vs DBMS Loader.
+//!
+//! Statistically sampled at a small fixed size; the full size sweep lives in
+//! `repro table1`. Expected ordering: export < loader < import.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use delta_bench::workload::SourceBuilder;
+use delta_engine::util::{ascii_dump, export_table, import_table, loader_load, LoadMode};
+
+const ROWS: usize = 1000;
+const DDL: &str = "(id INT PRIMARY KEY, grp INT, filler VARCHAR, last_modified TIMESTAMP)";
+
+fn bench(c: &mut Criterion) {
+    let b = SourceBuilder::new("crit-t1");
+    let db = b.db(false).unwrap();
+    b.seeded_ts_table(&db, "delta", ROWS).unwrap();
+    let exp_path = b.path("delta.exp");
+    let txt_path = b.path("delta.txt");
+    export_table(&db, "delta", &exp_path).unwrap();
+    ascii_dump(&db, "delta", &txt_path).unwrap();
+    db.session()
+        .execute(&format!("CREATE TABLE target {DDL}"))
+        .unwrap();
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+
+    g.bench_function("export_1k_rows", |bench| {
+        bench.iter(|| export_table(&db, "delta", &exp_path).unwrap())
+    });
+    g.bench_function("loader_1k_rows", |bench| {
+        // Replace mode makes the load idempotent across iterations.
+        bench.iter(|| loader_load(&db, "target", &txt_path, LoadMode::Replace).unwrap())
+    });
+    g.bench_function("import_1k_rows", |bench| {
+        bench.iter_batched(
+            || {
+                db.drop_table("imp").ok();
+                db.session()
+                    .execute(&format!("CREATE TABLE imp {DDL}"))
+                    .unwrap();
+            },
+            |_| import_table(&db, "imp", &exp_path).unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

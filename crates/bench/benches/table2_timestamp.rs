@@ -1,0 +1,59 @@
+//! Criterion bench for **Table 2**: timestamp extraction output modes.
+//! Expected ordering: file output < table output < table output + export.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use delta_bench::workload::SourceBuilder;
+use delta_core::timestamp::TimestampExtractor;
+
+const ROWS: usize = 2000;
+const DELTA: usize = 200;
+
+fn bench(c: &mut Criterion) {
+    let b = SourceBuilder::new("crit-t2");
+    let db = b.db(false).unwrap();
+    b.seeded_ts_table(&db, "parts", ROWS).unwrap();
+    let watermark = db.peek_clock();
+    db.session()
+        .execute(&format!("UPDATE parts SET grp = grp WHERE id < {DELTA}"))
+        .unwrap();
+    let x = TimestampExtractor::new("parts", "last_modified");
+    let file_path = b.path("ts.txt");
+    let exp_path = b.path("ts.exp");
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(20);
+    g.bench_function("file_output", |bench| {
+        bench.iter(|| {
+            assert_eq!(x.extract_to_file(&db, watermark, &file_path).unwrap(), DELTA as u64)
+        })
+    });
+    g.bench_function("table_output", |bench| {
+        bench.iter_batched(
+            || {
+                db.drop_table("tsd").ok();
+            },
+            |_| assert_eq!(x.extract_to_table(&db, watermark, "tsd").unwrap(), DELTA as u64),
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("table_output_plus_export", |bench| {
+        bench.iter_batched(
+            || {
+                db.drop_table("tsd2").ok();
+            },
+            |_| {
+                assert_eq!(
+                    x.extract_to_table_and_export(&db, watermark, "tsd2", &exp_path)
+                        .unwrap(),
+                    DELTA as u64
+                )
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for **Table 3**: the two extract-and-load pipelines.
+//! Expected: file+Loader clearly faster than table+Export+Import.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use delta_bench::workload::SourceBuilder;
+use delta_core::timestamp::TimestampExtractor;
+use delta_engine::util::{import_table, loader_load, LoadMode};
+
+const ROWS: usize = 2000;
+const DELTA: usize = 200;
+const DDL: &str = "(id INT PRIMARY KEY, grp INT, filler VARCHAR, last_modified TIMESTAMP)";
+
+fn bench(c: &mut Criterion) {
+    let b = SourceBuilder::new("crit-t3");
+    let source = b.db(false).unwrap();
+    let warehouse = b.db(false).unwrap();
+    b.seeded_ts_table(&source, "parts", ROWS).unwrap();
+    let watermark = source.peek_clock();
+    source
+        .session()
+        .execute(&format!("UPDATE parts SET grp = grp WHERE id < {DELTA}"))
+        .unwrap();
+    let x = TimestampExtractor::new("parts", "last_modified");
+    let txt = b.path("p.txt");
+    let exp = b.path("p.exp");
+    warehouse
+        .session()
+        .execute(&format!("CREATE TABLE wa {DDL}"))
+        .unwrap();
+
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(15);
+    g.bench_function("file_plus_loader", |bench| {
+        bench.iter(|| {
+            x.extract_to_file(&source, watermark, &txt).unwrap();
+            loader_load(&warehouse, "wa", &txt, LoadMode::Replace).unwrap()
+        })
+    });
+    g.bench_function("table_export_import", |bench| {
+        bench.iter_batched(
+            || {
+                source.drop_table("t3d").ok();
+                warehouse.drop_table("wb").ok();
+                warehouse
+                    .session()
+                    .execute(&format!("CREATE TABLE wb {DDL}"))
+                    .unwrap();
+            },
+            |_| {
+                x.extract_to_table_and_export(&source, watermark, "t3d", &exp)
+                    .unwrap();
+                import_table(&warehouse, "wb", &exp).unwrap()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for **Table 4**: Op-Delta DB-table log vs file log.
+//! Expected: the file log clearly cheaper for inserts, about equal for
+//! updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use delta_bench::workload::{insert_txn_sql, update_txn_sql, SourceBuilder};
+use delta_core::opdelta::{OpDeltaCapture, OpLogSink};
+
+const ROWS: usize = 5000;
+const N: usize = 100;
+
+fn bench(c: &mut Criterion) {
+    let b = SourceBuilder::new("crit-t4");
+    let db_sink = b.db(false).unwrap();
+    b.seeded_op_table(&db_sink, "parts", ROWS).unwrap();
+    let file_sink = b.db(false).unwrap();
+    b.seeded_op_table(&file_sink, "parts", ROWS).unwrap();
+
+    let mut cap_db =
+        OpDeltaCapture::new(db_sink.session(), OpLogSink::Table("op_log".into())).unwrap();
+    let mut cap_file =
+        OpDeltaCapture::new(file_sink.session(), OpLogSink::File(b.path("t4.oplog"))).unwrap();
+
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(30);
+    let mut next = (ROWS * 10) as i64;
+    g.bench_function("insert100_db_log", |bench| {
+        bench.iter(|| {
+            cap_db.execute(&insert_txn_sql("parts", next, N)).unwrap();
+            next += N as i64;
+        })
+    });
+    let mut next_f = (ROWS * 10) as i64;
+    g.bench_function("insert100_file_log", |bench| {
+        bench.iter(|| {
+            cap_file.execute(&insert_txn_sql("parts", next_f, N)).unwrap();
+            next_f += N as i64;
+        })
+    });
+    g.bench_function("update100_db_log", |bench| {
+        bench.iter(|| cap_db.execute(&update_txn_sql("parts", 0, N)).unwrap())
+    });
+    g.bench_function("update100_file_log", |bench| {
+        bench.iter(|| cap_file.execute(&update_txn_sql("parts", 0, N)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

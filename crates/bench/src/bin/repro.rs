@@ -1,0 +1,102 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                  # every experiment at the default (1/1000) scale
+//! repro table1 fig2          # a subset
+//! repro all --scale 2        # double the row counts
+//! repro all --out results/   # also write <id>.json files
+//! repro --list               # experiment ids
+//! ```
+
+use std::time::Instant;
+
+use delta_bench::experiments;
+use delta_bench::workload::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = 1.0f64;
+    let mut out_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for id in experiments::all_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--out needs a directory")),
+                );
+            }
+            "all" => ids = experiments::all_ids().iter().map(|s| s.to_string()).collect(),
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        eprintln!("usage: repro [all | <experiment>...] [--scale N] [--out DIR] [--list]");
+        eprintln!("experiments: {}", experiments::all_ids().join(", "));
+        std::process::exit(2);
+    }
+
+    let scale = Scale::new(scale);
+    println!(
+        "# DeltaForge reproduction run (scale factor {}, {} experiment(s))\n",
+        scale.factor,
+        ids.len()
+    );
+    let started = Instant::now();
+    let mut passed = 0usize;
+    let mut failed: Vec<String> = Vec::new();
+    for id in &ids {
+        let t0 = Instant::now();
+        match experiments::run(id, &scale) {
+            Some(report) => {
+                print!("{}", report.to_markdown());
+                println!("_generated in {:.1?}_\n", t0.elapsed());
+                for c in &report.checks {
+                    if c.pass {
+                        passed += 1;
+                    } else {
+                        failed.push(format!("{}: {}", report.id, c.name));
+                    }
+                }
+                if let Some(dir) = &out_dir {
+                    report.save_json(dir).expect("write json");
+                }
+            }
+            None => die(&format!("unknown experiment '{id}'")),
+        }
+    }
+    println!(
+        "# done in {:.1?} — shape checks: {passed} passed, {} failed",
+        started.elapsed(),
+        failed.len()
+    );
+    for f in &failed {
+        println!("#   FAIL {f}");
+    }
+    if !failed.is_empty() {
+        println!("# (micro-scale cells are noisy; re-run failing experiments on an idle machine)");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

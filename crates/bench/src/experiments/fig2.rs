@@ -1,0 +1,170 @@
+//! **Figure 2** — insert/delete/update trigger overhead vs transaction size.
+//!
+//! The paper measures transaction response time with and without row-level
+//! delta-capture triggers on a table held at 100,000 rows (for
+//! update/delete), varying the records-per-transaction. Expected shapes:
+//!
+//! * insert overhead roughly constant (~80–100 %): the trigger performs one
+//!   extra insert per inserted row;
+//! * update overhead *grows* with transaction size (to several hundred %):
+//!   two triggered insertions per row while the per-row update cost shrinks
+//!   as the fixed table-scan cost amortizes;
+//! * delete overhead grows moderately (one triggered insertion per row).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use delta_core::trigger_extract::TriggerExtractor;
+use delta_engine::db::Database;
+
+use crate::report::{fmt_duration, fmt_pct, overhead_pct, TableReport};
+use crate::workload::{
+    delete_txn_sql, insert_txn_sql, time_avg, update_txn_sql, Scale, SourceBuilder,
+};
+
+/// Table rows (paper: 100,000; scaled 1/10 by default).
+pub fn table_rows(scale: &Scale) -> usize {
+    scale.rows(10_000)
+}
+
+/// Transaction sizes: the paper's 1–10,000 sweep, capped so update/delete
+/// predicates stay a strict subset of the table.
+pub fn txn_sizes(scale: &Scale) -> Vec<usize> {
+    let cap = table_rows(scale) / 2;
+    [1usize, 10, 100, 1_000, 10_000]
+        .into_iter()
+        .filter(|n| *n <= cap)
+        .collect()
+}
+
+/// The three operations measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    Insert,
+    Delete,
+    Update,
+}
+
+impl OpKind {
+    pub fn all() -> [OpKind; 3] {
+        [OpKind::Insert, OpKind::Delete, OpKind::Update]
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Insert => "insert",
+            OpKind::Delete => "delete",
+            OpKind::Update => "update",
+        }
+    }
+}
+
+/// Average response time of one `op` transaction of `n` rows against a fresh
+/// 10k-row table, driven through `run_sql` (identity for the baseline, the
+/// capture wrapper for Fig 3).
+pub fn measure_txn(
+    _db: &Arc<Database>,
+    mut run_sql: impl FnMut(&str),
+    op: OpKind,
+    n: usize,
+    rows: usize,
+) -> Duration {
+    let mut one = |rep: usize| match op {
+        OpKind::Insert => {
+            let first = (rows * 10 + rep * n) as i64;
+            run_sql(&insert_txn_sql("parts", first, n));
+        }
+        OpKind::Update => {
+            let a = ((rep * n) % (rows - n + 1)) as i64;
+            run_sql(&update_txn_sql("parts", a, n));
+        }
+        OpKind::Delete => {
+            let a = (rep * n) as i64;
+            run_sql(&delete_txn_sql("parts", a, n));
+        }
+    };
+    // Warm up once (cold file/page/WAL costs), then measure under a time
+    // budget so small transactions are sampled many times. Two measurement
+    // passes are taken and the smaller wins: the minimum is robust against
+    // one-off scheduler/IO interference on a busy machine.
+    let (_, warm) = crate::workload::time_once(|| one(0));
+    let budget = Duration::from_millis(200);
+    let mut reps = (budget.as_secs_f64() / warm.as_secs_f64().max(1e-6)).ceil() as usize;
+    reps = reps.clamp(3, 150);
+    if op == OpKind::Delete {
+        // Deletes consume disjoint row groups; stay within 60% of the table
+        // (the warmup already consumed group 0), split over the two passes.
+        reps = reps.min(((rows * 6 / 10 / n.max(1)).saturating_sub(1) / 2).max(1));
+    }
+    let first = time_avg(reps, |rep| one(rep + 1));
+    let second = time_avg(reps, |rep| one(rep + 1 + reps));
+    first.min(second)
+}
+
+pub fn run(scale: &Scale) -> TableReport {
+    let mut report = TableReport::new(
+        "F2",
+        "Figure 2: insert/delete/update trigger overhead",
+        "insert ~constant 80-100%; update overhead grows with txn size (largest); delete grows moderately",
+        &["op", "txn size", "no trigger", "with trigger", "overhead"],
+    );
+    let rows = table_rows(scale);
+    report.note(format!(
+        "source table held at {rows} rows for update/delete (paper: 100,000); row-level CaptureDelta triggers write I / UB+UA / D images"
+    ));
+    let b = SourceBuilder::new("fig2");
+    // (op, n) -> overhead pct, for the shape checks.
+    let mut overheads: std::collections::HashMap<(&'static str, usize), f64> = Default::default();
+    for op in OpKind::all() {
+        for &n in &txn_sizes(scale) {
+            // Fresh database per (op, size, trigger) cell so the table size
+            // and delta-table growth never leak across measurements.
+            let t_base = {
+                let db = b.db(false).expect("db");
+                b.seeded_op_table(&db, "parts", rows).expect("seed");
+                let mut s = db.session();
+                measure_txn(&db, |sql| { s.execute(sql).expect("stmt"); }, op, n, rows)
+            };
+            let t_trig = {
+                let db = b.db(false).expect("db");
+                b.seeded_op_table(&db, "parts", rows).expect("seed");
+                TriggerExtractor::new("parts").install(&db).expect("trigger");
+                let mut s = db.session();
+                measure_txn(&db, |sql| { s.execute(sql).expect("stmt"); }, op, n, rows)
+            };
+            let ovh = overhead_pct(t_base, t_trig);
+            overheads.insert((op.label(), n), ovh);
+            report.push_row(vec![
+                op.label().to_string(),
+                n.to_string(),
+                fmt_duration(t_base),
+                fmt_duration(t_trig),
+                fmt_pct(ovh),
+            ]);
+        }
+    }
+    let sizes = txn_sizes(scale);
+    let (n_min, n_max) = (sizes[0], *sizes.last().expect("non-empty"));
+    let big_insert: Vec<f64> = sizes
+        .iter()
+        .filter(|n| **n >= 10)
+        .map(|n| overheads[&("insert", *n)])
+        .collect();
+    report.check(
+        "insert overhead is substantial at every size >= 10 (paper: 80-100%)",
+        big_insert.iter().all(|o| *o > 25.0),
+    );
+    report.check(
+        "update overhead grows with txn size",
+        overheads[&("update", n_max)] > overheads[&("update", n_min)] + 20.0,
+    );
+    report.check(
+        "delete overhead grows with txn size",
+        overheads[&("delete", n_max)] > overheads[&("delete", n_min)] + 20.0,
+    );
+    report.check(
+        "update overhead is large at the biggest txn (paper: up to ~344%)",
+        overheads[&("update", n_max)] > 50.0,
+    );
+    report
+}

@@ -1,0 +1,97 @@
+//! **Table 1** — database delta dump and load techniques.
+//!
+//! The paper times Export, Import, and the ASCII "DBMS Loader" over delta
+//! sizes 100 MB–1 GB of 100-byte records. We sweep the same shape at
+//! 1/1000 size (1 k–10 k records ≈ 0.1–1 MB) and expect the same ordering:
+//! Export fastest, Loader in the middle, Import slowest (it re-inserts every
+//! row through the buffer pool and WAL — "the extra I/O is evident").
+
+use delta_engine::util::{ascii_dump, export_table, import_table, loader_load, LoadMode};
+
+use crate::report::{fmt_duration, TableReport};
+use crate::workload::{time_once, Scale, SourceBuilder};
+
+/// Paper's delta sizes (MB) and the scaled row counts we use.
+pub fn sweep(scale: &Scale) -> Vec<(u32, usize)> {
+    [100u32, 200, 400, 600, 800, 1000]
+        .iter()
+        .map(|&mb| (mb, scale.rows(mb as usize * 10)))
+        .collect()
+}
+
+pub fn run(scale: &Scale) -> TableReport {
+    let mut report = TableReport::new(
+        "T1",
+        "Table 1: database delta dump and load techniques",
+        "Export << DBMS Loader << Import at every size; gaps grow with size",
+        &["paper size", "rows (scaled)", "Export", "Import", "DBMS Loader"],
+    );
+    report.note(format!(
+        "scale factor {}: paper's 100 MB of 100-byte records -> {} rows",
+        scale.factor,
+        scale.rows(1000)
+    ));
+    let b = SourceBuilder::new("table1");
+    let db = b.db(false).expect("open db");
+    let mut last = None;
+    // Untimed warm-up pass so first-row numbers don't carry cold-start costs.
+    {
+        b.seeded_ts_table(&db, "warmup", 200).expect("seed");
+        export_table(&db, "warmup", b.path("warmup.exp")).expect("warm export");
+        db.session()
+            .execute("CREATE TABLE warmup_imp (id INT PRIMARY KEY, grp INT, filler VARCHAR, last_modified TIMESTAMP)")
+            .expect("ddl");
+        import_table(&db, "warmup_imp", b.path("warmup.exp")).expect("warm import");
+        ascii_dump(&db, "warmup", b.path("warmup.txt")).expect("warm dump");
+        loader_load(&db, "warmup_imp", b.path("warmup.txt"), LoadMode::Replace).expect("warm load");
+    }
+    for (mb, rows) in sweep(scale) {
+        let delta_table = format!("delta_{mb}");
+        b.seeded_ts_table(&db, &delta_table, rows).expect("seed");
+        // Quiesce OS writeback from seeding so it doesn't bleed into the
+        // timed utilities (untimed).
+        db.pool().flush_and_sync_all().expect("sync");
+
+        // Export the delta table (binary, proprietary).
+        let exp_path = b.path(&format!("{delta_table}.exp"));
+        let (r, t_export) = time_once(|| export_table(&db, &delta_table, &exp_path));
+        r.expect("export");
+
+        // Import it into a fresh table of the same schema.
+        let imp_table = format!("imp_{mb}");
+        db.session()
+            .execute(&format!(
+                "CREATE TABLE {imp_table} (id INT PRIMARY KEY, grp INT, filler VARCHAR, last_modified TIMESTAMP)"
+            ))
+            .expect("create import target");
+        let (r, t_import) = time_once(|| import_table(&db, &imp_table, &exp_path));
+        assert_eq!(r.expect("import"), rows as u64);
+
+        // ASCII dump (not timed; it is the Loader's input), then direct load.
+        let txt_path = b.path(&format!("{delta_table}.txt"));
+        ascii_dump(&db, &delta_table, &txt_path).expect("ascii dump");
+        let load_table = format!("load_{mb}");
+        db.session()
+            .execute(&format!(
+                "CREATE TABLE {load_table} (id INT PRIMARY KEY, grp INT, filler VARCHAR, last_modified TIMESTAMP)"
+            ))
+            .expect("create load target");
+        let (r, t_loader) = time_once(|| loader_load(&db, &load_table, &txt_path, LoadMode::Append));
+        assert_eq!(r.expect("loader"), rows as u64);
+        db.pool().flush_and_sync_all().expect("sync");
+
+        report.push_row(vec![
+            format!("{mb}M"),
+            rows.to_string(),
+            fmt_duration(t_export),
+            fmt_duration(t_import),
+            fmt_duration(t_loader),
+        ]);
+        last = Some((t_export, t_import, t_loader));
+    }
+    if let Some((e, i, l)) = last {
+        report.check("Export < Loader at the largest size", e < l);
+        report.check("Loader < Import at the largest size", l < i);
+    }
+    report
+}

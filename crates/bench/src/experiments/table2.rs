@@ -1,0 +1,90 @@
+//! **Table 2** — timestamp-based delta extraction.
+//!
+//! The paper extracts 100 MB–1 GB deltas from a 1 GB / 10 M-row table three
+//! ways: to an operating-system file, to a local delta table, and to a table
+//! followed by Export. Scaled 1/1000 (10 k-row source), same sweep, same
+//! expected ordering: file << table << table + Export, with table output
+//! roughly 2–3x file output (the full transactional write path vs a
+//! sequential file write).
+
+use delta_core::timestamp::TimestampExtractor;
+
+use crate::report::{fmt_duration, TableReport};
+use crate::workload::{time_once, Scale, SourceBuilder};
+
+/// Source table rows (the paper's 10 M, scaled).
+pub fn source_rows(scale: &Scale) -> usize {
+    scale.rows(10_000)
+}
+
+/// (paper label, delta rows) sweep — deltas are fractions of the table.
+pub fn sweep(scale: &Scale) -> Vec<(String, usize)> {
+    let total = source_rows(scale);
+    [(100u32, 10usize), (200, 20), (400, 40), (600, 60), (800, 80), (1000, 100)]
+        .iter()
+        .map(|&(mb, pct)| (format!("{mb}M"), total * pct / 100))
+        .collect()
+}
+
+pub fn run(scale: &Scale) -> TableReport {
+    let mut report = TableReport::new(
+        "T2",
+        "Table 2: time stamp based delta extraction",
+        "file output << table output << table output + Export; table ~2-3x file",
+        &[
+            "paper size",
+            "delta rows",
+            "File output",
+            "Table output",
+            "Table output + Export",
+        ],
+    );
+    let b = SourceBuilder::new("table2");
+    let db = b.db(false).expect("open db");
+    let total = source_rows(scale);
+    report.note(format!(
+        "source table: {total} rows of 100 bytes (paper: 10M rows / 1 GB); no index on last_modified (table scans, as in §3.1.1)"
+    ));
+    b.seeded_ts_table(&db, "parts", total).expect("seed");
+    let x = TimestampExtractor::new("parts", "last_modified");
+    let mut last = None;
+
+    for (label, delta_rows) in sweep(scale) {
+        // Touch exactly `delta_rows` rows past a fresh watermark (the engine
+        // re-stamps last_modified on every update).
+        let watermark = db.peek_clock();
+        db.session()
+            .execute(&format!("UPDATE parts SET grp = grp WHERE id < {delta_rows}"))
+            .expect("touch rows");
+        db.pool().flush_and_sync_all().expect("sync");
+
+        let file_path = b.path(&format!("ts_{label}.txt"));
+        let (r, t_file) = time_once(|| x.extract_to_file(&db, watermark, &file_path));
+        assert_eq!(r.expect("file output") as usize, delta_rows);
+
+        let table_target = format!("tsd_{label}");
+        let (r, t_table) = time_once(|| x.extract_to_table(&db, watermark, &table_target));
+        assert_eq!(r.expect("table output") as usize, delta_rows);
+
+        let table_target2 = format!("tsd2_{label}");
+        let exp_path = b.path(&format!("ts_{label}.exp"));
+        let (r, t_table_exp) = time_once(|| {
+            x.extract_to_table_and_export(&db, watermark, &table_target2, &exp_path)
+        });
+        assert_eq!(r.expect("table+export") as usize, delta_rows);
+
+        report.push_row(vec![
+            label,
+            delta_rows.to_string(),
+            fmt_duration(t_file),
+            fmt_duration(t_table),
+            fmt_duration(t_table_exp),
+        ]);
+        last = Some((t_file, t_table, t_table_exp));
+    }
+    if let Some((f, t, te)) = last {
+        report.check("file output < table output at the largest delta", f < t);
+        report.check("table output <= table+Export at the largest delta", t <= te);
+    }
+    report
+}

@@ -1,0 +1,118 @@
+//! **Table 3** — total time to extract and load deltas (end to end,
+//! excluding network/cleanup/integration, exactly like the paper).
+//!
+//! Two pipelines from the source to a warehouse database:
+//!
+//! * timestamp **file output + DBMS Loader** (portable ASCII path), vs
+//! * timestamp **table output + Export + Import** (same-product binary
+//!   path).
+//!
+//! The paper finds the second path ~2-3.5x slower; the gap is structural —
+//! the delta is written through the engine twice (delta table, then Import's
+//! re-insert), plus the Export pass.
+
+use delta_core::timestamp::TimestampExtractor;
+use delta_engine::util::{import_table, loader_load, LoadMode};
+
+use crate::report::{fmt_duration, TableReport};
+use crate::workload::{time_once, Scale, SourceBuilder};
+
+pub fn run(scale: &Scale) -> TableReport {
+    let mut report = TableReport::new(
+        "T3",
+        "Table 3: total time to extract and load deltas",
+        "file+Loader path ~2-3.5x faster than table+Export+Import path",
+        &[
+            "paper size",
+            "delta rows",
+            "TS file output + DBMS Loader",
+            "TS table output + Export + Import",
+        ],
+    );
+    let b = SourceBuilder::new("table3");
+    let source = b.db(false).expect("open source");
+    let warehouse = b.db(false).expect("open warehouse");
+    let total = super::table2::source_rows(scale);
+    b.seeded_ts_table(&source, "parts", total).expect("seed");
+    report.note(format!("source table: {total} rows; warehouse is a separate database (same product, so Import is legal)"));
+    let x = TimestampExtractor::new("parts", "last_modified");
+    let ddl = "(id INT PRIMARY KEY, grp INT, filler VARCHAR, last_modified TIMESTAMP)";
+
+    // Untimed warm-up of both pipelines.
+    {
+        warehouse
+            .session()
+            .execute(&format!("CREATE TABLE warm {ddl}"))
+            .expect("ddl");
+        let wm = source.peek_clock();
+        source
+            .session()
+            .execute("UPDATE parts SET grp = grp WHERE id < 50")
+            .expect("touch");
+        let f = b.path("warm.txt");
+        x.extract_to_file(&source, wm, &f).expect("warm extract");
+        loader_load(&warehouse, "warm", &f, LoadMode::Replace).expect("warm load");
+        let e = b.path("warm.exp");
+        x.extract_to_table_and_export(&source, wm, "warm_d", &e).expect("warm path b");
+        warehouse
+            .session()
+            .execute(&format!("CREATE TABLE warm_imp {ddl}"))
+            .expect("ddl");
+        import_table(&warehouse, "warm_imp", &e).expect("warm import");
+    }
+
+    let mut last = None;
+    for (label, delta_rows) in super::table2::sweep(scale) {
+        let watermark = source.peek_clock();
+        source
+            .session()
+            .execute(&format!("UPDATE parts SET grp = grp WHERE id < {delta_rows}"))
+            .expect("touch rows");
+        source.pool().flush_and_sync_all().expect("sync");
+        warehouse.pool().flush_and_sync_all().expect("sync");
+
+        // Path A: file output, ship, DBMS Loader.
+        let wh_a = format!("wa_{label}");
+        warehouse
+            .session()
+            .execute(&format!("CREATE TABLE {wh_a} {ddl}"))
+            .expect("create");
+        let file_path = b.path(&format!("t3_{label}.txt"));
+        let (r, t_a) = time_once(|| -> delta_engine::EngineResult<u64> {
+            x.extract_to_file(&source, watermark, &file_path)?;
+            loader_load(&warehouse, &wh_a, &file_path, LoadMode::Append)
+        });
+        assert_eq!(r.expect("path A") as usize, delta_rows);
+        warehouse.pool().flush_and_sync_all().expect("sync");
+
+        // Path B: table output, Export, Import at the warehouse.
+        let wh_b = format!("wb_{label}");
+        warehouse
+            .session()
+            .execute(&format!("CREATE TABLE {wh_b} {ddl}"))
+            .expect("create");
+        let delta_table = format!("t3d_{label}");
+        let exp_path = b.path(&format!("t3_{label}.exp"));
+        let (r, t_b) = time_once(|| -> delta_engine::EngineResult<u64> {
+            x.extract_to_table_and_export(&source, watermark, &delta_table, &exp_path)?;
+            import_table(&warehouse, &wh_b, &exp_path)
+        });
+        assert_eq!(r.expect("path B") as usize, delta_rows);
+
+        report.push_row(vec![
+            label,
+            delta_rows.to_string(),
+            fmt_duration(t_a),
+            fmt_duration(t_b),
+        ]);
+        last = Some((t_a, t_b));
+    }
+    if let Some((a, bt)) = last {
+        report.check("file+Loader < table+Export+Import at the largest delta", a < bt);
+        report.check(
+            "the gap is substantial (>= 1.5x)",
+            bt.as_secs_f64() / a.as_secs_f64() >= 1.5,
+        );
+    }
+    report
+}

@@ -1,0 +1,98 @@
+//! **Table 4** — transaction response time with DB-table vs file Op-Delta
+//! log, for insert/delete/update at transaction sizes 10–10,000.
+//!
+//! The paper's numbers show the file log clearly cheaper for inserts
+//! (~25–30 % lower response time — the op volume is large and skipping
+//! transactional storage pays) and nearly identical for delete/update (the
+//! op is tiny either way). Response time grows ~linearly with transaction
+//! size for all cells.
+
+use delta_core::opdelta::{OpDeltaCapture, OpLogSink};
+
+use crate::experiments::fig2::{measure_txn, table_rows, OpKind};
+use crate::report::{fmt_duration, TableReport};
+use crate::workload::{Scale, SourceBuilder};
+
+/// The paper's transaction sizes, capped to the scaled table.
+pub fn txn_sizes(scale: &Scale) -> Vec<usize> {
+    let cap = table_rows(scale) / 2;
+    [10usize, 100, 1_000, 10_000]
+        .into_iter()
+        .filter(|n| *n <= cap)
+        .collect()
+}
+
+pub fn run(scale: &Scale) -> TableReport {
+    let mut report = TableReport::new(
+        "T4",
+        "Table 4: response time - Op-Delta DB log vs file log",
+        "file log beats DB log clearly for inserts, negligibly for delete/update; time ~linear in txn size",
+        &[
+            "txn size",
+            "Insert (DBLog)",
+            "Insert (FileLog)",
+            "Delete (DBLog)",
+            "Delete (FileLog)",
+            "Update (DBLog)",
+            "Update (FileLog)",
+        ],
+    );
+    let rows = table_rows(scale);
+    report.note(format!("source table {rows} rows; times are per-transaction response times"));
+    let b = SourceBuilder::new("table4");
+    let mut cells: std::collections::HashMap<(usize, &str, bool), std::time::Duration> =
+        Default::default();
+    for op in OpKind::all() {
+        for &n in &txn_sizes(scale) {
+            for file_log in [false, true] {
+                let db = b.db(false).expect("db");
+                b.seeded_op_table(&db, "parts", rows).expect("seed");
+                let sink = if file_log {
+                    OpLogSink::File(b.path(&format!("t4-{}-{n}.oplog", op.label())))
+                } else {
+                    OpLogSink::Table("op_log".into())
+                };
+                let mut cap = OpDeltaCapture::new(db.session(), sink).expect("capture");
+                let t = measure_txn(&db, |sql| { cap.execute(sql).expect("stmt"); }, op, n, rows);
+                cells.insert((n, op.label(), file_log), t);
+            }
+        }
+    }
+    for &n in &txn_sizes(scale) {
+        report.push_row(vec![
+            n.to_string(),
+            fmt_duration(cells[&(n, "insert", false)]),
+            fmt_duration(cells[&(n, "insert", true)]),
+            fmt_duration(cells[&(n, "delete", false)]),
+            fmt_duration(cells[&(n, "delete", true)]),
+            fmt_duration(cells[&(n, "update", false)]),
+            fmt_duration(cells[&(n, "update", true)]),
+        ]);
+    }
+    let n_max = *txn_sizes(scale).last().expect("non-empty");
+    report.check(
+        "file log beats DB log for the largest insert txn (paper: ~30%)",
+        cells[&(n_max, "insert", true)] < cells[&(n_max, "insert", false)],
+    );
+    let near = |a: std::time::Duration, bt: std::time::Duration| {
+        (a.as_secs_f64() / bt.as_secs_f64() - 1.0).abs() < 0.35
+    };
+    report.check(
+        "delete logs are nearly identical at the largest txn",
+        near(cells[&(n_max, "delete", true)], cells[&(n_max, "delete", false)]),
+    );
+    report.check(
+        "update logs are nearly identical at the largest txn",
+        near(cells[&(n_max, "update", true)], cells[&(n_max, "update", false)]),
+    );
+    let sizes = txn_sizes(scale);
+    if sizes.len() >= 2 {
+        let (a, bt) = (sizes[0], n_max);
+        report.check(
+            "insert response time grows ~linearly with txn size",
+            cells[&(bt, "insert", false)].as_secs_f64()
+                > cells[&(a, "insert", false)].as_secs_f64() * (bt / a) as f64 * 0.2,
+        );
+    }
+    report
+}

@@ -1,0 +1,24 @@
+//! # delta-bench
+//!
+//! The reproduction harness: one module per table/figure of the paper (plus
+//! the in-text experiments and the DESIGN.md ablations), a workload builder
+//! that recreates the paper's 100-byte-record tables at a configurable scale,
+//! and a reporting layer that prints paper-style tables and persists JSON for
+//! `EXPERIMENTS.md`.
+//!
+//! Run everything with the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p delta-bench --bin repro -- all
+//! cargo run --release -p delta-bench --bin repro -- table1 --scale 2
+//! ```
+//!
+//! Criterion benches under `benches/` wrap the same experiment functions at
+//! reduced sizes for statistically sampled micro-comparisons.
+
+pub mod experiments;
+pub mod report;
+pub mod workload;
+
+pub use report::TableReport;
+pub use workload::{Scale, SourceBuilder};

@@ -1,0 +1,245 @@
+//! Experiment reporting: paper-style tables, rendered as markdown and
+//! persisted as JSON.
+
+use std::path::Path;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// One reproduced table or figure.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TableReport {
+    /// Experiment id (e.g. "T1", "F2").
+    pub id: String,
+    /// Human title, matching the paper artifact.
+    pub title: String,
+    /// What shape the paper reports, for eyeballing the output.
+    pub expectation: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (scaling, substitutions, virtual time, ...).
+    pub notes: Vec<String>,
+    /// Programmatic shape assertions evaluated on the measured data: the
+    /// paper's qualitative findings as pass/fail checks.
+    #[serde(default)]
+    pub checks: Vec<ShapeCheck>,
+}
+
+/// One verified property of the measured shape.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ShapeCheck {
+    pub name: String,
+    pub pass: bool,
+}
+
+impl TableReport {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        expectation: impl Into<String>,
+        headers: &[&str],
+    ) -> TableReport {
+        TableReport {
+            id: id.into(),
+            title: title.into(),
+            expectation: expectation.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Append a data row (stringified cells).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Record a shape assertion.
+    pub fn check(&mut self, name: impl Into<String>, pass: bool) {
+        self.checks.push(ShapeCheck {
+            name: name.into(),
+            pass,
+        });
+    }
+
+    /// Whether every shape check passed (vacuously true when none).
+    pub fn all_checks_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Render as a markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("*Paper's shape:* {}\n\n", self.expectation));
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push_str(&format!(
+            "|{}|\n",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        if !self.checks.is_empty() {
+            out.push_str("\nShape checks:\n");
+            for c in &self.checks {
+                out.push_str(&format!(
+                    "- [{}] {}\n",
+                    if c.pass { "PASS" } else { "FAIL" },
+                    c.name
+                ));
+            }
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Persist as JSON under `dir/<id>.json`.
+    pub fn save_json(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        let path = dir.as_ref().join(format!("{}.json", self.id));
+        std::fs::write(path, serde_json::to_string_pretty(self).expect("serializable"))
+    }
+
+    /// Load from JSON.
+    pub fn load_json(path: impl AsRef<Path>) -> std::io::Result<TableReport> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Format a duration the way the paper's tables do (adaptive units).
+pub fn fmt_duration(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms < 1.0 {
+        format!("{:.0} µs", d.as_secs_f64() * 1e6)
+    } else if ms < 1000.0 {
+        format!("{ms:.1} ms")
+    } else if ms < 60_000.0 {
+        format!("{:.2} s", ms / 1e3)
+    } else {
+        format!("{:.1} min", ms / 60_000.0)
+    }
+}
+
+/// Format a percentage.
+pub fn fmt_pct(p: f64) -> String {
+    format!("{p:.1}%")
+}
+
+/// Percentage overhead of `with` relative to `without`.
+pub fn overhead_pct(without: Duration, with: Duration) -> f64 {
+    if without.is_zero() {
+        return 0.0;
+    }
+    (with.as_secs_f64() / without.as_secs_f64() - 1.0) * 100.0
+}
+
+/// Percentage saving of `new` relative to `old` (positive = faster).
+pub fn saving_pct(old: Duration, new: Duration) -> f64 {
+    if old.is_zero() {
+        return 0.0;
+    }
+    (1.0 - new.as_secs_f64() / old.as_secs_f64()) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableReport {
+        let mut t = TableReport::new("T9", "Demo", "a < b everywhere", &["size", "a", "b"]);
+        t.push_row(vec!["10".into(), "1 ms".into(), "2 ms".into()]);
+        t.note("scaled 1000x down");
+        t
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### T9"));
+        assert!(md.contains("| size | a    | b    |"));
+        assert!(md.contains("1 ms"));
+        assert!(md.contains("- scaled 1000x down"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_is_enforced() {
+        let mut t = sample();
+        t.push_row(vec!["oops".into()]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "delta-report-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let t = sample();
+        t.save_json(&dir).unwrap();
+        let back = TableReport::load_json(dir.join("T9.json")).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert!(fmt_duration(Duration::from_micros(50)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).contains('s'));
+        assert!(fmt_duration(Duration::from_secs(120)).contains("min"));
+    }
+
+    #[test]
+    fn percentage_math() {
+        assert_eq!(
+            overhead_pct(Duration::from_millis(100), Duration::from_millis(180)).round(),
+            80.0
+        );
+        assert_eq!(
+            saving_pct(Duration::from_millis(100), Duration::from_millis(30)).round(),
+            70.0
+        );
+        assert_eq!(overhead_pct(Duration::ZERO, Duration::from_millis(1)), 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Workload construction: the paper's tables and transactions, scaled.
+//!
+//! The paper's experiments use **100-byte records**; the source table for the
+//! timestamp experiments holds 10 million of them (1 GB), the trigger
+//! experiments use a 100,000-row table, and transaction sizes sweep
+//! 10–10,000. We keep the record size and the sweep shapes and scale row
+//! counts down ~1000× by default (the harness exposes `--scale` to grow
+//! them); DESIGN.md §2 records why the shapes are scale-invariant.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use delta_engine::db::{Database, DbOptions, SyncMode};
+use delta_engine::EngineResult;
+use delta_storage::{Column, DataType, Schema};
+
+/// Scaling knob for every experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Multiplies base row counts (1.0 = the ~1000×-reduced defaults).
+    pub factor: f64,
+}
+
+impl Scale {
+    pub fn new(factor: f64) -> Scale {
+        Scale { factor }
+    }
+
+    /// Scale a base count, at least 1.
+    pub fn rows(&self, base: usize) -> usize {
+        ((base as f64 * self.factor) as usize).max(1)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Scale {
+        Scale { factor: 1.0 }
+    }
+}
+
+/// Filler length making an encoded row exactly ~100 bytes for the
+/// 4-column benchmark schema (header 2 + three 9-byte numerics + 5+len).
+pub const FILLER_LEN: usize = 66;
+
+/// The timestamped source schema (timestamp/snapshot experiments).
+/// `last_modified` is auto-stamped by the engine.
+pub fn ts_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("id", DataType::Int).primary_key(),
+        Column::new("grp", DataType::Int),
+        Column::new("filler", DataType::Varchar),
+        Column::new("last_modified", DataType::Timestamp),
+    ])
+    .unwrap()
+}
+
+/// The operation-experiment schema (trigger / Op-Delta / warehouse
+/// experiments): no auto-stamped column, so replayed operations are
+/// bit-identical at source and warehouse.
+pub fn op_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("id", DataType::Int).primary_key(),
+        Column::new("grp", DataType::Int),
+        Column::new("val", DataType::Int),
+        Column::new("filler", DataType::Varchar),
+    ])
+    .unwrap()
+}
+
+/// Deterministic filler text for row `id`.
+pub fn filler(id: i64) -> String {
+    let mut s = format!("row-{id:010}-");
+    while s.len() < FILLER_LEN {
+        s.push((b'a' + (s.len() % 26) as u8) as char);
+    }
+    s.truncate(FILLER_LEN);
+    s
+}
+
+/// Builds benchmark source databases in a scratch directory.
+pub struct SourceBuilder {
+    root: PathBuf,
+    counter: std::cell::Cell<u32>,
+}
+
+impl SourceBuilder {
+    /// A builder rooted in a fresh scratch directory.
+    pub fn new(label: &str) -> SourceBuilder {
+        let root = std::env::temp_dir().join(format!(
+            "deltaforge-bench-{}-{label}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        SourceBuilder {
+            root,
+            counter: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The scratch directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    /// A fresh path inside the scratch directory.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Open a fresh database with benchmark-friendly options.
+    pub fn db(&self, archive: bool) -> EngineResult<Arc<Database>> {
+        let n = self.counter.get();
+        self.counter.set(n + 1);
+        let mut opts = DbOptions::new(self.root.join(format!("db-{n}")));
+        opts.wal_sync = SyncMode::Flush;
+        opts.archive_mode = archive;
+        opts.buffer_pool_pages = 4096; // 32 MiB: hot set cached, like the paper's 128 MB box
+        opts.lock_timeout = Duration::from_secs(30);
+        Database::open(opts)
+    }
+
+    /// Create `table` with the timestamped schema (`CREATE TABLE` SQL path so
+    /// the auto-timestamp option is attached) and seed `rows` rows.
+    pub fn seeded_ts_table(
+        &self,
+        db: &Arc<Database>,
+        table: &str,
+        rows: usize,
+    ) -> EngineResult<()> {
+        let mut s = db.session();
+        s.execute(&format!(
+            "CREATE TABLE {table} (id INT PRIMARY KEY, grp INT, filler VARCHAR, last_modified TIMESTAMP)"
+        ))?;
+        seed_rows(db, table, 0, rows, |id| {
+            format!("({id}, {id}, '{}', NULL)", filler(id))
+        })
+    }
+
+    /// Create `table` with the op schema and seed `rows` rows
+    /// (`val` starts at 0, `grp` = id).
+    pub fn seeded_op_table(
+        &self,
+        db: &Arc<Database>,
+        table: &str,
+        rows: usize,
+    ) -> EngineResult<()> {
+        let mut s = db.session();
+        s.execute(&format!(
+            "CREATE TABLE {table} (id INT PRIMARY KEY, grp INT, val INT, filler VARCHAR)"
+        ))?;
+        seed_rows(db, table, 0, rows, |id| {
+            format!("({id}, {id}, 0, '{}')", filler(id))
+        })
+    }
+}
+
+/// Seed `[start, start+rows)` ids via multi-row INSERT statements.
+pub fn seed_rows(
+    db: &Arc<Database>,
+    table: &str,
+    start: usize,
+    rows: usize,
+    value_tuple: impl Fn(i64) -> String,
+) -> EngineResult<()> {
+    const BATCH: usize = 500;
+    let mut s = db.session();
+    let mut id = start;
+    while id < start + rows {
+        let end = (id + BATCH).min(start + rows);
+        let values: Vec<String> = (id..end).map(|i| value_tuple(i as i64)).collect();
+        s.execute(&format!("INSERT INTO {table} VALUES {}", values.join(", ")))?;
+        id = end;
+    }
+    Ok(())
+}
+
+/// Build the text of one multi-row INSERT transaction of `n` fresh rows
+/// starting at `first_id` (op schema).
+pub fn insert_txn_sql(table: &str, first_id: i64, n: usize) -> String {
+    let values: Vec<String> = (first_id..first_id + n as i64)
+        .map(|id| format!("({id}, {id}, 0, '{}')", filler(id)))
+        .collect();
+    format!("INSERT INTO {table} VALUES {}", values.join(", "))
+}
+
+/// An UPDATE touching exactly the `n` rows with `grp` in `[a, a+n)` — a
+/// range predicate on the unindexed `grp` column, forcing the table scan the
+/// paper's update transactions perform.
+pub fn update_txn_sql(table: &str, a: i64, n: usize) -> String {
+    format!(
+        "UPDATE {table} SET val = val + 1 WHERE grp >= {a} AND grp < {}",
+        a + n as i64
+    )
+}
+
+/// A DELETE touching exactly the `n` rows with `grp` in `[a, a+n)`.
+pub fn delete_txn_sql(table: &str, a: i64, n: usize) -> String {
+    format!(
+        "DELETE FROM {table} WHERE grp >= {a} AND grp < {}",
+        a + n as i64
+    )
+}
+
+/// Time `f` once.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Average duration of `reps` calls of `f(rep)`.
+pub fn time_avg(reps: usize, mut f: impl FnMut(usize)) -> Duration {
+    assert!(reps > 0);
+    let start = Instant::now();
+    for rep in 0..reps {
+        f(rep);
+    }
+    start.elapsed() / reps as u32
+}
+
+/// Repetitions that keep small-n measurements stable without letting big-n
+/// runs crawl.
+pub fn reps_for(n: usize) -> usize {
+    (2000 / n.max(1)).clamp(1, 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_storage::Row;
+
+    #[test]
+    fn rows_encode_to_about_100_bytes() {
+        let row = Row::new(vec![
+            delta_storage::Value::Int(123),
+            delta_storage::Value::Int(123),
+            delta_storage::Value::Int(0),
+            delta_storage::Value::Str(filler(123)),
+        ]);
+        let size = row.to_bytes().len();
+        assert!(
+            (95..=105).contains(&size),
+            "op row must be ~100 bytes, got {size}"
+        );
+    }
+
+    #[test]
+    fn filler_is_deterministic_and_fixed_length() {
+        assert_eq!(filler(42), filler(42));
+        assert_eq!(filler(1).len(), FILLER_LEN);
+        assert_eq!(filler(9_999_999_999).len(), FILLER_LEN);
+        assert_ne!(filler(1), filler(2));
+    }
+
+    #[test]
+    fn seeded_tables_have_requested_rows() {
+        let b = SourceBuilder::new("workload-test");
+        let db = b.db(false).unwrap();
+        b.seeded_op_table(&db, "parts", 1234).unwrap();
+        assert_eq!(db.row_count("parts").unwrap(), 1234);
+        let db2 = b.db(false).unwrap();
+        b.seeded_ts_table(&db2, "parts", 77).unwrap();
+        assert_eq!(db2.row_count("parts").unwrap(), 77);
+        // Auto-timestamps were stamped.
+        let r = db2
+            .session()
+            .execute("SELECT * FROM parts WHERE last_modified IS NULL")
+            .unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn txn_sql_touches_exactly_n_rows() {
+        let b = SourceBuilder::new("workload-txn");
+        let db = b.db(false).unwrap();
+        b.seeded_op_table(&db, "parts", 100).unwrap();
+        let mut s = db.session();
+        let r = s.execute(&update_txn_sql("parts", 10, 25)).unwrap();
+        assert_eq!(r.affected, 25);
+        let r = s.execute(&delete_txn_sql("parts", 50, 10)).unwrap();
+        assert_eq!(r.affected, 10);
+        let r = s.execute(&insert_txn_sql("parts", 1000, 7)).unwrap();
+        assert_eq!(r.affected, 7);
+    }
+
+    #[test]
+    fn scale_scales() {
+        assert_eq!(Scale::new(2.0).rows(100), 200);
+        assert_eq!(Scale::new(0.001).rows(100), 1);
+        assert_eq!(Scale::default().rows(100), 100);
+    }
+
+    #[test]
+    fn reps_bounds() {
+        assert_eq!(reps_for(1), 20);
+        assert_eq!(reps_for(10_000), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # delta-core
+//!
+//! The paper's subject matter: **extracting deltas from operational source
+//! systems** for incremental data-warehouse maintenance.
+//!
+//! Four classical *value-delta* methods (§3):
+//!
+//! * [`timestamp`] — query rows by a `last_modified` column (file, table, or
+//!   table + Export outputs; Tables 2–3);
+//! * [`snapshot`] — differential snapshots, with sort-merge and windowed
+//!   diff algorithms after Labio & Garcia-Molina (§3.1.2);
+//! * [`trigger_extract`] — row-level capture triggers draining a delta table
+//!   (Figure 2);
+//! * [`logextract`] — archive-log extraction and log shipping (§3.1.4).
+//!
+//! And the paper's contribution (§4):
+//!
+//! * [`opdelta`] — **Op-Delta** capture: record the *operation* (the SQL
+//!   statement, its transaction boundary, and — only when the
+//!   self-maintainability analysis demands it — a partial before-image)
+//!   right before it is submitted to the DBMS (Figure 3, Table 4);
+//! * [`selfmaint`] — the analysis deciding when an Op-Delta alone suffices
+//!   and when it must be augmented with before images;
+//! * [`reconcile`] — reconciliation of deltas from replicated / distributed
+//!   sources into one authoritative stream (§2.2);
+//! * [`transform`] — the restriction/sub-setting/reshaping stage between
+//!   extraction and transport (§5's flexibility argument);
+//! * [`model`] — the delta data model shared by every method and by the
+//!   transports and warehouse appliers.
+
+pub mod extractor;
+pub mod logextract;
+pub mod model;
+pub mod opdelta;
+pub mod reconcile;
+pub mod selfmaint;
+pub mod snapshot;
+pub mod timestamp;
+pub mod transform;
+pub mod trigger_extract;
+
+pub use extractor::{DeltaSource, LogSource, Method, SnapshotSource, TimestampSource, TriggerSource};
+pub use model::{DeltaBatch, DeltaOp, OpDelta, OpLogRecord, ValueDelta, ValueDeltaRecord};
+pub use opdelta::{OpDeltaCapture, OpLogSink};
+pub use selfmaint::{MaintRequirement, SelfMaintAnalyzer, WarehouseProfile};
+pub use transform::{ColumnTransform, DeltaTransform};

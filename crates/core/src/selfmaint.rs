@@ -1,0 +1,260 @@
+//! Self-maintainability analysis for Op-Delta (§4.1).
+//!
+//! The paper identifies *"sufficient conditions that Op-Delta alone is enough
+//! to refresh the data warehouse (self-maintainability with respect to
+//! Op-Delta), and for some cases, a hybrid between a partial value delta (the
+//! before-image portion only) and the Op-Delta is necessary"*.
+//!
+//! Our reconstruction: the warehouse keeps a *mirror* of some columns of each
+//! source table (full mirrors, column-projected mirrors, or none). An
+//! operation can be replayed at the warehouse iff everything it reads — the
+//! predicate's columns, and an UPDATE's right-hand-side columns — exists in
+//! the mirror. If not, the capture layer must attach the before images of the
+//! affected rows (the hybrid), from which the warehouse can still derive the
+//! effect.
+
+use std::collections::HashMap;
+
+use delta_sql::ast::{Expr, Statement};
+
+/// How much of a source table the warehouse mirrors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MirrorScope {
+    /// Every column.
+    Full,
+    /// Only these columns.
+    Columns(Vec<String>),
+}
+
+/// What the warehouse keeps, per source table.
+#[derive(Debug, Clone, Default)]
+pub struct WarehouseProfile {
+    mirrored: HashMap<String, MirrorScope>,
+}
+
+impl WarehouseProfile {
+    pub fn new() -> WarehouseProfile {
+        WarehouseProfile::default()
+    }
+
+    /// Declare a fully mirrored table.
+    pub fn mirror_full(mut self, table: impl Into<String>) -> WarehouseProfile {
+        self.mirrored.insert(table.into(), MirrorScope::Full);
+        self
+    }
+
+    /// Declare a column-projected mirror.
+    pub fn mirror_columns(
+        mut self,
+        table: impl Into<String>,
+        columns: &[&str],
+    ) -> WarehouseProfile {
+        self.mirrored.insert(
+            table.into(),
+            MirrorScope::Columns(columns.iter().map(|c| c.to_string()).collect()),
+        );
+        self
+    }
+
+    /// The scope for `table`, if mirrored at all.
+    pub fn scope(&self, table: &str) -> Option<&MirrorScope> {
+        self.mirrored.get(table)
+    }
+
+    fn covers(&self, table: &str, column: &str) -> bool {
+        match self.mirrored.get(table) {
+            Some(MirrorScope::Full) => true,
+            Some(MirrorScope::Columns(cols)) => cols.iter().any(|c| c == column),
+            None => false,
+        }
+    }
+}
+
+/// The analyzer's verdict for one statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintRequirement {
+    /// The operation alone refreshes the warehouse (self-maintainable).
+    OpOnly,
+    /// The operation must be augmented with the before images of the rows it
+    /// affects (the hybrid of §4.1). Lists the columns the mirror lacks.
+    NeedsBeforeImage { missing_columns: Vec<String> },
+    /// The statement cannot affect any mirrored data; nothing to ship.
+    NotRelevant,
+}
+
+/// Decides, per captured statement, whether Op-Delta alone suffices.
+#[derive(Debug, Clone, Default)]
+pub struct SelfMaintAnalyzer {
+    pub profile: WarehouseProfile,
+}
+
+impl SelfMaintAnalyzer {
+    pub fn new(profile: WarehouseProfile) -> SelfMaintAnalyzer {
+        SelfMaintAnalyzer { profile }
+    }
+
+    /// Analyze one (already NOW-frozen) write statement.
+    pub fn analyze(&self, stmt: &Statement) -> MaintRequirement {
+        let Some(table) = stmt.table() else {
+            return MaintRequirement::NotRelevant;
+        };
+        if self.profile.scope(table).is_none() {
+            return MaintRequirement::NotRelevant;
+        }
+        match stmt {
+            // An INSERT is always replayable: the statement carries every
+            // value; the warehouse projects what it mirrors.
+            Statement::Insert { .. } => MaintRequirement::OpOnly,
+            Statement::Delete { predicate, .. } => {
+                self.check_columns(table, predicate.iter().collect::<Vec<_>>())
+            }
+            Statement::Update {
+                sets, predicate, ..
+            } => {
+                // If no SET target is mirrored and the predicate is
+                // evaluable, the op cannot change mirrored data.
+                let any_target_mirrored = sets
+                    .iter()
+                    .any(|(col, _)| self.profile.covers(table, col));
+                let mut exprs: Vec<&Expr> = predicate.iter().collect();
+                exprs.extend(sets.iter().map(|(_, e)| e));
+                let verdict = self.check_columns(table, exprs);
+                if !any_target_mirrored && verdict == MaintRequirement::OpOnly {
+                    MaintRequirement::NotRelevant
+                } else {
+                    verdict
+                }
+            }
+            _ => MaintRequirement::NotRelevant,
+        }
+    }
+
+    fn check_columns(&self, table: &str, exprs: Vec<&Expr>) -> MaintRequirement {
+        let mut missing = Vec::new();
+        for e in exprs {
+            for col in e.referenced_columns() {
+                if !self.profile.covers(table, col) && !missing.iter().any(|m| m == col) {
+                    missing.push(col.to_string());
+                }
+            }
+        }
+        if missing.is_empty() {
+            MaintRequirement::OpOnly
+        } else {
+            MaintRequirement::NeedsBeforeImage {
+                missing_columns: missing,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_sql::parser::parse_statement;
+
+    fn analyzer() -> SelfMaintAnalyzer {
+        SelfMaintAnalyzer::new(
+            WarehouseProfile::new()
+                .mirror_full("parts")
+                .mirror_columns("orders", &["id", "status"]),
+        )
+    }
+
+    fn analyze(sql: &str) -> MaintRequirement {
+        analyzer().analyze(&parse_statement(sql).unwrap())
+    }
+
+    #[test]
+    fn inserts_are_always_op_only() {
+        assert_eq!(
+            analyze("INSERT INTO parts VALUES (1, 'a')"),
+            MaintRequirement::OpOnly
+        );
+        assert_eq!(
+            analyze("INSERT INTO orders (id, status, hidden) VALUES (1, 'open', 'x')"),
+            MaintRequirement::OpOnly
+        );
+    }
+
+    #[test]
+    fn full_mirror_makes_everything_op_only() {
+        assert_eq!(
+            analyze("UPDATE parts SET name = 'x' WHERE qty > 5 AND name <> 'y'"),
+            MaintRequirement::OpOnly
+        );
+        assert_eq!(
+            analyze("DELETE FROM parts WHERE qty < 0"),
+            MaintRequirement::OpOnly
+        );
+    }
+
+    #[test]
+    fn partial_mirror_predicate_on_missing_column_needs_before_image() {
+        match analyze("DELETE FROM orders WHERE customer = 'acme'") {
+            MaintRequirement::NeedsBeforeImage { missing_columns } => {
+                assert_eq!(missing_columns, vec!["customer"]);
+            }
+            other => panic!("expected hybrid, got {other:?}"),
+        }
+        match analyze("UPDATE orders SET status = 'closed' WHERE total > 100") {
+            MaintRequirement::NeedsBeforeImage { missing_columns } => {
+                assert_eq!(missing_columns, vec!["total"]);
+            }
+            other => panic!("expected hybrid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_mirror_covered_predicate_is_op_only() {
+        assert_eq!(
+            analyze("UPDATE orders SET status = 'closed' WHERE id = 7"),
+            MaintRequirement::OpOnly
+        );
+        assert_eq!(
+            analyze("DELETE FROM orders WHERE status = 'void'"),
+            MaintRequirement::OpOnly
+        );
+    }
+
+    #[test]
+    fn update_of_unmirrored_columns_is_not_relevant() {
+        assert_eq!(
+            analyze("UPDATE orders SET internal_note = 'x' WHERE id = 1"),
+            MaintRequirement::NotRelevant
+        );
+    }
+
+    #[test]
+    fn unmirrored_table_is_not_relevant() {
+        assert_eq!(
+            analyze("DELETE FROM audit_log WHERE ts < 100"),
+            MaintRequirement::NotRelevant
+        );
+        assert_eq!(
+            analyze("INSERT INTO audit_log VALUES (1)"),
+            MaintRequirement::NotRelevant
+        );
+    }
+
+    #[test]
+    fn update_rhs_columns_count_as_reads() {
+        // SET status = hidden reads an unmirrored column: hybrid needed.
+        match analyze("UPDATE orders SET status = hidden WHERE id = 1") {
+            MaintRequirement::NeedsBeforeImage { missing_columns } => {
+                assert_eq!(missing_columns, vec!["hidden"]);
+            }
+            other => panic!("expected hybrid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_columns_are_deduplicated() {
+        match analyze("DELETE FROM orders WHERE x > 1 AND x < 9 AND y = 2") {
+            MaintRequirement::NeedsBeforeImage { missing_columns } => {
+                assert_eq!(missing_columns, vec!["x", "y"]);
+            }
+            other => panic!("expected hybrid, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,632 @@
+//! Differential-snapshot delta extraction (§3.1.2).
+//!
+//! When snapshots (full dumps) are the only operation a source allows, the
+//! delta is computed by *comparing* the previous snapshot with the current
+//! one. Two algorithms, after Labio & Garcia-Molina's snapshot-differential
+//! work the paper cites:
+//!
+//! * [`DiffAlgorithm::SortMerge`] — externally sort both snapshots by key,
+//!   then merge. Exact, but pays the full sort.
+//! * [`DiffAlgorithm::Window`] — stream both snapshots through bounded
+//!   in-memory windows, matching rows by key. Cheaper (no sort) and exact
+//!   whenever a row's displacement between the snapshots fits the window;
+//!   beyond that it degrades — *soundly* — by reporting the row as a
+//!   delete + insert pair instead of an update.
+//!
+//! Like the timestamp method, snapshots observe only final states and lose
+//! transaction context; unlike it, they *can* observe deletions.
+
+use std::cmp::Ordering;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use delta_engine::db::Database;
+use delta_engine::EngineResult;
+use delta_storage::codec::ascii;
+use delta_storage::{Row, Schema, StorageError, StorageResult, Value};
+
+use crate::model::{DeltaOp, ValueDelta, ValueDeltaRecord};
+
+/// Snapshot-differential algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffAlgorithm {
+    /// External sort on the key, then merge-join the two snapshots.
+    SortMerge {
+        /// Rows per in-memory sort run.
+        run_size: usize,
+    },
+    /// Streaming windowed matcher.
+    Window {
+        /// Maximum unmatched rows buffered per side.
+        size: usize,
+    },
+}
+
+/// Counters describing the work a diff performed (for the ablation bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiffStats {
+    /// Rows read from both snapshots.
+    pub rows_read: u64,
+    /// Rows written to temporary run files (sort-merge only).
+    pub run_rows_written: u64,
+    /// Key comparisons performed.
+    pub comparisons: u64,
+}
+
+/// Take a snapshot of `table` (an ASCII dump) at `path`. Returns row count.
+pub fn take_snapshot(db: &Database, table: &str, path: impl AsRef<Path>) -> EngineResult<u64> {
+    delta_engine::util::ascii_dump(db, table, path)
+}
+
+/// Compare `old_path` and `new_path` (snapshots of a table with `schema`,
+/// keyed by the columns at `key_cols`) and return the value delta that turns
+/// the old snapshot into the new one.
+pub fn diff_snapshots(
+    table: &str,
+    schema: &Schema,
+    key_cols: &[usize],
+    old_path: impl AsRef<Path>,
+    new_path: impl AsRef<Path>,
+    algo: DiffAlgorithm,
+) -> StorageResult<(ValueDelta, DiffStats)> {
+    if key_cols.is_empty() {
+        return Err(StorageError::SchemaMismatch(
+            "snapshot diff requires at least one key column".into(),
+        ));
+    }
+    match algo {
+        DiffAlgorithm::SortMerge { run_size } => {
+            sort_merge_diff(table, schema, key_cols, old_path.as_ref(), new_path.as_ref(), run_size)
+        }
+        DiffAlgorithm::Window { size } => {
+            window_diff(table, schema, key_cols, old_path.as_ref(), new_path.as_ref(), size)
+        }
+    }
+}
+
+fn key_of(row: &Row, key_cols: &[usize]) -> Vec<Value> {
+    key_cols.iter().map(|&i| row.values()[i].clone()).collect()
+}
+
+fn cmp_keys(a: &[Value], b: &[Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let o = x.total_cmp(y);
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+// ---------------------------------------------------------------------
+// External sort
+// ---------------------------------------------------------------------
+
+struct RunReader {
+    reader: BufReader<File>,
+    schema: Schema,
+    line: String,
+    current: Option<(Vec<Value>, Row)>,
+    key_cols: Vec<usize>,
+}
+
+impl RunReader {
+    fn open(path: &Path, schema: &Schema, key_cols: &[usize]) -> StorageResult<RunReader> {
+        let mut r = RunReader {
+            reader: BufReader::new(File::open(path)?),
+            schema: schema.clone(),
+            line: String::new(),
+            current: None,
+            key_cols: key_cols.to_vec(),
+        };
+        r.advance()?;
+        Ok(r)
+    }
+
+    fn advance(&mut self) -> StorageResult<()> {
+        loop {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                self.current = None;
+                return Ok(());
+            }
+            let trimmed = self.line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            let row = ascii::parse_row(trimmed, &self.schema)?;
+            self.current = Some((key_of(&row, &self.key_cols), row));
+            return Ok(());
+        }
+    }
+}
+
+/// Externally sort the snapshot at `path` by key into one merged, sorted
+/// temp file; returns its path. `run_size` rows are sorted in memory at a
+/// time — the classic run-generation + k-way-merge structure.
+fn external_sort(
+    path: &Path,
+    schema: &Schema,
+    key_cols: &[usize],
+    run_size: usize,
+    stats: &mut DiffStats,
+) -> StorageResult<PathBuf> {
+    let dir = path
+        .parent()
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(std::env::temp_dir);
+    let stem = path
+        .file_name()
+        .and_then(|s| s.to_str())
+        .unwrap_or("snapshot");
+
+    // Phase 1: sorted runs.
+    let mut run_paths = Vec::new();
+    {
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut line = String::new();
+        let mut run: Vec<(Vec<Value>, Row)> = Vec::with_capacity(run_size.min(1 << 16));
+        let flush_run = |run: &mut Vec<(Vec<Value>, Row)>,
+                             run_paths: &mut Vec<PathBuf>,
+                             stats: &mut DiffStats|
+         -> StorageResult<()> {
+            if run.is_empty() {
+                return Ok(());
+            }
+            run.sort_by(|a, b| cmp_keys(&a.0, &b.0));
+            let rp = dir.join(format!("{stem}.run{}", run_paths.len()));
+            let mut w = BufWriter::new(File::create(&rp)?);
+            for (_, row) in run.iter() {
+                writeln!(w, "{}", ascii::format_row(row))?;
+                stats.run_rows_written += 1;
+            }
+            w.flush()?;
+            run_paths.push(rp);
+            run.clear();
+            Ok(())
+        };
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            let row = ascii::parse_row(trimmed, schema)?;
+            stats.rows_read += 1;
+            run.push((key_of(&row, key_cols), row));
+            if run.len() >= run_size {
+                flush_run(&mut run, &mut run_paths, stats)?;
+            }
+        }
+        flush_run(&mut run, &mut run_paths, stats)?;
+    }
+
+    // Phase 2: k-way merge of the runs.
+    let sorted_path = dir.join(format!("{stem}.sorted"));
+    {
+        let mut readers: Vec<RunReader> = run_paths
+            .iter()
+            .map(|p| RunReader::open(p, schema, key_cols))
+            .collect::<StorageResult<_>>()?;
+        let mut out = BufWriter::new(File::create(&sorted_path)?);
+        loop {
+            // Pick the reader with the smallest current key.
+            let mut best: Option<usize> = None;
+            for (i, r) in readers.iter().enumerate() {
+                if let Some((k, _)) = &r.current {
+                    let better = match best {
+                        None => true,
+                        Some(j) => {
+                            stats.comparisons += 1;
+                            cmp_keys(k, &readers[j].current.as_ref().unwrap().0)
+                                == Ordering::Less
+                        }
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            match best {
+                None => break,
+                Some(i) => {
+                    let (_, row) = readers[i].current.take().expect("checked");
+                    writeln!(out, "{}", ascii::format_row(&row))?;
+                    readers[i].advance()?;
+                }
+            }
+        }
+        out.flush()?;
+    }
+    for rp in run_paths {
+        let _ = std::fs::remove_file(rp);
+    }
+    Ok(sorted_path)
+}
+
+fn sort_merge_diff(
+    table: &str,
+    schema: &Schema,
+    key_cols: &[usize],
+    old_path: &Path,
+    new_path: &Path,
+    run_size: usize,
+) -> StorageResult<(ValueDelta, DiffStats)> {
+    let mut stats = DiffStats::default();
+    let old_sorted = external_sort(old_path, schema, key_cols, run_size, &mut stats)?;
+    let new_sorted = external_sort(new_path, schema, key_cols, run_size, &mut stats)?;
+
+    let mut delta = ValueDelta::new(table, schema.clone());
+    {
+        let mut old_r = RunReader::open(&old_sorted, schema, key_cols)?;
+        let mut new_r = RunReader::open(&new_sorted, schema, key_cols)?;
+        loop {
+            match (&old_r.current, &new_r.current) {
+                (None, None) => break,
+                (Some((_, o)), None) => {
+                    delta.records.push(ValueDeltaRecord {
+                        op: DeltaOp::Delete,
+                        txn: 0,
+                        row: o.clone(),
+                    });
+                    old_r.advance()?;
+                }
+                (None, Some((_, n))) => {
+                    delta.records.push(ValueDeltaRecord {
+                        op: DeltaOp::Insert,
+                        txn: 0,
+                        row: n.clone(),
+                    });
+                    new_r.advance()?;
+                }
+                (Some((ok, o)), Some((nk, n))) => {
+                    stats.comparisons += 1;
+                    match cmp_keys(ok, nk) {
+                        Ordering::Less => {
+                            delta.records.push(ValueDeltaRecord {
+                                op: DeltaOp::Delete,
+                                txn: 0,
+                                row: o.clone(),
+                            });
+                            old_r.advance()?;
+                        }
+                        Ordering::Greater => {
+                            delta.records.push(ValueDeltaRecord {
+                                op: DeltaOp::Insert,
+                                txn: 0,
+                                row: n.clone(),
+                            });
+                            new_r.advance()?;
+                        }
+                        Ordering::Equal => {
+                            if o != n {
+                                delta.records.push(ValueDeltaRecord {
+                                    op: DeltaOp::UpdateBefore,
+                                    txn: 0,
+                                    row: o.clone(),
+                                });
+                                delta.records.push(ValueDeltaRecord {
+                                    op: DeltaOp::UpdateAfter,
+                                    txn: 0,
+                                    row: n.clone(),
+                                });
+                            }
+                            old_r.advance()?;
+                            new_r.advance()?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_file(old_sorted);
+    let _ = std::fs::remove_file(new_sorted);
+    Ok((delta, stats))
+}
+
+// ---------------------------------------------------------------------
+// Window algorithm
+// ---------------------------------------------------------------------
+
+fn window_diff(
+    table: &str,
+    schema: &Schema,
+    key_cols: &[usize],
+    old_path: &Path,
+    new_path: &Path,
+    window: usize,
+) -> StorageResult<(ValueDelta, DiffStats)> {
+    let mut stats = DiffStats::default();
+    let mut delta = ValueDelta::new(table, schema.clone());
+    let mut old_r = RunReader::open(old_path, schema, key_cols)?;
+    let mut new_r = RunReader::open(new_path, schema, key_cols)?;
+
+    // Unmatched rows buffered per side, oldest first.
+    let mut old_buf: VecDeque<(Vec<Value>, Row)> = VecDeque::new();
+    let mut new_buf: VecDeque<(Vec<Value>, Row)> = VecDeque::new();
+
+    let emit_update_or_skip =
+        |delta: &mut ValueDelta, o: Row, n: Row| {
+            if o != n {
+                delta.records.push(ValueDeltaRecord {
+                    op: DeltaOp::UpdateBefore,
+                    txn: 0,
+                    row: o,
+                });
+                delta.records.push(ValueDeltaRecord {
+                    op: DeltaOp::UpdateAfter,
+                    txn: 0,
+                    row: n,
+                });
+            }
+        };
+
+    loop {
+        let old_done = old_r.current.is_none();
+        let new_done = new_r.current.is_none();
+        if old_done && new_done {
+            break;
+        }
+        // Ingest one row from each side, matching against the opposite buffer.
+        if let Some((k, row)) = old_r.current.take() {
+            stats.rows_read += 1;
+            old_r.advance()?;
+            let hit = new_buf.iter().position(|(nk, _)| {
+                stats.comparisons += 1;
+                cmp_keys(nk, &k) == Ordering::Equal
+            });
+            match hit {
+                Some(i) => {
+                    let (_, nrow) = new_buf.remove(i).expect("index valid");
+                    emit_update_or_skip(&mut delta, row, nrow);
+                }
+                None => old_buf.push_back((k, row)),
+            }
+        }
+        if let Some((k, row)) = new_r.current.take() {
+            stats.rows_read += 1;
+            new_r.advance()?;
+            let hit = old_buf.iter().position(|(ok, _)| {
+                stats.comparisons += 1;
+                cmp_keys(ok, &k) == Ordering::Equal
+            });
+            match hit {
+                Some(i) => {
+                    let (_, orow) = old_buf.remove(i).expect("index valid");
+                    emit_update_or_skip(&mut delta, orow, row);
+                }
+                None => new_buf.push_back((k, row)),
+            }
+        }
+        // Evict overflow: rows that scrolled out of the window become
+        // deletes/inserts (the algorithm's documented degradation).
+        while old_buf.len() > window {
+            let (_, row) = old_buf.pop_front().expect("non-empty");
+            delta.records.push(ValueDeltaRecord {
+                op: DeltaOp::Delete,
+                txn: 0,
+                row,
+            });
+        }
+        while new_buf.len() > window {
+            let (_, row) = new_buf.pop_front().expect("non-empty");
+            delta.records.push(ValueDeltaRecord {
+                op: DeltaOp::Insert,
+                txn: 0,
+                row,
+            });
+        }
+    }
+    for (_, row) in old_buf {
+        delta.records.push(ValueDeltaRecord {
+            op: DeltaOp::Delete,
+            txn: 0,
+            row,
+        });
+    }
+    for (_, row) in new_buf {
+        delta.records.push(ValueDeltaRecord {
+            op: DeltaOp::Insert,
+            txn: 0,
+            row,
+        });
+    }
+    Ok((delta, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_storage::Column;
+    use delta_storage::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int).primary_key(),
+            Column::new("name", DataType::Varchar),
+        ])
+        .unwrap()
+    }
+
+    fn write_snapshot(label: &str, rows: &[(i64, &str)]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "delta-snap-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(label);
+        let mut out = String::new();
+        for (id, name) in rows {
+            out.push_str(&ascii::format_row(&Row::new(vec![
+                Value::Int(*id),
+                Value::Str((*name).into()),
+            ])));
+            out.push('\n');
+        }
+        std::fs::write(&p, out).unwrap();
+        p
+    }
+
+    fn ops_of(vd: &ValueDelta) -> Vec<(DeltaOp, i64)> {
+        vd.records
+            .iter()
+            .map(|r| (r.op, r.row.values()[0].as_int().unwrap()))
+            .collect()
+    }
+
+    fn check_exact(algo: DiffAlgorithm) {
+        let old = write_snapshot("old.txt", &[(1, "a"), (2, "b"), (3, "c"), (4, "d")]);
+        let new = write_snapshot("new.txt", &[(2, "b"), (3, "c2"), (4, "d"), (5, "e")]);
+        let (vd, stats) = diff_snapshots("t", &schema(), &[0], &old, &new, algo).unwrap();
+        let mut got = ops_of(&vd);
+        got.sort_by_key(|(op, id)| (*id, format!("{op:?}")));
+        assert_eq!(
+            got,
+            vec![
+                (DeltaOp::Delete, 1),
+                (DeltaOp::UpdateAfter, 3),
+                (DeltaOp::UpdateBefore, 3),
+                (DeltaOp::Insert, 5),
+            ]
+        );
+        assert!(stats.comparisons > 0);
+    }
+
+    #[test]
+    fn sort_merge_computes_exact_diff() {
+        check_exact(DiffAlgorithm::SortMerge { run_size: 2 });
+    }
+
+    #[test]
+    fn window_computes_exact_diff_when_window_suffices() {
+        check_exact(DiffAlgorithm::Window { size: 16 });
+    }
+
+    #[test]
+    fn identical_snapshots_give_empty_delta() {
+        let old = write_snapshot("same1.txt", &[(1, "a"), (2, "b")]);
+        let new = write_snapshot("same2.txt", &[(1, "a"), (2, "b")]);
+        for algo in [
+            DiffAlgorithm::SortMerge { run_size: 100 },
+            DiffAlgorithm::Window { size: 4 },
+        ] {
+            let (vd, _) = diff_snapshots("t", &schema(), &[0], &old, &new, algo).unwrap();
+            assert!(vd.is_empty(), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn sort_merge_handles_unsorted_input_with_tiny_runs() {
+        // Shuffled snapshots force real run generation and merging.
+        let old_rows: Vec<(i64, String)> = (0..200).map(|i| (i, format!("v{i}"))).collect();
+        let mut shuffled = old_rows.clone();
+        shuffled.reverse();
+        let shuffled_refs: Vec<(i64, &str)> =
+            shuffled.iter().map(|(i, s)| (*i, s.as_str())).collect();
+        let old = write_snapshot("big-old.txt", &shuffled_refs);
+        // New: drop evens below 20, change 100..=105.
+        let new_rows: Vec<(i64, String)> = (0..200)
+            .filter(|i| !(i % 2 == 0 && *i < 20))
+            .map(|i| {
+                if (100..=105).contains(&i) {
+                    (i, format!("changed{i}"))
+                } else {
+                    (i, format!("v{i}"))
+                }
+            })
+            .collect();
+        let new_refs: Vec<(i64, &str)> = new_rows.iter().map(|(i, s)| (*i, s.as_str())).collect();
+        let new = write_snapshot("big-new.txt", &new_refs);
+        let (vd, stats) = diff_snapshots(
+            "t",
+            &schema(),
+            &[0],
+            &old,
+            &new,
+            DiffAlgorithm::SortMerge { run_size: 16 },
+        )
+        .unwrap();
+        let deletes = vd.records.iter().filter(|r| r.op == DeltaOp::Delete).count();
+        let updates = vd
+            .records
+            .iter()
+            .filter(|r| r.op == DeltaOp::UpdateBefore)
+            .count();
+        assert_eq!(deletes, 10);
+        assert_eq!(updates, 6);
+        assert!(stats.run_rows_written >= 390, "external runs were used");
+    }
+
+    #[test]
+    fn window_degrades_to_delete_insert_beyond_displacement() {
+        // With a zero-size window no unmatched row can wait for its partner,
+        // so the displaced row 1 cannot be recognized as an update.
+        let old = write_snapshot("w-old.txt", &[(1, "a"), (2, "b"), (3, "c"), (4, "d")]);
+        let new = write_snapshot("w-new.txt", &[(2, "b"), (3, "c"), (4, "d"), (1, "a2")]);
+        let (vd, _) = diff_snapshots(
+            "t",
+            &schema(),
+            &[0],
+            &old,
+            &new,
+            DiffAlgorithm::Window { size: 0 },
+        )
+        .unwrap();
+        let got = ops_of(&vd);
+        // Sound but degraded: 1 reported as delete + insert, never silently
+        // dropped or misreported as unchanged.
+        assert!(got.contains(&(DeltaOp::Delete, 1)));
+        assert!(got.contains(&(DeltaOp::Insert, 1)));
+        assert!(!got.iter().any(|(op, id)| *id == 1 && matches!(op, DeltaOp::UpdateBefore)));
+    }
+
+    #[test]
+    fn empty_key_columns_rejected() {
+        let old = write_snapshot("k-old.txt", &[(1, "a")]);
+        let new = write_snapshot("k-new.txt", &[(1, "a")]);
+        assert!(diff_snapshots(
+            "t",
+            &schema(),
+            &[],
+            &old,
+            &new,
+            DiffAlgorithm::Window { size: 1 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn snapshot_of_live_table() {
+        let db = delta_engine::db::open_temp("snapdb").unwrap();
+        let mut s = db.session();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR)").unwrap();
+        s.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        let p1 = db.options().dir.join("s1.txt");
+        take_snapshot(&db, "t", &p1).unwrap();
+        s.execute("UPDATE t SET name = 'bb' WHERE id = 2").unwrap();
+        s.execute("DELETE FROM t WHERE id = 1").unwrap();
+        s.execute("INSERT INTO t VALUES (3, 'c')").unwrap();
+        let p2 = db.options().dir.join("s2.txt");
+        take_snapshot(&db, "t", &p2).unwrap();
+        let (vd, _) = diff_snapshots(
+            "t",
+            &db.table("t").unwrap().schema,
+            &[0],
+            &p1,
+            &p2,
+            DiffAlgorithm::SortMerge { run_size: 64 },
+        )
+        .unwrap();
+        let got = ops_of(&vd);
+        assert!(got.contains(&(DeltaOp::Delete, 1)));
+        assert!(got.contains(&(DeltaOp::UpdateBefore, 2)));
+        assert!(got.contains(&(DeltaOp::UpdateAfter, 2)));
+        assert!(got.contains(&(DeltaOp::Insert, 3)));
+    }
+}

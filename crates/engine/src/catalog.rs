@@ -1,0 +1,333 @@
+//! Persistent table catalog.
+//!
+//! Table metadata (schema, backing file id, options) lives in a single
+//! `catalog.meta` text file, rewritten atomically (temp file + rename) on
+//! every DDL. The format is intentionally human-readable; it doubles as the
+//! schema description shipped inside Export dumps.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use delta_storage::{FileId, Schema, StorageError};
+
+use crate::error::{EngineError, EngineResult};
+
+/// Per-table options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableOptions {
+    /// Name of a TIMESTAMP column the engine stamps automatically on every
+    /// INSERT and UPDATE (the "natively supported time stamps" of §3.1.1).
+    pub auto_timestamp: Option<String>,
+}
+
+impl TableOptions {
+    fn to_catalog_string(&self) -> String {
+        match &self.auto_timestamp {
+            Some(c) => format!("auto_ts={c}"),
+            None => String::new(),
+        }
+    }
+
+    fn from_catalog_string(s: &str) -> EngineResult<TableOptions> {
+        let mut opts = TableOptions::default();
+        for part in s.split(';').filter(|p| !p.is_empty()) {
+            match part.split_once('=') {
+                Some(("auto_ts", col)) => opts.auto_timestamp = Some(col.to_string()),
+                _ => {
+                    return Err(EngineError::Storage(StorageError::Corrupt(format!(
+                        "bad table option '{part}'"
+                    ))))
+                }
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Metadata for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableMeta {
+    pub name: String,
+    pub schema: Schema,
+    pub file_id: FileId,
+    pub options: TableOptions,
+}
+
+impl TableMeta {
+    /// File name of the backing heap file, relative to the database dir.
+    pub fn heap_file_name(&self) -> String {
+        format!("table-{}.dat", self.file_id.0)
+    }
+}
+
+struct Inner {
+    tables: HashMap<String, Arc<TableMeta>>,
+    next_file_id: u32,
+}
+
+/// The catalog: name → metadata, persisted to `catalog.meta`.
+pub struct Catalog {
+    path: PathBuf,
+    inner: RwLock<Inner>,
+}
+
+impl Catalog {
+    /// Load the catalog from `dir/catalog.meta`, or start empty.
+    pub fn open(dir: impl AsRef<Path>) -> EngineResult<Catalog> {
+        let path = dir.as_ref().join("catalog.meta");
+        let mut tables = HashMap::new();
+        let mut next_file_id = 1u32;
+        if path.exists() {
+            let text = fs::read_to_string(&path)?;
+            let mut lines = text.lines();
+            next_file_id = lines
+                .next()
+                .and_then(|l| l.trim().parse().ok())
+                .ok_or_else(|| {
+                    EngineError::Storage(StorageError::Corrupt("catalog header".into()))
+                })?;
+            for line in lines {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let mut parts = line.split('\t');
+                let (name, fid, schema_s, opts_s) = match (
+                    parts.next(),
+                    parts.next(),
+                    parts.next(),
+                    parts.next(),
+                ) {
+                    (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+                    _ => {
+                        return Err(EngineError::Storage(StorageError::Corrupt(format!(
+                            "bad catalog line '{line}'"
+                        ))))
+                    }
+                };
+                let meta = TableMeta {
+                    name: name.to_string(),
+                    file_id: FileId(fid.parse().map_err(|_| {
+                        EngineError::Storage(StorageError::Corrupt("bad file id".into()))
+                    })?),
+                    schema: Schema::from_catalog_string(schema_s)?,
+                    options: TableOptions::from_catalog_string(opts_s)?,
+                };
+                tables.insert(meta.name.clone(), Arc::new(meta));
+            }
+        }
+        Ok(Catalog {
+            path,
+            inner: RwLock::new(Inner {
+                tables,
+                next_file_id,
+            }),
+        })
+    }
+
+    fn save_locked(&self, inner: &Inner) -> EngineResult<()> {
+        let mut out = format!("{}\n", inner.next_file_id);
+        let mut metas: Vec<_> = inner.tables.values().collect();
+        metas.sort_by(|a, b| a.name.cmp(&b.name));
+        for m in metas {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\n",
+                m.name,
+                m.file_id.0,
+                m.schema.to_catalog_string(),
+                m.options.to_catalog_string()
+            ));
+        }
+        let tmp = self.path.with_extension("meta.tmp");
+        fs::write(&tmp, out)?;
+        fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+
+    fn validate_name(name: &str) -> EngineResult<()> {
+        if name.is_empty() || name.chars().any(|c| c.is_control() || c == '\t') {
+            return Err(EngineError::Invalid(format!("bad table name '{name}'")));
+        }
+        Ok(())
+    }
+
+    /// Register a new table and persist the catalog.
+    pub fn create(
+        &self,
+        name: &str,
+        schema: Schema,
+        options: TableOptions,
+    ) -> EngineResult<Arc<TableMeta>> {
+        Self::validate_name(name)?;
+        if let Some(col) = &options.auto_timestamp {
+            match schema.column(col) {
+                Some(c) if c.data_type == delta_storage::DataType::Timestamp => {}
+                Some(_) => {
+                    return Err(EngineError::Invalid(format!(
+                        "auto-timestamp column '{col}' must be TIMESTAMP"
+                    )))
+                }
+                None => {
+                    return Err(EngineError::Invalid(format!(
+                        "auto-timestamp column '{col}' not in schema"
+                    )))
+                }
+            }
+        }
+        let mut inner = self.inner.write();
+        if inner.tables.contains_key(name) {
+            return Err(EngineError::AlreadyExists(name.to_string()));
+        }
+        let meta = Arc::new(TableMeta {
+            name: name.to_string(),
+            schema,
+            file_id: FileId(inner.next_file_id),
+            options,
+        });
+        inner.next_file_id += 1;
+        inner.tables.insert(name.to_string(), meta.clone());
+        self.save_locked(&inner)?;
+        Ok(meta)
+    }
+
+    /// Remove a table and persist the catalog. Returns its metadata.
+    pub fn drop(&self, name: &str) -> EngineResult<Arc<TableMeta>> {
+        let mut inner = self.inner.write();
+        let meta = inner
+            .tables
+            .remove(name)
+            .ok_or_else(|| EngineError::NoSuchObject(name.to_string()))?;
+        self.save_locked(&inner)?;
+        Ok(meta)
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> EngineResult<Arc<TableMeta>> {
+        self.inner
+            .read()
+            .tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::NoSuchObject(name.to_string()))
+    }
+
+    /// Whether `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().tables.contains_key(name)
+    }
+
+    /// All table names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().tables.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// All table metadata, sorted by name.
+    pub fn all(&self) -> Vec<Arc<TableMeta>> {
+        let mut v: Vec<_> = self.inner.read().tables.values().cloned().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_storage::{Column, DataType};
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "delta-catalog-{}-{:?}-{name}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int).primary_key(),
+            Column::new("ts", DataType::Timestamp),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let dir = tmp("basic");
+        let c = Catalog::open(&dir).unwrap();
+        let meta = c.create("parts", schema(), TableOptions::default()).unwrap();
+        assert_eq!(meta.file_id, FileId(1));
+        assert!(c.contains("parts"));
+        assert_eq!(c.get("parts").unwrap().schema, schema());
+        c.drop("parts").unwrap();
+        assert!(!c.contains("parts"));
+        assert!(c.get("parts").is_err());
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let dir = tmp("dup");
+        let c = Catalog::open(&dir).unwrap();
+        c.create("t", schema(), TableOptions::default()).unwrap();
+        assert!(matches!(
+            c.create("t", schema(), TableOptions::default()),
+            Err(EngineError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = tmp("persist");
+        {
+            let c = Catalog::open(&dir).unwrap();
+            c.create(
+                "parts",
+                schema(),
+                TableOptions {
+                    auto_timestamp: Some("ts".into()),
+                },
+            )
+            .unwrap();
+            c.create("orders", schema(), TableOptions::default()).unwrap();
+            c.drop("orders").unwrap();
+        }
+        let c = Catalog::open(&dir).unwrap();
+        assert_eq!(c.names(), vec!["parts".to_string()]);
+        let meta = c.get("parts").unwrap();
+        assert_eq!(meta.options.auto_timestamp.as_deref(), Some("ts"));
+        // File ids keep advancing after reopen (no reuse).
+        let next = c.create("next", schema(), TableOptions::default()).unwrap();
+        assert_eq!(next.file_id, FileId(3));
+    }
+
+    #[test]
+    fn auto_timestamp_must_reference_timestamp_column() {
+        let dir = tmp("autots");
+        let c = Catalog::open(&dir).unwrap();
+        let bad = TableOptions {
+            auto_timestamp: Some("id".into()),
+        };
+        assert!(c.create("t", schema(), bad).is_err());
+        let missing = TableOptions {
+            auto_timestamp: Some("nope".into()),
+        };
+        assert!(c.create("t", schema(), missing).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        let dir = tmp("names");
+        let c = Catalog::open(&dir).unwrap();
+        assert!(c.create("", schema(), TableOptions::default()).is_err());
+        assert!(c
+            .create("has\tthe tab", schema(), TableOptions::default())
+            .is_err());
+    }
+}

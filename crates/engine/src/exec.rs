@@ -1,0 +1,897 @@
+//! Statement execution: DML/query dispatch and access-path selection.
+
+use std::ops::Bound;
+
+use delta_sql::ast::{BinOp, Expr, OrderKey, SelectItem, Statement};
+use delta_sql::eval::{EvalContext, NoRow, SchemaRow};
+use delta_storage::{RecordId, Row, Value};
+
+use crate::catalog::TableMeta;
+use crate::db::Database;
+use crate::error::{EngineError, EngineResult};
+use crate::lock::LockMode;
+use crate::txn::Transaction;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names (SELECT only).
+    pub columns: Vec<String>,
+    /// Output rows (SELECT only).
+    pub rows: Vec<Row>,
+    /// Rows inserted/updated/deleted (DML only).
+    pub affected: u64,
+}
+
+impl QueryResult {
+    fn dml(affected: u64) -> QueryResult {
+        QueryResult {
+            affected,
+            ..Default::default()
+        }
+    }
+}
+
+/// The access path chosen for a scan (exposed for tests and the
+/// `ablation_ts_index` benchmark).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Full sequential scan.
+    SeqScan,
+    /// Index range scan over the named index.
+    IndexRange {
+        index: String,
+        /// Estimated fraction of the table matched.
+        estimated_fraction: f64,
+    },
+}
+
+/// Execute a DML or SELECT statement inside `txn`.
+///
+/// DDL and transaction-control statements are routed by
+/// [`crate::session::Session`], not here.
+pub fn execute(db: &Database, txn: &mut Transaction, stmt: &Statement) -> EngineResult<QueryResult> {
+    db.count_statement();
+    let now = db.now_micros();
+    match stmt {
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => {
+            let meta = db.table(table)?;
+            db.lock_table(txn, table, LockMode::Exclusive)?;
+            let ctx = EvalContext::new(&NoRow, now);
+            let mut n = 0u64;
+            for value_exprs in rows {
+                let row = build_insert_row(&meta, columns.as_deref(), value_exprs, &ctx)?;
+                db.insert_row(txn, &meta, row, now, true, true)?;
+                n += 1;
+            }
+            Ok(QueryResult::dml(n))
+        }
+        Statement::Update {
+            table,
+            sets,
+            predicate,
+        } => {
+            let meta = db.table(table)?;
+            db.lock_table(txn, table, LockMode::Exclusive)?;
+            // Pre-resolve target column positions.
+            let mut targets = Vec::with_capacity(sets.len());
+            for (col, e) in sets {
+                let pos = meta.schema.index_of(col).ok_or_else(|| {
+                    EngineError::Invalid(format!("unknown column '{col}' in UPDATE"))
+                })?;
+                targets.push((pos, e));
+            }
+            let matches = matching_rows(db, &meta, predicate.as_ref(), now)?;
+            let mut n = 0u64;
+            for (rid, old) in matches {
+                let resolver = SchemaRow {
+                    schema: &meta.schema,
+                    row: &old,
+                };
+                let ctx = EvalContext::new(&resolver, now);
+                let mut new = old.clone();
+                for (pos, e) in &targets {
+                    new.set(*pos, ctx.eval(e)?);
+                }
+                db.update_row(txn, &meta, rid, old, new, now, true, true)?;
+                n += 1;
+            }
+            Ok(QueryResult::dml(n))
+        }
+        Statement::Delete { table, predicate } => {
+            let meta = db.table(table)?;
+            db.lock_table(txn, table, LockMode::Exclusive)?;
+            let matches = matching_rows(db, &meta, predicate.as_ref(), now)?;
+            let mut n = 0u64;
+            for (rid, old) in matches {
+                db.delete_row(txn, &meta, rid, old, now, true)?;
+                n += 1;
+            }
+            Ok(QueryResult::dml(n))
+        }
+        Statement::Select {
+            projection,
+            table,
+            predicate,
+            group_by,
+            order_by,
+            limit,
+        } => {
+            let meta = db.table(table)?;
+            db.lock_table(txn, table, LockMode::Shared)?;
+            let mut matches = matching_rows(db, &meta, predicate.as_ref(), now)?;
+            let has_agg = projection.iter().any(|item| {
+                matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate())
+            });
+            let mut result = if has_agg || !group_by.is_empty() {
+                aggregate_project(&meta, projection, group_by, order_by, matches, now)?
+            } else {
+                // Order the candidate rows on keys evaluated against the
+                // source row, then project.
+                if !order_by.is_empty() {
+                    sort_by_keys(&mut matches, |(_, row)| {
+                        let resolver = SchemaRow {
+                            schema: &meta.schema,
+                            row,
+                        };
+                        let ctx = EvalContext::new(&resolver, now);
+                        order_by
+                            .iter()
+                            .map(|k| ctx.eval(&k.expr).map(|v| (v, k.descending)))
+                            .collect()
+                    })?;
+                }
+                project(&meta, projection, matches, now)?
+            };
+            if let Some(n) = limit {
+                result.rows.truncate(*n as usize);
+            }
+            Ok(result)
+        }
+        other => Err(EngineError::Invalid(format!(
+            "executor cannot handle {other}"
+        ))),
+    }
+}
+
+fn build_insert_row(
+    meta: &TableMeta,
+    columns: Option<&[String]>,
+    value_exprs: &[Expr],
+    ctx: &EvalContext<'_>,
+) -> EngineResult<Row> {
+    match columns {
+        None => {
+            if value_exprs.len() != meta.schema.len() {
+                return Err(EngineError::Invalid(format!(
+                    "INSERT has {} values for {} columns",
+                    value_exprs.len(),
+                    meta.schema.len()
+                )));
+            }
+            let mut vals = Vec::with_capacity(value_exprs.len());
+            for e in value_exprs {
+                vals.push(ctx.eval(e)?);
+            }
+            Ok(Row::new(vals))
+        }
+        Some(cols) => {
+            if value_exprs.len() != cols.len() {
+                return Err(EngineError::Invalid(format!(
+                    "INSERT column list has {} names but {} values",
+                    cols.len(),
+                    value_exprs.len()
+                )));
+            }
+            let mut vals = vec![Value::Null; meta.schema.len()];
+            for (c, e) in cols.iter().zip(value_exprs) {
+                let pos = meta.schema.index_of(c).ok_or_else(|| {
+                    EngineError::Invalid(format!("unknown column '{c}' in INSERT"))
+                })?;
+                vals[pos] = ctx.eval(e)?;
+            }
+            Ok(Row::new(vals))
+        }
+    }
+}
+
+/// Rows of `meta` matching `predicate`, via the chosen access path.
+pub fn matching_rows(
+    db: &Database,
+    meta: &TableMeta,
+    predicate: Option<&Expr>,
+    now: i64,
+) -> EngineResult<Vec<(RecordId, Row)>> {
+    let path = choose_access_path(db, meta, predicate);
+    let candidates: Vec<(RecordId, Row)> = match &path {
+        AccessPath::SeqScan => db.scan_table(&meta.name)?,
+        AccessPath::IndexRange { index, .. } => {
+            let idx = db
+                .indexes()
+                .get(index)
+                .ok_or_else(|| EngineError::NoSuchObject(index.clone()))?;
+            let (lo, hi) = bounds_for(predicate.expect("index path requires predicate"), &idx.def.column)
+                .expect("index path requires bounds");
+            let heap = db.heap(&meta.name)?;
+            let mut out = Vec::new();
+            for rid in idx.range(as_ref_bound(&lo), as_ref_bound(&hi)) {
+                if let Some(bytes) = heap.get(rid)? {
+                    out.push((rid, Row::from_bytes(&bytes)?));
+                }
+            }
+            out
+        }
+    };
+    match predicate {
+        None => Ok(candidates),
+        Some(p) => {
+            let mut out = Vec::with_capacity(candidates.len());
+            for (rid, row) in candidates {
+                let resolver = SchemaRow {
+                    schema: &meta.schema,
+                    row: &row,
+                };
+                if EvalContext::new(&resolver, now).matches(p)? {
+                    out.push((rid, row));
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Pick seq-scan vs index-range for `predicate` on `meta`, applying the
+/// selectivity threshold of §3.1.1 ("indices may not be used ... if the
+/// deltas form a significant portion of the table").
+pub fn choose_access_path(db: &Database, meta: &TableMeta, predicate: Option<&Expr>) -> AccessPath {
+    let Some(pred) = predicate else {
+        return AccessPath::SeqScan;
+    };
+    for idx in db.indexes().for_table(&meta.name) {
+        let Some((lo, hi)) = bounds_for(pred, &idx.def.column) else {
+            continue;
+        };
+        if matches!(lo, Bound::Unbounded) && matches!(hi, Bound::Unbounded) {
+            continue;
+        }
+        let total = idx.len().max(1);
+        let matched = idx.count_range(as_ref_bound(&lo), as_ref_bound(&hi));
+        let fraction = matched as f64 / total as f64;
+        if fraction <= db.options().index_scan_threshold {
+            return AccessPath::IndexRange {
+                index: idx.def.name.clone(),
+                estimated_fraction: fraction,
+            };
+        }
+    }
+    AccessPath::SeqScan
+}
+
+fn as_ref_bound(b: &Bound<Value>) -> Bound<&Value> {
+    match b {
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// Derive index-range bounds for `column` from the top-level AND conjuncts of
+/// `pred`. Only `col op literal` / `literal op col` conjuncts contribute.
+pub fn bounds_for(pred: &Expr, column: &str) -> Option<(Bound<Value>, Bound<Value>)> {
+    let mut lo: Bound<Value> = Bound::Unbounded;
+    let mut hi: Bound<Value> = Bound::Unbounded;
+    let mut found = false;
+    let mut stack = vec![pred];
+    while let Some(e) = stack.pop() {
+        if let Expr::Binary { left, op, right } = e {
+            if *op == BinOp::And {
+                stack.push(left);
+                stack.push(right);
+                continue;
+            }
+            // Normalize to col-op-literal.
+            let (col, op, lit) = match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(v)) if c == column => (c, *op, v),
+                (Expr::Literal(v), Expr::Column(c)) if c == column => (c, flip(*op), v),
+                _ => continue,
+            };
+            let _ = col;
+            found = true;
+            match op {
+                BinOp::Eq => {
+                    tighten_lo(&mut lo, Bound::Included(lit.clone()));
+                    tighten_hi(&mut hi, Bound::Included(lit.clone()));
+                }
+                BinOp::Gt => tighten_lo(&mut lo, Bound::Excluded(lit.clone())),
+                BinOp::Ge => tighten_lo(&mut lo, Bound::Included(lit.clone())),
+                BinOp::Lt => tighten_hi(&mut hi, Bound::Excluded(lit.clone())),
+                BinOp::Le => tighten_hi(&mut hi, Bound::Included(lit.clone())),
+                // Ops like <> contribute no range; the residual predicate is
+                // re-applied after the index scan anyway.
+                _ => {}
+            }
+        }
+    }
+    if found {
+        Some((lo, hi))
+    } else {
+        None
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn tighten_lo(current: &mut Bound<Value>, candidate: Bound<Value>) {
+    let better = match (&*current, &candidate) {
+        (Bound::Unbounded, _) => true,
+        (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b)) => {
+            b.total_cmp(a) == std::cmp::Ordering::Greater
+        }
+        (Bound::Included(a), Bound::Excluded(b)) => b.total_cmp(a) != std::cmp::Ordering::Less,
+        (Bound::Excluded(a), Bound::Excluded(b)) => b.total_cmp(a) == std::cmp::Ordering::Greater,
+        (_, Bound::Unbounded) => false,
+    };
+    if better {
+        *current = candidate;
+    }
+}
+
+fn tighten_hi(current: &mut Bound<Value>, candidate: Bound<Value>) {
+    let better = match (&*current, &candidate) {
+        (Bound::Unbounded, _) => true,
+        (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b)) => {
+            b.total_cmp(a) == std::cmp::Ordering::Less
+        }
+        (Bound::Included(a), Bound::Excluded(b)) => b.total_cmp(a) != std::cmp::Ordering::Greater,
+        (Bound::Excluded(a), Bound::Excluded(b)) => b.total_cmp(a) == std::cmp::Ordering::Less,
+        (_, Bound::Unbounded) => false,
+    };
+    if better {
+        *current = candidate;
+    }
+}
+
+fn project(
+    meta: &TableMeta,
+    projection: &[SelectItem],
+    matches: Vec<(RecordId, Row)>,
+    now: i64,
+) -> EngineResult<QueryResult> {
+    // Column headers.
+    let mut columns = Vec::new();
+    for item in projection {
+        match item {
+            SelectItem::Wildcard => {
+                columns.extend(meta.schema.columns().iter().map(|c| c.name.clone()))
+            }
+            SelectItem::Expr { expr, alias } => columns.push(match alias {
+                Some(a) => a.clone(),
+                None => match expr {
+                    Expr::Column(c) => c.clone(),
+                    other => other.to_string(),
+                },
+            }),
+        }
+    }
+    let mut rows = Vec::with_capacity(matches.len());
+    for (_, row) in matches {
+        let resolver = SchemaRow {
+            schema: &meta.schema,
+            row: &row,
+        };
+        let ctx = EvalContext::new(&resolver, now);
+        let mut out = Vec::with_capacity(columns.len());
+        for item in projection {
+            match item {
+                SelectItem::Wildcard => out.extend(row.values().iter().cloned()),
+                SelectItem::Expr { expr, .. } => out.push(ctx.eval(expr)?),
+            }
+        }
+        rows.push(Row::new(out));
+    }
+    Ok(QueryResult {
+        columns,
+        rows,
+        affected: 0,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------
+
+/// One aggregate accumulator (SQL semantics: NULL inputs are skipped; empty
+/// input yields NULL except for COUNT, which yields 0).
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: delta_sql::ast::AggFunc,
+    rows: u64,
+    non_null: u64,
+    sum_int: i64,
+    sum_float: f64,
+    saw_float: bool,
+    extreme: Option<Value>,
+}
+
+impl Accumulator {
+    pub fn new(func: delta_sql::ast::AggFunc) -> Accumulator {
+        Accumulator {
+            func,
+            rows: 0,
+            non_null: 0,
+            sum_int: 0,
+            sum_float: 0.0,
+            saw_float: false,
+            extreme: None,
+        }
+    }
+
+    /// Feed one row's argument value (`None` for `COUNT(*)`).
+    pub fn push(&mut self, v: Option<&Value>) -> EngineResult<()> {
+        use delta_sql::ast::AggFunc::*;
+        self.rows += 1;
+        let Some(v) = v else { return Ok(()) };
+        if v.is_null() {
+            return Ok(());
+        }
+        self.non_null += 1;
+        match self.func {
+            Count => {}
+            Sum | Avg => match v {
+                Value::Int(i) | Value::Timestamp(i) => self.sum_int = self.sum_int.wrapping_add(*i),
+                Value::Double(d) => {
+                    self.saw_float = true;
+                    self.sum_float += d;
+                }
+                other => {
+                    return Err(EngineError::Invalid(format!(
+                        "cannot {}() a {other}",
+                        self.func.name()
+                    )))
+                }
+            },
+            Min => {
+                let better = match &self.extreme {
+                    None => true,
+                    Some(cur) => v.total_cmp(cur) == std::cmp::Ordering::Less,
+                };
+                if better {
+                    self.extreme = Some(v.clone());
+                }
+            }
+            Max => {
+                let better = match &self.extreme {
+                    None => true,
+                    Some(cur) => v.total_cmp(cur) == std::cmp::Ordering::Greater,
+                };
+                if better {
+                    self.extreme = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The aggregate's final value.
+    pub fn finish(&self, counts_star: bool) -> Value {
+        use delta_sql::ast::AggFunc::*;
+        match self.func {
+            Count => Value::Int(if counts_star { self.rows } else { self.non_null } as i64),
+            Sum => {
+                if self.non_null == 0 {
+                    Value::Null
+                } else if self.saw_float {
+                    Value::Double(self.sum_float + self.sum_int as f64)
+                } else {
+                    Value::Int(self.sum_int)
+                }
+            }
+            Avg => {
+                if self.non_null == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(
+                        (self.sum_float + self.sum_int as f64) / self.non_null as f64,
+                    )
+                }
+            }
+            Min | Max => self.extreme.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Group key with a total order (so groups are deterministic).
+#[derive(Debug, Clone, PartialEq)]
+struct GroupKey(Vec<Value>);
+
+impl Eq for GroupKey {}
+
+impl PartialOrd for GroupKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GroupKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for (a, b) in self.0.iter().zip(&other.0) {
+            let o = a.total_cmp(b);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+/// Replace every aggregate node in `expr` with its computed literal.
+fn substitute_aggs(expr: &Expr, lookup: &dyn Fn(&Expr) -> Option<Value>) -> Expr {
+    if let Some(v) = lookup(expr) {
+        return Expr::Literal(v);
+    }
+    match expr {
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(substitute_aggs(expr, lookup)),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(substitute_aggs(left, lookup)),
+            op: *op,
+            right: Box::new(substitute_aggs(right, lookup)),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(substitute_aggs(expr, lookup)),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Sort `items` by per-item key vectors (each key carries its direction).
+/// Extracted so both the plain and aggregate paths share the comparator.
+fn sort_by_keys<T>(
+    items: &mut Vec<T>,
+    mut key_of: impl FnMut(&T) -> Result<Vec<(Value, bool)>, delta_sql::EvalError>,
+) -> EngineResult<()> {
+    // Precompute keys (evaluation may fail; sorting itself cannot).
+    let mut keyed: Vec<(usize, Vec<(Value, bool)>)> = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        keyed.push((i, key_of(item).map_err(EngineError::Eval)?));
+    }
+    keyed.sort_by(|(_, a), (_, b)| {
+        for ((va, desc), (vb, _)) in a.iter().zip(b) {
+            let o = va.total_cmp(vb);
+            let o = if *desc { o.reverse() } else { o };
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let mut taken: Vec<Option<T>> = items.drain(..).map(Some).collect();
+    for (i, _) in keyed {
+        items.push(taken[i].take().expect("each slot moved once"));
+    }
+    Ok(())
+}
+
+/// Grouped/aggregate SELECT evaluation.
+fn aggregate_project(
+    meta: &TableMeta,
+    projection: &[SelectItem],
+    group_by: &[Expr],
+    order_by: &[OrderKey],
+    matches: Vec<(RecordId, Row)>,
+    now: i64,
+) -> EngineResult<QueryResult> {
+    // Gather the distinct aggregate sub-expressions across the projection.
+    let mut agg_exprs: Vec<Expr> = Vec::new();
+    let mut columns = Vec::new();
+    for item in projection {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(EngineError::Invalid(
+                    "SELECT * cannot be combined with GROUP BY / aggregates".into(),
+                ))
+            }
+            SelectItem::Expr { expr, alias } => {
+                collect_aggs(expr, &mut agg_exprs);
+                columns.push(match alias {
+                    Some(a) => a.clone(),
+                    None => expr.to_string(),
+                });
+                // Bare columns outside aggregates must be grouping columns.
+                let mut stripped = expr.clone();
+                stripped = substitute_aggs(&stripped, &|e| {
+                    matches!(e, Expr::Aggregate { .. }).then_some(Value::Null)
+                });
+                for col in stripped.referenced_columns() {
+                    let grouped = group_by
+                        .iter()
+                        .any(|g| matches!(g, Expr::Column(c) if c == col));
+                    if !grouped {
+                        return Err(EngineError::Invalid(format!(
+                            "column '{col}' must appear in GROUP BY or inside an aggregate"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    // ORDER BY contributes aggregate expressions too; collect them before
+    // accumulators are built so every group carries state for them.
+    for k in order_by {
+        let stripped = substitute_aggs(&k.expr, &|e| {
+            matches!(e, Expr::Aggregate { .. }).then_some(Value::Null)
+        });
+        for col in stripped.referenced_columns() {
+            let grouped = group_by
+                .iter()
+                .any(|g| matches!(g, Expr::Column(c) if c == col));
+            if !grouped {
+                return Err(EngineError::Invalid(format!(
+                    "ORDER BY column '{col}' must appear in GROUP BY or inside an aggregate"
+                )));
+            }
+        }
+        collect_aggs(&k.expr, &mut agg_exprs);
+    }
+
+    // Group rows and feed accumulators.
+    let mut groups: std::collections::BTreeMap<GroupKey, (Row, Vec<Accumulator>)> =
+        Default::default();
+    for (_, row) in &matches {
+        let resolver = SchemaRow {
+            schema: &meta.schema,
+            row,
+        };
+        let ctx = EvalContext::new(&resolver, now);
+        let key = GroupKey(
+            group_by
+                .iter()
+                .map(|g| ctx.eval(g))
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+        let entry = groups.entry(key).or_insert_with(|| {
+            (
+                row.clone(),
+                agg_exprs
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Aggregate { func, .. } => Accumulator::new(*func),
+                        _ => unreachable!("collect_aggs only collects aggregates"),
+                    })
+                    .collect(),
+            )
+        });
+        for (agg_expr, acc) in agg_exprs.iter().zip(entry.1.iter_mut()) {
+            let Expr::Aggregate { arg, .. } = agg_expr else {
+                unreachable!()
+            };
+            match arg {
+                None => acc.push(None)?,
+                Some(a) => {
+                    let v = ctx.eval(a)?;
+                    acc.push(Some(&v))?;
+                }
+            }
+        }
+    }
+    // A global aggregate over zero rows still yields one row.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.insert(
+            GroupKey(vec![]),
+            (
+                Row::new(vec![Value::Null; meta.schema.len()]),
+                agg_exprs
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Aggregate { func, .. } => Accumulator::new(*func),
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            ),
+        );
+    }
+
+    // Emit one output row per group.
+    let mut rows = Vec::with_capacity(groups.len());
+    let mut sort_keys: Vec<Vec<(Value, bool)>> = Vec::with_capacity(groups.len());
+    for (_, (rep_row, accs)) in groups {
+        let finished: Vec<(Expr, Value)> = agg_exprs
+            .iter()
+            .zip(&accs)
+            .map(|(e, acc)| {
+                let counts_star =
+                    matches!(e, Expr::Aggregate { arg: None, .. });
+                (e.clone(), acc.finish(counts_star))
+            })
+            .collect();
+        let resolver = SchemaRow {
+            schema: &meta.schema,
+            row: &rep_row,
+        };
+        let ctx = EvalContext::new(&resolver, now);
+        let mut out = Vec::with_capacity(projection.len());
+        for item in projection {
+            let SelectItem::Expr { expr, .. } = item else {
+                unreachable!("wildcards rejected above")
+            };
+            let substituted = substitute_aggs(expr, &|e| {
+                finished
+                    .iter()
+                    .find(|(k, _)| k == e)
+                    .map(|(_, v)| v.clone())
+            });
+            out.push(ctx.eval(&substituted)?);
+        }
+        rows.push(Row::new(out));
+        let mut keys = Vec::with_capacity(order_by.len());
+        for k in order_by {
+            let substituted = substitute_aggs(&k.expr, &|e| {
+                finished
+                    .iter()
+                    .find(|(ke, _)| ke == e)
+                    .map(|(_, v)| v.clone())
+            });
+            keys.push((ctx.eval(&substituted).map_err(EngineError::Eval)?, k.descending));
+        }
+        sort_keys.push(keys);
+    }
+    if !order_by.is_empty() {
+        let mut indexed: Vec<usize> = (0..rows.len()).collect();
+        indexed.sort_by(|&a, &b| {
+            for ((va, desc), (vb, _)) in sort_keys[a].iter().zip(&sort_keys[b]) {
+                let o = va.total_cmp(vb);
+                let o = if *desc { o.reverse() } else { o };
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows = indexed.into_iter().map(|i| rows[i].clone()).collect();
+    }
+    Ok(QueryResult {
+        columns,
+        rows,
+        affected: 0,
+    })
+}
+
+fn collect_aggs(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Aggregate { .. }
+            if !out.iter().any(|e| e == expr) => {
+                out.push(expr.clone());
+            }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => collect_aggs(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_aggs(left, out);
+            collect_aggs(right, out);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_sql::ast::AggFunc;
+    use delta_sql::parser::parse_expression;
+
+    #[test]
+    fn accumulator_count_distinguishes_star_from_column() {
+        let mut acc = Accumulator::new(AggFunc::Count);
+        acc.push(None).unwrap(); // COUNT(*) semantics
+        acc.push(None).unwrap();
+        assert_eq!(acc.finish(true), Value::Int(2));
+
+        let mut acc = Accumulator::new(AggFunc::Count);
+        acc.push(Some(&Value::Int(1))).unwrap();
+        acc.push(Some(&Value::Null)).unwrap();
+        assert_eq!(acc.finish(false), Value::Int(1), "NULLs not counted");
+    }
+
+    #[test]
+    fn accumulator_sum_and_avg_mix_types_and_skip_nulls() {
+        let mut sum = Accumulator::new(AggFunc::Sum);
+        sum.push(Some(&Value::Int(3))).unwrap();
+        sum.push(Some(&Value::Null)).unwrap();
+        sum.push(Some(&Value::Double(1.5))).unwrap();
+        assert_eq!(sum.finish(false), Value::Double(4.5));
+
+        let mut avg = Accumulator::new(AggFunc::Avg);
+        avg.push(Some(&Value::Int(10))).unwrap();
+        avg.push(Some(&Value::Int(20))).unwrap();
+        avg.push(Some(&Value::Null)).unwrap();
+        assert_eq!(avg.finish(false), Value::Double(15.0));
+    }
+
+    #[test]
+    fn accumulator_empty_inputs_yield_null_except_count() {
+        for f in [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            let acc = Accumulator::new(f);
+            assert_eq!(acc.finish(false), Value::Null, "{f}");
+        }
+        let acc = Accumulator::new(AggFunc::Count);
+        assert_eq!(acc.finish(true), Value::Int(0));
+    }
+
+    #[test]
+    fn accumulator_minmax_track_extremes() {
+        let mut min = Accumulator::new(AggFunc::Min);
+        let mut max = Accumulator::new(AggFunc::Max);
+        for v in [Value::Int(5), Value::Int(-3), Value::Null, Value::Int(9)] {
+            min.push(Some(&v)).unwrap();
+            max.push(Some(&v)).unwrap();
+        }
+        assert_eq!(min.finish(false), Value::Int(-3));
+        assert_eq!(max.finish(false), Value::Int(9));
+    }
+
+    #[test]
+    fn accumulator_rejects_non_numeric_sums() {
+        let mut sum = Accumulator::new(AggFunc::Sum);
+        assert!(sum.push(Some(&Value::Str("x".into()))).is_err());
+    }
+
+    #[test]
+    fn bounds_extraction_combines_conjuncts() {
+        let p = parse_expression("ts > 10 AND ts <= 20 AND other = 1").unwrap();
+        let (lo, hi) = bounds_for(&p, "ts").unwrap();
+        assert_eq!(lo, Bound::Excluded(Value::Int(10)));
+        assert_eq!(hi, Bound::Included(Value::Int(20)));
+    }
+
+    #[test]
+    fn bounds_extraction_handles_flipped_literal() {
+        let p = parse_expression("100 <= ts").unwrap();
+        let (lo, hi) = bounds_for(&p, "ts").unwrap();
+        assert_eq!(lo, Bound::Included(Value::Int(100)));
+        assert_eq!(hi, Bound::Unbounded);
+    }
+
+    #[test]
+    fn equality_gives_point_bounds() {
+        let p = parse_expression("id = 5").unwrap();
+        let (lo, hi) = bounds_for(&p, "id").unwrap();
+        assert_eq!(lo, Bound::Included(Value::Int(5)));
+        assert_eq!(hi, Bound::Included(Value::Int(5)));
+    }
+
+    #[test]
+    fn or_predicates_do_not_produce_bounds() {
+        let p = parse_expression("ts > 10 OR id = 1").unwrap();
+        assert!(bounds_for(&p, "ts").is_none());
+    }
+
+    #[test]
+    fn unrelated_columns_do_not_produce_bounds() {
+        let p = parse_expression("other > 10").unwrap();
+        assert!(bounds_for(&p, "ts").is_none());
+    }
+
+    #[test]
+    fn tighter_bound_wins() {
+        let p = parse_expression("ts > 10 AND ts > 15").unwrap();
+        let (lo, _) = bounds_for(&p, "ts").unwrap();
+        assert_eq!(lo, Bound::Excluded(Value::Int(15)));
+        let p = parse_expression("ts < 10 AND ts <= 5").unwrap();
+        let (_, hi) = bounds_for(&p, "ts").unwrap();
+        assert_eq!(hi, Bound::Included(Value::Int(5)));
+    }
+}

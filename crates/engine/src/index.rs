@@ -1,0 +1,347 @@
+//! Ordered secondary indexes and unique primary-key indexes.
+//!
+//! Indexes are ordered maps from a single column's value to the record ids
+//! holding that value. They are maintained synchronously by DML and rebuilt
+//! by a heap scan at database open (a main-memory index over disk-resident
+//! data — the persistence story the paper's timestamp-extraction discussion
+//! needs is the *ordering*, which this provides deterministically).
+//!
+//! The executor consults [`crate::exec::choose_access_path`]-style
+//! heuristics before using an index: per §3.1.1, *"indices may not be used by
+//! the query optimizer if the deltas form a significant portion of the
+//! table"* — we reproduce that with a selectivity threshold.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Bound;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use delta_storage::{RecordId, Value};
+
+use crate::error::{EngineError, EngineResult};
+
+/// A totally ordered wrapper over [`Value`] (NULLs first, then by type rank).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexKey(pub Value);
+
+impl Eq for IndexKey {}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Index definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    pub name: String,
+    pub table: String,
+    pub column: String,
+    /// Unique indexes reject duplicate keys (primary keys).
+    pub unique: bool,
+}
+
+/// One in-memory ordered index.
+pub struct Index {
+    pub def: IndexDef,
+    map: RwLock<BTreeMap<IndexKey, BTreeSet<RecordId>>>,
+}
+
+impl Index {
+    pub fn new(def: IndexDef) -> Index {
+        Index {
+            def,
+            map: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Insert `(key, rid)`. NULL keys are not indexed (SQL semantics).
+    /// Unique indexes reject an existing non-NULL key.
+    pub fn insert(&self, key: &Value, rid: RecordId) -> EngineResult<()> {
+        if key.is_null() {
+            return Ok(());
+        }
+        let mut map = self.map.write();
+        let entry = map.entry(IndexKey(key.clone())).or_default();
+        if self.def.unique && !entry.is_empty() && !entry.contains(&rid) {
+            return Err(EngineError::DuplicateKey {
+                table: self.def.table.clone(),
+                key: key.to_string(),
+            });
+        }
+        entry.insert(rid);
+        Ok(())
+    }
+
+    /// Remove `(key, rid)` if present.
+    pub fn remove(&self, key: &Value, rid: RecordId) {
+        if key.is_null() {
+            return;
+        }
+        let mut map = self.map.write();
+        if let Some(set) = map.get_mut(&IndexKey(key.clone())) {
+            set.remove(&rid);
+            if set.is_empty() {
+                map.remove(&IndexKey(key.clone()));
+            }
+        }
+    }
+
+    /// Record ids whose key equals `key`.
+    pub fn lookup(&self, key: &Value) -> Vec<RecordId> {
+        if key.is_null() {
+            return Vec::new();
+        }
+        self.map
+            .read()
+            .get(&IndexKey(key.clone()))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Record ids within the bounds, in key order.
+    pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<RecordId> {
+        let lo = map_bound(lo);
+        let hi = map_bound(hi);
+        self.map
+            .read()
+            .range((lo, hi))
+            .flat_map(|(_, set)| set.iter().copied())
+            .collect()
+    }
+
+    /// Number of record ids within the bounds (selectivity estimation).
+    pub fn count_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> usize {
+        let lo = map_bound(lo);
+        let hi = map_bound(hi);
+        self.map
+            .read()
+            .range((lo, hi))
+            .map(|(_, set)| set.len())
+            .sum()
+    }
+
+    /// Total indexed entries.
+    pub fn len(&self) -> usize {
+        self.map.read().values().map(|s| s.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Drop all entries (table truncation / rebuild).
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+}
+
+fn map_bound(b: Bound<&Value>) -> Bound<IndexKey> {
+    match b {
+        Bound::Included(v) => Bound::Included(IndexKey(v.clone())),
+        Bound::Excluded(v) => Bound::Excluded(IndexKey(v.clone())),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// Registry of all indexes in a database.
+#[derive(Default)]
+pub struct IndexManager {
+    by_name: RwLock<HashMap<String, Arc<Index>>>,
+}
+
+impl IndexManager {
+    pub fn new() -> IndexManager {
+        IndexManager::default()
+    }
+
+    /// Register a new (empty) index.
+    pub fn create(&self, def: IndexDef) -> EngineResult<Arc<Index>> {
+        let mut map = self.by_name.write();
+        if map.contains_key(&def.name) {
+            return Err(EngineError::AlreadyExists(def.name));
+        }
+        let idx = Arc::new(Index::new(def.clone()));
+        map.insert(def.name, idx.clone());
+        Ok(idx)
+    }
+
+    /// Remove an index by name.
+    pub fn drop(&self, name: &str) -> EngineResult<()> {
+        self.by_name
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| EngineError::NoSuchObject(name.to_string()))
+    }
+
+    /// Remove every index on `table` (DROP TABLE).
+    pub fn drop_for_table(&self, table: &str) {
+        self.by_name.write().retain(|_, idx| idx.def.table != table);
+    }
+
+    /// Look up an index by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Index>> {
+        self.by_name.read().get(name).cloned()
+    }
+
+    /// Every index on `table`.
+    pub fn for_table(&self, table: &str) -> Vec<Arc<Index>> {
+        let mut v: Vec<_> = self
+            .by_name
+            .read()
+            .values()
+            .filter(|i| i.def.table == table)
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| a.def.name.cmp(&b.def.name));
+        v
+    }
+
+    /// The index on `(table, column)` if one exists (prefers unique).
+    pub fn on_column(&self, table: &str, column: &str) -> Option<Arc<Index>> {
+        let mut candidates: Vec<_> = self
+            .by_name
+            .read()
+            .values()
+            .filter(|i| i.def.table == table && i.def.column == column)
+            .cloned()
+            .collect();
+        candidates.sort_by_key(|i| !i.def.unique); // unique first
+        candidates.into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(n: u32) -> RecordId {
+        RecordId::new(n, 0)
+    }
+
+    fn idx(unique: bool) -> Index {
+        Index::new(IndexDef {
+            name: "i".into(),
+            table: "t".into(),
+            column: "c".into(),
+            unique,
+        })
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let i = idx(false);
+        i.insert(&Value::Int(5), rid(1)).unwrap();
+        i.insert(&Value::Int(5), rid(2)).unwrap();
+        i.insert(&Value::Int(9), rid(3)).unwrap();
+        assert_eq!(i.lookup(&Value::Int(5)).len(), 2);
+        i.remove(&Value::Int(5), rid(1));
+        assert_eq!(i.lookup(&Value::Int(5)), vec![rid(2)]);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let i = idx(true);
+        i.insert(&Value::Int(1), rid(1)).unwrap();
+        assert!(matches!(
+            i.insert(&Value::Int(1), rid(2)),
+            Err(EngineError::DuplicateKey { .. })
+        ));
+        // Same rid re-insert is idempotent, not a duplicate.
+        i.insert(&Value::Int(1), rid(1)).unwrap();
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let i = idx(true);
+        i.insert(&Value::Null, rid(1)).unwrap();
+        i.insert(&Value::Null, rid(2)).unwrap(); // no unique violation
+        assert!(i.is_empty());
+        assert!(i.lookup(&Value::Null).is_empty());
+    }
+
+    #[test]
+    fn range_queries() {
+        let i = idx(false);
+        for n in 0..10 {
+            i.insert(&Value::Int(n), rid(n as u32)).unwrap();
+        }
+        let got = i.range(Bound::Included(&Value::Int(3)), Bound::Excluded(&Value::Int(7)));
+        assert_eq!(got, vec![rid(3), rid(4), rid(5), rid(6)]);
+        assert_eq!(
+            i.count_range(Bound::Excluded(&Value::Int(8)), Bound::Unbounded),
+            1
+        );
+        assert_eq!(
+            i.count_range(Bound::Unbounded, Bound::Unbounded),
+            10
+        );
+    }
+
+    #[test]
+    fn range_over_timestamps_matches_int_ordering() {
+        let i = idx(false);
+        for n in [100i64, 200, 300] {
+            i.insert(&Value::Timestamp(n), rid(n as u32)).unwrap();
+        }
+        let got = i.range(Bound::Excluded(&Value::Timestamp(100)), Bound::Unbounded);
+        assert_eq!(got, vec![rid(200), rid(300)]);
+    }
+
+    #[test]
+    fn manager_registration_and_lookup() {
+        let m = IndexManager::new();
+        m.create(IndexDef {
+            name: "pk_t".into(),
+            table: "t".into(),
+            column: "id".into(),
+            unique: true,
+        })
+        .unwrap();
+        m.create(IndexDef {
+            name: "ts_t".into(),
+            table: "t".into(),
+            column: "ts".into(),
+            unique: false,
+        })
+        .unwrap();
+        assert!(m.get("pk_t").is_some());
+        assert_eq!(m.for_table("t").len(), 2);
+        assert_eq!(m.on_column("t", "ts").unwrap().def.name, "ts_t");
+        assert!(m.on_column("t", "nope").is_none());
+        m.drop_for_table("t");
+        assert!(m.for_table("t").is_empty());
+    }
+
+    #[test]
+    fn manager_rejects_duplicate_names() {
+        let m = IndexManager::new();
+        let def = IndexDef {
+            name: "i".into(),
+            table: "t".into(),
+            column: "c".into(),
+            unique: false,
+        };
+        m.create(def.clone()).unwrap();
+        assert!(m.create(def).is_err());
+    }
+
+    #[test]
+    fn clear_empties_index() {
+        let i = idx(false);
+        i.insert(&Value::Int(1), rid(1)).unwrap();
+        i.clear();
+        assert!(i.is_empty());
+    }
+}

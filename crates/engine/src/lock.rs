@@ -1,0 +1,238 @@
+//! Table-level two-phase locking.
+//!
+//! Shared (read) and exclusive (write) locks per table, held until commit or
+//! abort. Waits are bounded by a timeout; a timeout is how the engine breaks
+//! deadlocks (timeout-based deadlock resolution, as many commercial systems
+//! of the paper's era did). Locks are reentrant within one transaction and
+//! upgradeable when the upgrading transaction is the sole reader.
+//!
+//! The warehouse experiments rely on these semantics: the batch value-delta
+//! applier takes an exclusive lock on warehouse tables for the whole batch —
+//! the "maintenance outage" — while the Op-Delta applier holds it only per
+//! source transaction, letting OLAP readers interleave (§4.1).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{EngineError, EngineResult};
+use crate::txn::TxnId;
+
+/// Lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+#[derive(Default)]
+struct LockState {
+    readers: HashSet<TxnId>,
+    writer: Option<TxnId>,
+}
+
+struct TableLock {
+    state: Mutex<LockState>,
+    cv: Condvar,
+}
+
+/// Lock manager: one per database.
+pub struct LockManager {
+    tables: Mutex<HashMap<String, Arc<TableLock>>>,
+    timeout: Duration,
+}
+
+impl LockManager {
+    /// Create a manager whose acquisitions give up after `timeout`.
+    pub fn new(timeout: Duration) -> LockManager {
+        LockManager {
+            tables: Mutex::new(HashMap::new()),
+            timeout,
+        }
+    }
+
+    fn table_lock(&self, table: &str) -> Arc<TableLock> {
+        let mut map = self.tables.lock();
+        map.entry(table.to_string())
+            .or_insert_with(|| {
+                Arc::new(TableLock {
+                    state: Mutex::new(LockState::default()),
+                    cv: Condvar::new(),
+                })
+            })
+            .clone()
+    }
+
+    /// Acquire `mode` on `table` for `txn`, blocking up to the timeout.
+    pub fn acquire(&self, txn: TxnId, table: &str, mode: LockMode) -> EngineResult<()> {
+        let lock = self.table_lock(table);
+        let mut state = lock.state.lock();
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            let granted = match mode {
+                _ if state.writer == Some(txn) => true, // X covers everything
+                LockMode::Shared => state.writer.is_none(),
+                LockMode::Exclusive => {
+                    state.writer.is_none()
+                        && state.readers.iter().all(|r| *r == txn) // sole-reader upgrade
+                }
+            };
+            if granted {
+                match mode {
+                    LockMode::Shared => {
+                        if state.writer != Some(txn) {
+                            state.readers.insert(txn);
+                        }
+                    }
+                    LockMode::Exclusive => {
+                        state.readers.remove(&txn);
+                        state.writer = Some(txn);
+                    }
+                }
+                return Ok(());
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero()
+                || lock
+                    .cv
+                    .wait_until(&mut state, std::time::Instant::now() + remaining)
+                    .timed_out()
+            {
+                // One more chance after a spurious timeout-race.
+                if std::time::Instant::now() >= deadline {
+                    return Err(EngineError::LockTimeout {
+                        table: table.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Release whatever `txn` holds on `table`.
+    pub fn release(&self, txn: TxnId, table: &str) {
+        let lock = self.table_lock(table);
+        let mut state = lock.state.lock();
+        if state.writer == Some(txn) {
+            state.writer = None;
+        }
+        state.readers.remove(&txn);
+        drop(state);
+        lock.cv.notify_all();
+    }
+
+    /// Release everything `txn` holds (commit/abort).
+    pub fn release_all(&self, txn: TxnId, tables: &[String]) {
+        for t in tables {
+            self.release(txn, t);
+        }
+    }
+
+    /// Whether `txn` currently holds at least `mode` on `table` (test aid).
+    pub fn holds(&self, txn: TxnId, table: &str, mode: LockMode) -> bool {
+        let lock = self.table_lock(table);
+        let state = lock.state.lock();
+        match mode {
+            LockMode::Shared => state.writer == Some(txn) || state.readers.contains(&txn),
+            LockMode::Exclusive => state.writer == Some(txn),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn mgr(ms: u64) -> Arc<LockManager> {
+        Arc::new(LockManager::new(Duration::from_millis(ms)))
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let m = mgr(100);
+        m.acquire(TxnId(1), "t", LockMode::Shared).unwrap();
+        m.acquire(TxnId(2), "t", LockMode::Shared).unwrap();
+        assert!(m.holds(TxnId(1), "t", LockMode::Shared));
+        assert!(m.holds(TxnId(2), "t", LockMode::Shared));
+    }
+
+    #[test]
+    fn exclusive_excludes_shared() {
+        let m = mgr(50);
+        m.acquire(TxnId(1), "t", LockMode::Exclusive).unwrap();
+        let err = m.acquire(TxnId(2), "t", LockMode::Shared).unwrap_err();
+        assert!(matches!(err, EngineError::LockTimeout { .. }));
+    }
+
+    #[test]
+    fn reentrant_and_covering() {
+        let m = mgr(50);
+        m.acquire(TxnId(1), "t", LockMode::Exclusive).unwrap();
+        // Re-acquire both modes without deadlocking against ourselves.
+        m.acquire(TxnId(1), "t", LockMode::Exclusive).unwrap();
+        m.acquire(TxnId(1), "t", LockMode::Shared).unwrap();
+        assert!(m.holds(TxnId(1), "t", LockMode::Exclusive));
+    }
+
+    #[test]
+    fn sole_reader_upgrades() {
+        let m = mgr(50);
+        m.acquire(TxnId(1), "t", LockMode::Shared).unwrap();
+        m.acquire(TxnId(1), "t", LockMode::Exclusive).unwrap();
+        assert!(m.holds(TxnId(1), "t", LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_reader() {
+        let m = mgr(50);
+        m.acquire(TxnId(1), "t", LockMode::Shared).unwrap();
+        m.acquire(TxnId(2), "t", LockMode::Shared).unwrap();
+        assert!(m.acquire(TxnId(1), "t", LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn release_wakes_waiter() {
+        let m = mgr(2000);
+        m.acquire(TxnId(1), "t", LockMode::Exclusive).unwrap();
+        let m2 = m.clone();
+        let acquired = Arc::new(AtomicBool::new(false));
+        let flag = acquired.clone();
+        let h = std::thread::spawn(move || {
+            m2.acquire(TxnId(2), "t", LockMode::Exclusive).unwrap();
+            flag.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!acquired.load(Ordering::SeqCst));
+        m.release(TxnId(1), "t");
+        h.join().unwrap();
+        assert!(acquired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn locks_are_per_table() {
+        let m = mgr(50);
+        m.acquire(TxnId(1), "a", LockMode::Exclusive).unwrap();
+        m.acquire(TxnId(2), "b", LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn release_all_clears_everything() {
+        let m = mgr(50);
+        m.acquire(TxnId(1), "a", LockMode::Exclusive).unwrap();
+        m.acquire(TxnId(1), "b", LockMode::Shared).unwrap();
+        m.release_all(TxnId(1), &["a".into(), "b".into()]);
+        m.acquire(TxnId(2), "a", LockMode::Exclusive).unwrap();
+        m.acquire(TxnId(2), "b", LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn writer_blocks_writer_until_timeout() {
+        let m = mgr(30);
+        m.acquire(TxnId(1), "t", LockMode::Exclusive).unwrap();
+        let start = std::time::Instant::now();
+        assert!(m.acquire(TxnId(2), "t", LockMode::Exclusive).is_err());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+}

@@ -1,0 +1,204 @@
+//! Aggregate / GROUP BY execution tests (the query substrate for OLAP
+//! workloads and for aggregate materialized views).
+
+use std::sync::Arc;
+
+use delta_engine::db::{Database, DbOptions};
+use delta_engine::EngineError;
+use delta_storage::Value;
+
+fn open(label: &str) -> Arc<Database> {
+    let dir = std::env::temp_dir().join(format!(
+        "deltaforge-agg-{}-{:?}-{label}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    Database::open(DbOptions::new(dir)).unwrap()
+}
+
+fn seeded(label: &str) -> Arc<Database> {
+    let db = open(label);
+    let mut s = db.session();
+    s.execute("CREATE TABLE sales (id INT PRIMARY KEY, region VARCHAR, amount INT, rebate DOUBLE)")
+        .unwrap();
+    s.execute(
+        "INSERT INTO sales VALUES \
+         (1, 'west', 100, 1.5), (2, 'west', 50, NULL), (3, 'east', 70, 0.5), \
+         (4, 'east', 30, 2.0), (5, 'west', 20, 0.25), (6, 'north', NULL, NULL)",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn global_aggregates_without_group_by() {
+    let db = seeded("global");
+    let r = db
+        .session()
+        .execute("SELECT COUNT(*), COUNT(amount), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM sales")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    let v = r.rows[0].values();
+    assert_eq!(v[0], Value::Int(6), "COUNT(*) counts NULL rows");
+    assert_eq!(v[1], Value::Int(5), "COUNT(col) skips NULLs");
+    assert_eq!(v[2], Value::Int(270));
+    assert_eq!(v[3], Value::Double(54.0));
+    assert_eq!(v[4], Value::Int(20));
+    assert_eq!(v[5], Value::Int(100));
+}
+
+#[test]
+fn group_by_partitions_rows() {
+    let db = seeded("groups");
+    let r = db
+        .session()
+        .execute("SELECT region, COUNT(*), SUM(amount) FROM sales GROUP BY region")
+        .unwrap();
+    assert_eq!(r.columns, vec!["region", "COUNT(*)", "SUM(amount)"]);
+    let mut rows: Vec<(String, i64, Value)> = r
+        .rows
+        .iter()
+        .map(|row| {
+            (
+                row.values()[0].as_str().unwrap().to_string(),
+                row.values()[1].as_int().unwrap(),
+                row.values()[2].clone(),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    assert_eq!(
+        rows,
+        vec![
+            ("east".into(), 2, Value::Int(100)),
+            ("north".into(), 1, Value::Null),
+            ("west".into(), 3, Value::Int(170)),
+        ]
+    );
+}
+
+#[test]
+fn where_filters_before_grouping() {
+    let db = seeded("filtered");
+    let r = db
+        .session()
+        .execute("SELECT region, SUM(amount) FROM sales WHERE amount >= 50 GROUP BY region")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2, "north has no qualifying rows");
+}
+
+#[test]
+fn arithmetic_over_aggregates() {
+    let db = seeded("arith");
+    let r = db
+        .session()
+        .execute("SELECT SUM(amount) / COUNT(amount) AS int_avg FROM sales")
+        .unwrap();
+    assert_eq!(r.columns, vec!["int_avg"]);
+    assert_eq!(r.rows[0].values()[0], Value::Int(54));
+    // Mixing a grouping column with aggregates in one expression.
+    let r = db
+        .session()
+        .execute("SELECT region + '!' AS tag, MAX(amount) - MIN(amount) FROM sales GROUP BY region")
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+}
+
+#[test]
+fn aggregates_over_expressions() {
+    let db = seeded("exprs");
+    let r = db
+        .session()
+        .execute("SELECT SUM(amount * 2) FROM sales")
+        .unwrap();
+    assert_eq!(r.rows[0].values()[0], Value::Int(540));
+    let r = db
+        .session()
+        .execute("SELECT SUM(rebate) FROM sales")
+        .unwrap();
+    assert_eq!(r.rows[0].values()[0], Value::Double(4.25));
+}
+
+#[test]
+fn empty_input_semantics() {
+    let db = seeded("empty");
+    // Global aggregate over zero rows: one row, COUNT 0, others NULL.
+    let r = db
+        .session()
+        .execute("SELECT COUNT(*), SUM(amount), MIN(amount) FROM sales WHERE amount > 99999")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0].values()[0], Value::Int(0));
+    assert_eq!(r.rows[0].values()[1], Value::Null);
+    assert_eq!(r.rows[0].values()[2], Value::Null);
+    // Grouped aggregate over zero rows: zero rows.
+    let r = db
+        .session()
+        .execute("SELECT region, COUNT(*) FROM sales WHERE amount > 99999 GROUP BY region")
+        .unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn invalid_aggregate_queries_are_rejected() {
+    let db = seeded("invalid");
+    let mut s = db.session();
+    // Ungrouped column next to an aggregate.
+    let err = s.execute("SELECT amount, COUNT(*) FROM sales").unwrap_err();
+    assert!(matches!(err, EngineError::Invalid(_)), "{err}");
+    // Wildcard in an aggregate query.
+    assert!(s.execute("SELECT *, COUNT(*) FROM sales").is_err());
+    assert!(s.execute("SELECT * FROM sales GROUP BY region").is_err());
+    // Aggregates outside SELECT projections.
+    assert!(s.execute("SELECT id FROM sales WHERE SUM(amount) > 1").is_err());
+    // Summing strings.
+    assert!(s.execute("SELECT SUM(region) FROM sales").is_err());
+}
+
+#[test]
+fn min_max_work_on_strings_and_timestamps() {
+    let db = seeded("minmax");
+    let r = db
+        .session()
+        .execute("SELECT MIN(region), MAX(region) FROM sales")
+        .unwrap();
+    assert_eq!(r.rows[0].values()[0], Value::Str("east".into()));
+    assert_eq!(r.rows[0].values()[1], Value::Str("west".into()));
+}
+
+#[test]
+fn group_by_multiple_columns() {
+    let db = open("multi");
+    let mut s = db.session();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT, v INT)").unwrap();
+    s.execute(
+        "INSERT INTO t VALUES (1, 1, 1, 10), (2, 1, 1, 20), (3, 1, 2, 30), (4, 2, 1, 40)",
+    )
+    .unwrap();
+    let r = s
+        .execute("SELECT a, b, SUM(v) FROM t GROUP BY a, b")
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+    let mut sums: Vec<i64> = r
+        .rows
+        .iter()
+        .map(|row| row.values()[2].as_int().unwrap())
+        .collect();
+    sums.sort();
+    assert_eq!(sums, vec![30, 30, 40]);
+}
+
+#[test]
+fn aggregate_results_are_deterministic_across_runs() {
+    let db = seeded("det");
+    let a = db
+        .session()
+        .execute("SELECT region, SUM(amount) FROM sales GROUP BY region")
+        .unwrap();
+    let b = db
+        .session()
+        .execute("SELECT region, SUM(amount) FROM sales GROUP BY region")
+        .unwrap();
+    assert_eq!(a, b, "BTreeMap grouping gives a stable order");
+}

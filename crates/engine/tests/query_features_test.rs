@@ -1,0 +1,157 @@
+//! Tests for ORDER BY / LIMIT and index DDL through the SQL surface.
+
+use std::sync::Arc;
+
+use delta_engine::db::{Database, DbOptions};
+use delta_engine::EngineError;
+use delta_storage::Value;
+
+fn open(label: &str) -> Arc<Database> {
+    let dir = std::env::temp_dir().join(format!(
+        "deltaforge-qf-{}-{:?}-{label}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    Database::open(DbOptions::new(dir)).unwrap()
+}
+
+fn seeded(label: &str) -> Arc<Database> {
+    let db = open(label);
+    let mut s = db.session();
+    s.execute("CREATE TABLE sales (id INT PRIMARY KEY, region VARCHAR, amount INT)").unwrap();
+    s.execute(
+        "INSERT INTO sales VALUES (1, 'west', 30), (2, 'east', 10), (3, 'west', 20), (4, 'north', 40), (5, 'east', 40)",
+    )
+    .unwrap();
+    db
+}
+
+fn ints(rows: &[delta_storage::Row], col: usize) -> Vec<i64> {
+    rows.iter().map(|r| r.values()[col].as_int().unwrap()).collect()
+}
+
+#[test]
+fn order_by_ascending_and_descending() {
+    let db = seeded("order");
+    let mut s = db.session();
+    let r = s.execute("SELECT id FROM sales ORDER BY amount").unwrap();
+    assert_eq!(ints(&r.rows, 0), vec![2, 3, 1, 4, 5]);
+    let r = s.execute("SELECT id FROM sales ORDER BY amount DESC, id DESC").unwrap();
+    assert_eq!(ints(&r.rows, 0), vec![5, 4, 1, 3, 2]);
+    // ASC keyword accepted, expression keys work.
+    let r = s.execute("SELECT id FROM sales ORDER BY 0 - id ASC").unwrap();
+    assert_eq!(ints(&r.rows, 0), vec![5, 4, 3, 2, 1]);
+}
+
+#[test]
+fn limit_truncates_after_ordering() {
+    let db = seeded("limit");
+    let mut s = db.session();
+    let r = s.execute("SELECT id FROM sales ORDER BY amount DESC LIMIT 2").unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert!(r.rows[0].values()[0].as_int().unwrap() % 10 >= 4);
+    let r = s.execute("SELECT id FROM sales LIMIT 0").unwrap();
+    assert!(r.rows.is_empty());
+    let r = s.execute("SELECT id FROM sales LIMIT 100").unwrap();
+    assert_eq!(r.rows.len(), 5);
+    assert!(s.execute("SELECT id FROM sales LIMIT -1").is_err());
+}
+
+#[test]
+fn order_by_with_group_by_and_aggregates() {
+    let db = seeded("agg-order");
+    let mut s = db.session();
+    let r = s
+        .execute("SELECT region, SUM(amount) FROM sales GROUP BY region ORDER BY SUM(amount) DESC LIMIT 2")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    // east (10+40) and west (30+20) tie at 50; north (40) is cut by LIMIT.
+    assert_eq!(r.rows[0].values()[1], Value::Int(50));
+    assert_eq!(r.rows[1].values()[1], Value::Int(50));
+    assert!(r.rows.iter().all(|row| row.values()[0] != Value::Str("north".into())));
+
+    // Ordering by the grouping column itself.
+    let r = s
+        .execute("SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY region DESC")
+        .unwrap();
+    assert_eq!(r.rows[0].values()[0], Value::Str("west".into()));
+    // Ordering by an ungrouped bare column is rejected.
+    let err = s
+        .execute("SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY amount")
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Invalid(_)), "{err}");
+    // Ordering by an aggregate that is NOT in the projection still works.
+    let r = s
+        .execute("SELECT region FROM sales GROUP BY region ORDER BY MAX(amount) DESC, region")
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+}
+
+#[test]
+fn order_by_handles_nulls_deterministically() {
+    let db = open("null-order");
+    let mut s = db.session();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1, 5), (2, NULL), (3, 1)").unwrap();
+    let r = s.execute("SELECT id FROM t ORDER BY v").unwrap();
+    // NULLs first under the engine's total order.
+    assert_eq!(ints(&r.rows, 0), vec![2, 3, 1]);
+    let r = s.execute("SELECT id FROM t ORDER BY v DESC").unwrap();
+    assert_eq!(ints(&r.rows, 0), vec![1, 3, 2]);
+}
+
+#[test]
+fn create_and_drop_index_via_sql() {
+    let db = seeded("index-ddl");
+    let mut s = db.session();
+    s.execute("CREATE INDEX amount_idx ON sales (amount)").unwrap();
+    assert!(db.indexes().get("amount_idx").is_some());
+    assert_eq!(db.indexes().get("amount_idx").unwrap().len(), 5);
+    // Duplicate name rejected; unknown column rejected.
+    assert!(s.execute("CREATE INDEX amount_idx ON sales (amount)").is_err());
+    assert!(s.execute("CREATE INDEX broken ON sales (nope)").is_err());
+    s.execute("DROP INDEX amount_idx").unwrap();
+    assert!(db.indexes().get("amount_idx").is_none());
+    assert!(s.execute("DROP INDEX amount_idx").is_err());
+}
+
+#[test]
+fn unique_index_via_sql_enforces() {
+    let db = seeded("unique-ddl");
+    let mut s = db.session();
+    s.execute("CREATE UNIQUE INDEX region_u ON sales (region)").unwrap_err(); // dup regions exist
+    s.execute("CREATE UNIQUE INDEX amount_u ON sales (id)").unwrap();
+    // DDL is barred inside transactions.
+    s.execute("BEGIN").unwrap();
+    assert!(matches!(
+        s.execute("CREATE INDEX i2 ON sales (amount)"),
+        Err(EngineError::TxnState(_))
+    ));
+    assert!(matches!(s.execute("DROP INDEX amount_u"), Err(EngineError::TxnState(_))));
+    s.execute("COMMIT").unwrap();
+}
+
+#[test]
+fn sql_created_index_is_used_by_the_planner() {
+    use delta_engine::exec::{choose_access_path, AccessPath};
+    use delta_sql::parser::parse_expression;
+    let db = open("planner");
+    let mut s = db.session();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    for chunk in 0..4 {
+        let values: Vec<String> = (chunk * 250..(chunk + 1) * 250)
+            .map(|i| format!("({i}, {i})"))
+            .collect();
+        s.execute(&format!("INSERT INTO t VALUES {}", values.join(", "))).unwrap();
+    }
+    s.execute("CREATE INDEX v_idx ON t (v)").unwrap();
+    let meta = db.table("t").unwrap();
+    let pred = parse_expression("v > 990").unwrap();
+    match choose_access_path(&db, &meta, Some(&pred)) {
+        AccessPath::IndexRange { index, .. } => assert_eq!(index, "v_idx"),
+        other => panic!("expected index scan, got {other:?}"),
+    }
+    let r = s.execute("SELECT COUNT(*) FROM t WHERE v > 990").unwrap();
+    assert_eq!(r.rows[0].values()[0], Value::Int(9));
+}

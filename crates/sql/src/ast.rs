@@ -1,0 +1,630 @@
+//! Abstract syntax tree and the canonical printer.
+//!
+//! `Display` for [`Statement`] and [`Expr`] produces canonical SQL text that
+//! re-parses to the same AST. That text is the Op-Delta wire format: the
+//! paper ships the *operation* from the source to the warehouse, and our
+//! transport layer ships exactly these strings.
+
+use std::fmt;
+
+use delta_storage::{DataType, Value};
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub not_null: bool,
+    pub primary_key: bool,
+}
+
+/// Binary operators, in ascending precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    /// Parser precedence (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div => 5,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "OR",
+            BinOp::And => "AND",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// Parse a function name (case-insensitive).
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name (used in generated view column names).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        })
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    Column(String),
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    /// `NOW()` — current time at the *executing* site; the Op-Delta capture
+    /// layer freezes it to a literal before shipping (see `delta-core`), so
+    /// replay at the warehouse is deterministic.
+    Now,
+    /// An aggregate call; `None` argument means `COUNT(*)`. Valid only in
+    /// SELECT projections (grouped queries).
+    Aggregate {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Column names referenced anywhere in this expression.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk_columns(&mut out);
+        out
+    }
+
+    fn walk_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Literal(_) | Expr::Now => {}
+            Expr::Column(c) => out.push(c.as_str()),
+            Expr::Unary { expr, .. } => expr.walk_columns(out),
+            Expr::Binary { left, right, .. } => {
+                left.walk_columns(out);
+                right.walk_columns(out);
+            }
+            Expr::IsNull { expr, .. } => expr.walk_columns(out),
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    a.walk_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the expression contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Literal(_) | Expr::Column(_) | Expr::Now => false,
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+        }
+    }
+
+    /// Whether the expression contains `NOW()` (i.e. is non-deterministic
+    /// under replay until frozen).
+    pub fn contains_now(&self) -> bool {
+        match self {
+            Expr::Now => true,
+            Expr::Literal(_) | Expr::Column(_) => false,
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_now(),
+            Expr::Binary { left, right, .. } => left.contains_now() || right.contains_now(),
+            Expr::Aggregate { arg, .. } => {
+                arg.as_ref().map(|a| a.contains_now()).unwrap_or(false)
+            }
+        }
+    }
+
+    /// Replace every `NOW()` with the literal timestamp `now_micros`.
+    pub fn freeze_now(&self, now_micros: i64) -> Expr {
+        match self {
+            Expr::Now => Expr::Literal(Value::Timestamp(now_micros)),
+            Expr::Literal(_) | Expr::Column(_) => self.clone(),
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.freeze_now(now_micros)),
+            },
+            Expr::Binary { left, op, right } => Expr::Binary {
+                left: Box::new(left.freeze_now(now_micros)),
+                op: *op,
+                right: Box::new(right.freeze_now(now_micros)),
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.freeze_now(now_micros)),
+                negated: *negated,
+            },
+            Expr::Aggregate { func, arg } => Expr::Aggregate {
+                func: *func,
+                arg: arg.as_ref().map(|a| Box::new(a.freeze_now(now_micros))),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // A bare integer would re-parse as Int: tag timestamp literals so
+            // the Op-Delta wire format round-trips the type exactly.
+            Expr::Literal(Value::Timestamp(t)) => write!(f, "TIMESTAMP {t}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Column(c) => write!(f, "{}", ident(c)),
+            Expr::Unary { op: UnOp::Not, expr } => write!(f, "(NOT {expr})"),
+            Expr::Unary { op: UnOp::Neg, expr } => write!(f, "(-{expr})"),
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::IsNull { expr, negated } => {
+                if *negated {
+                    write!(f, "({expr} IS NOT NULL)")
+                } else {
+                    write!(f, "({expr} IS NULL)")
+                }
+            }
+            Expr::Now => f.write_str("NOW()"),
+            Expr::Aggregate { func, arg } => match arg {
+                Some(a) => write!(f, "{func}({a})"),
+                None => write!(f, "{func}(*)"),
+            },
+        }
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if self.descending {
+            f.write_str(" DESC")?;
+        }
+        Ok(())
+    }
+}
+
+/// One item of a SELECT projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression, optionally aliased.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+    },
+    DropTable {
+        name: String,
+    },
+    Insert {
+        table: String,
+        /// Explicit column list, or `None` for schema order.
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        predicate: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        predicate: Option<Expr>,
+    },
+    Select {
+        projection: Vec<SelectItem>,
+        table: String,
+        predicate: Option<Expr>,
+        /// GROUP BY expressions (empty = ungrouped; an aggregate projection
+        /// with an empty group list aggregates the whole table).
+        group_by: Vec<Expr>,
+        /// ORDER BY keys applied to the output rows.
+        order_by: Vec<OrderKey>,
+        /// Row-count cap applied after ordering.
+        limit: Option<u64>,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+        unique: bool,
+    },
+    DropIndex {
+        name: String,
+    },
+    Begin,
+    Commit,
+    Rollback,
+}
+
+impl Statement {
+    /// The table this statement touches, if any.
+    pub fn table(&self) -> Option<&str> {
+        match self {
+            Statement::CreateTable { name, .. } | Statement::DropTable { name } => Some(name),
+            Statement::Insert { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. }
+            | Statement::Select { table, .. }
+            | Statement::CreateIndex { table, .. } => Some(table),
+            _ => None,
+        }
+    }
+
+    /// Whether this statement modifies data (is a DML write).
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Statement::Insert { .. } | Statement::Update { .. } | Statement::Delete { .. }
+        )
+    }
+
+    /// Freeze every `NOW()` in the statement to `now_micros` (Op-Delta capture).
+    pub fn freeze_now(&self, now_micros: i64) -> Statement {
+        match self {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => Statement::Insert {
+                table: table.clone(),
+                columns: columns.clone(),
+                rows: rows
+                    .iter()
+                    .map(|r| r.iter().map(|e| e.freeze_now(now_micros)).collect())
+                    .collect(),
+            },
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => Statement::Update {
+                table: table.clone(),
+                sets: sets
+                    .iter()
+                    .map(|(c, e)| (c.clone(), e.freeze_now(now_micros)))
+                    .collect(),
+                predicate: predicate.as_ref().map(|p| p.freeze_now(now_micros)),
+            },
+            Statement::Delete { table, predicate } => Statement::Delete {
+                table: table.clone(),
+                predicate: predicate.as_ref().map(|p| p.freeze_now(now_micros)),
+            },
+            other => other.clone(),
+        }
+    }
+}
+
+/// Quote an identifier when needed.
+fn ident(name: &str) -> String {
+    let plain = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !name.chars().next().unwrap().is_ascii_digit();
+    if plain {
+        name.to_string()
+    } else {
+        format!("\"{name}\"")
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable { name, columns } => {
+                write!(f, "CREATE TABLE {} (", ident(name))?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{} {}", ident(&c.name), c.data_type)?;
+                    if c.primary_key {
+                        f.write_str(" PRIMARY KEY")?;
+                    } else if c.not_null {
+                        f.write_str(" NOT NULL")?;
+                    }
+                }
+                f.write_str(")")
+            }
+            Statement::DropTable { name } => write!(f, "DROP TABLE {}", ident(name)),
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                write!(f, "INSERT INTO {}", ident(table))?;
+                if let Some(cols) = columns {
+                    write!(
+                        f,
+                        " ({})",
+                        cols.iter().map(|c| ident(c)).collect::<Vec<_>>().join(", ")
+                    )?;
+                }
+                f.write_str(" VALUES ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(
+                        f,
+                        "({})",
+                        row.iter()
+                            .map(|e| e.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )?;
+                }
+                Ok(())
+            }
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
+                write!(f, "UPDATE {} SET ", ident(table))?;
+                for (i, (c, e)) in sets.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{} = {e}", ident(c))?;
+                }
+                if let Some(p) = predicate {
+                    write!(f, " WHERE {p}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, predicate } => {
+                write!(f, "DELETE FROM {}", ident(table))?;
+                if let Some(p) = predicate {
+                    write!(f, " WHERE {p}")?;
+                }
+                Ok(())
+            }
+            Statement::Select {
+                projection,
+                table,
+                predicate,
+                group_by,
+                order_by,
+                limit,
+            } => {
+                f.write_str("SELECT ")?;
+                for (i, item) in projection.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    match item {
+                        SelectItem::Wildcard => f.write_str("*")?,
+                        SelectItem::Expr { expr, alias } => {
+                            write!(f, "{expr}")?;
+                            if let Some(a) = alias {
+                                write!(f, " AS {}", ident(a))?;
+                            }
+                        }
+                    }
+                }
+                write!(f, " FROM {}", ident(table))?;
+                if let Some(p) = predicate {
+                    write!(f, " WHERE {p}")?;
+                }
+                if !group_by.is_empty() {
+                    write!(
+                        f,
+                        " GROUP BY {}",
+                        group_by
+                            .iter()
+                            .map(|e| e.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )?;
+                }
+                if !order_by.is_empty() {
+                    write!(
+                        f,
+                        " ORDER BY {}",
+                        order_by
+                            .iter()
+                            .map(|k| k.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )?;
+                }
+                if let Some(n) = limit {
+                    write!(f, " LIMIT {n}")?;
+                }
+                Ok(())
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+                unique,
+            } => {
+                write!(
+                    f,
+                    "CREATE {}INDEX {} ON {} ({})",
+                    if *unique { "UNIQUE " } else { "" },
+                    ident(name),
+                    ident(table),
+                    ident(column)
+                )
+            }
+            Statement::DropIndex { name } => write!(f, "DROP INDEX {}", ident(name)),
+            Statement::Begin => f.write_str("BEGIN"),
+            Statement::Commit => f.write_str("COMMIT"),
+            Statement::Rollback => f.write_str("ROLLBACK"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_collects_columns() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::Column("a".into())),
+            op: BinOp::And,
+            right: Box::new(Expr::IsNull {
+                expr: Box::new(Expr::Column("b".into())),
+                negated: true,
+            }),
+        };
+        assert_eq!(e.referenced_columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn freeze_now_replaces_all_occurrences() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::Now),
+            op: BinOp::Gt,
+            right: Box::new(Expr::Now),
+        };
+        assert!(e.contains_now());
+        let frozen = e.freeze_now(42);
+        assert!(!frozen.contains_now());
+        assert_eq!(
+            frozen,
+            Expr::Binary {
+                left: Box::new(Expr::Literal(Value::Timestamp(42))),
+                op: BinOp::Gt,
+                right: Box::new(Expr::Literal(Value::Timestamp(42))),
+            }
+        );
+    }
+
+    #[test]
+    fn ident_quoting() {
+        assert_eq!(ident("parts"), "parts");
+        assert_eq!(ident("weird name"), "\"weird name\"");
+        assert_eq!(ident("1abc"), "\"1abc\"");
+    }
+
+    #[test]
+    fn statement_table_and_write_flags() {
+        let del = Statement::Delete {
+            table: "parts".into(),
+            predicate: None,
+        };
+        assert_eq!(del.table(), Some("parts"));
+        assert!(del.is_write());
+        assert!(!Statement::Begin.is_write());
+        assert_eq!(Statement::Commit.table(), None);
+    }
+
+    #[test]
+    fn display_update_matches_paper_style() {
+        let s = Statement::Update {
+            table: "PARTS".into(),
+            sets: vec![("status".into(), Expr::Literal(Value::Str("revised".into())))],
+            predicate: Some(Expr::Binary {
+                left: Box::new(Expr::Column("last_modified_date".into())),
+                op: BinOp::Gt,
+                right: Box::new(Expr::Literal(Value::Int(19991115))),
+            }),
+        };
+        assert_eq!(
+            s.to_string(),
+            "UPDATE PARTS SET status = 'revised' WHERE (last_modified_date > 19991115)"
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! Expression evaluation with SQL three-valued logic.
+
+use std::fmt;
+
+use delta_storage::{Row, Schema, Value};
+
+use crate::ast::{BinOp, Expr, UnOp};
+
+/// Evaluation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalError {
+    pub message: String,
+}
+
+impl EvalError {
+    fn new(m: impl Into<String>) -> EvalError {
+        EvalError { message: m.into() }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Resolves column references to values.
+pub trait RowResolver {
+    /// The value of column `name`, or `None` if the column does not exist.
+    fn resolve(&self, name: &str) -> Option<Value>;
+}
+
+/// Resolver over a `(Schema, Row)` pair — the common case.
+pub struct SchemaRow<'a> {
+    pub schema: &'a Schema,
+    pub row: &'a Row,
+}
+
+impl RowResolver for SchemaRow<'_> {
+    fn resolve(&self, name: &str) -> Option<Value> {
+        self.schema
+            .index_of(name)
+            .and_then(|i| self.row.get(i).cloned())
+    }
+}
+
+/// An empty row: every column reference is an error. Used for evaluating
+/// constant expressions (e.g. INSERT value lists).
+pub struct NoRow;
+
+impl RowResolver for NoRow {
+    fn resolve(&self, _name: &str) -> Option<Value> {
+        None
+    }
+}
+
+/// Evaluation context: a row resolver plus the current time for `NOW()`.
+pub struct EvalContext<'a> {
+    pub resolver: &'a dyn RowResolver,
+    /// Microseconds since the Unix epoch, supplied by the executing site.
+    pub now_micros: i64,
+}
+
+impl<'a> EvalContext<'a> {
+    pub fn new(resolver: &'a dyn RowResolver, now_micros: i64) -> EvalContext<'a> {
+        EvalContext {
+            resolver,
+            now_micros,
+        }
+    }
+
+    /// Evaluate `expr` to a value (NULL propagates per SQL rules).
+    pub fn eval(&self, expr: &Expr) -> Result<Value, EvalError> {
+        match expr {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Now => Ok(Value::Timestamp(self.now_micros)),
+            Expr::Column(name) => self
+                .resolver
+                .resolve(name)
+                .ok_or_else(|| EvalError::new(format!("unknown column '{name}'"))),
+            Expr::Unary { op: UnOp::Neg, expr } => match self.eval(expr)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Double(d) => Ok(Value::Double(-d)),
+                other => Err(EvalError::new(format!("cannot negate {other}"))),
+            },
+            Expr::Unary { op: UnOp::Not, expr } => match self.eval_truth(expr)? {
+                Some(b) => Ok(Value::Bool(!b)),
+                None => Ok(Value::Null),
+            },
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::Binary { left, op, right } => self.eval_binary(left, *op, right),
+            Expr::Aggregate { func, .. } => Err(EvalError::new(format!(
+                "{func}(..) is only valid in a grouped SELECT projection"
+            ))),
+        }
+    }
+
+    fn eval_binary(&self, left: &Expr, op: BinOp, right: &Expr) -> Result<Value, EvalError> {
+        match op {
+            BinOp::And => {
+                // SQL 3VL: FALSE AND x = FALSE even when x is NULL.
+                let l = self.eval_truth(left)?;
+                if l == Some(false) {
+                    return Ok(Value::Bool(false));
+                }
+                let r = self.eval_truth(right)?;
+                Ok(match (l, r) {
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    (_, Some(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                })
+            }
+            BinOp::Or => {
+                let l = self.eval_truth(left)?;
+                if l == Some(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let r = self.eval_truth(right)?;
+                Ok(match (l, r) {
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    (_, Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                })
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                let ord = l.sql_cmp(&r).ok_or_else(|| {
+                    EvalError::new(format!("cannot compare {l} with {r}"))
+                })?;
+                let b = match op {
+                    BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                    BinOp::Ne => ord != std::cmp::Ordering::Equal,
+                    BinOp::Lt => ord == std::cmp::Ordering::Less,
+                    BinOp::Le => ord != std::cmp::Ordering::Greater,
+                    BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                    BinOp::Ge => ord != std::cmp::Ordering::Less,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Bool(b))
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                arith(&l, op, &r)
+            }
+        }
+    }
+
+    /// Evaluate to a SQL truth value: `Some(bool)` or `None` for NULL/UNKNOWN.
+    pub fn eval_truth(&self, expr: &Expr) -> Result<Option<bool>, EvalError> {
+        match self.eval(expr)? {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(b)),
+            other => Err(EvalError::new(format!(
+                "expected a boolean predicate, got {other}"
+            ))),
+        }
+    }
+
+    /// WHERE-clause semantics: NULL/UNKNOWN filters the row out.
+    pub fn matches(&self, predicate: &Expr) -> Result<bool, EvalError> {
+        Ok(self.eval_truth(predicate)? == Some(true))
+    }
+}
+
+fn arith(l: &Value, op: BinOp, r: &Value) -> Result<Value, EvalError> {
+    use Value::*;
+    // String concatenation with '+', as several COTS dialects allow.
+    if let (Str(a), BinOp::Add, Str(b)) = (l, op, r) {
+        return Ok(Str(format!("{a}{b}")));
+    }
+    match (l, r) {
+        (Int(a), Int(b)) => match op {
+            BinOp::Add => Ok(Int(a.wrapping_add(*b))),
+            BinOp::Sub => Ok(Int(a.wrapping_sub(*b))),
+            BinOp::Mul => Ok(Int(a.wrapping_mul(*b))),
+            BinOp::Div => {
+                if *b == 0 {
+                    Err(EvalError::new("division by zero"))
+                } else {
+                    Ok(Int(a / b))
+                }
+            }
+            _ => unreachable!(),
+        },
+        (Timestamp(a), Int(b)) => match op {
+            BinOp::Add => Ok(Timestamp(a.wrapping_add(*b))),
+            BinOp::Sub => Ok(Timestamp(a.wrapping_sub(*b))),
+            _ => Err(EvalError::new("only +/- allowed on timestamps")),
+        },
+        (Timestamp(a), Timestamp(b)) if op == BinOp::Sub => Ok(Int(a - b)),
+        _ => {
+            let a = l
+                .as_double()
+                .map_err(|_| EvalError::new(format!("cannot apply {op} to {l} and {r}")))?;
+            let b = r
+                .as_double()
+                .map_err(|_| EvalError::new(format!("cannot apply {op} to {l} and {r}")))?;
+            let out = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(EvalError::new("division by zero"));
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Double(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expression;
+    use delta_storage::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Varchar),
+            Column::new("qty", DataType::Int),
+            Column::new("last_modified", DataType::Timestamp),
+        ])
+        .unwrap()
+    }
+
+    fn row() -> Row {
+        Row::new(vec![
+            Value::Int(7),
+            Value::Str("bolt".into()),
+            Value::Null,
+            Value::Timestamp(5000),
+        ])
+    }
+
+    fn eval(src: &str) -> Result<Value, EvalError> {
+        let e = parse_expression(src).unwrap();
+        let schema = schema();
+        let row = row();
+        let resolver = SchemaRow {
+            schema: &schema,
+            row: &row,
+        };
+        EvalContext::new(&resolver, 9999).eval(&e)
+    }
+
+    #[test]
+    fn literals_and_columns() {
+        assert_eq!(eval("42").unwrap(), Value::Int(42));
+        assert_eq!(eval("id").unwrap(), Value::Int(7));
+        assert_eq!(eval("name").unwrap(), Value::Str("bolt".into()));
+        assert!(eval("missing_col").is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval("id + 1").unwrap(), Value::Int(8));
+        assert_eq!(eval("id * 2 - 4").unwrap(), Value::Int(10));
+        assert_eq!(eval("7 / 2").unwrap(), Value::Int(3));
+        assert_eq!(eval("7.0 / 2").unwrap(), Value::Double(3.5));
+        assert!(eval("1 / 0").is_err());
+        assert!(eval("1.0 / 0.0").is_err());
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(eval("name + '!'").unwrap(), Value::Str("bolt!".into()));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval("id = 7").unwrap(), Value::Bool(true));
+        assert_eq!(eval("id <> 7").unwrap(), Value::Bool(false));
+        assert_eq!(eval("name < 'z'").unwrap(), Value::Bool(true));
+        assert_eq!(eval("last_modified > 1000").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(eval("qty + 1").unwrap(), Value::Null);
+        assert_eq!(eval("qty = 0").unwrap(), Value::Null);
+        assert_eq!(eval("qty IS NULL").unwrap(), Value::Bool(true));
+        assert_eq!(eval("qty IS NOT NULL").unwrap(), Value::Bool(false));
+        assert_eq!(eval("NOT (qty = 0)").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn three_valued_logic_short_circuits() {
+        // FALSE AND NULL = FALSE; TRUE OR NULL = TRUE.
+        assert_eq!(eval("id = 0 AND qty = 1").unwrap(), Value::Bool(false));
+        assert_eq!(eval("id = 7 OR qty = 1").unwrap(), Value::Bool(true));
+        // TRUE AND NULL = NULL; FALSE OR NULL = NULL.
+        assert_eq!(eval("id = 7 AND qty = 1").unwrap(), Value::Null);
+        assert_eq!(eval("id = 0 OR qty = 1").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn where_semantics_filters_unknown() {
+        let e = parse_expression("qty = 0").unwrap();
+        let schema = schema();
+        let row = row();
+        let resolver = SchemaRow {
+            schema: &schema,
+            row: &row,
+        };
+        assert!(!EvalContext::new(&resolver, 0).matches(&e).unwrap());
+    }
+
+    #[test]
+    fn now_uses_context_clock() {
+        assert_eq!(eval("NOW()").unwrap(), Value::Timestamp(9999));
+        assert_eq!(eval("last_modified < NOW()").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn truth_of_non_boolean_is_error() {
+        assert!(eval("NOT 5").is_err());
+        let e = parse_expression("id + 1").unwrap();
+        let schema = schema();
+        let row = row();
+        let resolver = SchemaRow {
+            schema: &schema,
+            row: &row,
+        };
+        assert!(EvalContext::new(&resolver, 0).eval_truth(&e).is_err());
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        assert_eq!(eval("last_modified + 1000").unwrap(), Value::Timestamp(6000));
+        assert_eq!(
+            eval("last_modified - last_modified").unwrap(),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_error() {
+        assert!(eval("name > 5").is_err());
+    }
+}

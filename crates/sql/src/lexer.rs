@@ -1,0 +1,383 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+/// Lexer error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// A SQL token. Keywords are recognized at parse time from `Ident`, except
+/// for the handful that double as operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (uppercased comparison happens in the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+    Dot,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Star => f.write_str("*"),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Slash => f.write_str("/"),
+            Token::Eq => f.write_str("="),
+            Token::Ne => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+            Token::Semicolon => f.write_str(";"),
+            Token::Dot => f.write_str("."),
+        }
+    }
+}
+
+/// Tokenize `input` into a vector of tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos: i,
+                        message: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            pos: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Consume one UTF-8 character.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(
+                            std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| LexError {
+                                pos: i,
+                                message: "invalid UTF-8 in string".into(),
+                            })?,
+                        );
+                        i += ch_len;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Exponent.
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        message: format!("bad float literal '{text}'"),
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        message: format!("integer literal '{text}' out of range"),
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                if c == '"' {
+                    // Quoted identifier.
+                    let start = i;
+                    i += 1;
+                    let mut s = String::new();
+                    loop {
+                        if i >= bytes.len() {
+                            return Err(LexError {
+                                pos: start,
+                                message: "unterminated quoted identifier".into(),
+                            });
+                        }
+                        if bytes[i] == b'"' {
+                            i += 1;
+                            break;
+                        }
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                    tokens.push(Token::Ident(s));
+                } else {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    tokens.push(Token::Ident(input[start..i].to_string()));
+                }
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_paper_example() {
+        // From §4.1 of the paper.
+        let toks =
+            tokenize("UPDATE status='revised' from PARTS where last_modified_date > 100").unwrap();
+        assert_eq!(toks[0], Token::Ident("UPDATE".into()));
+        assert!(toks.contains(&Token::Str("revised".into())));
+        assert!(toks.contains(&Token::Gt));
+        assert!(toks.contains(&Token::Int(100)));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            tokenize("1 2.5 3e2 4.5E-1").unwrap(),
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Float(300.0),
+                Token::Float(0.45)
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_followed_by_dot_is_not_float() {
+        // `tab.col` style access after a number should not eat the dot.
+        let toks = tokenize("1.x").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Int(1), Token::Dot, Token::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(
+            tokenize("'o''brien'").unwrap(),
+            vec![Token::Str("o'brien".into())]
+        );
+        assert_eq!(tokenize("''").unwrap(), vec![Token::Str(String::new())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            tokenize("< <= > >= = <> !=").unwrap(),
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT -- comment to end of line\n 1").unwrap();
+        assert_eq!(toks, vec![Token::Ident("SELECT".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn unexpected_character_reports_position() {
+        let err = tokenize("SELECT #").unwrap_err();
+        assert_eq!(err.pos, 7);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(
+            tokenize("\"weird name\"").unwrap(),
+            vec![Token::Ident("weird name".into())]
+        );
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            tokenize("'héllo ✈'").unwrap(),
+            vec![Token::Str("héllo ✈".into())]
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A page or record reference pointed at something that does not exist.
+    NotFound(String),
+    /// A page had no room for the requested operation.
+    PageFull,
+    /// A record was too large to ever fit in a page.
+    RecordTooLarge { size: usize, max: usize },
+    /// On-disk bytes did not decode (corruption, wrong codec, wrong version).
+    Corrupt(String),
+    /// A row did not conform to the schema it was encoded/validated against.
+    SchemaMismatch(String),
+    /// A typed value was used where a different type was required.
+    TypeError(String),
+    /// The buffer pool had no evictable frame (everything pinned).
+    PoolExhausted,
+    /// An export file was produced by an incompatible product or version.
+    IncompatibleFormat { expected: String, found: String },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::NotFound(what) => write!(f, "not found: {what}"),
+            StorageError::PageFull => write!(f, "page full"),
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity of {max} bytes")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            StorageError::TypeError(msg) => write!(f, "type error: {msg}"),
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            StorageError::IncompatibleFormat { expected, found } => {
+                write!(f, "incompatible export format: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        let e = StorageError::RecordTooLarge { size: 9000, max: 8100 };
+        let s = e.to_string();
+        assert!(s.contains("9000"));
+        assert!(s.contains("8100"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: StorageError = io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn incompatible_format_mentions_both_sides() {
+        let e = StorageError::IncompatibleFormat {
+            expected: "cotsdb/1".into(),
+            found: "otherdb/2".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cotsdb/1") && s.contains("otherdb/2"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Heap files: unordered record storage over the buffer pool.
+//!
+//! A heap file is a sequence of slotted pages belonging to one table. Records
+//! are addressed by [`RecordId`] (page number + slot). Inserts append to the
+//! most recently non-full page; space freed by deletes is reused within each
+//! page via dead-slot reuse and compaction (a full free-space map is out of
+//! scope — the paper's workloads are insert/scan heavy).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::file::{FileId, PageId};
+
+/// Address of a record within one heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    pub page_no: u32,
+    pub slot: u16,
+}
+
+impl RecordId {
+    pub fn new(page_no: u32, slot: u16) -> RecordId {
+        RecordId { page_no, slot }
+    }
+}
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.page_no, self.slot)
+    }
+}
+
+/// Unordered record storage for one table or delta log.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    file_id: FileId,
+    /// Page most likely to have room for the next insert.
+    insert_hint: AtomicU32,
+}
+
+impl HeapFile {
+    /// Attach to (already registered) `file_id` in `pool`.
+    pub fn new(pool: Arc<BufferPool>, file_id: FileId) -> HeapFile {
+        HeapFile {
+            pool,
+            file_id,
+            insert_hint: AtomicU32::new(u32::MAX),
+        }
+    }
+
+    /// The file id this heap stores into.
+    pub fn file_id(&self) -> FileId {
+        self.file_id
+    }
+
+    /// Number of pages currently allocated.
+    pub fn page_count(&self) -> StorageResult<u32> {
+        Ok(self.pool.file(self.file_id)?.page_count())
+    }
+
+    fn pid(&self, page_no: u32) -> PageId {
+        PageId::new(self.file_id, page_no)
+    }
+
+    /// Insert a record, returning its id.
+    pub fn insert(&self, record: &[u8]) -> StorageResult<RecordId> {
+        let pages = self.page_count()?;
+        // Try the hinted page first, then the last page, then allocate.
+        let hint = self.insert_hint.load(Ordering::Relaxed);
+        let mut candidates = Vec::with_capacity(2);
+        if hint != u32::MAX && hint < pages {
+            candidates.push(hint);
+        }
+        if pages > 0 && Some(pages - 1) != candidates.first().copied() {
+            candidates.push(pages - 1);
+        }
+        for page_no in candidates {
+            let result = self
+                .pool
+                .with_page_mut(self.pid(page_no), |p| p.insert(record))?;
+            match result {
+                Ok(slot) => {
+                    self.insert_hint.store(page_no, Ordering::Relaxed);
+                    return Ok(RecordId::new(page_no, slot));
+                }
+                Err(StorageError::PageFull) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let pid = self.pool.allocate_page(self.file_id)?;
+        let slot = self.pool.with_page_mut(pid, |p| p.insert(record))??;
+        self.insert_hint.store(pid.page_no, Ordering::Relaxed);
+        Ok(RecordId::new(pid.page_no, slot))
+    }
+
+    /// Fetch the record at `rid`, or `None` if it was deleted.
+    pub fn get(&self, rid: RecordId) -> StorageResult<Option<Vec<u8>>> {
+        if rid.page_no >= self.page_count()? {
+            return Ok(None);
+        }
+        self.pool
+            .with_page(self.pid(rid.page_no), |p| p.get(rid.slot).map(|r| r.to_vec()))
+    }
+
+    /// Delete the record at `rid`.
+    pub fn delete(&self, rid: RecordId) -> StorageResult<()> {
+        self.pool
+            .with_page_mut(self.pid(rid.page_no), |p| p.delete(rid.slot))?
+    }
+
+    /// Replace the record at `rid`. If it no longer fits its page, the record
+    /// moves; the (possibly new) id is returned.
+    pub fn update(&self, rid: RecordId, record: &[u8]) -> StorageResult<RecordId> {
+        let in_place = self
+            .pool
+            .with_page_mut(self.pid(rid.page_no), |p| p.update(rid.slot, record))?;
+        match in_place {
+            Ok(()) => Ok(rid),
+            Err(StorageError::PageFull) => {
+                self.delete(rid)?;
+                self.insert(record)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Visit every live record as `(rid, bytes)`, page at a time, in storage
+    /// order. The callback may not re-enter the heap (pool pages are latched
+    /// for the duration of each page visit).
+    pub fn for_each(
+        &self,
+        mut f: impl FnMut(RecordId, &[u8]) -> StorageResult<()>,
+    ) -> StorageResult<()> {
+        let pages = self.page_count()?;
+        for page_no in 0..pages {
+            // Copy the page's live records out, then run the callback without
+            // holding the pool lock.
+            let records: Vec<(u16, Vec<u8>)> = self.pool.with_page(self.pid(page_no), |p| {
+                p.iter().map(|(s, r)| (s, r.to_vec())).collect()
+            })?;
+            for (slot, bytes) in records {
+                f(RecordId::new(page_no, slot), &bytes)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect every live record. Convenience for tests and small tables.
+    pub fn scan_all(&self) -> StorageResult<Vec<(RecordId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.for_each(|rid, bytes| {
+            out.push((rid, bytes.to_vec()));
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Number of live records (full scan).
+    pub fn live_count(&self) -> StorageResult<usize> {
+        let mut n = 0;
+        self.for_each(|_, _| {
+            n += 1;
+            Ok(())
+        })?;
+        Ok(n)
+    }
+
+    /// Drop every record and page (used by the Loader's REPLACE mode).
+    pub fn truncate(&self) -> StorageResult<()> {
+        self.pool.flush(Some(self.file_id))?;
+        // Discard cached pages, then truncate the file.
+        let file = self.pool.file(self.file_id)?;
+        self.pool.deregister_file(self.file_id);
+        file.truncate()?;
+        self.pool.register_file(self.file_id, file);
+        self.insert_hint.store(u32::MAX, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::DiskFile;
+
+    fn setup() -> HeapFile {
+        let dir = std::env::temp_dir().join(format!(
+            "delta-heap-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.db");
+        let _ = std::fs::remove_file(&path);
+        let pool = Arc::new(BufferPool::new(8));
+        let fid = FileId(1);
+        pool.register_file(fid, Arc::new(DiskFile::open(&path).unwrap()));
+        HeapFile::new(pool, fid)
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let h = setup();
+        let rid = h.insert(b"alpha").unwrap();
+        assert_eq!(h.get(rid).unwrap().as_deref(), Some(&b"alpha"[..]));
+        h.delete(rid).unwrap();
+        assert_eq!(h.get(rid).unwrap(), None);
+    }
+
+    #[test]
+    fn get_on_missing_page_is_none() {
+        let h = setup();
+        assert_eq!(h.get(RecordId::new(42, 0)).unwrap(), None);
+    }
+
+    #[test]
+    fn inserts_spill_to_new_pages() {
+        let h = setup();
+        let rec = [0u8; 1000];
+        let mut rids = vec![];
+        for _ in 0..40 {
+            rids.push(h.insert(&rec).unwrap());
+        }
+        assert!(h.page_count().unwrap() > 1);
+        assert_eq!(h.live_count().unwrap(), 40);
+        for rid in rids {
+            assert!(h.get(rid).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn scan_visits_in_storage_order() {
+        let h = setup();
+        for i in 0..100u32 {
+            h.insert(&i.to_le_bytes()).unwrap();
+        }
+        let all = h.scan_all().unwrap();
+        assert_eq!(all.len(), 100);
+        let decoded: Vec<u32> = all
+            .iter()
+            .map(|(_, b)| u32::from_le_bytes(b[..4].try_into().unwrap()))
+            .collect();
+        let mut sorted = decoded.clone();
+        sorted.sort();
+        assert_eq!(decoded, sorted, "append-only inserts scan in order");
+    }
+
+    #[test]
+    fn update_in_place_keeps_rid() {
+        let h = setup();
+        let rid = h.insert(&[1u8; 100]).unwrap();
+        let new_rid = h.update(rid, &[2u8; 50]).unwrap();
+        assert_eq!(rid, new_rid);
+        assert_eq!(h.get(rid).unwrap().unwrap(), vec![2u8; 50]);
+    }
+
+    #[test]
+    fn update_relocates_when_grown_past_page() {
+        let h = setup();
+        // Fill a page almost completely.
+        let rid = h.insert(&[1u8; 100]).unwrap();
+        while h.page_count().unwrap() == 1 {
+            h.insert(&[0u8; 500]).unwrap();
+        }
+        // Now grow the first record beyond what page 0 can hold.
+        let new_rid = h.update(rid, &[3u8; 4000]).unwrap();
+        assert_ne!(rid, new_rid);
+        assert_eq!(h.get(new_rid).unwrap().unwrap(), vec![3u8; 4000]);
+        assert_eq!(h.get(rid).unwrap(), None);
+    }
+
+    #[test]
+    fn truncate_empties_heap() {
+        let h = setup();
+        for _ in 0..10 {
+            h.insert(b"x").unwrap();
+        }
+        h.truncate().unwrap();
+        assert_eq!(h.page_count().unwrap(), 0);
+        assert_eq!(h.live_count().unwrap(), 0);
+        // And it keeps working afterwards.
+        let rid = h.insert(b"fresh").unwrap();
+        assert_eq!(h.get(rid).unwrap().as_deref(), Some(&b"fresh"[..]));
+    }
+
+    #[test]
+    fn deleted_space_is_reused_within_page() {
+        let h = setup();
+        let rid = h.insert(&[0u8; 64]).unwrap();
+        h.delete(rid).unwrap();
+        let rid2 = h.insert(&[1u8; 64]).unwrap();
+        assert_eq!(rid2.page_no, rid.page_no);
+        assert_eq!(rid2.slot, rid.slot, "dead slot should be recycled");
+    }
+}

@@ -1,0 +1,274 @@
+//! Rows and the schema-directed binary row codec.
+//!
+//! The on-page representation is a compact tagged encoding: a one-byte type
+//! tag per cell followed by the cell payload. Strings are length-prefixed.
+//! This is the format the engine's heap files, WAL records, and the binary
+//! Export utility all share *within one product* — the paper's point that
+//! export formats are proprietary is modelled one level up, in
+//! [`crate::codec::export`].
+
+use bytes::{Buf, BufMut};
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::Value;
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_DOUBLE: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_TIMESTAMP: u8 = 4;
+const TAG_BOOL: u8 = 5;
+
+/// A row of values. Rows are schema-agnostic at this layer; the engine
+/// validates them against a [`crate::schema::Schema`] before storing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Row {
+        Row { values }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.values
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Get a cell by position.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Replace a cell by position.
+    pub fn set(&mut self, idx: usize, v: Value) {
+        self.values[idx] = v;
+    }
+
+    /// Encoded size in bytes (exact, matches [`Row::encode`]).
+    pub fn encoded_size(&self) -> usize {
+        2 + self
+            .values
+            .iter()
+            .map(|v| match v {
+                Value::Null => 1,
+                Value::Int(_) | Value::Timestamp(_) | Value::Double(_) => 9,
+                Value::Bool(_) => 2,
+                Value::Str(s) => 5 + s.len(),
+            })
+            .sum::<usize>()
+    }
+
+    /// Append the binary encoding of this row to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u16(self.values.len() as u16);
+        for v in &self.values {
+            match v {
+                Value::Null => out.put_u8(TAG_NULL),
+                Value::Int(i) => {
+                    out.put_u8(TAG_INT);
+                    out.put_i64(*i);
+                }
+                Value::Double(d) => {
+                    out.put_u8(TAG_DOUBLE);
+                    out.put_f64(*d);
+                }
+                Value::Str(s) => {
+                    out.put_u8(TAG_STR);
+                    out.put_u32(s.len() as u32);
+                    out.put_slice(s.as_bytes());
+                }
+                Value::Timestamp(t) => {
+                    out.put_u8(TAG_TIMESTAMP);
+                    out.put_i64(*t);
+                }
+                Value::Bool(b) => {
+                    out.put_u8(TAG_BOOL);
+                    out.put_u8(*b as u8);
+                }
+            }
+        }
+    }
+
+    /// Encode to a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_size());
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode a row from the front of `buf`, advancing it.
+    pub fn decode(buf: &mut &[u8]) -> StorageResult<Row> {
+        if buf.remaining() < 2 {
+            return Err(StorageError::Corrupt("row header truncated".into()));
+        }
+        let n = buf.get_u16() as usize;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            if buf.remaining() < 1 {
+                return Err(StorageError::Corrupt("row cell tag truncated".into()));
+            }
+            let tag = buf.get_u8();
+            let v = match tag {
+                TAG_NULL => Value::Null,
+                TAG_INT => {
+                    if buf.remaining() < 8 {
+                        return Err(StorageError::Corrupt("int cell truncated".into()));
+                    }
+                    Value::Int(buf.get_i64())
+                }
+                TAG_DOUBLE => {
+                    if buf.remaining() < 8 {
+                        return Err(StorageError::Corrupt("double cell truncated".into()));
+                    }
+                    Value::Double(buf.get_f64())
+                }
+                TAG_STR => {
+                    if buf.remaining() < 4 {
+                        return Err(StorageError::Corrupt("string length truncated".into()));
+                    }
+                    let len = buf.get_u32() as usize;
+                    if buf.remaining() < len {
+                        return Err(StorageError::Corrupt("string cell truncated".into()));
+                    }
+                    let s = std::str::from_utf8(&buf[..len])
+                        .map_err(|_| StorageError::Corrupt("string cell not UTF-8".into()))?
+                        .to_string();
+                    buf.advance(len);
+                    Value::Str(s)
+                }
+                TAG_TIMESTAMP => {
+                    if buf.remaining() < 8 {
+                        return Err(StorageError::Corrupt("timestamp cell truncated".into()));
+                    }
+                    Value::Timestamp(buf.get_i64())
+                }
+                TAG_BOOL => {
+                    if buf.remaining() < 1 {
+                        return Err(StorageError::Corrupt("bool cell truncated".into()));
+                    }
+                    Value::Bool(buf.get_u8() != 0)
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!("unknown cell tag {other}")))
+                }
+            };
+            values.push(v);
+        }
+        Ok(Row { values })
+    }
+
+    /// Decode from a complete buffer, requiring full consumption.
+    pub fn from_bytes(mut buf: &[u8]) -> StorageResult<Row> {
+        let row = Row::decode(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(StorageError::Corrupt(format!(
+                "{} trailing bytes after row",
+                buf.len()
+            )));
+        }
+        Ok(row)
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Row {
+        Row::new(vec![
+            Value::Int(42),
+            Value::Str("widget".into()),
+            Value::Null,
+            Value::Double(2.5),
+            Value::Timestamp(1_000_000),
+            Value::Bool(true),
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = sample();
+        let bytes = r.to_bytes();
+        assert_eq!(bytes.len(), r.encoded_size());
+        let back = Row::from_bytes(&bytes).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn empty_row_round_trips() {
+        let r = Row::new(vec![]);
+        assert_eq!(Row::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_length() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Row::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0xFF);
+        assert!(Row::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut bytes = vec![];
+        bytes.put_u16(1);
+        bytes.put_u8(99);
+        assert!(Row::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8() {
+        let mut bytes = vec![];
+        bytes.put_u16(1);
+        bytes.put_u8(3); // TAG_STR
+        bytes.put_u32(2);
+        bytes.put_slice(&[0xFF, 0xFE]);
+        assert!(Row::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn multiple_rows_decode_sequentially() {
+        let a = sample();
+        let b = Row::new(vec![Value::Int(1)]);
+        let mut buf = Vec::new();
+        a.encode(&mut buf);
+        b.encode(&mut buf);
+        let mut cursor = &buf[..];
+        assert_eq!(Row::decode(&mut cursor).unwrap(), a);
+        assert_eq!(Row::decode(&mut cursor).unwrap(), b);
+        assert!(cursor.is_empty());
+    }
+}

@@ -1,0 +1,797 @@
+//! The two warehouse maintenance strategies (§4.1).
+//!
+//! **Value delta** lost the source transaction boundaries, so correctness
+//! forces the whole batch into one indivisible warehouse transaction that
+//! exclusively locks every affected table up front — the *maintenance
+//! outage*. Each delta record is translated into a single SQL statement: one
+//! INSERT per inserted row, one keyed DELETE per deleted row, and a keyed
+//! DELETE **plus** an INSERT per updated row (x deletes + x inserts, exactly
+//! as the paper describes).
+//!
+//! **Op-Delta** preserved the boundaries, so each source transaction replays
+//! as its own short warehouse transaction: one statement per captured
+//! operation (or a handful of keyed statements for the before-image hybrid).
+//! Locks are held per transaction; OLAP queries interleave between them.
+//!
+//! Both strategies maintain registered SPJ views incrementally from the
+//! row images captured by triggers installed on the mirrors, so the
+//! comparison between them is apples-to-apples.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use delta_core::model::{DeltaOp, OpDelta, ValueDelta};
+use delta_core::trigger_extract::decode_delta_row;
+use delta_engine::db::Database;
+use delta_engine::exec;
+use delta_engine::lock::LockMode;
+use delta_engine::trigger::{delta_table_schema, CaptureImages, TriggerAction, TriggerDef};
+use delta_engine::txn::Transaction;
+use delta_engine::{EngineError, EngineResult, TableOptions};
+use delta_sql::ast::{BinOp, Expr, Statement};
+use delta_storage::{Row, Value};
+
+use crate::aggview::{AggViewDef, AggregateView};
+use crate::mirror::MirrorConfig;
+use crate::view::{MaterializedView, SpjView};
+
+/// What an apply call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Warehouse transactions used.
+    pub transactions: u64,
+    /// SQL statements executed against mirrors.
+    pub statements: u64,
+    /// Mirror rows affected.
+    pub rows_affected: u64,
+    /// View rows inserted or deleted by incremental maintenance.
+    pub view_rows_touched: u64,
+}
+
+impl ApplyReport {
+    fn merge(&mut self, other: ApplyReport) {
+        self.transactions += other.transactions;
+        self.statements += other.statements;
+        self.rows_affected += other.rows_affected;
+        self.view_rows_touched += other.view_rows_touched;
+    }
+}
+
+/// A warehouse: mirrors + materialized views over one database.
+pub struct Warehouse {
+    db: Arc<Database>,
+    mirrors: HashMap<String, MirrorConfig>,
+    views: Vec<MaterializedView>,
+    agg_views: Vec<AggregateView>,
+    capturing: bool,
+}
+
+impl Warehouse {
+    pub fn new(db: Arc<Database>) -> Warehouse {
+        Warehouse {
+            db,
+            mirrors: HashMap::new(),
+            views: Vec::new(),
+            agg_views: Vec::new(),
+            capturing: false,
+        }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Register (and create) a mirror. Must precede views over it.
+    pub fn add_mirror(&mut self, cfg: MirrorConfig) -> EngineResult<()> {
+        cfg.create_in(&self.db)?;
+        if self.capturing {
+            self.install_capture(&cfg.table)?;
+        }
+        self.mirrors.insert(cfg.table.clone(), cfg);
+        Ok(())
+    }
+
+    /// The mirror config for `table`.
+    pub fn mirror(&self, table: &str) -> EngineResult<&MirrorConfig> {
+        self.mirrors
+            .get(table)
+            .ok_or_else(|| EngineError::NoSuchObject(format!("mirror '{table}'")))
+    }
+
+    /// Registered mirror names, sorted.
+    pub fn mirror_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.mirrors.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Register an SPJ view over the mirrors and materialize it. Installs
+    /// change-capture triggers on every mirror (used by incremental view
+    /// maintenance) the first time a view is added.
+    pub fn add_view(&mut self, def: SpjView) -> EngineResult<()> {
+        for t in &def.tables {
+            if !self.mirrors.contains_key(t) {
+                return Err(EngineError::NoSuchObject(format!(
+                    "view '{}' needs mirror '{t}'",
+                    def.name
+                )));
+            }
+        }
+        let view = MaterializedView::create(&self.db, def)?;
+        let mut txn = self.db.begin();
+        view.refresh_full(&self.db, &mut txn)?;
+        self.db.commit(txn)?;
+        self.enable_capture()?;
+        self.views.push(view);
+        Ok(())
+    }
+
+    /// Names of registered views.
+    pub fn view_names(&self) -> Vec<String> {
+        self.views.iter().map(|v| v.def.name.clone()).collect()
+    }
+
+    /// Register an aggregate (summary-table) view over one mirror and
+    /// materialize it. Shares the capture machinery with SPJ views.
+    pub fn add_agg_view(&mut self, def: AggViewDef) -> EngineResult<()> {
+        if !self.mirrors.contains_key(&def.table) {
+            return Err(EngineError::NoSuchObject(format!(
+                "aggregate view '{}' needs mirror '{}'",
+                def.name, def.table
+            )));
+        }
+        let view = AggregateView::create(&self.db, def)?;
+        let mut txn = self.db.begin();
+        view.refresh_full(&self.db, &mut txn)?;
+        self.db.commit(txn)?;
+        self.enable_capture()?;
+        self.agg_views.push(view);
+        Ok(())
+    }
+
+    /// The registered aggregate view named `name` (test/inspection aid).
+    pub fn agg_view(&self, name: &str) -> Option<&AggregateView> {
+        self.agg_views.iter().find(|v| v.def.name == name)
+    }
+
+    fn enable_capture(&mut self) -> EngineResult<()> {
+        if !self.capturing {
+            let tables: Vec<String> = self.mirrors.keys().cloned().collect();
+            for t in tables {
+                self.install_capture(&t)?;
+            }
+            self.capturing = true;
+        }
+        Ok(())
+    }
+
+    fn capture_table(table: &str) -> String {
+        format!("__changes_{table}")
+    }
+
+    fn install_capture(&self, table: &str) -> EngineResult<()> {
+        let meta = self.db.table(table)?;
+        let cap = Self::capture_table(table);
+        if self.db.table(&cap).is_err() {
+            self.db
+                .create_table(&cap, delta_table_schema(&meta.schema), TableOptions::default())?;
+        }
+        self.db.create_trigger(TriggerDef {
+            name: format!("__cap_{table}"),
+            table: table.to_string(),
+            on_insert: true,
+            on_update: true,
+            on_delete: true,
+            action: TriggerAction::CaptureDelta {
+                target: cap,
+                images: CaptureImages::Standard,
+            },
+        })
+    }
+
+    /// Every view involving `table`.
+    fn views_for(&self, table: &str) -> Vec<&MaterializedView> {
+        self.views
+            .iter()
+            .filter(|v| v.def.involves(table))
+            .collect()
+    }
+
+    /// Drain the capture table for `table` inside `txn` and propagate the
+    /// images to the views. Returns view rows touched.
+    fn maintain_views(&self, txn: &mut Transaction, table: &str) -> EngineResult<u64> {
+        if !self.capturing {
+            return Ok(0);
+        }
+        let cap = Self::capture_table(table);
+        let cap_meta = self.db.table(&cap)?;
+        self.db.lock_table(txn, &cap, LockMode::Exclusive)?;
+        let mut records = Vec::new();
+        let now = self.db.now_micros();
+        for (rid, row) in self.db.scan_table(&cap)? {
+            records.push(decode_delta_row(&row)?);
+            self.db.delete_row(txn, &cap_meta, rid, row, now, false)?;
+        }
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let views = self.views_for(table);
+        let agg_views: Vec<&AggregateView> = self
+            .agg_views
+            .iter()
+            .filter(|v| v.involves(table))
+            .collect();
+        if views.is_empty() && agg_views.is_empty() {
+            return Ok(0);
+        }
+        let mut touched = 0u64;
+        // Replay in capture order; a UB record is always immediately
+        // followed by its UA partner (the trigger writes them together).
+        let mut i = 0;
+        while i < records.len() {
+            let rec = &records[i];
+            match rec.op {
+                DeltaOp::Insert => {
+                    for v in &views {
+                        touched += v.on_base_insert(
+                            &self.db,
+                            txn,
+                            table,
+                            std::slice::from_ref(&rec.row),
+                        )? as u64;
+                    }
+                    for v in &agg_views {
+                        touched +=
+                            v.on_base_insert(&self.db, txn, table, std::slice::from_ref(&rec.row))?;
+                    }
+                    i += 1;
+                }
+                DeltaOp::Delete => {
+                    for v in &views {
+                        touched += v.on_base_delete(
+                            &self.db,
+                            txn,
+                            table,
+                            std::slice::from_ref(&rec.row),
+                        )? as u64;
+                    }
+                    for v in &agg_views {
+                        touched +=
+                            v.on_base_delete(&self.db, txn, table, std::slice::from_ref(&rec.row))?;
+                    }
+                    i += 1;
+                }
+                DeltaOp::UpdateBefore => {
+                    let after = records.get(i + 1).ok_or_else(|| {
+                        EngineError::Invalid("dangling UB record in capture table".into())
+                    })?;
+                    if after.op != DeltaOp::UpdateAfter {
+                        return Err(EngineError::Invalid(
+                            "UB record not followed by UA".into(),
+                        ));
+                    }
+                    for v in &views {
+                        touched += v.on_base_update(
+                            &self.db,
+                            txn,
+                            table,
+                            std::slice::from_ref(&rec.row),
+                            std::slice::from_ref(&after.row),
+                        )? as u64;
+                    }
+                    for v in &agg_views {
+                        touched += v.on_base_update(
+                            &self.db,
+                            txn,
+                            table,
+                            std::slice::from_ref(&rec.row),
+                            std::slice::from_ref(&after.row),
+                        )?;
+                    }
+                    i += 2;
+                }
+                DeltaOp::UpdateAfter => {
+                    return Err(EngineError::Invalid("UA record without UB".into()))
+                }
+            }
+        }
+        Ok(touched)
+    }
+}
+
+/// Literal-expression row for building single-row INSERT statements.
+fn literal_row(row: &Row) -> Vec<Expr> {
+    row.values().iter().cloned().map(Expr::Literal).collect()
+}
+
+fn keyed_predicate(key_col: &str, key: &Value) -> Expr {
+    Expr::Binary {
+        left: Box::new(Expr::Column(key_col.to_string())),
+        op: BinOp::Eq,
+        right: Box::new(Expr::Literal(key.clone())),
+    }
+}
+
+/// Batch applier for value deltas (the outage path).
+pub struct ValueDeltaApplier;
+
+impl ValueDeltaApplier {
+    /// Apply one extracted batch as a single indivisible transaction,
+    /// exclusively locking the mirror and every dependent view up front.
+    pub fn apply(wh: &Warehouse, vd: &ValueDelta) -> EngineResult<ApplyReport> {
+        let cfg = wh.mirror(&vd.table)?;
+        let mirror_schema = cfg.mirror_schema()?;
+        let key_col = cfg.key_column()?.name.clone();
+        let key_pos_mirror = mirror_schema
+            .index_of(&key_col)
+            .expect("mirror keeps the key");
+        let db = wh.db();
+        let mut txn = db.begin();
+        // The outage: every affected table locked for the whole batch.
+        db.lock_table(&mut txn, &vd.table, LockMode::Exclusive)?;
+        for v in wh.views_for(&vd.table) {
+            db.lock_table(&mut txn, &v.def.name, LockMode::Exclusive)?;
+        }
+        for v in wh.agg_views.iter().filter(|v| v.involves(&vd.table)) {
+            db.lock_table(&mut txn, &v.def.name, LockMode::Exclusive)?;
+        }
+        let result = (|| {
+            let mut report = ApplyReport {
+                transactions: 1,
+                ..Default::default()
+            };
+            let mut i = 0;
+            while i < vd.records.len() {
+                let rec = &vd.records[i];
+                let projected = cfg.project_row(&rec.row);
+                match rec.op {
+                    DeltaOp::Insert => {
+                        // A run of consecutive inserts becomes ONE multi-row
+                        // INSERT: per §4.1 "each original insert transaction
+                        // will be ... translated into one insert SQL
+                        // statement", which is why insertion maintenance ties
+                        // between the two methods.
+                        let mut rows = vec![literal_row(&projected)];
+                        while let Some(next) = vd.records.get(i + rows.len()) {
+                            if next.op != DeltaOp::Insert {
+                                break;
+                            }
+                            rows.push(literal_row(&cfg.project_row(&next.row)));
+                        }
+                        let run = rows.len();
+                        let stmt = Statement::Insert {
+                            table: vd.table.clone(),
+                            columns: None,
+                            rows,
+                        };
+                        report.rows_affected +=
+                            exec::execute(db, &mut txn, &stmt)?.affected;
+                        report.statements += 1;
+                        report.view_rows_touched += wh.maintain_views(&mut txn, &vd.table)?;
+                        i += run;
+                    }
+                    DeltaOp::Delete => {
+                        let stmt = Statement::Delete {
+                            table: vd.table.clone(),
+                            predicate: Some(keyed_predicate(
+                                &key_col,
+                                &projected.values()[key_pos_mirror],
+                            )),
+                        };
+                        report.rows_affected +=
+                            exec::execute(db, &mut txn, &stmt)?.affected;
+                        report.statements += 1;
+                        report.view_rows_touched += wh.maintain_views(&mut txn, &vd.table)?;
+                        i += 1;
+                    }
+                    DeltaOp::UpdateBefore => {
+                        let after = vd.records.get(i + 1).ok_or_else(|| {
+                            EngineError::Invalid("dangling UB in value delta".into())
+                        })?;
+                        if after.op != DeltaOp::UpdateAfter {
+                            return Err(EngineError::Invalid(
+                                "UB record not followed by UA in value delta".into(),
+                            ));
+                        }
+                        // Transaction context is lost, so the update becomes
+                        // a delete + insert pair of statements (§4.1).
+                        let del = Statement::Delete {
+                            table: vd.table.clone(),
+                            predicate: Some(keyed_predicate(
+                                &key_col,
+                                &projected.values()[key_pos_mirror],
+                            )),
+                        };
+                        let ins = Statement::Insert {
+                            table: vd.table.clone(),
+                            columns: None,
+                            rows: vec![literal_row(&cfg.project_row(&after.row))],
+                        };
+                        report.rows_affected += exec::execute(db, &mut txn, &del)?.affected;
+                        report.rows_affected += exec::execute(db, &mut txn, &ins)?.affected;
+                        report.statements += 2;
+                        report.view_rows_touched += wh.maintain_views(&mut txn, &vd.table)?;
+                        i += 2;
+                    }
+                    DeltaOp::UpdateAfter => {
+                        return Err(EngineError::Invalid(
+                            "UA record without UB in value delta".into(),
+                        ))
+                    }
+                }
+            }
+            Ok(report)
+        })();
+        match result {
+            Ok(report) => {
+                db.commit(txn)?;
+                Ok(report)
+            }
+            Err(e) => {
+                db.abort(txn)?;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Per-source-transaction applier for Op-Deltas (the concurrent path).
+pub struct OpDeltaApplier;
+
+impl OpDeltaApplier {
+    /// Replay one source transaction as one self-contained warehouse
+    /// transaction.
+    pub fn apply(wh: &Warehouse, od: &OpDelta) -> EngineResult<ApplyReport> {
+        let db = wh.db();
+        let mut txn = db.begin();
+        let result = (|| {
+            let mut report = ApplyReport {
+                transactions: 1,
+                ..Default::default()
+            };
+            for op in &od.ops {
+                let table = op
+                    .statement
+                    .table()
+                    .ok_or_else(|| EngineError::Invalid("op without a table".into()))?
+                    .to_string();
+                let cfg = wh.mirror(&table)?;
+                let statements: Vec<Statement> = match &op.before_image {
+                    Some(bi) => cfg.hybrid_statements(&op.statement, bi, db.peek_clock())?,
+                    None => cfg.rewrite(&op.statement)?.into_iter().collect(),
+                };
+                for stmt in &statements {
+                    report.rows_affected += exec::execute(db, &mut txn, stmt)?.affected;
+                    report.statements += 1;
+                }
+                // Views are maintained per statement (standard sequential
+                // delta propagation): each delta joins against the state the
+                // *other* tables had when this statement ran, so the
+                // delta-x-delta term is never double counted.
+                report.view_rows_touched += wh.maintain_views(&mut txn, &table)?;
+            }
+            Ok(report)
+        })();
+        match result {
+            Ok(report) => {
+                db.commit(txn)?;
+                Ok(report)
+            }
+            Err(e) => {
+                db.abort(txn)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Replay a stream of Op-Deltas, one warehouse transaction each.
+    pub fn apply_all(wh: &Warehouse, ods: &[OpDelta]) -> EngineResult<ApplyReport> {
+        let mut report = ApplyReport::default();
+        for od in ods {
+            report.merge(OpDeltaApplier::apply(wh, od)?);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_core::model::{OpLogRecord, ValueDeltaRecord};
+    use delta_engine::db::open_temp;
+    use delta_sql::parser::parse_statement;
+    use delta_storage::{Column, DataType, Schema};
+
+    fn source_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int).primary_key(),
+            Column::new("name", DataType::Varchar),
+            Column::new("qty", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn warehouse() -> Warehouse {
+        let db = open_temp("wh").unwrap();
+        let mut wh = Warehouse::new(db);
+        wh.add_mirror(MirrorConfig::full("parts", source_schema())).unwrap();
+        wh
+    }
+
+    fn row(id: i64, name: &str, qty: i64) -> Row {
+        Row::new(vec![Value::Int(id), Value::Str(name.into()), Value::Int(qty)])
+    }
+
+    fn mirror_rows(wh: &Warehouse) -> Vec<Row> {
+        let mut rows: Vec<Row> = wh
+            .db()
+            .scan_table("parts")
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        rows.sort_by(|a, b| a.values()[0].total_cmp(&b.values()[0]));
+        rows
+    }
+
+    #[test]
+    fn value_delta_insert_delete_update() {
+        let wh = warehouse();
+        let mut vd = ValueDelta::new("parts", source_schema());
+        vd.records.push(ValueDeltaRecord {
+            op: DeltaOp::Insert,
+            txn: 0,
+            row: row(1, "a", 1),
+        });
+        vd.records.push(ValueDeltaRecord {
+            op: DeltaOp::Insert,
+            txn: 0,
+            row: row(2, "b", 2),
+        });
+        let r = ValueDeltaApplier::apply(&wh, &vd).unwrap();
+        assert_eq!(r.statements, 1, "a run of inserts coalesces into one statement");
+        assert_eq!(r.rows_affected, 2);
+        assert_eq!(r.transactions, 1);
+
+        // Update row 1 and delete row 2.
+        let mut vd = ValueDelta::new("parts", source_schema());
+        vd.records.push(ValueDeltaRecord {
+            op: DeltaOp::UpdateBefore,
+            txn: 0,
+            row: row(1, "a", 1),
+        });
+        vd.records.push(ValueDeltaRecord {
+            op: DeltaOp::UpdateAfter,
+            txn: 0,
+            row: row(1, "a2", 10),
+        });
+        vd.records.push(ValueDeltaRecord {
+            op: DeltaOp::Delete,
+            txn: 0,
+            row: row(2, "b", 2),
+        });
+        let r = ValueDeltaApplier::apply(&wh, &vd).unwrap();
+        assert_eq!(r.statements, 3, "update = delete + insert statements");
+        let rows = mirror_rows(&wh);
+        assert_eq!(rows, vec![row(1, "a2", 10)]);
+    }
+
+    #[test]
+    fn value_delta_rejects_malformed_update_pairs() {
+        let wh = warehouse();
+        let mut vd = ValueDelta::new("parts", source_schema());
+        vd.records.push(ValueDeltaRecord {
+            op: DeltaOp::UpdateBefore,
+            txn: 0,
+            row: row(1, "a", 1),
+        });
+        assert!(ValueDeltaApplier::apply(&wh, &vd).is_err());
+        // And the failed batch left nothing behind.
+        assert!(mirror_rows(&wh).is_empty());
+    }
+
+    fn op(sql: &str, seq: u64, txn: u64) -> OpLogRecord {
+        OpLogRecord {
+            seq,
+            txn,
+            statement: parse_statement(sql).unwrap(),
+            before_image: None,
+        }
+    }
+
+    #[test]
+    fn op_delta_replays_statements_per_transaction() {
+        let wh = warehouse();
+        let od1 = OpDelta {
+            txn: 1,
+            ops: vec![op(
+                "INSERT INTO parts VALUES (1, 'a', 1), (2, 'b', 2), (3, 'c', 3)",
+                1,
+                1,
+            )],
+        };
+        let od2 = OpDelta {
+            txn: 2,
+            ops: vec![
+                op("UPDATE parts SET qty = qty * 2 WHERE qty >= 2", 2, 2),
+                op("DELETE FROM parts WHERE id = 1", 3, 2),
+            ],
+        };
+        let r = OpDeltaApplier::apply_all(&wh, &[od1, od2]).unwrap();
+        assert_eq!(r.transactions, 2, "one warehouse txn per source txn");
+        assert_eq!(r.statements, 3);
+        assert_eq!(r.rows_affected, 3 + 2 + 1);
+        let rows = mirror_rows(&wh);
+        assert_eq!(rows, vec![row(2, "b", 4), row(3, "c", 6)]);
+    }
+
+    #[test]
+    fn op_delta_statement_count_independent_of_rows() {
+        let wh = warehouse();
+        let mut seed = ValueDelta::new("parts", source_schema());
+        for i in 0..100 {
+            seed.records.push(ValueDeltaRecord {
+                op: DeltaOp::Insert,
+                txn: 0,
+                row: row(i, "x", i),
+            });
+        }
+        ValueDeltaApplier::apply(&wh, &seed).unwrap();
+        let od = OpDelta {
+            txn: 9,
+            ops: vec![op("DELETE FROM parts WHERE qty < 50", 1, 9)],
+        };
+        let r = OpDeltaApplier::apply(&wh, &od).unwrap();
+        assert_eq!(r.statements, 1, "one statement, not one per row");
+        assert_eq!(r.rows_affected, 50);
+    }
+
+    #[test]
+    fn projected_mirror_applies_rewritten_ops() {
+        let db = open_temp("wh-proj").unwrap();
+        let mut wh = Warehouse::new(db);
+        wh.add_mirror(MirrorConfig::projected(
+            "parts",
+            source_schema(),
+            &["id", "qty"],
+        ))
+        .unwrap();
+        let od = OpDelta {
+            txn: 1,
+            ops: vec![
+                op("INSERT INTO parts VALUES (1, 'dropped-name', 5)", 1, 1),
+                op("UPDATE parts SET qty = 6, name = 'also-dropped' WHERE id = 1", 2, 1),
+            ],
+        };
+        OpDeltaApplier::apply(&wh, &od).unwrap();
+        let rows = wh
+            .db()
+            .scan_table("parts")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, Row::new(vec![Value::Int(1), Value::Int(6)]));
+    }
+
+    #[test]
+    fn hybrid_op_applies_via_before_image() {
+        let db = open_temp("wh-hybrid").unwrap();
+        let mut wh = Warehouse::new(db);
+        wh.add_mirror(MirrorConfig::projected(
+            "parts",
+            source_schema(),
+            &["id", "qty"],
+        ))
+        .unwrap();
+        // Seed mirror rows 1..3.
+        let mut seed = ValueDelta::new("parts", source_schema());
+        for i in 1..=3 {
+            seed.records.push(ValueDeltaRecord {
+                op: DeltaOp::Insert,
+                txn: 0,
+                row: row(i, "n", 10 * i),
+            });
+        }
+        ValueDeltaApplier::apply(&wh, &seed).unwrap();
+        // Source deleted WHERE name = 'n' (unmirrored predicate): the capture
+        // attached before images of rows 1 and 3.
+        let mut bi = ValueDelta::new("parts", source_schema());
+        for i in [1i64, 3] {
+            bi.records.push(ValueDeltaRecord {
+                op: DeltaOp::Delete,
+                txn: 5,
+                row: row(i, "n", 10 * i),
+            });
+        }
+        let od = OpDelta {
+            txn: 5,
+            ops: vec![OpLogRecord {
+                seq: 1,
+                txn: 5,
+                statement: parse_statement("DELETE FROM parts WHERE name = 'n' AND id <> 2")
+                    .unwrap(),
+                before_image: Some(bi),
+            }],
+        };
+        let r = OpDeltaApplier::apply(&wh, &od).unwrap();
+        assert_eq!(r.statements, 2, "one keyed delete per before-image row");
+        let rows = wh.db().scan_table("parts").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.values()[0], Value::Int(2));
+    }
+
+    #[test]
+    fn op_without_mirror_is_an_error() {
+        let wh = warehouse();
+        let od = OpDelta {
+            txn: 1,
+            ops: vec![op("INSERT INTO unknown VALUES (1)", 1, 1)],
+        };
+        assert!(OpDeltaApplier::apply(&wh, &od).is_err());
+    }
+
+    #[test]
+    fn views_maintained_by_both_appliers() {
+        use crate::view::JoinCond;
+        let db = open_temp("wh-views").unwrap();
+        let mut wh = Warehouse::new(db);
+        wh.add_mirror(MirrorConfig::full("parts", source_schema())).unwrap();
+        let supplier_schema = Schema::new(vec![
+            Column::new("sid", DataType::Int).primary_key(),
+            Column::new("part_id", DataType::Int),
+            Column::new("region", DataType::Varchar),
+        ])
+        .unwrap();
+        wh.add_mirror(MirrorConfig::full("suppliers", supplier_schema.clone())).unwrap();
+        wh.add_view(SpjView {
+            name: "v".into(),
+            tables: vec!["parts".into(), "suppliers".into()],
+            joins: vec![JoinCond::new("parts", "id", "suppliers", "part_id")],
+            selection: None,
+            projection: vec![
+                ("parts".into(), "id".into()),
+                ("parts".into(), "qty".into()),
+                ("suppliers".into(), "sid".into()),
+            ],
+        })
+        .unwrap();
+
+        // Op-delta path: insert a part and a supplier.
+        let od = OpDelta {
+            txn: 1,
+            ops: vec![
+                op("INSERT INTO parts VALUES (1, 'a', 5)", 1, 1),
+                op("INSERT INTO suppliers VALUES (10, 1, 'west')", 2, 1),
+            ],
+        };
+        let r = OpDeltaApplier::apply(&wh, &od).unwrap();
+        assert!(r.view_rows_touched >= 1);
+        assert_eq!(wh.db().row_count("v").unwrap(), 1);
+
+        // Value-delta path: another supplier for the same part.
+        let mut vd = ValueDelta::new("suppliers", supplier_schema);
+        vd.records.push(ValueDeltaRecord {
+            op: DeltaOp::Insert,
+            txn: 0,
+            row: Row::new(vec![
+                Value::Int(11),
+                Value::Int(1),
+                Value::Str("east".into()),
+            ]),
+        });
+        ValueDeltaApplier::apply(&wh, &vd).unwrap();
+        assert_eq!(wh.db().row_count("v").unwrap(), 2);
+
+        // Op-delta update propagates into the view.
+        let od = OpDelta {
+            txn: 2,
+            ops: vec![op("UPDATE parts SET qty = 99 WHERE id = 1", 3, 2)],
+        };
+        OpDeltaApplier::apply(&wh, &od).unwrap();
+        let view_rows = wh.db().scan_table("v").unwrap();
+        assert_eq!(view_rows.len(), 2);
+        assert!(view_rows
+            .iter()
+            .all(|(_, r)| r.values()[1] == Value::Int(99)));
+    }
+}

@@ -1,0 +1,39 @@
+//! # delta-warehouse
+//!
+//! The receiving end of Figure 1: a warehouse database holding **mirrors** of
+//! source tables (full or column-projected) and **SPJ materialized views**
+//! over them, maintained incrementally from shipped deltas.
+//!
+//! Two maintenance strategies, the comparison at the heart of §4.1:
+//!
+//! * [`apply::ValueDeltaApplier`] — value deltas lost their source
+//!   transaction context, so the batch "needs to be applied as an
+//!   indivisible batch": one warehouse transaction holds exclusive locks for
+//!   the whole batch (the maintenance outage), and every delta record
+//!   becomes its own SQL statement (x deletes + x inserts for an update of
+//!   x rows).
+//! * [`apply::OpDeltaApplier`] — each Op-Delta is replayed as a
+//!   self-contained warehouse transaction matching the source transaction
+//!   boundary; locks are held only per transaction, so OLAP queries
+//!   interleave and no outage is required.
+//!
+//! Supporting pieces: [`mirror`] (mirror management and statement rewriting
+//! for projected mirrors, including the §4.1 hybrid before-image path),
+//! [`view`] (key-preserving select-project-join views with incremental
+//! maintenance), [`olap`] (a concurrent query driver measuring blocking —
+//! Experiment C), and [`pipeline`] (the end-to-end extract → ship → apply
+//! loop).
+
+pub mod aggview;
+pub mod apply;
+pub mod mirror;
+pub mod olap;
+pub mod pipeline;
+pub mod view;
+
+pub use aggview::{AggSpec, AggViewDef, AggregateView};
+pub use apply::{ApplyReport, OpDeltaApplier, ValueDeltaApplier, Warehouse};
+pub use mirror::MirrorConfig;
+pub use olap::{OlapDriver, OlapStats};
+pub use pipeline::Pipeline;
+pub use view::{JoinCond, SpjView};

@@ -1,0 +1,613 @@
+//! Key-preserving select-project-join (SPJ) materialized views.
+//!
+//! A view joins mirror tables on equi-join conditions, filters with a
+//! selection predicate, and projects columns. Combined rows expose columns
+//! under the name `<table>_<column>`; the selection predicate and the
+//! projection both use those names.
+//!
+//! Views must be **key-preserving**: the projection must include the primary
+//! key of every joined table. This is the classical sufficient condition for
+//! exact incremental maintenance without multiplicity counters — every view
+//! row is uniquely attributable to the base-row combination that produced it,
+//! so base deletes/updates map to precise view deletes. (It is also the
+//! regime the paper's companion TR \[8\] works in: warehouse schemas that
+//! aggregate source schemas while retaining identifying keys.)
+
+use delta_engine::db::Database;
+use delta_engine::lock::LockMode;
+use delta_engine::txn::Transaction;
+use delta_engine::{EngineError, EngineResult, TableOptions};
+use delta_sql::ast::Expr;
+use delta_sql::eval::{EvalContext, RowResolver};
+use delta_storage::{Column, Row, Schema, Value};
+
+/// An equi-join condition `left_table.left_col = right_table.right_col`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinCond {
+    pub left_table: String,
+    pub left_col: String,
+    pub right_table: String,
+    pub right_col: String,
+}
+
+impl JoinCond {
+    pub fn new(
+        left_table: impl Into<String>,
+        left_col: impl Into<String>,
+        right_table: impl Into<String>,
+        right_col: impl Into<String>,
+    ) -> JoinCond {
+        JoinCond {
+            left_table: left_table.into(),
+            left_col: left_col.into(),
+            right_table: right_table.into(),
+            right_col: right_col.into(),
+        }
+    }
+}
+
+/// An SPJ view definition.
+#[derive(Debug, Clone)]
+pub struct SpjView {
+    /// Name of the materialized table in the warehouse.
+    pub name: String,
+    /// Mirror tables joined, in join order.
+    pub tables: Vec<String>,
+    /// Equi-join conditions (each must link a table to an earlier one).
+    pub joins: Vec<JoinCond>,
+    /// Selection over combined `<table>_<column>` names.
+    pub selection: Option<Expr>,
+    /// Projected `(table, column)` pairs; output column `<table>_<column>`.
+    pub projection: Vec<(String, String)>,
+}
+
+impl SpjView {
+    /// Output column name for a projected pair.
+    pub fn output_name(table: &str, column: &str) -> String {
+        format!("{table}_{column}")
+    }
+
+    /// Whether `table` participates in this view.
+    pub fn involves(&self, table: &str) -> bool {
+        self.tables.iter().any(|t| t == table)
+    }
+}
+
+/// A combined (joined) row: values addressable as `<table>_<column>`.
+struct CombinedRow<'a> {
+    names: &'a [String],
+    values: Vec<Value>,
+}
+
+impl RowResolver for CombinedRow<'_> {
+    fn resolve(&self, name: &str) -> Option<Value> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.values[i].clone())
+    }
+}
+
+/// Runtime state for one registered view.
+pub struct MaterializedView {
+    pub def: SpjView,
+    /// Combined-column names, in table order (all columns of every table).
+    combined_names: Vec<String>,
+    /// Per-table (start offset, schema) into the combined row.
+    table_offsets: Vec<(String, usize, Schema)>,
+    /// Positions (into the combined row) of each projected output column.
+    projection_positions: Vec<usize>,
+    /// Positions (into the view row) of each table's primary key, by table.
+    key_positions_in_view: Vec<(String, usize)>,
+}
+
+impl MaterializedView {
+    /// Validate the definition against the mirror schemas and create the
+    /// backing table. The view starts empty; call
+    /// [`MaterializedView::refresh_full`] to materialize.
+    pub fn create(db: &Database, def: SpjView) -> EngineResult<MaterializedView> {
+        if def.tables.is_empty() {
+            return Err(EngineError::Invalid("view needs at least one table".into()));
+        }
+        // Build combined layout.
+        let mut combined_names = Vec::new();
+        let mut table_offsets = Vec::new();
+        for t in &def.tables {
+            let meta = db.table(t)?;
+            table_offsets.push((t.clone(), combined_names.len(), meta.schema.clone()));
+            for c in meta.schema.columns() {
+                combined_names.push(SpjView::output_name(t, &c.name));
+            }
+        }
+        // Joins must reference known tables/columns, linking to an earlier table.
+        for j in &def.joins {
+            let li = def.tables.iter().position(|t| *t == j.left_table);
+            let ri = def.tables.iter().position(|t| *t == j.right_table);
+            let (Some(li), Some(ri)) = (li, ri) else {
+                return Err(EngineError::Invalid(format!(
+                    "join references unknown table in view '{}'",
+                    def.name
+                )));
+            };
+            if li == ri {
+                return Err(EngineError::Invalid("self-join condition".into()));
+            }
+            for (t, c) in [(&j.left_table, &j.left_col), (&j.right_table, &j.right_col)] {
+                if db.table(t)?.schema.index_of(c).is_none() {
+                    return Err(EngineError::Invalid(format!(
+                        "join column {t}.{c} does not exist"
+                    )));
+                }
+            }
+        }
+        // Selection references only combined names.
+        if let Some(sel) = &def.selection {
+            for col in sel.referenced_columns() {
+                if !combined_names.iter().any(|n| n == col) {
+                    return Err(EngineError::Invalid(format!(
+                        "selection references unknown combined column '{col}'"
+                    )));
+                }
+            }
+        }
+        // Projection positions + key preservation.
+        let mut projection_positions = Vec::new();
+        let mut out_cols: Vec<Column> = Vec::new();
+        for (t, c) in &def.projection {
+            let name = SpjView::output_name(t, c);
+            let pos = combined_names
+                .iter()
+                .position(|n| *n == name)
+                .ok_or_else(|| {
+                    EngineError::Invalid(format!("projection references unknown column {t}.{c}"))
+                })?;
+            projection_positions.push(pos);
+            let (_, _, schema) = table_offsets
+                .iter()
+                .find(|(tt, _, _)| tt == t)
+                .expect("validated above");
+            let src_col = schema.column(c).expect("validated above");
+            out_cols.push(Column::new(name, src_col.data_type));
+        }
+        let mut key_positions_in_view = Vec::new();
+        for (t, _, schema) in &table_offsets {
+            let pk = schema.primary_key_indices();
+            if pk.len() != 1 {
+                return Err(EngineError::Invalid(format!(
+                    "view '{}' requires a single-column primary key on '{t}'",
+                    def.name
+                )));
+            }
+            let key_col = &schema.columns()[pk[0]].name;
+            let out_name = SpjView::output_name(t, key_col);
+            let view_pos = def
+                .projection
+                .iter()
+                .position(|(pt, pc)| pt == t && pc == key_col)
+                .ok_or_else(|| {
+                    EngineError::Invalid(format!(
+                        "view '{}' is not key-preserving: projection must include {t}.{key_col}",
+                        def.name
+                    ))
+                })?;
+            let _ = out_name;
+            key_positions_in_view.push((t.clone(), view_pos));
+        }
+        if db.table(&def.name).is_err() {
+            db.create_table(&def.name, Schema::new(out_cols)?, TableOptions::default())?;
+        }
+        Ok(MaterializedView {
+            def,
+            combined_names,
+            table_offsets,
+            projection_positions,
+            key_positions_in_view,
+        })
+    }
+
+    fn table_schema(&self, table: &str) -> &Schema {
+        &self
+            .table_offsets
+            .iter()
+            .find(|(t, _, _)| t == table)
+            .expect("table validated at create")
+            .2
+    }
+
+    /// Join the mirrors, with `table`'s rows restricted to `restricted` when
+    /// given (the delta-join used by incremental maintenance).
+    fn join_rows(
+        &self,
+        db: &Database,
+        restricted: Option<(&str, &[Row])>,
+    ) -> EngineResult<Vec<Vec<Value>>> {
+        let mut partials: Vec<Vec<Value>> = vec![Vec::new()];
+        for (idx, (t, _offset, schema)) in self.table_offsets.iter().enumerate() {
+            let rows: Vec<Row> = match restricted {
+                Some((rt, rrows)) if rt == t => rrows.to_vec(),
+                _ => db
+                    .scan_table(t)?
+                    .into_iter()
+                    .map(|(_, r)| r)
+                    .collect(),
+            };
+            // Join conditions connecting this table to the partial row.
+            let conds: Vec<(usize, usize)> = self
+                .def
+                .joins
+                .iter()
+                .filter_map(|j| {
+                    // (combined position already present, column in this table)
+                    let (prev_t, prev_c, this_c) = if j.right_table == *t
+                        && self.def.tables[..idx].contains(&j.left_table)
+                    {
+                        (&j.left_table, &j.left_col, &j.right_col)
+                    } else if j.left_table == *t
+                        && self.def.tables[..idx].contains(&j.right_table)
+                    {
+                        (&j.right_table, &j.right_col, &j.left_col)
+                    } else {
+                        return None;
+                    };
+                    let prev_pos = self
+                        .combined_names
+                        .iter()
+                        .position(|n| *n == SpjView::output_name(prev_t, prev_c))
+                        .expect("validated");
+                    let this_pos = schema.index_of(this_c).expect("validated");
+                    Some((prev_pos, this_pos))
+                })
+                .collect();
+            let mut next: Vec<Vec<Value>> = Vec::new();
+            for partial in &partials {
+                for row in &rows {
+                    let matches = conds.iter().all(|(prev_pos, this_pos)| {
+                        partial[*prev_pos].sql_eq(&row.values()[*this_pos]) == Some(true)
+                    });
+                    if matches {
+                        let mut combined = partial.clone();
+                        combined.extend(row.values().iter().cloned());
+                        next.push(combined);
+                    }
+                }
+            }
+            partials = next;
+            if partials.is_empty() {
+                break;
+            }
+        }
+        Ok(partials)
+    }
+
+    /// Compute the view rows produced by joining, filtering and projecting,
+    /// optionally with one table restricted to specific rows.
+    pub fn compute(
+        &self,
+        db: &Database,
+        restricted: Option<(&str, &[Row])>,
+    ) -> EngineResult<Vec<Row>> {
+        let combined = self.join_rows(db, restricted)?;
+        let now = db.peek_clock();
+        let mut out = Vec::new();
+        for values in combined {
+            if let Some(sel) = &self.def.selection {
+                let resolver = CombinedRow {
+                    names: &self.combined_names,
+                    values,
+                };
+                let keep = EvalContext::new(&resolver, now)
+                    .matches(sel)
+                    .map_err(EngineError::Eval)?;
+                if !keep {
+                    continue;
+                }
+                out.push(Row::new(
+                    self.projection_positions
+                        .iter()
+                        .map(|&i| resolver.values[i].clone())
+                        .collect(),
+                ));
+            } else {
+                out.push(Row::new(
+                    self.projection_positions
+                        .iter()
+                        .map(|&i| values[i].clone())
+                        .collect(),
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Recompute from scratch inside `txn` (initial load / repair).
+    pub fn refresh_full(&self, db: &Database, txn: &mut Transaction) -> EngineResult<usize> {
+        let meta = db.table(&self.def.name)?;
+        db.lock_table(txn, &self.def.name, LockMode::Exclusive)?;
+        let now = db.now_micros();
+        for (rid, row) in db.scan_table(&self.def.name)? {
+            db.delete_row(txn, &meta, rid, row, now, false)?;
+        }
+        let rows = self.compute(db, None)?;
+        let n = rows.len();
+        for row in rows {
+            db.insert_row(txn, &meta, row, now, false, false)?;
+        }
+        Ok(n)
+    }
+
+    /// Incremental maintenance for rows inserted into `table`: delta-join the
+    /// new rows against the other mirrors and insert the results.
+    pub fn on_base_insert(
+        &self,
+        db: &Database,
+        txn: &mut Transaction,
+        table: &str,
+        new_rows: &[Row],
+    ) -> EngineResult<usize> {
+        if !self.def.involves(table) || new_rows.is_empty() {
+            return Ok(0);
+        }
+        let meta = db.table(&self.def.name)?;
+        db.lock_table(txn, &self.def.name, LockMode::Exclusive)?;
+        let rows = self.compute(db, Some((table, new_rows)))?;
+        let now = db.now_micros();
+        let n = rows.len();
+        for row in rows {
+            db.insert_row(txn, &meta, row, now, false, false)?;
+        }
+        Ok(n)
+    }
+
+    /// Incremental maintenance for rows deleted from `table`: remove the view
+    /// rows whose `table`-key matches a deleted row (exact, because the view
+    /// is key-preserving).
+    pub fn on_base_delete(
+        &self,
+        db: &Database,
+        txn: &mut Transaction,
+        table: &str,
+        old_rows: &[Row],
+    ) -> EngineResult<usize> {
+        if !self.def.involves(table) || old_rows.is_empty() {
+            return Ok(0);
+        }
+        let schema = self.table_schema(table);
+        let pk = schema.primary_key_indices()[0];
+        let keys: Vec<&Value> = old_rows.iter().map(|r| &r.values()[pk]).collect();
+        let (_, view_key_pos) = self
+            .key_positions_in_view
+            .iter()
+            .find(|(t, _)| t == table)
+            .expect("key-preserving");
+        let meta = db.table(&self.def.name)?;
+        db.lock_table(txn, &self.def.name, LockMode::Exclusive)?;
+        let now = db.now_micros();
+        let mut n = 0;
+        for (rid, row) in db.scan_table(&self.def.name)? {
+            let v = &row.values()[*view_key_pos];
+            if keys.iter().any(|k| k.sql_eq(v) == Some(true)) {
+                db.delete_row(txn, &meta, rid, row, now, false)?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Incremental maintenance for updates: delete-by-old-key, then
+    /// delta-join the new images.
+    pub fn on_base_update(
+        &self,
+        db: &Database,
+        txn: &mut Transaction,
+        table: &str,
+        old_rows: &[Row],
+        new_rows: &[Row],
+    ) -> EngineResult<usize> {
+        let d = self.on_base_delete(db, txn, table, old_rows)?;
+        let i = self.on_base_insert(db, txn, table, new_rows)?;
+        Ok(d + i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_engine::db::open_temp;
+    use delta_sql::parser::parse_expression;
+
+    fn setup() -> std::sync::Arc<Database> {
+        let db = open_temp("view").unwrap();
+        let mut s = db.session();
+        s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR, qty INT)").unwrap();
+        s.execute("CREATE TABLE suppliers (sid INT PRIMARY KEY, part_id INT, region VARCHAR)")
+            .unwrap();
+        s.execute("INSERT INTO parts VALUES (1, 'bolt', 10), (2, 'nut', 0), (3, 'washer', 5)")
+            .unwrap();
+        s.execute(
+            "INSERT INTO suppliers VALUES (10, 1, 'west'), (11, 1, 'east'), (12, 2, 'west'), (13, 9, 'west')",
+        )
+        .unwrap();
+        db
+    }
+
+    fn view_def() -> SpjView {
+        SpjView {
+            name: "west_parts".into(),
+            tables: vec!["parts".into(), "suppliers".into()],
+            joins: vec![JoinCond::new("parts", "id", "suppliers", "part_id")],
+            selection: Some(parse_expression("suppliers_region = 'west'").unwrap()),
+            projection: vec![
+                ("parts".into(), "id".into()),
+                ("parts".into(), "name".into()),
+                ("suppliers".into(), "sid".into()),
+                ("suppliers".into(), "region".into()),
+            ],
+        }
+    }
+
+    fn materialize(db: &std::sync::Arc<Database>) -> MaterializedView {
+        let v = MaterializedView::create(db, view_def()).unwrap();
+        let mut txn = db.begin();
+        v.refresh_full(db, &mut txn).unwrap();
+        db.commit(txn).unwrap();
+        v
+    }
+
+    fn view_rows(db: &Database) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = db
+            .scan_table("west_parts")
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r.into_values())
+            .collect();
+        rows.sort_by(|a, b| {
+            a[0].total_cmp(&b[0])
+                .then(a[2].total_cmp(&b[2]))
+        });
+        rows
+    }
+
+    #[test]
+    fn full_refresh_joins_filters_projects() {
+        let db = setup();
+        materialize(&db);
+        let rows = view_rows(&db);
+        // west suppliers joined to existing parts: (1,west,sid 10), (2,west,sid 12).
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Int(1));
+        assert_eq!(rows[0][1], Value::Str("bolt".into()));
+        assert_eq!(rows[1][0], Value::Int(2));
+        // Dangling supplier (part 9) joined nothing; east filtered out.
+    }
+
+    #[test]
+    fn rejects_non_key_preserving_projection() {
+        let db = setup();
+        let mut def = view_def();
+        def.projection.retain(|(t, c)| !(t == "suppliers" && c == "sid"));
+        match MaterializedView::create(&db, def) {
+            Err(e) => assert!(e.to_string().contains("key-preserving"), "{e}"),
+            Ok(_) => panic!("expected rejection"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_columns() {
+        let db = setup();
+        let mut def = view_def();
+        def.selection = Some(parse_expression("nonexistent = 1").unwrap());
+        assert!(MaterializedView::create(&db, def).is_err());
+        let mut def = view_def();
+        def.joins[0].right_col = "bogus".into();
+        assert!(MaterializedView::create(&db, def).is_err());
+    }
+
+    #[test]
+    fn incremental_insert_matches_full_recompute() {
+        let db = setup();
+        let v = materialize(&db);
+        // New west supplier for part 3.
+        let new_row = Row::new(vec![Value::Int(14), Value::Int(3), Value::Str("west".into())]);
+        let mut s = db.session();
+        s.execute("INSERT INTO suppliers VALUES (14, 3, 'west')").unwrap();
+        let mut txn = db.begin();
+        let n = v
+            .on_base_insert(&db, &mut txn, "suppliers", std::slice::from_ref(&new_row))
+            .unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(view_rows(&db).len(), 3);
+    }
+
+    #[test]
+    fn incremental_delete_removes_exactly_matching_view_rows() {
+        let db = setup();
+        let v = materialize(&db);
+        // Delete supplier 10 (part 1, west). Supplier row: (10, 1, 'west').
+        let old = Row::new(vec![Value::Int(10), Value::Int(1), Value::Str("west".into())]);
+        db.session().execute("DELETE FROM suppliers WHERE sid = 10").unwrap();
+        let mut txn = db.begin();
+        let n = v
+            .on_base_delete(&db, &mut txn, "suppliers", std::slice::from_ref(&old))
+            .unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(n, 1);
+        let rows = view_rows(&db);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn incremental_update_handles_selection_transitions() {
+        let db = setup();
+        let v = materialize(&db);
+        // Supplier 11 moves east → west: the view gains a row.
+        let old = Row::new(vec![Value::Int(11), Value::Int(1), Value::Str("east".into())]);
+        let new = Row::new(vec![Value::Int(11), Value::Int(1), Value::Str("west".into())]);
+        db.session()
+            .execute("UPDATE suppliers SET region = 'west' WHERE sid = 11")
+            .unwrap();
+        let mut txn = db.begin();
+        v.on_base_update(&db, &mut txn, "suppliers", std::slice::from_ref(&old), std::slice::from_ref(&new))
+            .unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(view_rows(&db).len(), 3);
+        // And back out again.
+        let back = Row::new(vec![Value::Int(11), Value::Int(1), Value::Str("north".into())]);
+        db.session()
+            .execute("UPDATE suppliers SET region = 'north' WHERE sid = 11")
+            .unwrap();
+        let mut txn = db.begin();
+        v.on_base_update(&db, &mut txn, "suppliers", &[new], &[back]).unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(view_rows(&db).len(), 2);
+    }
+
+    #[test]
+    fn incremental_equals_full_recompute_after_mixed_changes() {
+        let db = setup();
+        let v = materialize(&db);
+        let mut s = db.session();
+
+        // Mixed base changes, maintained incrementally.
+        let ins = Row::new(vec![Value::Int(20), Value::Int(3), Value::Str("west".into())]);
+        s.execute("INSERT INTO suppliers VALUES (20, 3, 'west')").unwrap();
+        let mut txn = db.begin();
+        v.on_base_insert(&db, &mut txn, "suppliers", std::slice::from_ref(&ins)).unwrap();
+        db.commit(txn).unwrap();
+
+        let old_part = Row::new(vec![Value::Int(2), Value::Str("nut".into()), Value::Int(0)]);
+        s.execute("DELETE FROM parts WHERE id = 2").unwrap();
+        let mut txn = db.begin();
+        v.on_base_delete(&db, &mut txn, "parts", std::slice::from_ref(&old_part)).unwrap();
+        db.commit(txn).unwrap();
+
+        let incremental = view_rows(&db);
+
+        // Rebuild from scratch and compare.
+        let mut txn = db.begin();
+        v.refresh_full(&db, &mut txn).unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(incremental, view_rows(&db));
+    }
+
+    #[test]
+    fn single_table_view_without_joins() {
+        let db = setup();
+        let def = SpjView {
+            name: "stocked".into(),
+            tables: vec!["parts".into()],
+            joins: vec![],
+            selection: Some(parse_expression("parts_qty > 0").unwrap()),
+            projection: vec![
+                ("parts".into(), "id".into()),
+                ("parts".into(), "qty".into()),
+            ],
+        };
+        let v = MaterializedView::create(&db, def).unwrap();
+        let mut txn = db.begin();
+        let n = v.refresh_full(&db, &mut txn).unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(n, 2, "parts with qty > 0");
+    }
+}
