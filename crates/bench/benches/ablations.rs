@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
     let old_path = b.path("old.txt");
     take_snapshot(&db, "parts", &old_path).unwrap();
     db.session()
-        .execute(&format!("UPDATE parts SET grp = grp + 1000000 WHERE id < {}", ROWS / 20))
+        .execute(&format!(
+            "UPDATE parts SET grp = grp + 1000000 WHERE id < {}",
+            ROWS / 20
+        ))
         .unwrap();
     let new_path = b.path("new.txt");
     take_snapshot(&db, "parts", &new_path).unwrap();
@@ -59,7 +62,9 @@ fn bench(c: &mut Criterion) {
     b.seeded_ts_table(&plain, "parts", ROWS).unwrap();
     let indexed = b.db(false).unwrap();
     b.seeded_ts_table(&indexed, "parts", ROWS).unwrap();
-    indexed.create_index("ts_idx", "parts", "last_modified", false).unwrap();
+    indexed
+        .create_index("ts_idx", "parts", "last_modified", false)
+        .unwrap();
     let n = ROWS / 50;
     let (wm_plain, wm_indexed) = (plain.peek_clock(), indexed.peek_clock());
     for db in [&plain, &indexed] {

@@ -29,7 +29,8 @@ fn bench(c: &mut Criterion) {
 
     let db = b.db(false).unwrap();
     let mut wh = Warehouse::new(db);
-    wh.add_mirror(MirrorConfig::full("parts", op_schema())).unwrap();
+    wh.add_mirror(MirrorConfig::full("parts", op_schema()))
+        .unwrap();
     seed_rows(wh.db(), "parts", 0, ROWS, |id| {
         format!("({id}, {id}, 0, '{}')", filler(id))
     })

@@ -31,8 +31,11 @@ fn bench(c: &mut Criterion) {
     let make_wh = || {
         let db = b.db(false).unwrap();
         let mut wh = Warehouse::new(db);
-        wh.add_mirror(MirrorConfig::full("parts", op_schema())).unwrap();
-        wh.db().create_index("grp_idx", "parts", "grp", false).unwrap();
+        wh.add_mirror(MirrorConfig::full("parts", op_schema()))
+            .unwrap();
+        wh.db()
+            .create_index("grp_idx", "parts", "grp", false)
+            .unwrap();
         seed_rows(wh.db(), "parts", 0, ROWS, |id| {
             format!("({id}, {id}, 0, '{}')", filler(id))
         })

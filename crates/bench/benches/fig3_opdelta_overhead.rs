@@ -24,7 +24,8 @@ fn bench(c: &mut Criterion) {
     g.bench_function("update100_no_capture", |bench| {
         bench.iter(|| s_plain.execute(&update_txn_sql("parts", 0, N)).unwrap())
     });
-    let mut cap = OpDeltaCapture::new(captured.session(), OpLogSink::Table("op_log".into())).unwrap();
+    let mut cap =
+        OpDeltaCapture::new(captured.session(), OpLogSink::Table("op_log".into())).unwrap();
     g.bench_function("update100_with_capture", |bench| {
         bench.iter(|| cap.execute(&update_txn_sql("parts", 0, N)).unwrap())
     });

@@ -25,7 +25,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("file_output", |bench| {
         bench.iter(|| {
-            assert_eq!(x.extract_to_file(&db, watermark, &file_path).unwrap(), DELTA as u64)
+            assert_eq!(
+                x.extract_to_file(&db, watermark, &file_path).unwrap(),
+                DELTA as u64
+            )
         })
     });
     g.bench_function("table_output", |bench| {
@@ -33,7 +36,12 @@ fn bench(c: &mut Criterion) {
             || {
                 db.drop_table("tsd").ok();
             },
-            |_| assert_eq!(x.extract_to_table(&db, watermark, "tsd").unwrap(), DELTA as u64),
+            |_| {
+                assert_eq!(
+                    x.extract_to_table(&db, watermark, "tsd").unwrap(),
+                    DELTA as u64
+                )
+            },
             BatchSize::PerIteration,
         )
     });

@@ -34,7 +34,9 @@ fn bench(c: &mut Criterion) {
     let mut next_f = (ROWS * 10) as i64;
     g.bench_function("insert100_file_log", |bench| {
         bench.iter(|| {
-            cap_file.execute(&insert_txn_sql("parts", next_f, N)).unwrap();
+            cap_file
+                .execute(&insert_txn_sql("parts", next_f, N))
+                .unwrap();
             next_f += N as i64;
         })
     });

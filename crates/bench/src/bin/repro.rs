@@ -42,7 +42,12 @@ fn main() {
                         .unwrap_or_else(|| die("--out needs a directory")),
                 );
             }
-            "all" => ids = experiments::all_ids().iter().map(|s| s.to_string()).collect(),
+            "all" => {
+                ids = experiments::all_ids()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            }
             other if other.starts_with('-') => die(&format!("unknown flag {other}")),
             other => ids.push(other.to_string()),
         }

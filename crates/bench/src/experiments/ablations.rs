@@ -104,7 +104,9 @@ pub fn ts_index(scale: &Scale) -> TableReport {
         let pred = parse_expression(&format!("last_modified > {wm_indexed}")).unwrap();
         let path = match choose_access_path(&indexed, &meta, Some(&pred)) {
             AccessPath::SeqScan => "seq scan".to_string(),
-            AccessPath::IndexRange { estimated_fraction, .. } => {
+            AccessPath::IndexRange {
+                estimated_fraction, ..
+            } => {
                 format!("index range (est {:.1}%)", estimated_fraction * 100.0)
             }
         };
@@ -170,16 +172,26 @@ pub fn snapshot_algorithms(scale: &Scale) -> TableReport {
     let schema = db.table("parts").expect("meta").schema.clone();
     let mut updates_by_algo = Vec::new();
     for (label, algo) in [
-        ("sort-merge (runs of 2k)", DiffAlgorithm::SortMerge { run_size: 2000 }),
+        (
+            "sort-merge (runs of 2k)",
+            DiffAlgorithm::SortMerge { run_size: 2000 },
+        ),
         ("window 1024", DiffAlgorithm::Window { size: 1024 }),
         ("window 4", DiffAlgorithm::Window { size: 4 }),
     ] {
-        let (r, t) = time_once(|| {
-            diff_snapshots("parts", &schema, &[0], &old_path, &new_path, algo)
-        });
+        let (r, t) =
+            time_once(|| diff_snapshots("parts", &schema, &[0], &old_path, &new_path, algo));
         let (vd, stats) = r.expect("diff");
-        let updates = vd.records.iter().filter(|r| r.op == DeltaOp::UpdateBefore).count();
-        let dels = vd.records.iter().filter(|r| r.op == DeltaOp::Delete).count();
+        let updates = vd
+            .records
+            .iter()
+            .filter(|r| r.op == DeltaOp::UpdateBefore)
+            .count();
+        let dels = vd
+            .records
+            .iter()
+            .filter(|r| r.op == DeltaOp::Delete)
+            .count();
         updates_by_algo.push((updates, dels));
         report.push_row(vec![
             label.to_string(),

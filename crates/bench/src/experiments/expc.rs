@@ -23,7 +23,8 @@ fn warehouse_with_short_locks(b: &SourceBuilder, name: &str, rows: usize) -> War
     opts.lock_timeout = std::time::Duration::from_millis(75);
     let db = Database::open(opts).expect("warehouse db");
     let mut wh = Warehouse::new(db);
-    wh.add_mirror(MirrorConfig::full("parts", op_schema())).expect("mirror");
+    wh.add_mirror(MirrorConfig::full("parts", op_schema()))
+        .expect("mirror");
     seed_rows(wh.db(), "parts", 0, rows, |id| {
         format!("({id}, {id}, 0, '{}')", filler(id))
     })
@@ -70,9 +71,8 @@ pub fn run(scale: &Scale) -> TableReport {
     // Value-delta batch under OLAP load.
     let wh = warehouse_with_short_locks(&b, "wh-value", rows);
     let driver = OlapDriver::new(wh.db().clone(), &["parts"], 2);
-    let (result, stats) = driver.run_during(|| {
-        crate::workload::time_once(|| ValueDeltaApplier::apply(&wh, &value_delta))
-    });
+    let (result, stats) = driver
+        .run_during(|| crate::workload::time_once(|| ValueDeltaApplier::apply(&wh, &value_delta)));
     let (apply_result, t_value) = result;
     apply_result.expect("value apply");
     let value_stats = stats;
@@ -88,9 +88,8 @@ pub fn run(scale: &Scale) -> TableReport {
     // Op-Delta stream under OLAP load.
     let wh = warehouse_with_short_locks(&b, "wh-op", rows);
     let driver = OlapDriver::new(wh.db().clone(), &["parts"], 2);
-    let (result, stats) = driver.run_during(|| {
-        crate::workload::time_once(|| OpDeltaApplier::apply_all(&wh, &op_deltas))
-    });
+    let (result, stats) = driver
+        .run_during(|| crate::workload::time_once(|| OpDeltaApplier::apply_all(&wh, &op_deltas)));
     let (apply_result, t_op) = result;
     apply_result.expect("op apply");
     let op_stats = stats;

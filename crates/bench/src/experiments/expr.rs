@@ -36,16 +36,32 @@ pub fn run(scale: &Scale) -> TableReport {
     let b = SourceBuilder::new("expr");
     let db = b.db(false).expect("db");
     b.seeded_op_table(&db, "parts", rows).expect("seed");
-    TriggerExtractor::new("parts").install(&db).expect("trigger");
+    TriggerExtractor::new("parts")
+        .install(&db)
+        .expect("trigger");
     let mut s = db.session();
-    let t_local = measure_txn(&db, |sql| { s.execute(sql).expect("stmt"); }, OpKind::Update, n, rows);
+    let t_local = measure_txn(
+        &db,
+        |sql| {
+            s.execute(sql).expect("stmt");
+        },
+        OpKind::Update,
+        n,
+        rows,
+    );
 
     let images = 2 * n as u64; // UB + UA per updated row
     let image_bytes = 100u64;
     let mut rows_out = vec![("same database (measured)".to_string(), t_local)];
     for (label, link) in [
-        ("other DB, same machine (modelled IPC)", LinkProfile::same_machine_ipc()),
-        ("remote DB, 10 Mb/s LAN (modelled)", LinkProfile::lan_10mbps()),
+        (
+            "other DB, same machine (modelled IPC)",
+            LinkProfile::same_machine_ipc(),
+        ),
+        (
+            "remote DB, 10 Mb/s LAN (modelled)",
+            LinkProfile::lan_10mbps(),
+        ),
     ] {
         let clock = VirtualClock::new();
         let mut conn = SimulatedConnection::new(link, clock);

@@ -42,7 +42,8 @@ fn txn_sizes(scale: &Scale) -> Vec<usize> {
 fn seed_warehouse(b: &SourceBuilder, rows: usize) -> Warehouse {
     let db = b.db(false).expect("warehouse db");
     let mut wh = Warehouse::new(db);
-    wh.add_mirror(MirrorConfig::full("parts", op_schema())).expect("mirror");
+    wh.add_mirror(MirrorConfig::full("parts", op_schema()))
+        .expect("mirror");
     // Warehouses index the columns operations predicate on; without this the
     // replayed set-oriented statements would pay full scans the paper's
     // testbed did not.
@@ -115,7 +116,8 @@ pub fn run(scale: &Scale) -> TableReport {
 
             // --- Warehouse side: identical seeds, two appliers.
             let wh_value = seed_warehouse(&b, rows);
-            let (r_value, t_value) = time_once(|| ValueDeltaApplier::apply(&wh_value, &value_delta));
+            let (r_value, t_value) =
+                time_once(|| ValueDeltaApplier::apply(&wh_value, &value_delta));
             let r_value = r_value.expect("value apply");
 
             let wh_op = seed_warehouse(&b, rows);
@@ -124,7 +126,11 @@ pub fn run(scale: &Scale) -> TableReport {
 
             // Correctness gate: both warehouses match the source.
             let src_state = sorted_rows(&src);
-            assert_eq!(sorted_rows(wh_value.db()), src_state, "value applier diverged");
+            assert_eq!(
+                sorted_rows(wh_value.db()),
+                src_state,
+                "value applier diverged"
+            );
             assert_eq!(sorted_rows(wh_op.db()), src_state, "op applier diverged");
 
             let per_txn = |d: Duration| d / k as u32;

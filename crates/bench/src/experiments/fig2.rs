@@ -123,14 +123,32 @@ pub fn run(scale: &Scale) -> TableReport {
                 let db = b.db(false).expect("db");
                 b.seeded_op_table(&db, "parts", rows).expect("seed");
                 let mut s = db.session();
-                measure_txn(&db, |sql| { s.execute(sql).expect("stmt"); }, op, n, rows)
+                measure_txn(
+                    &db,
+                    |sql| {
+                        s.execute(sql).expect("stmt");
+                    },
+                    op,
+                    n,
+                    rows,
+                )
             };
             let t_trig = {
                 let db = b.db(false).expect("db");
                 b.seeded_op_table(&db, "parts", rows).expect("seed");
-                TriggerExtractor::new("parts").install(&db).expect("trigger");
+                TriggerExtractor::new("parts")
+                    .install(&db)
+                    .expect("trigger");
                 let mut s = db.session();
-                measure_txn(&db, |sql| { s.execute(sql).expect("stmt"); }, op, n, rows)
+                measure_txn(
+                    &db,
+                    |sql| {
+                        s.execute(sql).expect("stmt");
+                    },
+                    op,
+                    n,
+                    rows,
+                )
             };
             let ovh = overhead_pct(t_base, t_trig);
             overheads.insert((op.label(), n), ovh);

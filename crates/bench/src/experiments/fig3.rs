@@ -36,15 +36,30 @@ pub fn run(scale: &Scale) -> TableReport {
                 let db = b.db(false).expect("db");
                 b.seeded_op_table(&db, "parts", rows).expect("seed");
                 let mut s = db.session();
-                measure_txn(&db, |sql| { s.execute(sql).expect("stmt"); }, op, n, rows)
+                measure_txn(
+                    &db,
+                    |sql| {
+                        s.execute(sql).expect("stmt");
+                    },
+                    op,
+                    n,
+                    rows,
+                )
             };
             let t_cap = {
                 let db = b.db(false).expect("db");
                 b.seeded_op_table(&db, "parts", rows).expect("seed");
-                let mut cap =
-                    OpDeltaCapture::new(db.session(), OpLogSink::Table("op_log".into()))
-                        .expect("capture");
-                measure_txn(&db, |sql| { cap.execute(sql).expect("stmt"); }, op, n, rows)
+                let mut cap = OpDeltaCapture::new(db.session(), OpLogSink::Table("op_log".into()))
+                    .expect("capture");
+                measure_txn(
+                    &db,
+                    |sql| {
+                        cap.execute(sql).expect("stmt");
+                    },
+                    op,
+                    n,
+                    rows,
+                )
             };
             let ovh = overhead_pct(t_base, t_cap);
             overheads.insert((op.label(), n), ovh);

@@ -19,8 +19,20 @@ use crate::workload::Scale;
 /// Every experiment, by id.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "table1", "table2", "table3", "fig2", "fig3", "table4", "expw", "expv", "expr",
-        "expc", "ablation_wal", "ablation_ts_index", "ablation_snapshot", "ablation_hybrid",
+        "table1",
+        "table2",
+        "table3",
+        "fig2",
+        "fig3",
+        "table4",
+        "expw",
+        "expv",
+        "expr",
+        "expc",
+        "ablation_wal",
+        "ablation_ts_index",
+        "ablation_snapshot",
+        "ablation_hybrid",
     ]
 }
 

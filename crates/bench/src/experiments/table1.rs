@@ -24,7 +24,13 @@ pub fn run(scale: &Scale) -> TableReport {
         "T1",
         "Table 1: database delta dump and load techniques",
         "Export << DBMS Loader << Import at every size; gaps grow with size",
-        &["paper size", "rows (scaled)", "Export", "Import", "DBMS Loader"],
+        &[
+            "paper size",
+            "rows (scaled)",
+            "Export",
+            "Import",
+            "DBMS Loader",
+        ],
     );
     report.note(format!(
         "scale factor {}: paper's 100 MB of 100-byte records -> {} rows",
@@ -76,7 +82,8 @@ pub fn run(scale: &Scale) -> TableReport {
                 "CREATE TABLE {load_table} (id INT PRIMARY KEY, grp INT, filler VARCHAR, last_modified TIMESTAMP)"
             ))
             .expect("create load target");
-        let (r, t_loader) = time_once(|| loader_load(&db, &load_table, &txt_path, LoadMode::Append));
+        let (r, t_loader) =
+            time_once(|| loader_load(&db, &load_table, &txt_path, LoadMode::Append));
         assert_eq!(r.expect("loader"), rows as u64);
         db.pool().flush_and_sync_all().expect("sync");
 

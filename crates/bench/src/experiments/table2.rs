@@ -20,10 +20,17 @@ pub fn source_rows(scale: &Scale) -> usize {
 /// (paper label, delta rows) sweep — deltas are fractions of the table.
 pub fn sweep(scale: &Scale) -> Vec<(String, usize)> {
     let total = source_rows(scale);
-    [(100u32, 10usize), (200, 20), (400, 40), (600, 60), (800, 80), (1000, 100)]
-        .iter()
-        .map(|&(mb, pct)| (format!("{mb}M"), total * pct / 100))
-        .collect()
+    [
+        (100u32, 10usize),
+        (200, 20),
+        (400, 40),
+        (600, 60),
+        (800, 80),
+        (1000, 100),
+    ]
+    .iter()
+    .map(|&(mb, pct)| (format!("{mb}M"), total * pct / 100))
+    .collect()
 }
 
 pub fn run(scale: &Scale) -> TableReport {
@@ -54,7 +61,9 @@ pub fn run(scale: &Scale) -> TableReport {
         // re-stamps last_modified on every update).
         let watermark = db.peek_clock();
         db.session()
-            .execute(&format!("UPDATE parts SET grp = grp WHERE id < {delta_rows}"))
+            .execute(&format!(
+                "UPDATE parts SET grp = grp WHERE id < {delta_rows}"
+            ))
             .expect("touch rows");
         db.pool().flush_and_sync_all().expect("sync");
 
@@ -68,9 +77,8 @@ pub fn run(scale: &Scale) -> TableReport {
 
         let table_target2 = format!("tsd2_{label}");
         let exp_path = b.path(&format!("ts_{label}.exp"));
-        let (r, t_table_exp) = time_once(|| {
-            x.extract_to_table_and_export(&db, watermark, &table_target2, &exp_path)
-        });
+        let (r, t_table_exp) =
+            time_once(|| x.extract_to_table_and_export(&db, watermark, &table_target2, &exp_path));
         assert_eq!(r.expect("table+export") as usize, delta_rows);
 
         report.push_row(vec![

@@ -53,7 +53,8 @@ pub fn run(scale: &Scale) -> TableReport {
         x.extract_to_file(&source, wm, &f).expect("warm extract");
         loader_load(&warehouse, "warm", &f, LoadMode::Replace).expect("warm load");
         let e = b.path("warm.exp");
-        x.extract_to_table_and_export(&source, wm, "warm_d", &e).expect("warm path b");
+        x.extract_to_table_and_export(&source, wm, "warm_d", &e)
+            .expect("warm path b");
         warehouse
             .session()
             .execute(&format!("CREATE TABLE warm_imp {ddl}"))
@@ -66,7 +67,9 @@ pub fn run(scale: &Scale) -> TableReport {
         let watermark = source.peek_clock();
         source
             .session()
-            .execute(&format!("UPDATE parts SET grp = grp WHERE id < {delta_rows}"))
+            .execute(&format!(
+                "UPDATE parts SET grp = grp WHERE id < {delta_rows}"
+            ))
             .expect("touch rows");
         source.pool().flush_and_sync_all().expect("sync");
         warehouse.pool().flush_and_sync_all().expect("sync");
@@ -108,7 +111,10 @@ pub fn run(scale: &Scale) -> TableReport {
         last = Some((t_a, t_b));
     }
     if let Some((a, bt)) = last {
-        report.check("file+Loader < table+Export+Import at the largest delta", a < bt);
+        report.check(
+            "file+Loader < table+Export+Import at the largest delta",
+            a < bt,
+        );
         report.check(
             "the gap is substantial (>= 1.5x)",
             bt.as_secs_f64() / a.as_secs_f64() >= 1.5,

@@ -38,7 +38,9 @@ pub fn run(scale: &Scale) -> TableReport {
         ],
     );
     let rows = table_rows(scale);
-    report.note(format!("source table {rows} rows; times are per-transaction response times"));
+    report.note(format!(
+        "source table {rows} rows; times are per-transaction response times"
+    ));
     let b = SourceBuilder::new("table4");
     let mut cells: std::collections::HashMap<(usize, &str, bool), std::time::Duration> =
         Default::default();
@@ -53,7 +55,15 @@ pub fn run(scale: &Scale) -> TableReport {
                     OpLogSink::Table("op_log".into())
                 };
                 let mut cap = OpDeltaCapture::new(db.session(), sink).expect("capture");
-                let t = measure_txn(&db, |sql| { cap.execute(sql).expect("stmt"); }, op, n, rows);
+                let t = measure_txn(
+                    &db,
+                    |sql| {
+                        cap.execute(sql).expect("stmt");
+                    },
+                    op,
+                    n,
+                    rows,
+                );
                 cells.insert((n, op.label(), file_log), t);
             }
         }
@@ -79,11 +89,17 @@ pub fn run(scale: &Scale) -> TableReport {
     };
     report.check(
         "delete logs are nearly identical at the largest txn",
-        near(cells[&(n_max, "delete", true)], cells[&(n_max, "delete", false)]),
+        near(
+            cells[&(n_max, "delete", true)],
+            cells[&(n_max, "delete", false)],
+        ),
     );
     report.check(
         "update logs are nearly identical at the largest txn",
-        near(cells[&(n_max, "update", true)], cells[&(n_max, "update", false)]),
+        near(
+            cells[&(n_max, "update", true)],
+            cells[&(n_max, "update", false)],
+        ),
     );
     let sizes = txn_sizes(scale);
     if sizes.len() >= 2 {

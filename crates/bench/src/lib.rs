@@ -17,6 +17,7 @@
 //! reduced sizes for statistically sampled micro-comparisons.
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod workload;
 

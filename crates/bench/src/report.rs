@@ -4,10 +4,10 @@
 use std::path::Path;
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
 
 /// One reproduced table or figure.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableReport {
     /// Experiment id (e.g. "T1", "F2").
     pub id: String,
@@ -22,15 +22,17 @@ pub struct TableReport {
     /// Free-form notes (scaling, substitutions, virtual time, ...).
     pub notes: Vec<String>,
     /// Programmatic shape assertions evaluated on the measured data: the
-    /// paper's qualitative findings as pass/fail checks.
-    #[serde(default)]
+    /// paper's qualitative findings as pass/fail checks. Absent in older
+    /// persisted reports, which load as an empty list.
     pub checks: Vec<ShapeCheck>,
 }
 
 /// One verified property of the measured shape.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShapeCheck {
+    /// What the paper claims about the measured shape.
     pub name: String,
+    /// Whether the measurement agrees.
     pub pass: bool,
 }
 
@@ -137,13 +139,111 @@ impl TableReport {
     pub fn save_json(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
         std::fs::create_dir_all(dir.as_ref())?;
         let path = dir.as_ref().join(format!("{}.json", self.id));
-        std::fs::write(path, serde_json::to_string_pretty(self).expect("serializable"))
+        std::fs::write(path, self.to_json().to_pretty())
     }
 
     /// Load from JSON.
     pub fn load_json(path: impl AsRef<Path>) -> std::io::Result<TableReport> {
         let text = std::fs::read_to_string(path)?;
-        serde_json::from_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let invalid = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+        let doc = Json::parse(&text).map_err(invalid)?;
+        TableReport::from_json(&doc).map_err(invalid)
+    }
+
+    fn to_json(&self) -> Json {
+        let strs = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("id".to_string(), Json::Str(self.id.clone()));
+        obj.insert("title".to_string(), Json::Str(self.title.clone()));
+        obj.insert(
+            "expectation".to_string(),
+            Json::Str(self.expectation.clone()),
+        );
+        obj.insert("headers".to_string(), strs(&self.headers));
+        obj.insert(
+            "rows".to_string(),
+            Json::Arr(self.rows.iter().map(|r| strs(r)).collect()),
+        );
+        obj.insert("notes".to_string(), strs(&self.notes));
+        obj.insert(
+            "checks".to_string(),
+            Json::Arr(
+                self.checks
+                    .iter()
+                    .map(|c| {
+                        let mut m = std::collections::BTreeMap::new();
+                        m.insert("name".to_string(), Json::Str(c.name.clone()));
+                        m.insert("pass".to_string(), Json::Bool(c.pass));
+                        Json::Obj(m)
+                    })
+                    .collect(),
+            ),
+        );
+        Json::Obj(obj)
+    }
+
+    fn from_json(doc: &Json) -> Result<TableReport, String> {
+        let str_field = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let str_arr = |v: &Json| -> Result<Vec<String>, String> {
+            v.as_arr()
+                .ok_or_else(|| "expected array".to_string())?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "expected string element".to_string())
+                })
+                .collect()
+        };
+        let arr_field = |key: &str| -> Result<Vec<String>, String> {
+            str_arr(
+                doc.get(key)
+                    .ok_or_else(|| format!("missing field '{key}'"))?,
+            )
+        };
+        let rows = doc
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "missing array field 'rows'".to_string())?
+            .iter()
+            .map(str_arr)
+            .collect::<Result<Vec<_>, _>>()?;
+        // `checks` was added after the first persisted reports: default empty.
+        let checks = match doc.get("checks") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| "expected 'checks' array".to_string())?
+                .iter()
+                .map(|c| {
+                    Ok(ShapeCheck {
+                        name: c
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| "check missing 'name'".to_string())?
+                            .to_string(),
+                        pass: c
+                            .get("pass")
+                            .and_then(Json::as_bool)
+                            .ok_or_else(|| "check missing 'pass'".to_string())?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        };
+        Ok(TableReport {
+            id: str_field("id")?,
+            title: str_field("title")?,
+            expectation: str_field("expectation")?,
+            headers: arr_field("headers")?,
+            rows,
+            notes: arr_field("notes")?,
+            checks,
+        })
     }
 }
 

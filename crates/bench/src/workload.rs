@@ -87,10 +87,8 @@ pub struct SourceBuilder {
 impl SourceBuilder {
     /// A builder rooted in a fresh scratch directory.
     pub fn new(label: &str) -> SourceBuilder {
-        let root = std::env::temp_dir().join(format!(
-            "deltaforge-bench-{}-{label}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("deltaforge-bench-{}-{label}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         std::fs::create_dir_all(&root).unwrap();
         SourceBuilder {

@@ -245,14 +245,17 @@ mod tests {
             .unwrap();
         // A pre-existing row the workload later deletes (an insert+delete
         // inside one extraction window nets out for snapshot/timestamp).
-        s.execute("INSERT INTO parts (id, v) VALUES (999, 0)").unwrap();
+        s.execute("INSERT INTO parts (id, v) VALUES (999, 0)")
+            .unwrap();
         db
     }
 
     fn workload(db: &Arc<Database>, base: i64) {
         let mut s = db.session();
-        s.execute(&format!("INSERT INTO parts (id, v) VALUES ({base}, 1)")).unwrap();
-        s.execute(&format!("UPDATE parts SET v = 2 WHERE id = {base}")).unwrap();
+        s.execute(&format!("INSERT INTO parts (id, v) VALUES ({base}, 1)"))
+            .unwrap();
+        s.execute(&format!("UPDATE parts SET v = 2 WHERE id = {base}"))
+            .unwrap();
         s.execute("DELETE FROM parts WHERE id = 999").unwrap();
     }
 

@@ -28,18 +28,30 @@
 //! * [`model`] — the delta data model shared by every method and by the
 //!   transports and warehouse appliers.
 
+/// Unified [`Method`](extractor::Method) abstraction over the five extractors.
 pub mod extractor;
+/// Method 4: delta extraction from the redo/archive log.
 pub mod logextract;
+/// The delta data model: op-deltas, value-deltas, and their records.
 pub mod model;
+/// Op-Delta application and net-effect compression.
 pub mod opdelta;
+/// Cross-source reconciliation of conflicting deltas.
 pub mod reconcile;
+/// Self-maintainability analysis of warehouse view definitions.
 pub mod selfmaint;
+/// Method 1: snapshot differencing.
 pub mod snapshot;
+/// Method 2: timestamp-column scans.
 pub mod timestamp;
+/// Column-level delta transforms applied in flight.
 pub mod transform;
+/// Method 3: trigger-captured delta tables.
 pub mod trigger_extract;
 
-pub use extractor::{DeltaSource, LogSource, Method, SnapshotSource, TimestampSource, TriggerSource};
+pub use extractor::{
+    DeltaSource, LogSource, Method, SnapshotSource, TimestampSource, TriggerSource,
+};
 pub use model::{DeltaBatch, DeltaOp, OpDelta, OpLogRecord, ValueDelta, ValueDeltaRecord};
 pub use opdelta::{OpDeltaCapture, OpLogSink};
 pub use selfmaint::{MaintRequirement, SelfMaintAnalyzer, WarehouseProfile};

@@ -31,6 +31,7 @@ pub struct LogExtractor {
 }
 
 impl LogExtractor {
+    /// Create an extractor with no table filter.
     pub fn new() -> LogExtractor {
         LogExtractor::default()
     }
@@ -147,7 +148,8 @@ mod tests {
     fn setup(label: &str) -> Arc<Database> {
         let db = open(true, label);
         let mut s = db.session();
-        s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR)").unwrap();
+        s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR)")
+            .unwrap();
         db
     }
 
@@ -163,7 +165,8 @@ mod tests {
         let db = setup("basic");
         let mut s = db.session();
         s.execute("INSERT INTO parts VALUES (1, 'a')").unwrap();
-        s.execute("UPDATE parts SET name = 'b' WHERE id = 1").unwrap();
+        s.execute("UPDATE parts SET name = 'b' WHERE id = 1")
+            .unwrap();
         s.execute("DELETE FROM parts WHERE id = 1").unwrap();
         let mut x = LogExtractor::new();
         let deltas = x.extract(&db).unwrap();
@@ -212,7 +215,8 @@ mod tests {
     fn table_filter_restricts_extraction() {
         let db = setup("filter");
         let mut s = db.session();
-        s.execute("CREATE TABLE other (id INT PRIMARY KEY)").unwrap();
+        s.execute("CREATE TABLE other (id INT PRIMARY KEY)")
+            .unwrap();
         s.execute("INSERT INTO parts VALUES (1, 'a')").unwrap();
         s.execute("INSERT INTO other VALUES (9)").unwrap();
         let mut x = LogExtractor::for_tables(&["other"]);
@@ -226,15 +230,21 @@ mod tests {
         let db = setup("ckpt");
         let mut s = db.session();
         for i in 0..200 {
-            s.execute(&format!("INSERT INTO parts VALUES ({i}, 'x')")).unwrap();
+            s.execute(&format!("INSERT INTO parts VALUES ({i}, 'x')"))
+                .unwrap();
         }
         db.checkpoint().unwrap();
         for i in 200..210 {
-            s.execute(&format!("INSERT INTO parts VALUES ({i}, 'y')")).unwrap();
+            s.execute(&format!("INSERT INTO parts VALUES ({i}, 'y')"))
+                .unwrap();
         }
         let mut x = LogExtractor::new();
         let deltas = x.extract(&db).unwrap();
-        assert_eq!(deltas[0].len(), 210, "pre-checkpoint changes still visible via archive");
+        assert_eq!(
+            deltas[0].len(),
+            210,
+            "pre-checkpoint changes still visible via archive"
+        );
         assert!(!LogExtractor::shippable_segments(&db).unwrap().is_empty());
     }
 
@@ -242,7 +252,8 @@ mod tests {
     fn multi_table_changes_group_per_table() {
         let db = setup("multi");
         let mut s = db.session();
-        s.execute("CREATE TABLE orders (id INT PRIMARY KEY)").unwrap();
+        s.execute("CREATE TABLE orders (id INT PRIMARY KEY)")
+            .unwrap();
         s.execute("INSERT INTO parts VALUES (1, 'a')").unwrap();
         s.execute("INSERT INTO orders VALUES (100)").unwrap();
         s.execute("INSERT INTO parts VALUES (2, 'b')").unwrap();

@@ -123,6 +123,7 @@ pub struct ValueDelta {
 }
 
 impl ValueDelta {
+    /// Create an empty value-delta for `table` with the given schema.
     pub fn new(table: impl Into<String>, schema: Schema) -> ValueDelta {
         ValueDelta {
             table: table.into(),
@@ -136,6 +137,7 @@ impl ValueDelta {
         self.records.len()
     }
 
+    /// Whether the delta carries no records.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
@@ -307,9 +309,9 @@ impl OpDelta {
             if line.is_empty() {
                 continue;
             }
-            let rest = line
-                .strip_prefix("STMT\t")
-                .ok_or_else(|| StorageError::Corrupt(format!("expected STMT line, got '{line}'")))?;
+            let rest = line.strip_prefix("STMT\t").ok_or_else(|| {
+                StorageError::Corrupt(format!("expected STMT line, got '{line}'"))
+            })?;
             let (seq_s, sql) = rest
                 .split_once('\t')
                 .ok_or_else(|| StorageError::Corrupt("bad STMT line".into()))?;
@@ -514,12 +516,18 @@ mod tests {
             vd.records.push(ValueDeltaRecord {
                 op: DeltaOp::UpdateBefore,
                 txn: 1,
-                row: row(i, "old-status-value-padding-to-100-bytes-xxxxxxxxxxxxxxxxxxx"),
+                row: row(
+                    i,
+                    "old-status-value-padding-to-100-bytes-xxxxxxxxxxxxxxxxxxx",
+                ),
             });
             vd.records.push(ValueDeltaRecord {
                 op: DeltaOp::UpdateAfter,
                 txn: 1,
-                row: row(i, "revised-status-padding-to-100-bytes-xxxxxxxxxxxxxxxxxxxxxx"),
+                row: row(
+                    i,
+                    "revised-status-padding-to-100-bytes-xxxxxxxxxxxxxxxxxxxxxx",
+                ),
             });
         }
         assert!(od.wire_size() < 150);

@@ -245,9 +245,9 @@ impl OpDeltaCapture {
     fn read_before_image(&mut self, stmt: &Statement, txn: u64) -> EngineResult<ValueDelta> {
         let (table, predicate, op) = match stmt {
             Statement::Delete { table, predicate } => (table, predicate, DeltaOp::Delete),
-            Statement::Update { table, predicate, .. } => {
-                (table, predicate, DeltaOp::UpdateBefore)
-            }
+            Statement::Update {
+                table, predicate, ..
+            } => (table, predicate, DeltaOp::UpdateBefore),
             _ => {
                 return Err(EngineError::Invalid(
                     "before images only apply to UPDATE/DELETE".into(),
@@ -265,11 +265,10 @@ impl OpDeltaCapture {
         let rows = self.session.execute_stmt(&select)?.rows;
         let schema = self.database().table(table)?.schema.clone();
         let mut vd = ValueDelta::new(table.clone(), schema);
-        vd.records.extend(rows.into_iter().map(|row| ValueDeltaRecord {
-            op,
-            txn,
-            row,
-        }));
+        vd.records.extend(
+            rows.into_iter()
+                .map(|row| ValueDeltaRecord { op, txn, row }),
+        );
         Ok(vd)
     }
 
@@ -334,14 +333,17 @@ impl OpDeltaCapture {
 /// transaction, ordered by first sequence number.
 pub fn collect_from_table(db: &Database, log_table: &str) -> EngineResult<Vec<OpDelta>> {
     // Reassemble chunked payloads: (seq -> (txn, [(chunk, part)])).
-    let mut by_seq: std::collections::BTreeMap<u64, (u64, Vec<(i64, String)>)> =
-        Default::default();
+    let mut by_seq: std::collections::BTreeMap<u64, (u64, Vec<(i64, String)>)> = Default::default();
     for (_, row) in db.scan_table(log_table)? {
         let seq = row.values()[0].as_int()? as u64;
         let chunk = row.values()[1].as_int()?;
         let txn = row.values()[2].as_int()? as u64;
         let part = row.values()[3].as_str()?.to_string();
-        by_seq.entry(seq).or_insert((txn, Vec::new())).1.push((chunk, part));
+        by_seq
+            .entry(seq)
+            .or_insert((txn, Vec::new()))
+            .1
+            .push((chunk, part));
     }
     let mut records = Vec::new();
     for (seq, (txn, mut parts)) in by_seq {
@@ -358,9 +360,7 @@ pub fn collect_from_table(db: &Database, log_table: &str) -> EngineResult<Vec<Op
         let (stmt_field, bi_field) = payload.split_once('\t').ok_or_else(|| {
             EngineError::Invalid(format!("op-log record {seq} has a malformed payload"))
         })?;
-        let statement = parse_statement(
-            &unescape_line(stmt_field).map_err(EngineError::Storage)?,
-        )?;
+        let statement = parse_statement(&unescape_line(stmt_field).map_err(EngineError::Storage)?)?;
         let before_image = if bi_field == "-" {
             None
         } else {
@@ -487,8 +487,11 @@ mod tests {
         s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR, qty INT)")
             .unwrap();
         for i in 0..20 {
-            s.execute(&format!("INSERT INTO parts VALUES ({i}, 'p{i}', {})", i % 5))
-                .unwrap();
+            s.execute(&format!(
+                "INSERT INTO parts VALUES ({i}, 'p{i}', {})",
+                i % 5
+            ))
+            .unwrap();
         }
         OpDeltaCapture::new(db.session(), sink).unwrap()
     }
@@ -496,9 +499,11 @@ mod tests {
     #[test]
     fn table_sink_captures_statements_with_txn_grouping() {
         let mut cap = setup(OpLogSink::Table("op_log".into()));
-        cap.execute("INSERT INTO parts VALUES (100, 'new', 0)").unwrap();
+        cap.execute("INSERT INTO parts VALUES (100, 'new', 0)")
+            .unwrap();
         cap.execute("BEGIN").unwrap();
-        cap.execute("UPDATE parts SET qty = 9 WHERE qty = 1").unwrap();
+        cap.execute("UPDATE parts SET qty = 9 WHERE qty = 1")
+            .unwrap();
         cap.execute("DELETE FROM parts WHERE qty = 9").unwrap();
         cap.execute("COMMIT").unwrap();
 
@@ -529,10 +534,15 @@ mod tests {
     fn table_sink_is_transactional_with_rollback() {
         let mut cap = setup(OpLogSink::Table("op_log".into()));
         cap.execute("BEGIN").unwrap();
-        cap.execute("INSERT INTO parts VALUES (200, 'doomed', 0)").unwrap();
+        cap.execute("INSERT INTO parts VALUES (200, 'doomed', 0)")
+            .unwrap();
         cap.execute("ROLLBACK").unwrap();
         let db = cap.database().clone();
-        assert_eq!(db.row_count("op_log").unwrap(), 0, "log rows rolled back with the txn");
+        assert_eq!(
+            db.row_count("op_log").unwrap(),
+            0,
+            "log rows rolled back with the txn"
+        );
         assert!(collect_from_table(&db, "op_log").unwrap().is_empty());
     }
 
@@ -544,9 +554,11 @@ mod tests {
             .unwrap();
         let path = db.options().dir.join("op.log");
         let mut cap = OpDeltaCapture::new(db.session(), OpLogSink::File(path.clone())).unwrap();
-        cap.execute("INSERT INTO parts VALUES (1, 'kept', 0)").unwrap();
+        cap.execute("INSERT INTO parts VALUES (1, 'kept', 0)")
+            .unwrap();
         cap.execute("BEGIN").unwrap();
-        cap.execute("INSERT INTO parts VALUES (2, 'doomed', 0)").unwrap();
+        cap.execute("INSERT INTO parts VALUES (2, 'doomed', 0)")
+            .unwrap();
         cap.execute("ROLLBACK").unwrap();
 
         let ods = collect_from_file(&path).unwrap();
@@ -572,13 +584,17 @@ mod tests {
     #[test]
     fn now_is_frozen_at_capture() {
         let mut cap = setup(OpLogSink::Table("op_log".into()));
-        cap.execute("UPDATE parts SET qty = 1 WHERE id < NOW()").unwrap();
+        cap.execute("UPDATE parts SET qty = 1 WHERE id < NOW()")
+            .unwrap();
         let db = cap.database().clone();
         let ods = collect_from_table(&db, "op_log").unwrap();
         let stmt = &ods[0].ops[0].statement;
         match stmt {
             Statement::Update { predicate, .. } => {
-                assert!(!predicate.as_ref().unwrap().contains_now(), "NOW() must be frozen");
+                assert!(
+                    !predicate.as_ref().unwrap().contains_now(),
+                    "NOW() must be frozen"
+                );
             }
             other => panic!("unexpected: {other}"),
         }
@@ -600,13 +616,18 @@ mod tests {
             .unwrap()
             .with_analyzer(analyzer);
         // Predicate on an unmirrored column: the hybrid must carry before images.
-        cap.execute("DELETE FROM orders WHERE customer = 'acme'").unwrap();
+        cap.execute("DELETE FROM orders WHERE customer = 'acme'")
+            .unwrap();
         // Predicate on a mirrored column: op only.
-        cap.execute("UPDATE orders SET status = 'closed' WHERE id = 2").unwrap();
+        cap.execute("UPDATE orders SET status = 'closed' WHERE id = 2")
+            .unwrap();
 
         let ods = collect_from_table(&db, "op_log").unwrap();
         assert_eq!(ods.len(), 2);
-        let bi = ods[0].ops[0].before_image.as_ref().expect("hybrid has before image");
+        let bi = ods[0].ops[0]
+            .before_image
+            .as_ref()
+            .expect("hybrid has before image");
         assert_eq!(bi.len(), 2, "both affected rows' before images");
         assert!(bi.records.iter().all(|r| r.op == DeltaOp::Delete));
         assert!(ods[1].ops[0].before_image.is_none());
@@ -625,7 +646,11 @@ mod tests {
         cap.execute("INSERT INTO audit VALUES (1)").unwrap();
         assert_eq!(cap.captured_count(), 0);
         let db = cap.database().clone();
-        assert_eq!(db.row_count("audit").unwrap(), 1, "executed but not captured");
+        assert_eq!(
+            db.row_count("audit").unwrap(),
+            1,
+            "executed but not captured"
+        );
     }
 
     #[test]
@@ -641,9 +666,11 @@ mod tests {
         // The end-to-end property §4 relies on: replaying the op log on a
         // copy of the original database yields the same final state.
         let mut cap = setup(OpLogSink::Table("op_log".into()));
-        cap.execute("INSERT INTO parts VALUES (50, 'fresh', 1)").unwrap();
+        cap.execute("INSERT INTO parts VALUES (50, 'fresh', 1)")
+            .unwrap();
         cap.execute("BEGIN").unwrap();
-        cap.execute("UPDATE parts SET qty = qty + 10 WHERE qty >= 3").unwrap();
+        cap.execute("UPDATE parts SET qty = qty + 10 WHERE qty >= 3")
+            .unwrap();
         cap.execute("DELETE FROM parts WHERE qty = 2").unwrap();
         cap.execute("COMMIT").unwrap();
         let db = cap.database().clone();
@@ -654,8 +681,11 @@ mod tests {
         rs.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR, qty INT)")
             .unwrap();
         for i in 0..20 {
-            rs.execute(&format!("INSERT INTO parts VALUES ({i}, 'p{i}', {})", i % 5))
-                .unwrap();
+            rs.execute(&format!(
+                "INSERT INTO parts VALUES ({i}, 'p{i}', {})",
+                i % 5
+            ))
+            .unwrap();
         }
         for od in collect_from_table(&db, "op_log").unwrap() {
             rs.execute("BEGIN").unwrap();
@@ -665,8 +695,18 @@ mod tests {
             rs.execute("COMMIT").unwrap();
         }
         let key = |r: &delta_storage::Row| r.values()[0].as_int().unwrap();
-        let mut a: Vec<_> = db.scan_table("parts").unwrap().into_iter().map(|(_, r)| r).collect();
-        let mut b: Vec<_> = replica.scan_table("parts").unwrap().into_iter().map(|(_, r)| r).collect();
+        let mut a: Vec<_> = db
+            .scan_table("parts")
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let mut b: Vec<_> = replica
+            .scan_table("parts")
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         a.sort_by_key(key);
         b.sort_by_key(key);
         assert_eq!(a, b);
@@ -685,7 +725,10 @@ mod tests {
             .map(|i| format!("({i}, 'filler-text-for-row-{i}-padding-padding')"))
             .collect();
         let sql = format!("INSERT INTO big VALUES {}", values.join(", "));
-        assert!(sql.len() > 5 * CHUNK_BYTES, "statement must span many chunks");
+        assert!(
+            sql.len() > 5 * CHUNK_BYTES,
+            "statement must span many chunks"
+        );
         cap.execute(&sql).unwrap();
         let db = cap.database().clone();
         assert!(
@@ -720,7 +763,8 @@ mod tests {
     #[test]
     fn clear_table_empties_the_log() {
         let mut cap = setup(OpLogSink::Table("op_log".into()));
-        cap.execute("INSERT INTO parts VALUES (100, 'x', 0)").unwrap();
+        cap.execute("INSERT INTO parts VALUES (100, 'x', 0)")
+            .unwrap();
         let db = cap.database().clone();
         assert_eq!(clear_table(&db, "op_log").unwrap(), 1);
         assert!(collect_from_table(&db, "op_log").unwrap().is_empty());

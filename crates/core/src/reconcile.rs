@@ -23,9 +23,9 @@ use std::collections::HashMap;
 
 use delta_storage::Row;
 
-use crate::model::{ValueDelta, ValueDeltaRecord};
 #[cfg(test)]
 use crate::model::DeltaOp;
+use crate::model::{ValueDelta, ValueDeltaRecord};
 
 /// Identifies a source replica.
 pub type SourceId = String;
@@ -72,6 +72,7 @@ pub struct Reconciler {
 }
 
 impl Reconciler {
+    /// Create a reconciler that prefers `authoritative` on key conflicts.
     pub fn new(authoritative: impl Into<SourceId>, key: ReconcileKey) -> Reconciler {
         Reconciler {
             authoritative: authoritative.into(),
@@ -228,7 +229,10 @@ mod tests {
 
     #[test]
     fn identical_replicas_dedupe_to_one_stream() {
-        let a = delta(vec![rec(DeltaOp::Insert, 1, 1, "x"), rec(DeltaOp::Delete, 2, 2, "y")]);
+        let a = delta(vec![
+            rec(DeltaOp::Insert, 1, 1, "x"),
+            rec(DeltaOp::Delete, 2, 2, "y"),
+        ]);
         let b = a.clone();
         let r = Reconciler::new("A", ReconcileKey::Content)
             .reconcile(vec![("A".into(), a), ("B".into(), b)]);
@@ -269,23 +273,34 @@ mod tests {
     #[test]
     fn missing_authoritative_input_passes_through() {
         let b = delta(vec![rec(DeltaOp::Insert, 1, 1, "x")]);
-        let r = Reconciler::new("A", ReconcileKey::Content).reconcile(vec![("B".into(), b.clone())]);
+        let r =
+            Reconciler::new("A", ReconcileKey::Content).reconcile(vec![("B".into(), b.clone())]);
         assert_eq!(r.delta, b);
     }
 
     #[test]
     fn content_key_distinguishes_ops_on_same_row() {
-        let a = delta(vec![rec(DeltaOp::Insert, 1, 1, "x"), rec(DeltaOp::Delete, 2, 1, "x")]);
+        let a = delta(vec![
+            rec(DeltaOp::Insert, 1, 1, "x"),
+            rec(DeltaOp::Delete, 2, 1, "x"),
+        ]);
         let b = a.clone();
         let r = Reconciler::new("A", ReconcileKey::Content)
             .reconcile(vec![("A".into(), a), ("B".into(), b)]);
-        assert_eq!(r.delta.len(), 2, "insert and delete of same row are distinct changes");
+        assert_eq!(
+            r.delta.len(),
+            2,
+            "insert and delete of same row are distinct changes"
+        );
         assert_eq!(r.duplicates_dropped, 2);
     }
 
     #[test]
     fn partition_merge_orders_by_global_txn() {
-        let p1 = delta(vec![rec(DeltaOp::Insert, 5, 1, "late"), rec(DeltaOp::Insert, 1, 2, "early")]);
+        let p1 = delta(vec![
+            rec(DeltaOp::Insert, 5, 1, "late"),
+            rec(DeltaOp::Insert, 1, 2, "early"),
+        ]);
         let p2 = delta(vec![rec(DeltaOp::Insert, 3, 3, "middle")]);
         let merged = merge_partitions(vec![p1, p2]).unwrap();
         let txns: Vec<u64> = merged.records.iter().map(|r| r.txn).collect();

@@ -33,6 +33,7 @@ pub struct WarehouseProfile {
 }
 
 impl WarehouseProfile {
+    /// Create an empty profile (nothing mirrored yet).
     pub fn new() -> WarehouseProfile {
         WarehouseProfile::default()
     }
@@ -89,6 +90,7 @@ pub struct SelfMaintAnalyzer {
 }
 
 impl SelfMaintAnalyzer {
+    /// Create an analyzer over the given warehouse profile.
     pub fn new(profile: WarehouseProfile) -> SelfMaintAnalyzer {
         SelfMaintAnalyzer { profile }
     }
@@ -113,9 +115,8 @@ impl SelfMaintAnalyzer {
             } => {
                 // If no SET target is mirrored and the predicate is
                 // evaluable, the op cannot change mirrored data.
-                let any_target_mirrored = sets
-                    .iter()
-                    .any(|(col, _)| self.profile.covers(table, col));
+                let any_target_mirrored =
+                    sets.iter().any(|(col, _)| self.profile.covers(table, col));
                 let mut exprs: Vec<&Expr> = predicate.iter().collect();
                 exprs.extend(sets.iter().map(|(_, e)| e));
                 let verdict = self.check_columns(table, exprs);

@@ -77,12 +77,22 @@ pub fn diff_snapshots(
         ));
     }
     match algo {
-        DiffAlgorithm::SortMerge { run_size } => {
-            sort_merge_diff(table, schema, key_cols, old_path.as_ref(), new_path.as_ref(), run_size)
-        }
-        DiffAlgorithm::Window { size } => {
-            window_diff(table, schema, key_cols, old_path.as_ref(), new_path.as_ref(), size)
-        }
+        DiffAlgorithm::SortMerge { run_size } => sort_merge_diff(
+            table,
+            schema,
+            key_cols,
+            old_path.as_ref(),
+            new_path.as_ref(),
+            run_size,
+        ),
+        DiffAlgorithm::Window { size } => window_diff(
+            table,
+            schema,
+            key_cols,
+            old_path.as_ref(),
+            new_path.as_ref(),
+            size,
+        ),
     }
 }
 
@@ -169,8 +179,8 @@ fn external_sort(
         let mut line = String::new();
         let mut run: Vec<(Vec<Value>, Row)> = Vec::with_capacity(run_size.min(1 << 16));
         let flush_run = |run: &mut Vec<(Vec<Value>, Row)>,
-                             run_paths: &mut Vec<PathBuf>,
-                             stats: &mut DiffStats|
+                         run_paths: &mut Vec<PathBuf>,
+                         stats: &mut DiffStats|
          -> StorageResult<()> {
             if run.is_empty() {
                 return Ok(());
@@ -223,8 +233,7 @@ fn external_sort(
                         None => true,
                         Some(j) => {
                             stats.comparisons += 1;
-                            cmp_keys(k, &readers[j].current.as_ref().unwrap().0)
-                                == Ordering::Less
+                            cmp_keys(k, &readers[j].current.as_ref().unwrap().0) == Ordering::Less
                         }
                     };
                     if better {
@@ -350,21 +359,20 @@ fn window_diff(
     let mut old_buf: VecDeque<(Vec<Value>, Row)> = VecDeque::new();
     let mut new_buf: VecDeque<(Vec<Value>, Row)> = VecDeque::new();
 
-    let emit_update_or_skip =
-        |delta: &mut ValueDelta, o: Row, n: Row| {
-            if o != n {
-                delta.records.push(ValueDeltaRecord {
-                    op: DeltaOp::UpdateBefore,
-                    txn: 0,
-                    row: o,
-                });
-                delta.records.push(ValueDeltaRecord {
-                    op: DeltaOp::UpdateAfter,
-                    txn: 0,
-                    row: n,
-                });
-            }
-        };
+    let emit_update_or_skip = |delta: &mut ValueDelta, o: Row, n: Row| {
+        if o != n {
+            delta.records.push(ValueDeltaRecord {
+                op: DeltaOp::UpdateBefore,
+                txn: 0,
+                row: o,
+            });
+            delta.records.push(ValueDeltaRecord {
+                op: DeltaOp::UpdateAfter,
+                txn: 0,
+                row: n,
+            });
+        }
+    };
 
     loop {
         let old_done = old_r.current.is_none();
@@ -552,7 +560,11 @@ mod tests {
             DiffAlgorithm::SortMerge { run_size: 16 },
         )
         .unwrap();
-        let deletes = vd.records.iter().filter(|r| r.op == DeltaOp::Delete).count();
+        let deletes = vd
+            .records
+            .iter()
+            .filter(|r| r.op == DeltaOp::Delete)
+            .count();
         let updates = vd
             .records
             .iter()
@@ -583,7 +595,9 @@ mod tests {
         // dropped or misreported as unchanged.
         assert!(got.contains(&(DeltaOp::Delete, 1)));
         assert!(got.contains(&(DeltaOp::Insert, 1)));
-        assert!(!got.iter().any(|(op, id)| *id == 1 && matches!(op, DeltaOp::UpdateBefore)));
+        assert!(!got
+            .iter()
+            .any(|(op, id)| *id == 1 && matches!(op, DeltaOp::UpdateBefore)));
     }
 
     #[test]
@@ -605,8 +619,10 @@ mod tests {
     fn snapshot_of_live_table() {
         let db = delta_engine::db::open_temp("snapdb").unwrap();
         let mut s = db.session();
-        s.execute("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR)").unwrap();
-        s.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR)")
+            .unwrap();
+        s.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+            .unwrap();
         let p1 = db.options().dir.join("s1.txt");
         take_snapshot(&db, "t", &p1).unwrap();
         s.execute("UPDATE t SET name = 'bb' WHERE id = 2").unwrap();

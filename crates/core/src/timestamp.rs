@@ -37,6 +37,7 @@ pub struct TimestampExtractor {
 }
 
 impl TimestampExtractor {
+    /// Create an extractor scanning `table` by its `ts_column` timestamps.
     pub fn new(table: impl Into<String>, ts_column: impl Into<String>) -> TimestampExtractor {
         TimestampExtractor {
             table: table.into(),
@@ -76,11 +77,12 @@ impl TimestampExtractor {
         let meta = db.table(&self.table)?;
         let rows = self.matching(db, since)?;
         let mut vd = ValueDelta::new(&self.table, meta.schema.clone());
-        vd.records.extend(rows.into_iter().map(|row| ValueDeltaRecord {
-            op: DeltaOp::Insert,
-            txn: 0,
-            row,
-        }));
+        vd.records
+            .extend(rows.into_iter().map(|row| ValueDeltaRecord {
+                op: DeltaOp::Insert,
+                txn: 0,
+                row,
+            }));
         Ok(vd)
     }
 
@@ -106,12 +108,7 @@ impl TimestampExtractor {
     /// **Table output**: insert matching rows into the local delta table
     /// `target` (created with the source schema, sans constraints, if
     /// absent). Returns the number of rows extracted.
-    pub fn extract_to_table(
-        &self,
-        db: &Database,
-        since: i64,
-        target: &str,
-    ) -> EngineResult<u64> {
+    pub fn extract_to_table(&self, db: &Database, since: i64, target: &str) -> EngineResult<u64> {
         let meta = db.table(&self.table)?;
         if db.table(target).is_err() {
             // Delta tables carry the source columns without keys/not-null.
@@ -121,7 +118,11 @@ impl TimestampExtractor {
                 .iter()
                 .map(|c| delta_storage::Column::new(c.name.clone(), c.data_type))
                 .collect();
-            db.create_table(target, delta_storage::Schema::new(cols)?, TableOptions::default())?;
+            db.create_table(
+                target,
+                delta_storage::Schema::new(cols)?,
+                TableOptions::default(),
+            )?;
         }
         let target_meta = db.table(target)?;
         let rows = self.matching(db, since)?;
@@ -171,13 +172,13 @@ mod tests {
     fn setup() -> (std::sync::Arc<Database>, TimestampExtractor) {
         let db = open_temp("tsx").unwrap();
         let mut s = db.session();
-        s.execute(
-            "CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR, last_modified TIMESTAMP)",
-        )
-        .unwrap();
+        s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR, last_modified TIMESTAMP)")
+            .unwrap();
         for i in 0..10 {
-            s.execute(&format!("INSERT INTO parts (id, name) VALUES ({i}, 'p{i}')"))
-                .unwrap();
+            s.execute(&format!(
+                "INSERT INTO parts (id, name) VALUES ({i}, 'p{i}')"
+            ))
+            .unwrap();
         }
         (db, TimestampExtractor::new("parts", "last_modified"))
     }
@@ -187,8 +188,10 @@ mod tests {
         let (db, x) = setup();
         let watermark = db.peek_clock();
         let mut s = db.session();
-        s.execute("UPDATE parts SET name = 'changed' WHERE id < 3").unwrap();
-        s.execute("INSERT INTO parts (id, name) VALUES (100, 'new')").unwrap();
+        s.execute("UPDATE parts SET name = 'changed' WHERE id < 3")
+            .unwrap();
+        s.execute("INSERT INTO parts (id, name) VALUES (100, 'new')")
+            .unwrap();
         let vd = x.extract(&db, watermark).unwrap();
         assert_eq!(vd.len(), 4, "3 updates + 1 insert");
         assert!(vd.records.iter().all(|r| r.op == DeltaOp::Insert));
@@ -200,8 +203,10 @@ mod tests {
         let (db, x) = setup();
         let watermark = db.peek_clock();
         let mut s = db.session();
-        s.execute("UPDATE parts SET name = 'v1' WHERE id = 0").unwrap();
-        s.execute("UPDATE parts SET name = 'v2' WHERE id = 0").unwrap();
+        s.execute("UPDATE parts SET name = 'v1' WHERE id = 0")
+            .unwrap();
+        s.execute("UPDATE parts SET name = 'v2' WHERE id = 0")
+            .unwrap();
         let vd = x.extract(&db, watermark).unwrap();
         assert_eq!(vd.len(), 1, "one row, not one per state change");
         assert_eq!(vd.records[0].row.values()[1], Value::Str("v2".into()));
@@ -249,9 +254,7 @@ mod tests {
     fn table_output_plus_export_produces_dump() {
         let (db, x) = setup();
         let path = db.options().dir.join("delta.exp");
-        let n = x
-            .extract_to_table_and_export(&db, 0, "d1", &path)
-            .unwrap();
+        let n = x.extract_to_table_and_export(&db, 0, "d1", &path).unwrap();
         assert_eq!(n, 10);
         assert!(path.exists());
         assert!(std::fs::metadata(&path).unwrap().len() > 0);

@@ -19,9 +19,9 @@
 use delta_engine::{EngineError, EngineResult};
 use delta_sql::ast::Expr;
 use delta_sql::eval::{EvalContext, SchemaRow};
-use delta_storage::{Column, DataType, Row, Schema};
 #[cfg(test)]
 use delta_storage::Value;
+use delta_storage::{Column, DataType, Row, Schema};
 
 use crate::model::{DeltaOp, ValueDelta, ValueDeltaRecord};
 
@@ -59,11 +59,7 @@ impl ColumnTransform {
     }
 
     /// Compute `name` from `expr`.
-    pub fn computed(
-        name: impl Into<String>,
-        expr: Expr,
-        data_type: DataType,
-    ) -> ColumnTransform {
+    pub fn computed(name: impl Into<String>, expr: Expr, data_type: DataType) -> ColumnTransform {
         ColumnTransform::Computed {
             name: name.into(),
             expr,
@@ -90,6 +86,7 @@ pub struct DeltaTransform {
 }
 
 impl DeltaTransform {
+    /// Create an identity transform (no column rules).
     pub fn new() -> DeltaTransform {
         DeltaTransform::default()
     }
@@ -171,14 +168,14 @@ impl DeltaTransform {
         for t in &self.columns {
             let v = match t {
                 ColumnTransform::Copy { source, .. } => {
-                    let i = schema
-                        .index_of(source)
-                        .ok_or_else(|| {
-                            EngineError::Invalid(format!("unknown transform column '{source}'"))
-                        })?;
+                    let i = schema.index_of(source).ok_or_else(|| {
+                        EngineError::Invalid(format!("unknown transform column '{source}'"))
+                    })?;
                     row.values()[i].clone()
                 }
-                ColumnTransform::Computed { expr, data_type, .. } => ctx
+                ColumnTransform::Computed {
+                    expr, data_type, ..
+                } => ctx
                     .eval(expr)
                     .map_err(EngineError::Eval)?
                     .coerce_to(*data_type)?,

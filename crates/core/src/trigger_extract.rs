@@ -29,6 +29,7 @@ pub struct TriggerExtractor {
 }
 
 impl TriggerExtractor {
+    /// Create an extractor capturing changes to `source_table`.
     pub fn new(source_table: impl Into<String>) -> TriggerExtractor {
         let source_table = source_table.into();
         TriggerExtractor {

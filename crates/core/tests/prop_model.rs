@@ -15,7 +15,9 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Timestamp),
         prop::num::f64::NORMAL.prop_map(Value::Double),
         any::<bool>().prop_map(Value::Bool),
-        "\\PC{0,24}".prop_filter("ascii-dump NULL wart", |s| s != "NULL").prop_map(Value::Str),
+        "\\PC{0,24}"
+            .prop_filter("ascii-dump NULL wart", |s| s != "NULL")
+            .prop_map(Value::Str),
     ]
 }
 
@@ -35,9 +37,14 @@ fn arb_row() -> impl Strategy<Value = Row> {
         any::<i64>(),
         prop_oneof![
             Just(Value::Null),
-            "\\PC{0,24}".prop_filter("wart", |s| s != "NULL").prop_map(Value::Str)
+            "\\PC{0,24}"
+                .prop_filter("wart", |s| s != "NULL")
+                .prop_map(Value::Str)
         ],
-        prop_oneof![Just(Value::Null), prop::num::f64::NORMAL.prop_map(Value::Double)],
+        prop_oneof![
+            Just(Value::Null),
+            prop::num::f64::NORMAL.prop_map(Value::Double)
+        ],
         prop_oneof![Just(Value::Null), any::<i64>().prop_map(Value::Timestamp)],
     )
         .prop_map(|(id, name, price, ts)| Row::new(vec![Value::Int(id), name, price, ts]))

@@ -95,19 +95,15 @@ impl Catalog {
                     continue;
                 }
                 let mut parts = line.split('\t');
-                let (name, fid, schema_s, opts_s) = match (
-                    parts.next(),
-                    parts.next(),
-                    parts.next(),
-                    parts.next(),
-                ) {
-                    (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
-                    _ => {
-                        return Err(EngineError::Storage(StorageError::Corrupt(format!(
-                            "bad catalog line '{line}'"
-                        ))))
-                    }
-                };
+                let (name, fid, schema_s, opts_s) =
+                    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                        (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+                        _ => {
+                            return Err(EngineError::Storage(StorageError::Corrupt(format!(
+                                "bad catalog line '{line}'"
+                            ))))
+                        }
+                    };
                 let meta = TableMeta {
                     name: name.to_string(),
                     file_id: FileId(fid.parse().map_err(|_| {
@@ -262,7 +258,9 @@ mod tests {
     fn create_get_drop() {
         let dir = tmp("basic");
         let c = Catalog::open(&dir).unwrap();
-        let meta = c.create("parts", schema(), TableOptions::default()).unwrap();
+        let meta = c
+            .create("parts", schema(), TableOptions::default())
+            .unwrap();
         assert_eq!(meta.file_id, FileId(1));
         assert!(c.contains("parts"));
         assert_eq!(c.get("parts").unwrap().schema, schema());
@@ -295,7 +293,8 @@ mod tests {
                 },
             )
             .unwrap();
-            c.create("orders", schema(), TableOptions::default()).unwrap();
+            c.create("orders", schema(), TableOptions::default())
+                .unwrap();
             c.drop("orders").unwrap();
         }
         let c = Catalog::open(&dir).unwrap();

@@ -555,7 +555,12 @@ impl Database {
             row: row.clone(),
         });
         if fire_triggers {
-            self.fire_triggers(txn, &meta.name, TriggerEvent::Insert { new: row }, now_micros)?;
+            self.fire_triggers(
+                txn,
+                &meta.name,
+                TriggerEvent::Insert { new: row },
+                now_micros,
+            )?;
         }
         Ok(rid)
     }
@@ -756,18 +761,14 @@ impl Database {
                     name,
                     schema,
                     options,
+                } if !self.catalog.contains(name) => {
+                    let schema = Schema::from_catalog_string(schema)?;
+                    let auto_timestamp = options.strip_prefix("auto_ts=").map(|s| s.to_string());
+                    self.create_table(name, schema, TableOptions { auto_timestamp })?;
                 }
-                    if !self.catalog.contains(name) => {
-                        let schema = Schema::from_catalog_string(schema)?;
-                        let auto_timestamp = options
-                            .strip_prefix("auto_ts=")
-                            .map(|s| s.to_string());
-                        self.create_table(name, schema, TableOptions { auto_timestamp })?;
-                    }
-                LogRecord::DropTable { name }
-                    if self.catalog.contains(name) => {
-                        self.drop_table(name)?;
-                    }
+                LogRecord::DropTable { name } if self.catalog.contains(name) => {
+                    self.drop_table(name)?;
+                }
                 LogRecord::Insert { txn: t, table, row } if committed.contains(t) => {
                     let meta = self.table(table)?;
                     self.lock_table(&mut txn, table, LockMode::Exclusive)?;

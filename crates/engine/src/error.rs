@@ -23,6 +23,10 @@ pub enum EngineError {
     AlreadyExists(String),
     /// A lock could not be acquired within the timeout (deadlock resolution).
     LockTimeout { table: String },
+    /// The waits-for graph showed a cycle: this transaction was chosen as the
+    /// deadlock victim and should abort (much cheaper than burning the
+    /// timeout).
+    Deadlock { table: String },
     /// Primary-key uniqueness violated.
     DuplicateKey { table: String, key: String },
     /// Transaction misuse (e.g. COMMIT without BEGIN).
@@ -43,6 +47,12 @@ impl fmt::Display for EngineError {
             EngineError::AlreadyExists(n) => write!(f, "already exists: {n}"),
             EngineError::LockTimeout { table } => {
                 write!(f, "timed out waiting for lock on table '{table}'")
+            }
+            EngineError::Deadlock { table } => {
+                write!(
+                    f,
+                    "deadlock detected while waiting for lock on table '{table}'"
+                )
             }
             EngineError::DuplicateKey { table, key } => {
                 write!(f, "duplicate primary key {key} in table '{table}'")
@@ -104,6 +114,10 @@ mod tests {
             table: "orders".into(),
         };
         assert!(e.to_string().contains("orders"));
+        let e = EngineError::Deadlock {
+            table: "orders".into(),
+        };
+        assert!(e.to_string().contains("deadlock") && e.to_string().contains("orders"));
     }
 
     #[test]

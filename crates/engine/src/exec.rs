@@ -50,7 +50,11 @@ pub enum AccessPath {
 ///
 /// DDL and transaction-control statements are routed by
 /// [`crate::session::Session`], not here.
-pub fn execute(db: &Database, txn: &mut Transaction, stmt: &Statement) -> EngineResult<QueryResult> {
+pub fn execute(
+    db: &Database,
+    txn: &mut Transaction,
+    stmt: &Statement,
+) -> EngineResult<QueryResult> {
     db.count_statement();
     let now = db.now_micros();
     match stmt {
@@ -124,9 +128,9 @@ pub fn execute(db: &Database, txn: &mut Transaction, stmt: &Statement) -> Engine
             let meta = db.table(table)?;
             db.lock_table(txn, table, LockMode::Shared)?;
             let mut matches = matching_rows(db, &meta, predicate.as_ref(), now)?;
-            let has_agg = projection.iter().any(|item| {
-                matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate())
-            });
+            let has_agg = projection.iter().any(
+                |item| matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate()),
+            );
             let mut result = if has_agg || !group_by.is_empty() {
                 aggregate_project(&meta, projection, group_by, order_by, matches, now)?
             } else {
@@ -214,8 +218,11 @@ pub fn matching_rows(
                 .indexes()
                 .get(index)
                 .ok_or_else(|| EngineError::NoSuchObject(index.clone()))?;
-            let (lo, hi) = bounds_for(predicate.expect("index path requires predicate"), &idx.def.column)
-                .expect("index path requires bounds");
+            let (lo, hi) = bounds_for(
+                predicate.expect("index path requires predicate"),
+                &idx.def.column,
+            )
+            .expect("index path requires bounds");
             let heap = db.heap(&meta.name)?;
             let mut out = Vec::new();
             for rid in idx.range(as_ref_bound(&lo), as_ref_bound(&hi)) {
@@ -426,6 +433,7 @@ pub struct Accumulator {
 }
 
 impl Accumulator {
+    /// Create an accumulator for the given aggregate function.
     pub fn new(func: delta_sql::ast::AggFunc) -> Accumulator {
         Accumulator {
             func,
@@ -488,7 +496,11 @@ impl Accumulator {
     pub fn finish(&self, counts_star: bool) -> Value {
         use delta_sql::ast::AggFunc::*;
         match self.func {
-            Count => Value::Int(if counts_star { self.rows } else { self.non_null } as i64),
+            Count => Value::Int(if counts_star {
+                self.rows
+            } else {
+                self.non_null
+            } as i64),
             Sum => {
                 if self.non_null == 0 {
                     Value::Null
@@ -502,9 +514,7 @@ impl Accumulator {
                 if self.non_null == 0 {
                     Value::Null
                 } else {
-                    Value::Double(
-                        (self.sum_float + self.sum_int as f64) / self.non_null as f64,
-                    )
+                    Value::Double((self.sum_float + self.sum_int as f64) / self.non_null as f64)
                 }
             }
             Min | Max => self.extreme.clone().unwrap_or(Value::Null),
@@ -715,8 +725,7 @@ fn aggregate_project(
             .iter()
             .zip(&accs)
             .map(|(e, acc)| {
-                let counts_star =
-                    matches!(e, Expr::Aggregate { arg: None, .. });
+                let counts_star = matches!(e, Expr::Aggregate { arg: None, .. });
                 (e.clone(), acc.finish(counts_star))
             })
             .collect();
@@ -747,7 +756,10 @@ fn aggregate_project(
                     .find(|(ke, _)| ke == e)
                     .map(|(_, v)| v.clone())
             });
-            keys.push((ctx.eval(&substituted).map_err(EngineError::Eval)?, k.descending));
+            keys.push((
+                ctx.eval(&substituted).map_err(EngineError::Eval)?,
+                k.descending,
+            ));
         }
         sort_keys.push(keys);
     }
@@ -774,10 +786,9 @@ fn aggregate_project(
 
 fn collect_aggs(expr: &Expr, out: &mut Vec<Expr>) {
     match expr {
-        Expr::Aggregate { .. }
-            if !out.iter().any(|e| e == expr) => {
-                out.push(expr.clone());
-            }
+        Expr::Aggregate { .. } if !out.iter().any(|e| e == expr) => {
+            out.push(expr.clone());
+        }
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => collect_aggs(expr, out),
         Expr::Binary { left, right, .. } => {
             collect_aggs(left, out);

@@ -57,6 +57,7 @@ pub struct Index {
 }
 
 impl Index {
+    /// Create an empty index from its definition.
     pub fn new(def: IndexDef) -> Index {
         Index {
             def,
@@ -135,6 +136,7 @@ impl Index {
         self.map.read().values().map(|s| s.len()).sum()
     }
 
+    /// Whether the index holds no entries.
     pub fn is_empty(&self) -> bool {
         self.map.read().is_empty()
     }
@@ -160,6 +162,7 @@ pub struct IndexManager {
 }
 
 impl IndexManager {
+    /// Create an empty index registry.
     pub fn new() -> IndexManager {
         IndexManager::default()
     }
@@ -277,16 +280,16 @@ mod tests {
         for n in 0..10 {
             i.insert(&Value::Int(n), rid(n as u32)).unwrap();
         }
-        let got = i.range(Bound::Included(&Value::Int(3)), Bound::Excluded(&Value::Int(7)));
+        let got = i.range(
+            Bound::Included(&Value::Int(3)),
+            Bound::Excluded(&Value::Int(7)),
+        );
         assert_eq!(got, vec![rid(3), rid(4), rid(5), rid(6)]);
         assert_eq!(
             i.count_range(Bound::Excluded(&Value::Int(8)), Bound::Unbounded),
             1
         );
-        assert_eq!(
-            i.count_range(Bound::Unbounded, Bound::Unbounded),
-            10
-        );
+        assert_eq!(i.count_range(Bound::Unbounded, Bound::Unbounded), 10);
     }
 
     #[test]

@@ -24,16 +24,27 @@
 //! timestamp-based extraction and `NOW()` behave reproducibly in tests and
 //! benchmarks.
 
+/// Table catalog: schemas, options, and on-disk metadata.
 pub mod catalog;
+/// The database facade: transactions, DDL/DML entry points, checkpoints.
 pub mod db;
+/// Engine error type.
 pub mod error;
+/// SQL executor over heaps and indexes.
 pub mod exec;
+/// In-memory secondary indexes.
 pub mod index;
+/// Table-level two-phase locking with deadlock detection.
 pub mod lock;
+/// Session state for the SQL front end.
 pub mod session;
+/// Row-level triggers (the paper's method 3 capture mechanism).
 pub mod trigger;
+/// Transaction bookkeeping.
 pub mod txn;
+/// Small shared helpers.
 pub mod util;
+/// Redo write-ahead log with segment rotation and archive mode.
 pub mod wal;
 
 pub use catalog::{TableMeta, TableOptions};

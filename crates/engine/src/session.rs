@@ -88,8 +88,13 @@ impl Session {
                     .column("last_modified")
                     .filter(|c| c.data_type == DataType::Timestamp)
                     .map(|c| c.name.clone());
-                self.db
-                    .create_table(name, schema, TableOptions { auto_timestamp: auto })?;
+                self.db.create_table(
+                    name,
+                    schema,
+                    TableOptions {
+                        auto_timestamp: auto,
+                    },
+                )?;
                 Ok(QueryResult::default())
             }
             Statement::DropTable { name } => {

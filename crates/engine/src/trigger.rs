@@ -25,9 +25,13 @@ use crate::txn::TxnId;
 
 /// Op codes written into delta tables.
 pub mod opcode {
+    /// Row inserted.
     pub const INSERT: &str = "I";
+    /// Row deleted.
     pub const DELETE: &str = "D";
+    /// Pre-update image of an updated row.
     pub const UPDATE_BEFORE: &str = "UB";
+    /// Post-update image of an updated row.
     pub const UPDATE_AFTER: &str = "UA";
 }
 
@@ -108,7 +112,11 @@ pub struct TriggerDef {
 
 impl TriggerDef {
     /// A standard delta-capture trigger on all three events.
-    pub fn capture_all(name: impl Into<String>, table: impl Into<String>, target: impl Into<String>) -> TriggerDef {
+    pub fn capture_all(
+        name: impl Into<String>,
+        table: impl Into<String>,
+        target: impl Into<String>,
+    ) -> TriggerDef {
         TriggerDef {
             name: name.into(),
             table: table.into(),
@@ -145,9 +153,12 @@ impl TriggerDef {
                     out.push((target.clone(), Row::new(vals)));
                 };
                 match (event, images) {
-                    (TriggerEvent::Insert { new }, CaptureImages::Standard | CaptureImages::AfterOnly | CaptureImages::BeforeOnly) => {
-                        push(opcode::INSERT, new)
-                    }
+                    (
+                        TriggerEvent::Insert { new },
+                        CaptureImages::Standard
+                        | CaptureImages::AfterOnly
+                        | CaptureImages::BeforeOnly,
+                    ) => push(opcode::INSERT, new),
                     (TriggerEvent::Delete { old }, _) => push(opcode::DELETE, old),
                     (TriggerEvent::Update { old, new }, CaptureImages::Standard) => {
                         push(opcode::UPDATE_BEFORE, old);
@@ -187,6 +198,7 @@ pub struct TriggerManager {
 }
 
 impl TriggerManager {
+    /// Create an empty trigger registry.
     pub fn new() -> TriggerManager {
         TriggerManager::default()
     }
@@ -234,7 +246,12 @@ impl TriggerManager {
 
     /// Names of all registered triggers, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.triggers.read().iter().map(|t| t.name.clone()).collect();
+        let mut v: Vec<String> = self
+            .triggers
+            .read()
+            .iter()
+            .map(|t| t.name.clone())
+            .collect();
         v.sort();
         v
     }
@@ -314,8 +331,20 @@ mod tests {
             old: row(1, "a"),
             new: row(1, "b"),
         };
-        assert_eq!(mk(CaptureImages::AfterOnly).plan(&ev, TxnId(1)).unwrap().len(), 1);
-        assert_eq!(mk(CaptureImages::BeforeOnly).plan(&ev, TxnId(1)).unwrap().len(), 1);
+        assert_eq!(
+            mk(CaptureImages::AfterOnly)
+                .plan(&ev, TxnId(1))
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            mk(CaptureImages::BeforeOnly)
+                .plan(&ev, TxnId(1))
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]

@@ -12,8 +12,7 @@ use delta_storage::{RecordId, Row};
 use crate::wal::LogRecord;
 
 /// Transaction identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct TxnId(pub u64);
 
 impl std::fmt::Display for TxnId {
@@ -52,8 +51,8 @@ pub struct Transaction {
     pub trigger_depth: usize,
 }
 
-
 impl Transaction {
+    /// Start a transaction with the given id.
     pub fn new(id: TxnId) -> Transaction {
         Transaction {
             id,
@@ -89,6 +88,7 @@ pub struct TxnManager {
 }
 
 impl TxnManager {
+    /// Create a manager whose first transaction id is 1.
     pub fn new() -> TxnManager {
         TxnManager {
             next: AtomicU64::new(1),

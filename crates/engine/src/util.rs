@@ -218,20 +218,19 @@ pub fn loader_load(
         let mut loaded = 0u64;
         // (slot, row index) pairs for the page currently being packed.
         let mut pending: Vec<(u16, usize)> = Vec::new();
-        let flush_page = |page: &mut SlottedPage,
-                          pending: &mut Vec<(u16, usize)>|
-         -> EngineResult<()> {
-            let page_no = file.allocate_page()?;
-            file.write_page(page_no, page.as_bytes())?;
-            for (slot, row_idx) in pending.drain(..) {
-                let rid = delta_storage::RecordId::new(page_no, slot);
-                for (idx, pos) in &indexes {
-                    idx.insert(&validated[row_idx].values()[*pos], rid)?;
+        let flush_page =
+            |page: &mut SlottedPage, pending: &mut Vec<(u16, usize)>| -> EngineResult<()> {
+                let page_no = file.allocate_page()?;
+                file.write_page(page_no, page.as_bytes())?;
+                for (slot, row_idx) in pending.drain(..) {
+                    let rid = delta_storage::RecordId::new(page_no, slot);
+                    for (idx, pos) in &indexes {
+                        idx.insert(&validated[row_idx].values()[*pos], rid)?;
+                    }
                 }
-            }
-            *page = SlottedPage::new();
-            Ok(())
-        };
+                *page = SlottedPage::new();
+                Ok(())
+            };
         for (row_idx, row) in validated.iter().enumerate() {
             let bytes = row.to_bytes();
             let slot = match page.insert(&bytes) {
@@ -281,13 +280,25 @@ mod tests {
         assert_eq!(export_table(&db, "parts", &dump).unwrap(), 100);
 
         let mut s = db.session();
-        s.execute("CREATE TABLE parts2 (id INT PRIMARY KEY, name VARCHAR, last_modified TIMESTAMP)")
-            .unwrap();
+        s.execute(
+            "CREATE TABLE parts2 (id INT PRIMARY KEY, name VARCHAR, last_modified TIMESTAMP)",
+        )
+        .unwrap();
         assert_eq!(import_table(&db, "parts2", &dump).unwrap(), 100);
         assert_eq!(db.row_count("parts2").unwrap(), 100);
         // Contents equal (same values, timestamps preserved).
-        let a: Vec<Row> = db.scan_table("parts").unwrap().into_iter().map(|(_, r)| r).collect();
-        let b: Vec<Row> = db.scan_table("parts2").unwrap().into_iter().map(|(_, r)| r).collect();
+        let a: Vec<Row> = db
+            .scan_table("parts")
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let b: Vec<Row> = db
+            .scan_table("parts2")
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -327,17 +338,17 @@ mod tests {
         assert_eq!(ascii_dump(&db, "parts", &dump).unwrap(), 250);
 
         let mut s = db.session();
-        s.execute("CREATE TABLE loaded (id INT PRIMARY KEY, name VARCHAR, last_modified TIMESTAMP)")
-            .unwrap();
+        s.execute(
+            "CREATE TABLE loaded (id INT PRIMARY KEY, name VARCHAR, last_modified TIMESTAMP)",
+        )
+        .unwrap();
         assert_eq!(
             loader_load(&db, "loaded", &dump, LoadMode::Append).unwrap(),
             250
         );
         assert_eq!(db.row_count("loaded").unwrap(), 250);
         // Loaded rows are visible through the normal engine read path.
-        let r = s
-            .execute("SELECT name FROM loaded WHERE id = 42")
-            .unwrap();
+        let r = s.execute("SELECT name FROM loaded WHERE id = 42").unwrap();
         assert_eq!(r.rows[0].values()[0], Value::Str("part-42".into()));
     }
 
@@ -350,7 +361,11 @@ mod tests {
         assert_eq!(db.row_count("parts").unwrap(), 10, "replace, not double");
         loader_load(&db, "parts", &dump, LoadMode::Append).unwrap_err();
         // Append of the same keys fails the uniqueness pre-check...
-        assert_eq!(db.row_count("parts").unwrap(), 10, "...without loading anything");
+        assert_eq!(
+            db.row_count("parts").unwrap(),
+            10,
+            "...without loading anything"
+        );
     }
 
     #[test]
@@ -380,6 +395,9 @@ mod tests {
         let lsn_after_load = db.wal().next_lsn();
         assert_eq!(lsn_before, lsn_after_load, "direct path load writes no WAL");
         import_table(&db, "t2", &exp_path).unwrap();
-        assert!(db.wal().next_lsn() > lsn_after_load, "import is fully logged");
+        assert!(
+            db.wal().next_lsn() > lsn_after_load,
+            "import is fully logged"
+        );
     }
 }

@@ -22,7 +22,7 @@ use std::path::{Path, PathBuf};
 use bytes::{Buf, BufMut};
 use parking_lot::Mutex;
 
-use delta_storage::{Row, StorageError, StorageResult};
+use delta_storage::{invariant, Row, StorageError, StorageResult};
 
 use crate::db::SyncMode;
 use crate::error::{EngineError, EngineResult};
@@ -41,7 +41,11 @@ pub enum LogRecord {
     /// Row inserted.
     Insert { txn: TxnId, table: String, row: Row },
     /// Row deleted (before image).
-    Delete { txn: TxnId, table: String, before: Row },
+    Delete {
+        txn: TxnId,
+        table: String,
+        before: Row,
+    },
     /// Row updated (before and after images).
     Update {
         txn: TxnId,
@@ -288,6 +292,24 @@ fn segment_name(index: u64) -> String {
     format!("seg-{index:08}.wal")
 }
 
+/// Whether a batch is properly bracketed: a batch that starts with `Begin`
+/// must end with `Commit` for the same transaction, and a batch that does not
+/// start with `Begin` must carry no transaction bracket records at all
+/// (administrative batches: CreateTable/DropTable/Checkpoint).
+fn batch_is_bracketed(records: &[LogRecord]) -> bool {
+    match records.first() {
+        Some(LogRecord::Begin { txn }) => {
+            matches!(records.last(), Some(LogRecord::Commit { txn: t }) if t == txn)
+                && !records[1..records.len() - 1]
+                    .iter()
+                    .any(|r| matches!(r, LogRecord::Begin { .. } | LogRecord::Commit { .. }))
+        }
+        _ => !records
+            .iter()
+            .any(|r| matches!(r, LogRecord::Begin { .. } | LogRecord::Commit { .. })),
+    }
+}
+
 impl LogManager {
     /// Open the log in `wal_dir` (created if needed). Existing segments are
     /// scanned to restore the LSN counter and closed-segment list.
@@ -306,7 +328,7 @@ impl LogManager {
         let mut segments = list_segment_files(&wal_dir)?;
         segments.sort();
         let (active_index, mut next_lsn) = match segments.last() {
-            Some(_) => {
+            Some(last) => {
                 // Recover the next LSN by reading every resident segment.
                 let mut max_lsn = 0;
                 for p in &segments {
@@ -321,7 +343,7 @@ impl LogManager {
                         max_lsn = max_lsn.max(lsn);
                     }
                 }
-                let last_index: u64 = segment_index_of(segments.last().unwrap())?;
+                let last_index: u64 = segment_index_of(last)?;
                 (last_index, max_lsn + 1)
             }
             None => (1, 1),
@@ -345,10 +367,7 @@ impl LogManager {
             .append(true)
             .open(&active_path)?;
         let segment_bytes = file.metadata()?.len();
-        let closed = segments
-            .into_iter()
-            .filter(|p| *p != active_path)
-            .collect();
+        let closed = segments.into_iter().filter(|p| *p != active_path).collect();
         Ok(LogManager {
             wal_dir,
             archive_dir,
@@ -387,6 +406,13 @@ impl LogManager {
     /// transaction publishes its Begin..Commit run.
     pub fn append_batch(&self, records: &[LogRecord]) -> EngineResult<(Lsn, Lsn)> {
         assert!(!records.is_empty());
+        invariant!(
+            batch_is_bracketed(records),
+            "commit batch is not Begin..Commit bracketed: {:?}",
+            records.first()
+        );
+        // lint: allow(lock_hygiene) -- the WAL mutex *is* the append pipeline:
+        // it must cover LSN assignment and the write to keep the log dense.
         let mut inner = self.inner.lock();
         let first = inner.next_lsn;
         let mut buf = Vec::with_capacity(records.len() * 64);
@@ -394,6 +420,11 @@ impl LogManager {
             buf.extend_from_slice(&encode_entry(first + i as u64, rec));
         }
         let last = first + records.len() as u64 - 1;
+        invariant!(
+            last - first + 1 == records.len() as u64,
+            "LSN assignment not dense: [{first}, {last}] for {} records",
+            records.len()
+        );
         inner.next_lsn = last + 1;
         inner.writer.out.write_all(&buf)?;
         inner.writer.segment_bytes += buf.len() as u64;
@@ -416,8 +447,13 @@ impl LogManager {
         let old_index = inner.writer.segment_index;
         let new_index = old_index + 1;
         let new_path = self.wal_dir.join(segment_name(new_index));
-        let file = OpenOptions::new().create(true).append(true).open(&new_path)?;
-        inner.closed.push(self.wal_dir.join(segment_name(old_index)));
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&new_path)?;
+        inner
+            .closed
+            .push(self.wal_dir.join(segment_name(old_index)));
         inner.writer = Writer {
             out: BufWriter::new(file),
             segment_index: new_index,
@@ -431,10 +467,14 @@ impl LogManager {
     /// number of segments recycled. (Flushing dirty pages is the database's
     /// job and happens before this is called.)
     pub fn recycle_closed_segments(&self) -> EngineResult<usize> {
+        // lint: allow(lock_hygiene) -- checkpoint-time recycle must exclude
+        // concurrent appends while segment files are renamed away.
         let mut inner = self.inner.lock();
         inner.writer.out.flush()?;
         let closed = std::mem::take(&mut inner.closed);
         let n = closed.len();
+        #[cfg(feature = "invariants")]
+        let archived_before = list_segment_files(&self.archive_dir)?.len();
         for p in closed {
             if self.archive_mode {
                 let dest = self.archive_dir.join(
@@ -445,6 +485,16 @@ impl LogManager {
             } else {
                 fs::remove_file(&p)?;
             }
+        }
+        #[cfg(feature = "invariants")]
+        if self.archive_mode {
+            // Segment conservation: every recycled segment must now be in the
+            // archive — archiving moves log history, it never loses it.
+            let archived_after = list_segment_files(&self.archive_dir)?.len();
+            invariant!(
+                archived_after == archived_before + n,
+                "segment conservation violated: {archived_before} archived + {n} recycled != {archived_after}"
+            );
         }
         Ok(n)
     }
@@ -471,6 +521,7 @@ impl LogManager {
     /// active one.
     pub fn resident_segments(&self) -> EngineResult<Vec<PathBuf>> {
         // Flush so readers see everything appended so far.
+        // lint: allow(lock_hygiene) -- one-shot flush of the guarded writer.
         self.inner.lock().writer.out.flush()?;
         let mut v = list_segment_files(&self.wal_dir)?;
         v.sort();
@@ -491,6 +542,10 @@ impl LogManager {
             }
         }
         out.sort_by_key(|(lsn, _)| *lsn);
+        invariant!(
+            out.windows(2).all(|w| w[1].0 == w[0].0 + 1),
+            "WAL read_from({from_lsn}) returned a non-dense LSN sequence"
+        );
         Ok(out)
     }
 }
@@ -621,7 +676,8 @@ mod tests {
 
     #[test]
     fn entry_codec_round_trips_every_variant() {
-        let recs = [LogRecord::Begin { txn: TxnId(9) },
+        let recs = [
+            LogRecord::Begin { txn: TxnId(9) },
             LogRecord::Insert {
                 txn: TxnId(9),
                 table: "parts".into(),
@@ -645,7 +701,8 @@ mod tests {
                 options: "".into(),
             },
             LogRecord::DropTable { name: "t".into() },
-            LogRecord::Checkpoint];
+            LogRecord::Checkpoint,
+        ];
         let mut buf = Vec::new();
         for (i, r) in recs.iter().enumerate() {
             buf.extend_from_slice(&encode_entry(i as u64 + 1, r));
@@ -771,7 +828,11 @@ mod tests {
         let wal = open(&dir, false);
         assert_eq!(wal.read_from(1).unwrap().len(), 4);
         wal.append_batch(&txn_batch(2, 1)).unwrap();
-        assert_eq!(wal.read_from(1).unwrap().len(), 7, "post-crash appends visible");
+        assert_eq!(
+            wal.read_from(1).unwrap().len(),
+            7,
+            "post-crash appends visible"
+        );
     }
 
     #[test]

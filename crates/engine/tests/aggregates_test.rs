@@ -151,7 +151,9 @@ fn invalid_aggregate_queries_are_rejected() {
     assert!(s.execute("SELECT *, COUNT(*) FROM sales").is_err());
     assert!(s.execute("SELECT * FROM sales GROUP BY region").is_err());
     // Aggregates outside SELECT projections.
-    assert!(s.execute("SELECT id FROM sales WHERE SUM(amount) > 1").is_err());
+    assert!(s
+        .execute("SELECT id FROM sales WHERE SUM(amount) > 1")
+        .is_err());
     // Summing strings.
     assert!(s.execute("SELECT SUM(region) FROM sales").is_err());
 }
@@ -171,11 +173,10 @@ fn min_max_work_on_strings_and_timestamps() {
 fn group_by_multiple_columns() {
     let db = open("multi");
     let mut s = db.session();
-    s.execute("CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT, v INT)").unwrap();
-    s.execute(
-        "INSERT INTO t VALUES (1, 1, 1, 10), (2, 1, 1, 20), (3, 1, 2, 30), (4, 2, 1, 40)",
-    )
-    .unwrap();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT, v INT)")
+        .unwrap();
+    s.execute("INSERT INTO t VALUES (1, 1, 1, 10), (2, 1, 1, 20), (3, 1, 2, 30), (4, 2, 1, 40)")
+        .unwrap();
     let r = s
         .execute("SELECT a, b, SUM(v) FROM t GROUP BY a, b")
         .unwrap();

@@ -9,7 +9,7 @@ use delta_engine::exec::{choose_access_path, AccessPath};
 use delta_engine::trigger::{delta_table_schema, TriggerDef};
 use delta_engine::{EngineError, Session};
 use delta_sql::parser::parse_expression;
-use delta_storage::{Value};
+use delta_storage::Value;
 
 fn temp_dir(label: &str) -> std::path::PathBuf {
     let d = std::env::temp_dir().join(format!(
@@ -54,7 +54,9 @@ fn insert_select_update_delete_cycle() {
     assert_eq!(r.rows[0].values()[1], Value::Str("part-7".into()));
     assert_eq!(r.columns, vec!["id", "name", "qty", "last_modified"]);
 
-    let r = s.execute("UPDATE parts SET qty = qty + 100 WHERE id < 5").unwrap();
+    let r = s
+        .execute("UPDATE parts SET qty = qty + 100 WHERE id < 5")
+        .unwrap();
     assert_eq!(r.affected, 5);
     let r = s.execute("SELECT qty FROM parts WHERE id = 3").unwrap();
     assert_eq!(r.rows[0].values()[0], Value::Int(103));
@@ -82,14 +84,18 @@ fn primary_key_uniqueness_enforced() {
     let db = open("pk");
     let mut s = db.session();
     create_parts(&mut s);
-    s.execute("INSERT INTO parts (id, name) VALUES (1, 'a')").unwrap();
+    s.execute("INSERT INTO parts (id, name) VALUES (1, 'a')")
+        .unwrap();
     let err = s
         .execute("INSERT INTO parts (id, name) VALUES (1, 'b')")
         .unwrap_err();
     assert!(matches!(err, EngineError::DuplicateKey { .. }));
     // Update onto an existing key also fails...
-    s.execute("INSERT INTO parts (id, name) VALUES (2, 'c')").unwrap();
-    let err = s.execute("UPDATE parts SET id = 1 WHERE id = 2").unwrap_err();
+    s.execute("INSERT INTO parts (id, name) VALUES (2, 'c')")
+        .unwrap();
+    let err = s
+        .execute("UPDATE parts SET id = 1 WHERE id = 2")
+        .unwrap_err();
     assert!(matches!(err, EngineError::DuplicateKey { .. }));
     // ...and the autocommit abort rolled the statement back cleanly.
     assert_eq!(db.row_count("parts").unwrap(), 2);
@@ -102,16 +108,24 @@ fn auto_timestamp_stamps_inserts_and_updates() {
     let db = open("autots");
     let mut s = db.session();
     create_parts(&mut s);
-    s.execute("INSERT INTO parts (id, name) VALUES (1, 'a')").unwrap();
-    let t1 = match s.execute("SELECT last_modified FROM parts WHERE id = 1").unwrap().rows[0]
+    s.execute("INSERT INTO parts (id, name) VALUES (1, 'a')")
+        .unwrap();
+    let t1 = match s
+        .execute("SELECT last_modified FROM parts WHERE id = 1")
+        .unwrap()
+        .rows[0]
         .values()[0]
     {
         Value::Timestamp(t) => t,
         ref other => panic!("expected timestamp, got {other:?}"),
     };
     assert!(t1 > 0);
-    s.execute("UPDATE parts SET name = 'b' WHERE id = 1").unwrap();
-    let t2 = match s.execute("SELECT last_modified FROM parts WHERE id = 1").unwrap().rows[0]
+    s.execute("UPDATE parts SET name = 'b' WHERE id = 1")
+        .unwrap();
+    let t2 = match s
+        .execute("SELECT last_modified FROM parts WHERE id = 1")
+        .unwrap()
+        .rows[0]
         .values()[0]
     {
         Value::Timestamp(t) => t,
@@ -126,12 +140,15 @@ fn explicit_transactions_commit_and_rollback() {
     let mut s = db.session();
     create_parts(&mut s);
     s.execute("BEGIN").unwrap();
-    s.execute("INSERT INTO parts (id, name) VALUES (1, 'kept')").unwrap();
+    s.execute("INSERT INTO parts (id, name) VALUES (1, 'kept')")
+        .unwrap();
     s.execute("COMMIT").unwrap();
 
     s.execute("BEGIN").unwrap();
-    s.execute("INSERT INTO parts (id, name) VALUES (2, 'doomed')").unwrap();
-    s.execute("UPDATE parts SET name = 'mutated' WHERE id = 1").unwrap();
+    s.execute("INSERT INTO parts (id, name) VALUES (2, 'doomed')")
+        .unwrap();
+    s.execute("UPDATE parts SET name = 'mutated' WHERE id = 1")
+        .unwrap();
     s.execute("DELETE FROM parts WHERE id = 1").unwrap();
     s.execute("ROLLBACK").unwrap();
 
@@ -149,12 +166,22 @@ fn rollback_restores_multi_row_state() {
     let mut s = db.session();
     create_parts(&mut s);
     seed_parts(&mut s, 50);
-    let before: Vec<_> = db.scan_table("parts").unwrap().into_iter().map(|(_, r)| r).collect();
+    let before: Vec<_> = db
+        .scan_table("parts")
+        .unwrap()
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
     s.execute("BEGIN").unwrap();
     s.execute("UPDATE parts SET qty = 999").unwrap();
     s.execute("DELETE FROM parts WHERE id >= 25").unwrap();
     s.execute("ROLLBACK").unwrap();
-    let mut after: Vec<_> = db.scan_table("parts").unwrap().into_iter().map(|(_, r)| r).collect();
+    let mut after: Vec<_> = db
+        .scan_table("parts")
+        .unwrap()
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
     // Order can differ (deletes re-inserted elsewhere); compare as sets.
     let key = |r: &delta_storage::Row| r.values()[0].as_int().unwrap();
     after.sort_by_key(key);
@@ -168,7 +195,10 @@ fn txn_control_misuse_is_reported() {
     let db = open("txn3");
     let mut s = db.session();
     assert!(matches!(s.execute("COMMIT"), Err(EngineError::TxnState(_))));
-    assert!(matches!(s.execute("ROLLBACK"), Err(EngineError::TxnState(_))));
+    assert!(matches!(
+        s.execute("ROLLBACK"),
+        Err(EngineError::TxnState(_))
+    ));
     s.execute("BEGIN").unwrap();
     assert!(matches!(s.execute("BEGIN"), Err(EngineError::TxnState(_))));
     assert!(matches!(
@@ -188,13 +218,15 @@ fn dropped_session_rolls_back_open_txn() {
     {
         let mut s = db.session();
         s.execute("BEGIN").unwrap();
-        s.execute("INSERT INTO parts (id, name) VALUES (1, 'x')").unwrap();
+        s.execute("INSERT INTO parts (id, name) VALUES (1, 'x')")
+            .unwrap();
         // Session dropped with the transaction open.
     }
     assert_eq!(db.row_count("parts").unwrap(), 0);
     // And its locks were released: another session can write immediately.
     let mut s2 = db.session();
-    s2.execute("INSERT INTO parts (id, name) VALUES (1, 'y')").unwrap();
+    s2.execute("INSERT INTO parts (id, name) VALUES (1, 'y')")
+        .unwrap();
 }
 
 #[test]
@@ -212,7 +244,8 @@ fn capture_trigger_writes_delta_rows() {
     db.create_trigger(TriggerDef::capture_all("cap", "parts", "parts_delta"))
         .unwrap();
 
-    s.execute("INSERT INTO parts (id, name, qty) VALUES (1, 'a', 5)").unwrap();
+    s.execute("INSERT INTO parts (id, name, qty) VALUES (1, 'a', 5)")
+        .unwrap();
     s.execute("UPDATE parts SET qty = 6 WHERE id = 1").unwrap();
     s.execute("DELETE FROM parts WHERE id = 1").unwrap();
 
@@ -221,12 +254,19 @@ fn capture_trigger_writes_delta_rows() {
         .iter()
         .map(|(_, r)| r.values()[0].as_str().unwrap().to_string())
         .collect();
-    assert_eq!(ops, vec!["I", "UB", "UA", "D"], "1 insert + 2 update images + 1 delete");
+    assert_eq!(
+        ops,
+        vec!["I", "UB", "UA", "D"],
+        "1 insert + 2 update images + 1 delete"
+    );
     // The before image of the update carries qty=5, the after image qty=6.
     assert_eq!(rows[1].1.values()[4], Value::Int(5));
     assert_eq!(rows[2].1.values()[4], Value::Int(6));
     // Distinct statements have distinct transaction ids.
-    let txns: Vec<i64> = rows.iter().map(|(_, r)| r.values()[1].as_int().unwrap()).collect();
+    let txns: Vec<i64> = rows
+        .iter()
+        .map(|(_, r)| r.values()[1].as_int().unwrap())
+        .collect();
     assert_ne!(txns[0], txns[1]);
     assert_eq!(txns[1], txns[2], "both update images in one transaction");
 }
@@ -289,14 +329,18 @@ fn secondary_index_and_access_path_heuristic() {
     let mut s = db.session();
     create_parts(&mut s);
     seed_parts(&mut s, 200);
-    db.create_index("ts_idx", "parts", "last_modified", false).unwrap();
+    db.create_index("ts_idx", "parts", "last_modified", false)
+        .unwrap();
 
     let meta = db.table("parts").unwrap();
     // Small delta fraction → index.
     let hi = db.peek_clock();
     let p = parse_expression(&format!("last_modified > {}", hi - 10)).unwrap();
     match choose_access_path(&db, &meta, Some(&p)) {
-        AccessPath::IndexRange { index, estimated_fraction } => {
+        AccessPath::IndexRange {
+            index,
+            estimated_fraction,
+        } => {
             assert_eq!(index, "ts_idx");
             assert!(estimated_fraction < 0.2);
         }
@@ -304,16 +348,24 @@ fn secondary_index_and_access_path_heuristic() {
     }
     // Large delta fraction → seq scan (the optimizer remark of §3.1.1).
     let p = parse_expression("last_modified > 0").unwrap();
-    assert_eq!(choose_access_path(&db, &meta, Some(&p)), AccessPath::SeqScan);
+    assert_eq!(
+        choose_access_path(&db, &meta, Some(&p)),
+        AccessPath::SeqScan
+    );
     // No predicate → seq scan.
     assert_eq!(choose_access_path(&db, &meta, None), AccessPath::SeqScan);
 
     // Results agree between paths.
     let r = s
-        .execute(&format!("SELECT id FROM parts WHERE last_modified > {}", hi - 10))
+        .execute(&format!(
+            "SELECT id FROM parts WHERE last_modified > {}",
+            hi - 10
+        ))
         .unwrap();
     let r2_pred = format!("last_modified > {} AND id >= 0", hi - 10);
-    let r2 = s.execute(&format!("SELECT id FROM parts WHERE {r2_pred}")).unwrap();
+    let r2 = s
+        .execute(&format!("SELECT id FROM parts WHERE {r2_pred}"))
+        .unwrap();
     assert_eq!(r.rows.len(), r2.rows.len());
     destroy(dir);
 }
@@ -327,7 +379,8 @@ fn lock_conflicts_time_out_and_release() {
     let mut s1 = db.session();
     create_parts(&mut s1);
     s1.execute("BEGIN").unwrap();
-    s1.execute("INSERT INTO parts (id, name) VALUES (1, 'x')").unwrap();
+    s1.execute("INSERT INTO parts (id, name) VALUES (1, 'x')")
+        .unwrap();
 
     let mut s2 = db.session();
     let err = s2
@@ -338,7 +391,8 @@ fn lock_conflicts_time_out_and_release() {
     assert!(s2.execute("SELECT * FROM parts").is_err());
 
     s1.execute("COMMIT").unwrap();
-    s2.execute("INSERT INTO parts (id, name) VALUES (2, 'y')").unwrap();
+    s2.execute("INSERT INTO parts (id, name) VALUES (2, 'y')")
+        .unwrap();
     assert_eq!(db.row_count("parts").unwrap(), 2);
     destroy(dir);
 }
@@ -367,7 +421,10 @@ fn concurrent_writers_serialize() {
     }
     assert_eq!(db.row_count("parts").unwrap(), 200);
     // Primary-key index agrees with the heap after concurrent writes.
-    let r = db.session().execute("SELECT * FROM parts WHERE id = 3042").unwrap();
+    let r = db
+        .session()
+        .execute("SELECT * FROM parts WHERE id = 3042")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
 }
 
@@ -377,15 +434,21 @@ fn wal_contains_committed_work_in_commit_order() {
     let mut s = db.session();
     create_parts(&mut s);
     s.execute("BEGIN").unwrap();
-    s.execute("INSERT INTO parts (id, name) VALUES (1, 'a')").unwrap();
+    s.execute("INSERT INTO parts (id, name) VALUES (1, 'a')")
+        .unwrap();
     s.execute("ROLLBACK").unwrap();
-    s.execute("INSERT INTO parts (id, name) VALUES (2, 'b')").unwrap();
+    s.execute("INSERT INTO parts (id, name) VALUES (2, 'b')")
+        .unwrap();
 
     let recs = db.wal().read_from(1).unwrap();
     // No record of the rolled-back insert may appear.
     for (_, r) in &recs {
         if let delta_engine::LogRecord::Insert { row, .. } = r {
-            assert_ne!(row.values()[0], Value::Int(1), "aborted work must not be logged");
+            assert_ne!(
+                row.values()[0],
+                Value::Int(1),
+                "aborted work must not be logged"
+            );
         }
     }
     // Exactly one committed DML transaction (Begin/Insert/Commit).
@@ -404,7 +467,8 @@ fn log_shipping_recreates_database() {
     let mut s = src.session();
     create_parts(&mut s);
     seed_parts(&mut s, 30);
-    s.execute("UPDATE parts SET qty = 777 WHERE id < 10").unwrap();
+    s.execute("UPDATE parts SET qty = 777 WHERE id < 10")
+        .unwrap();
     s.execute("DELETE FROM parts WHERE id >= 20").unwrap();
     src.checkpoint().unwrap();
 
@@ -422,8 +486,18 @@ fn log_shipping_recreates_database() {
         .unwrap();
     assert_eq!(r.rows[0].values()[0], Value::Int(777));
     // Timestamps were preserved verbatim (no re-stamping on apply).
-    let src_rows: Vec<_> = src.scan_table("parts").unwrap().into_iter().map(|(_, r)| r).collect();
-    let mut dst_rows: Vec<_> = standby.scan_table("parts").unwrap().into_iter().map(|(_, r)| r).collect();
+    let src_rows: Vec<_> = src
+        .scan_table("parts")
+        .unwrap()
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
+    let mut dst_rows: Vec<_> = standby
+        .scan_table("parts")
+        .unwrap()
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
     let key = |r: &delta_storage::Row| r.values()[0].as_int().unwrap();
     let mut src_sorted = src_rows;
     src_sorted.sort_by_key(key);
@@ -468,7 +542,8 @@ fn database_reopens_with_data_indexes_and_clock() {
         let mut s = db.session();
         create_parts(&mut s);
         seed_parts(&mut s, 25);
-        db.create_index("ts_idx", "parts", "last_modified", false).unwrap();
+        db.create_index("ts_idx", "parts", "last_modified", false)
+            .unwrap();
         db.pool().flush_and_sync_all().unwrap();
     }
     let db = Database::open(DbOptions::new(&dir)).unwrap();
@@ -478,13 +553,20 @@ fn database_reopens_with_data_indexes_and_clock() {
     assert_eq!(db.indexes().get("ts_idx").unwrap().len(), 25);
     // PK uniqueness still enforced after reopen.
     let mut s = db.session();
-    let err = s.execute("INSERT INTO parts (id, name) VALUES (3, 'dup')").unwrap_err();
+    let err = s
+        .execute("INSERT INTO parts (id, name) VALUES (3, 'dup')")
+        .unwrap_err();
     assert!(matches!(err, EngineError::DuplicateKey { .. }));
     // The clock resumed past all stored timestamps: new stamps are fresh.
-    s.execute("INSERT INTO parts (id, name) VALUES (100, 'new')").unwrap();
-    let r = s.execute("SELECT last_modified FROM parts WHERE id = 100").unwrap();
+    s.execute("INSERT INTO parts (id, name) VALUES (100, 'new')")
+        .unwrap();
+    let r = s
+        .execute("SELECT last_modified FROM parts WHERE id = 100")
+        .unwrap();
     let t_new = r.rows[0].values()[0].as_int().unwrap();
-    let r = s.execute("SELECT last_modified FROM parts WHERE id = 3").unwrap();
+    let r = s
+        .execute("SELECT last_modified FROM parts WHERE id = 3")
+        .unwrap();
     let t_old = r.rows[0].values()[0].as_int().unwrap();
     assert!(t_new > t_old);
     destroy(dir);
@@ -496,8 +578,10 @@ fn drop_table_removes_everything() {
     let mut s = db.session();
     create_parts(&mut s);
     seed_parts(&mut s, 5);
-    db.create_index("ts_idx", "parts", "last_modified", false).unwrap();
-    db.create_trigger(TriggerDef::capture_all("cap", "parts", "parts")).unwrap();
+    db.create_index("ts_idx", "parts", "last_modified", false)
+        .unwrap();
+    db.create_trigger(TriggerDef::capture_all("cap", "parts", "parts"))
+        .unwrap();
     s.execute("DROP TABLE parts").unwrap();
     assert!(db.table("parts").is_err());
     assert!(db.indexes().get("ts_idx").is_none());
@@ -512,7 +596,8 @@ fn now_in_statements_uses_engine_clock() {
     let db = open("now");
     let mut s = db.session();
     create_parts(&mut s);
-    s.execute("INSERT INTO parts (id, name, qty) VALUES (1, 'a', 0)").unwrap();
+    s.execute("INSERT INTO parts (id, name, qty) VALUES (1, 'a', 0)")
+        .unwrap();
     // NOW() strictly exceeds any stored stamp at evaluation time.
     let r = s
         .execute("SELECT * FROM parts WHERE last_modified < NOW()")

@@ -19,7 +19,8 @@ fn open(label: &str) -> Arc<Database> {
 fn seeded(label: &str) -> Arc<Database> {
     let db = open(label);
     let mut s = db.session();
-    s.execute("CREATE TABLE sales (id INT PRIMARY KEY, region VARCHAR, amount INT)").unwrap();
+    s.execute("CREATE TABLE sales (id INT PRIMARY KEY, region VARCHAR, amount INT)")
+        .unwrap();
     s.execute(
         "INSERT INTO sales VALUES (1, 'west', 30), (2, 'east', 10), (3, 'west', 20), (4, 'north', 40), (5, 'east', 40)",
     )
@@ -28,7 +29,9 @@ fn seeded(label: &str) -> Arc<Database> {
 }
 
 fn ints(rows: &[delta_storage::Row], col: usize) -> Vec<i64> {
-    rows.iter().map(|r| r.values()[col].as_int().unwrap()).collect()
+    rows.iter()
+        .map(|r| r.values()[col].as_int().unwrap())
+        .collect()
 }
 
 #[test]
@@ -37,10 +40,14 @@ fn order_by_ascending_and_descending() {
     let mut s = db.session();
     let r = s.execute("SELECT id FROM sales ORDER BY amount").unwrap();
     assert_eq!(ints(&r.rows, 0), vec![2, 3, 1, 4, 5]);
-    let r = s.execute("SELECT id FROM sales ORDER BY amount DESC, id DESC").unwrap();
+    let r = s
+        .execute("SELECT id FROM sales ORDER BY amount DESC, id DESC")
+        .unwrap();
     assert_eq!(ints(&r.rows, 0), vec![5, 4, 1, 3, 2]);
     // ASC keyword accepted, expression keys work.
-    let r = s.execute("SELECT id FROM sales ORDER BY 0 - id ASC").unwrap();
+    let r = s
+        .execute("SELECT id FROM sales ORDER BY 0 - id ASC")
+        .unwrap();
     assert_eq!(ints(&r.rows, 0), vec![5, 4, 3, 2, 1]);
 }
 
@@ -48,7 +55,9 @@ fn order_by_ascending_and_descending() {
 fn limit_truncates_after_ordering() {
     let db = seeded("limit");
     let mut s = db.session();
-    let r = s.execute("SELECT id FROM sales ORDER BY amount DESC LIMIT 2").unwrap();
+    let r = s
+        .execute("SELECT id FROM sales ORDER BY amount DESC LIMIT 2")
+        .unwrap();
     assert_eq!(r.rows.len(), 2);
     assert!(r.rows[0].values()[0].as_int().unwrap() % 10 >= 4);
     let r = s.execute("SELECT id FROM sales LIMIT 0").unwrap();
@@ -69,7 +78,10 @@ fn order_by_with_group_by_and_aggregates() {
     // east (10+40) and west (30+20) tie at 50; north (40) is cut by LIMIT.
     assert_eq!(r.rows[0].values()[1], Value::Int(50));
     assert_eq!(r.rows[1].values()[1], Value::Int(50));
-    assert!(r.rows.iter().all(|row| row.values()[0] != Value::Str("north".into())));
+    assert!(r
+        .rows
+        .iter()
+        .all(|row| row.values()[0] != Value::Str("north".into())));
 
     // Ordering by the grouping column itself.
     let r = s
@@ -92,8 +104,10 @@ fn order_by_with_group_by_and_aggregates() {
 fn order_by_handles_nulls_deterministically() {
     let db = open("null-order");
     let mut s = db.session();
-    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
-    s.execute("INSERT INTO t VALUES (1, 5), (2, NULL), (3, 1)").unwrap();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    s.execute("INSERT INTO t VALUES (1, 5), (2, NULL), (3, 1)")
+        .unwrap();
     let r = s.execute("SELECT id FROM t ORDER BY v").unwrap();
     // NULLs first under the engine's total order.
     assert_eq!(ints(&r.rows, 0), vec![2, 3, 1]);
@@ -105,11 +119,14 @@ fn order_by_handles_nulls_deterministically() {
 fn create_and_drop_index_via_sql() {
     let db = seeded("index-ddl");
     let mut s = db.session();
-    s.execute("CREATE INDEX amount_idx ON sales (amount)").unwrap();
+    s.execute("CREATE INDEX amount_idx ON sales (amount)")
+        .unwrap();
     assert!(db.indexes().get("amount_idx").is_some());
     assert_eq!(db.indexes().get("amount_idx").unwrap().len(), 5);
     // Duplicate name rejected; unknown column rejected.
-    assert!(s.execute("CREATE INDEX amount_idx ON sales (amount)").is_err());
+    assert!(s
+        .execute("CREATE INDEX amount_idx ON sales (amount)")
+        .is_err());
     assert!(s.execute("CREATE INDEX broken ON sales (nope)").is_err());
     s.execute("DROP INDEX amount_idx").unwrap();
     assert!(db.indexes().get("amount_idx").is_none());
@@ -120,15 +137,20 @@ fn create_and_drop_index_via_sql() {
 fn unique_index_via_sql_enforces() {
     let db = seeded("unique-ddl");
     let mut s = db.session();
-    s.execute("CREATE UNIQUE INDEX region_u ON sales (region)").unwrap_err(); // dup regions exist
-    s.execute("CREATE UNIQUE INDEX amount_u ON sales (id)").unwrap();
+    s.execute("CREATE UNIQUE INDEX region_u ON sales (region)")
+        .unwrap_err(); // dup regions exist
+    s.execute("CREATE UNIQUE INDEX amount_u ON sales (id)")
+        .unwrap();
     // DDL is barred inside transactions.
     s.execute("BEGIN").unwrap();
     assert!(matches!(
         s.execute("CREATE INDEX i2 ON sales (amount)"),
         Err(EngineError::TxnState(_))
     ));
-    assert!(matches!(s.execute("DROP INDEX amount_u"), Err(EngineError::TxnState(_))));
+    assert!(matches!(
+        s.execute("DROP INDEX amount_u"),
+        Err(EngineError::TxnState(_))
+    ));
     s.execute("COMMIT").unwrap();
 }
 
@@ -138,12 +160,14 @@ fn sql_created_index_is_used_by_the_planner() {
     use delta_sql::parser::parse_expression;
     let db = open("planner");
     let mut s = db.session();
-    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     for chunk in 0..4 {
         let values: Vec<String> = (chunk * 250..(chunk + 1) * 250)
             .map(|i| format!("({i}, {i})"))
             .collect();
-        s.execute(&format!("INSERT INTO t VALUES {}", values.join(", "))).unwrap();
+        s.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+            .unwrap();
     }
     s.execute("CREATE INDEX v_idx ON t (v)").unwrap();
     let meta = db.table("t").unwrap();

@@ -25,7 +25,8 @@ fn tiny_buffer_pool_still_serves_correct_results() {
     opts.buffer_pool_pages = 16;
     let db = Database::open(opts).unwrap();
     let mut s = db.session();
-    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT, pad VARCHAR)").unwrap();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT, pad VARCHAR)")
+        .unwrap();
     let pad = "x".repeat(80);
     for chunk in 0..40 {
         let values: Vec<String> = (chunk * 500..(chunk + 1) * 500)
@@ -45,7 +46,9 @@ fn tiny_buffer_pool_still_serves_correct_results() {
         assert_eq!(r.rows[0].values()[0], Value::Int(probe * 3));
     }
     // A predicate scan agrees with arithmetic.
-    let r = s.execute("SELECT COUNT(*) FROM t WHERE v >= 30000").unwrap();
+    let r = s
+        .execute("SELECT COUNT(*) FROM t WHERE v >= 30000")
+        .unwrap();
     assert_eq!(r.rows[0].values()[0], Value::Int(10_000));
     destroy(&d);
 }
@@ -56,11 +59,11 @@ fn heavy_churn_then_reopen_preserves_exact_state() {
     {
         let db = Database::open(DbOptions::new(&d)).unwrap();
         let mut s = db.session();
-        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
         for round in 0..5 {
             let base = round * 1000;
-            let values: Vec<String> =
-                (base..base + 1000).map(|i| format!("({i}, 0)")).collect();
+            let values: Vec<String> = (base..base + 1000).map(|i| format!("({i}, 0)")).collect();
             s.execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
                 .unwrap();
             s.execute(&format!(
@@ -89,7 +92,10 @@ fn heavy_churn_then_reopen_preserves_exact_state() {
             .unwrap();
         assert_eq!(r.rows[0].values()[0], Value::Int(500), "round {round}");
         let r = s
-            .execute(&format!("SELECT MIN(v) FROM t WHERE id = {}", round * 1000 + 500))
+            .execute(&format!(
+                "SELECT MIN(v) FROM t WHERE id = {}",
+                round * 1000 + 500
+            ))
             .unwrap();
         assert_eq!(r.rows[0].values()[0], Value::Int(round));
     }
@@ -105,8 +111,10 @@ fn readers_and_writers_on_disjoint_tables_run_concurrently() {
     {
         let mut s = db.session();
         for t in 0..3 {
-            s.execute(&format!("CREATE TABLE t{t} (id INT PRIMARY KEY, v INT)")).unwrap();
-            s.execute(&format!("INSERT INTO t{t} VALUES (0, 0)")).unwrap();
+            s.execute(&format!("CREATE TABLE t{t} (id INT PRIMARY KEY, v INT)"))
+                .unwrap();
+            s.execute(&format!("INSERT INTO t{t} VALUES (0, 0)"))
+                .unwrap();
         }
     }
     let mut handles = Vec::new();
@@ -115,7 +123,8 @@ fn readers_and_writers_on_disjoint_tables_run_concurrently() {
         handles.push(std::thread::spawn(move || {
             let mut s = db.session();
             for i in 1..200 {
-                s.execute(&format!("INSERT INTO t{t} VALUES ({i}, {i})")).unwrap();
+                s.execute(&format!("INSERT INTO t{t} VALUES ({i}, {i})"))
+                    .unwrap();
                 if i % 10 == 0 {
                     let r = s.execute(&format!("SELECT COUNT(*) FROM t{t}")).unwrap();
                     assert_eq!(r.rows[0].values()[0], Value::Int(i + 1));
@@ -139,9 +148,11 @@ fn wal_segments_rotate_and_replay_under_load() {
     opts.wal_segment_bytes = 8 * 1024;
     let db = Database::open(opts).unwrap();
     let mut s = db.session();
-    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR)").unwrap();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR)")
+        .unwrap();
     for i in 0..2000 {
-        s.execute(&format!("INSERT INTO t VALUES ({i}, 'value-{i}')")).unwrap();
+        s.execute(&format!("INSERT INTO t VALUES ({i}, 'value-{i}')"))
+            .unwrap();
         if i % 500 == 499 {
             db.checkpoint().unwrap();
         }
@@ -167,11 +178,13 @@ fn many_small_transactions_with_intermittent_rollbacks() {
     let d = dir("txnmix");
     let db = Database::open(DbOptions::new(&d)).unwrap();
     let mut s = db.session();
-    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .unwrap();
     let mut expected = 0i64;
     for i in 0..500 {
         s.execute("BEGIN").unwrap();
-        s.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        s.execute(&format!("INSERT INTO t VALUES ({i}, {i})"))
+            .unwrap();
         if i % 3 == 0 {
             s.execute("ROLLBACK").unwrap();
         } else {

@@ -1,0 +1,151 @@
+//! delta-lint: workspace correctness analysis for DeltaForge.
+//!
+//! A `std`-only static analyzer (no `syn`, no proc macros) that walks the
+//! workspace's Rust sources and enforces three project-specific rules the
+//! stock toolchain cannot express:
+//!
+//! * **panic-freedom** — crash-recovery modules (WAL replay, queue recovery,
+//!   page/heap decode, buffer writeback) must not `unwrap`/`expect`/`panic!`
+//!   outside test code; residual exceptions live in a checked-in allowlist.
+//! * **lock-hygiene** — no lock guard may be held across file I/O or a
+//!   `Condvar` wait (the lock manager is the sole, deliberate exception), and
+//!   nested lock acquisitions must carry consistent `// lock-order: <n>`
+//!   annotations that the lint verifies for inversions.
+//! * **api-hygiene** — every `pub` item in `delta-core` and `delta-engine`
+//!   carries a doc comment, and every public `*Error` type implements
+//!   `std::error::Error`.
+//!
+//! Run it with `cargo run -p delta-lint`; it exits nonzero when findings
+//! remain, which is how CI gates on it.
+
+pub mod rules;
+pub mod scan;
+
+pub use rules::{parse_allowlist, AllowEntry, Finding};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never linted: build output, vendored shims, VCS metadata, and
+/// test-only trees (the lints target shipping code).
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", ".git", "tests", "benches", "examples", ".github",
+];
+
+/// Repo-relative path of the panic-freedom allowlist.
+pub const ALLOWLIST_PATH: &str = "crates/lint/allowlist.txt";
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The crate a repo-relative path belongs to (for crate-wide checks).
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        _ => "<root>".to_string(),
+    }
+}
+
+/// Run every lint over the workspace rooted at `root`. The allowlist is read
+/// from [`ALLOWLIST_PATH`] under `root` if present.
+pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
+    let allow = match fs::read_to_string(root.join(ALLOWLIST_PATH)) {
+        Ok(text) => parse_allowlist(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+
+    let mut paths = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut paths)?;
+        }
+    }
+    // A clean report must mean "analyzed and passed", never "found nothing to
+    // analyze" — running from the wrong directory is an error, not a pass.
+    if paths.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "no .rs files under {}/src or {0}/crates — wrong workspace root?",
+                root.display()
+            ),
+        ));
+    }
+
+    let sources: Vec<(String, String)> = paths
+        .iter()
+        .map(|p| Ok((rel_path(root, p), fs::read_to_string(p)?)))
+        .collect::<io::Result<_>>()?;
+
+    let mut findings = Vec::new();
+    for (rel, source) in &sources {
+        let file = rules::LintFile::new(rel, source);
+        findings.extend(rules::check_panic_freedom(&file, &allow));
+        findings.extend(rules::check_lock_hygiene(&file));
+        findings.extend(rules::check_api_docs(&file));
+    }
+
+    // Error-impl checking needs whole-crate visibility (impls may live in a
+    // sibling module).
+    let mut crates: std::collections::BTreeMap<String, Vec<(&str, &str)>> = Default::default();
+    for (rel, source) in &sources {
+        crates
+            .entry(crate_of(rel))
+            .or_default()
+            .push((rel.as_str(), source.as_str()));
+    }
+    for files in crates.values() {
+        findings.extend(rules::check_error_impls(files));
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_grouping() {
+        assert_eq!(crate_of("crates/engine/src/wal.rs"), "engine");
+        assert_eq!(crate_of("src/lib.rs"), "<root>");
+    }
+
+    #[test]
+    fn allowlist_parse_skips_comments() {
+        let entries = parse_allowlist("# header\n\ncrates/a/src/x.rs: foo.unwrap()\n");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].path, "crates/a/src/x.rs");
+        assert_eq!(entries[0].substring, "foo.unwrap()");
+    }
+}

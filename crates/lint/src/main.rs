@@ -1,0 +1,35 @@
+//! Thin CLI for delta-lint: walk the workspace, print findings, exit nonzero
+//! when any remain. Usage: `cargo run -p delta-lint [-- <workspace-root>]`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => Path::new("."),
+        [root] => Path::new(root),
+        _ => {
+            eprintln!("usage: delta-lint [workspace-root]");
+            return ExitCode::from(2);
+        }
+    };
+
+    match delta_lint::run(root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("delta-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("delta-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("delta-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,690 @@
+//! The three lint rules: panic-freedom, lock-hygiene, and API-hygiene.
+
+use crate::scan::{self, Scrubbed};
+use std::collections::HashMap;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `panic-freedom`.
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed source file ready for linting.
+pub struct LintFile<'a> {
+    /// Repo-relative path with forward slashes.
+    pub path: &'a str,
+    /// Original source text.
+    pub source: &'a str,
+    /// Scrubbed view (comments/literals blanked).
+    pub scrubbed: Scrubbed,
+    /// 1-based inclusive line ranges of test-only code.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl<'a> LintFile<'a> {
+    /// Preprocess `source` for linting.
+    pub fn new(path: &'a str, source: &'a str) -> LintFile<'a> {
+        let scrubbed = scan::scrub(source);
+        let test_regions = scan::test_regions(&scrubbed.code);
+        LintFile {
+            path,
+            source,
+            scrubbed,
+            test_regions,
+        }
+    }
+
+    fn is_test_line(&self, line: usize) -> bool {
+        scan::in_regions(&self.test_regions, line)
+    }
+
+    fn source_line(&self, line: usize) -> &str {
+        self.source.lines().nth(line - 1).unwrap_or("")
+    }
+}
+
+/// Crash-recovery modules that must stay panic-free outside of tests: WAL
+/// replay, queue recovery, and page/heap decode all run on untrusted on-disk
+/// bytes after a crash, where a panic turns a recoverable torn write into an
+/// unbootable database.
+pub const PANIC_FREE_FILES: &[&str] = &[
+    "crates/engine/src/wal.rs",
+    "crates/transport/src/queue.rs",
+    "crates/storage/src/page.rs",
+    "crates/storage/src/heap.rs",
+    "crates/storage/src/buffer.rs",
+];
+
+const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!"];
+
+/// An allowlist entry: `path: substring` — a violation on `path` whose source
+/// line contains `substring` is tolerated.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub path: String,
+    pub substring: String,
+}
+
+/// Parse the allowlist format: one `path: substring` per line, `#` comments.
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (path, substring) = l.split_once(": ")?;
+            Some(AllowEntry {
+                path: path.trim().to_string(),
+                substring: substring.trim().to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Panic-freedom: no `.unwrap()` / `.expect(...)` / `panic!` / `unreachable!`
+/// in non-test code of the designated crash-recovery modules.
+pub fn check_panic_freedom(file: &LintFile<'_>, allow: &[AllowEntry]) -> Vec<Finding> {
+    if !PANIC_FREE_FILES.contains(&file.path) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (idx, line) in file.scrubbed.code.lines().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno) {
+            continue;
+        }
+        for pat in PANIC_PATTERNS {
+            if !line.contains(pat) {
+                continue;
+            }
+            let original = file.source_line(lineno);
+            let allowed = allow
+                .iter()
+                .any(|e| e.path == file.path && original.contains(&e.substring));
+            if !allowed {
+                findings.push(Finding {
+                    rule: "panic-freedom",
+                    path: file.path.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "`{}` in crash-recovery module (use typed errors; see allowlist)",
+                        pat.trim_start_matches('.')
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Files allowed to block on a `Condvar` while holding a lock: the lock
+/// manager's whole job is to park waiters under its per-table state mutex.
+const LOCK_WAIT_EXEMPT: &[&str] = &["crates/engine/src/lock.rs"];
+
+const IO_MARKERS: &[&str] = &[
+    "File::create",
+    "File::open",
+    "OpenOptions",
+    "fs::rename",
+    "fs::remove",
+    "fs::read",
+    "fs::write",
+    "fs::copy",
+    ".sync_all(",
+    ".sync_data(",
+    ".write_all(",
+    ".read_exact(",
+    ".flush(",
+    ".set_len(",
+    ".seek(",
+];
+
+const WAIT_MARKERS: &[&str] = &[".wait(", ".wait_for(", ".wait_until(", ".wait_while("];
+
+/// A lock acquisition site within a function body.
+#[derive(Debug)]
+struct Acquisition {
+    /// Byte offset of the `.` in `.lock()`/`.read()`/`.write()`.
+    pos: usize,
+    /// 1-based line number.
+    line: usize,
+    /// Receiver expression, e.g. `self.tables`.
+    receiver: String,
+    /// End of the guard's live range (byte offset, exclusive).
+    span_end: usize,
+    /// `// lock-order: N` annotation attached to this line, if any.
+    order: Option<u64>,
+}
+
+fn receiver_of(code: &str, dot: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut start = dot;
+    while start > 0 {
+        let b = bytes[start - 1];
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b':' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    let r = code[start..dot].trim_start_matches('.');
+    if r.is_empty() {
+        "<expr>".to_string()
+    } else {
+        r.to_string()
+    }
+}
+
+/// Innermost block enclosing `pos` within `[from, to)`; returns its end offset.
+fn enclosing_block_end(code: &str, from: usize, to: usize, pos: usize) -> usize {
+    let bytes = code.as_bytes();
+    let mut stack = Vec::new();
+    for (i, &b) in bytes[from..pos].iter().enumerate() {
+        match b {
+            b'{' => stack.push(from + i),
+            b'}' => {
+                stack.pop();
+            }
+            _ => {}
+        }
+    }
+    match stack.last() {
+        Some(&open) => scan::match_brace(code, open).unwrap_or(to),
+        None => to,
+    }
+}
+
+fn line_start(code: &str, pos: usize) -> usize {
+    code[..pos].rfind('\n').map(|p| p + 1).unwrap_or(0)
+}
+
+fn collect_acquisitions(
+    code: &str,
+    body: &scan::FnBody,
+    orders: &HashMap<usize, u64>,
+) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    let span = &code[body.start..body.end];
+    for pat in [".lock()", ".read()", ".write()"] {
+        let mut search = 0usize;
+        while let Some(rel) = span[search..].find(pat) {
+            let pos = body.start + search + rel;
+            search += rel + pat.len();
+            let line = scan::line_of(code, pos);
+            let ls = line_start(code, pos);
+            let stmt_head = code[ls..pos].trim_start();
+            let is_let = stmt_head.starts_with("let ");
+            let span_end = if is_let {
+                let mut end = enclosing_block_end(code, body.start, body.end, pos);
+                // `drop(name)` ends the guard's live range early.
+                if let Some(name) = stmt_head
+                    .trim_start_matches("let ")
+                    .trim_start_matches("mut ")
+                    .split(|c: char| !c.is_alphanumeric() && c != '_')
+                    .next()
+                    .filter(|n| !n.is_empty())
+                {
+                    let drop_pat = format!("drop({name})");
+                    if let Some(d) = code[pos..end].find(&drop_pat) {
+                        end = pos + d;
+                    }
+                }
+                end
+            } else {
+                // Temporary guard: lives to the end of the statement.
+                code[pos..body.end]
+                    .find(';')
+                    .map(|p| pos + p)
+                    .unwrap_or(body.end)
+            };
+            out.push(Acquisition {
+                pos,
+                line,
+                receiver: receiver_of(code, pos),
+                span_end,
+                order: orders.get(&line).copied(),
+            });
+        }
+    }
+    out.sort_by_key(|a| a.pos);
+    out
+}
+
+/// Map `// lock-order: N` annotations to the code line they describe (the
+/// same line for trailing comments, otherwise the next line).
+fn lock_order_annotations(file: &LintFile<'_>) -> HashMap<usize, u64> {
+    let code_lines: Vec<&str> = file.scrubbed.code.lines().collect();
+    let mut map = HashMap::new();
+    for (line, text) in &file.scrubbed.comments {
+        let Some(rest) = text.split("lock-order:").nth(1) else {
+            continue;
+        };
+        let Ok(n) = rest.split_whitespace().next().unwrap_or("").parse() else {
+            continue;
+        };
+        let has_code = code_lines
+            .get(line - 1)
+            .is_some_and(|l| !l.trim().is_empty());
+        map.insert(if has_code { *line } else { line + 1 }, n);
+    }
+    map
+}
+
+fn has_suppression(file: &LintFile<'_>, line: usize, rule: &str) -> bool {
+    let tag = format!("lint: allow({rule})");
+    // A suppression applies to its own line, or — when it sits in a comment
+    // block directly above the flagged line — to the first code line below
+    // the block. Walk upward through contiguous comment-bearing lines.
+    let comment_on = |l: usize| file.scrubbed.comments.iter().any(|(cl, _)| *cl == l);
+    let tag_on = |l: usize| {
+        file.scrubbed
+            .comments
+            .iter()
+            .any(|(cl, text)| *cl == l && text.contains(&tag))
+    };
+    if tag_on(line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 && comment_on(l - 1) {
+        l -= 1;
+        if tag_on(l) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lock-hygiene: guards must not be held across file I/O or `Condvar` waits
+/// (outside the lock manager), and nested acquisitions must follow the
+/// documented `// lock-order: N` annotations.
+pub fn check_lock_hygiene(file: &LintFile<'_>) -> Vec<Finding> {
+    let code = &file.scrubbed.code;
+    let orders = lock_order_annotations(file);
+    let mut findings = Vec::new();
+
+    // Consistency: one receiver, one order, per file.
+    let mut receiver_orders: HashMap<String, (u64, usize)> = HashMap::new();
+
+    for body in scan::fn_bodies(code) {
+        if file.is_test_line(body.line) {
+            continue;
+        }
+        let acqs = collect_acquisitions(code, &body, &orders);
+
+        for acq in &acqs {
+            if file.is_test_line(acq.line) || has_suppression(file, acq.line, "lock_hygiene") {
+                continue;
+            }
+            let held = &code[acq.pos..acq.span_end.min(body.end)];
+            let wait_exempt = LOCK_WAIT_EXEMPT.contains(&file.path);
+            for marker in IO_MARKERS {
+                if let Some(p) = held.find(marker) {
+                    findings.push(Finding {
+                        rule: "lock-hygiene",
+                        path: file.path.to_string(),
+                        line: acq.line,
+                        message: format!(
+                            "guard on `{}` held across file I/O (`{}` at line {})",
+                            acq.receiver,
+                            marker.trim_matches(['.', '(']),
+                            scan::line_of(code, acq.pos + p)
+                        ),
+                    });
+                    break;
+                }
+            }
+            if !wait_exempt {
+                for marker in WAIT_MARKERS {
+                    // Skip the guard's own acquisition token.
+                    if let Some(p) = held[1..].find(marker) {
+                        findings.push(Finding {
+                            rule: "lock-hygiene",
+                            path: file.path.to_string(),
+                            line: acq.line,
+                            message: format!(
+                                "guard on `{}` held across Condvar `{}` (line {})",
+                                acq.receiver,
+                                marker.trim_matches(['.', '(']),
+                                scan::line_of(code, acq.pos + 1 + p)
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Nested acquisitions: a second lock taken inside a live guard's span
+        // must carry a lock-order annotation, and annotated orders must be
+        // nondecreasing in acquisition order.
+        for (i, outer) in acqs.iter().enumerate() {
+            for inner in &acqs[i + 1..] {
+                if inner.pos >= outer.span_end {
+                    continue;
+                }
+                if file.is_test_line(inner.line) {
+                    continue;
+                }
+                match (outer.order, inner.order) {
+                    (Some(a), Some(b)) if a > b => findings.push(Finding {
+                        rule: "lock-hygiene",
+                        path: file.path.to_string(),
+                        line: inner.line,
+                        message: format!(
+                            "lock-order inversion: `{}` (order {}) acquired while \
+                             holding `{}` (order {})",
+                            inner.receiver, b, outer.receiver, a
+                        ),
+                    }),
+                    (None, _) | (_, None) => {
+                        let missing = if outer.order.is_none() { outer } else { inner };
+                        if !has_suppression(file, missing.line, "lock_hygiene") {
+                            findings.push(Finding {
+                                rule: "lock-hygiene",
+                                path: file.path.to_string(),
+                                line: missing.line,
+                                message: format!(
+                                    "nested lock acquisition on `{}` without a \
+                                     `// lock-order: <n>` annotation",
+                                    missing.receiver
+                                ),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        for acq in &acqs {
+            if let Some(n) = acq.order {
+                match receiver_orders.get(&acq.receiver) {
+                    Some(&(prev, first_line)) if prev != n => findings.push(Finding {
+                        rule: "lock-hygiene",
+                        path: file.path.to_string(),
+                        line: acq.line,
+                        message: format!(
+                            "`{}` annotated lock-order {} here but {} at line {}",
+                            acq.receiver, n, prev, first_line
+                        ),
+                    }),
+                    Some(_) => {}
+                    None => {
+                        receiver_orders.insert(acq.receiver.clone(), (n, acq.line));
+                    }
+                }
+            }
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    findings.dedup();
+    findings
+}
+
+/// Crates whose public API must be fully documented.
+const DOC_SCOPED_PREFIXES: &[&str] = &["crates/core/src", "crates/engine/src"];
+
+const PUB_ITEM_HEADS: &[&str] = &[
+    "pub fn ",
+    "pub const fn ",
+    "pub async fn ",
+    "pub struct ",
+    "pub enum ",
+    "pub trait ",
+    "pub type ",
+    "pub const ",
+    "pub static ",
+    "pub mod ",
+];
+
+/// API-hygiene (docs): every `pub` item in the scoped crates carries a doc
+/// comment. `pub use` re-exports and `pub(crate)`/`pub(super)` items are not
+/// part of the public API surface and are skipped.
+pub fn check_api_docs(file: &LintFile<'_>) -> Vec<Finding> {
+    if !DOC_SCOPED_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
+        return Vec::new();
+    }
+    let doc_lines: std::collections::HashSet<usize> = file
+        .scrubbed
+        .comments
+        .iter()
+        .filter(|(_, text)| text.starts_with('/'))
+        .map(|(l, _)| *l)
+        .collect();
+    let lines: Vec<&str> = file.scrubbed.code.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno) {
+            continue;
+        }
+        let t = raw.trim_start();
+        let Some(head) = PUB_ITEM_HEADS.iter().find(|h| t.starts_with(**h)) else {
+            continue;
+        };
+        // Walk up over attributes to the expected doc-comment line.
+        let mut above = idx;
+        while above > 0 && lines[above - 1].trim_start().starts_with("#[") {
+            above -= 1;
+        }
+        if above == 0 || !doc_lines.contains(&above) {
+            let name = t[head.len()..]
+                .split(|c: char| !c.is_alphanumeric() && c != '_')
+                .next()
+                .unwrap_or("?")
+                .to_string();
+            findings.push(Finding {
+                rule: "api-hygiene",
+                path: file.path.to_string(),
+                line: lineno,
+                message: format!("public item `{}` has no doc comment", name),
+            });
+        }
+    }
+    findings
+}
+
+/// API-hygiene (errors): every `pub` error type (enum or struct named
+/// `*Error`) must implement `std::error::Error`. `files` maps repo-relative
+/// path to source text for one whole crate.
+pub fn check_error_impls(files: &[(&str, &str)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let scrubbed: Vec<(&str, Scrubbed)> = files
+        .iter()
+        .map(|(p, src)| (*p, scan::scrub(src)))
+        .collect();
+    for (path, s) in &scrubbed {
+        let regions = scan::test_regions(&s.code);
+        for (idx, line) in s.code.lines().enumerate() {
+            let lineno = idx + 1;
+            if scan::in_regions(&regions, lineno) {
+                continue;
+            }
+            let t = line.trim_start();
+            let name = ["pub enum ", "pub struct "]
+                .iter()
+                .find_map(|h| t.strip_prefix(h))
+                .and_then(|rest| {
+                    rest.split(|c: char| !c.is_alphanumeric() && c != '_')
+                        .next()
+                })
+                .filter(|n| n.ends_with("Error"));
+            let Some(name) = name else { continue };
+            let impl_pat = format!("Error for {name}");
+            let implemented = scrubbed.iter().any(|(_, other)| {
+                other
+                    .code
+                    .lines()
+                    .any(|l| l.contains(&impl_pat) && l.contains("impl"))
+            });
+            if !implemented {
+                findings.push(Finding {
+                    rule: "api-hygiene",
+                    path: path.to_string(),
+                    line: lineno,
+                    message: format!("error type `{name}` does not implement std::error::Error"),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lf<'a>(path: &'a str, src: &'a str) -> LintFile<'a> {
+        LintFile::new(path, src)
+    }
+
+    #[test]
+    fn planted_unwrap_in_recovery_module_is_flagged() {
+        let src = "fn recover() { let x = decode().unwrap(); }\n";
+        let f = lf("crates/engine/src/wal.rs", src);
+        let findings = check_panic_freedom(&f, &[]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+        assert!(findings[0].message.contains("unwrap"));
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_ignored() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n";
+        let f = lf("crates/engine/src/wal.rs", src);
+        assert!(check_panic_freedom(&f, &[]).is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_scoped_files_is_ignored() {
+        let src = "fn f() { x.unwrap(); }\n";
+        let f = lf("crates/sql/src/parser.rs", src);
+        assert!(check_panic_freedom(&f, &[]).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_match() {
+        let src = "fn f() { width.checked().expect(\"bounded\"); }\n";
+        let f = lf("crates/storage/src/page.rs", src);
+        let allow = parse_allowlist("crates/storage/src/page.rs: checked().expect");
+        assert!(check_panic_freedom(&f, &allow).is_empty());
+        assert_eq!(check_panic_freedom(&f, &[]).len(), 1);
+    }
+
+    #[test]
+    fn guard_across_file_io_is_flagged() {
+        let src = "fn flush(&self) {\n  let g = self.state.lock();\n  \
+                   self.file.sync_all().ok();\n}\n";
+        let f = lf("crates/engine/src/wal.rs", src);
+        let findings = check_lock_hygiene(&f);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("sync_all"));
+    }
+
+    #[test]
+    fn guard_dropped_before_io_is_clean() {
+        let src = "fn flush(&self) {\n  let g = self.state.lock();\n  drop(g);\n  \
+                   self.file.sync_all().ok();\n}\n";
+        let f = lf("crates/engine/src/wal.rs", src);
+        assert!(check_lock_hygiene(&f).is_empty());
+    }
+
+    #[test]
+    fn wait_under_guard_outside_lock_manager_is_flagged() {
+        let src = "fn park(&self) {\n  let mut g = self.state.lock();\n  \
+                   self.cv.wait(&mut g);\n}\n";
+        let f = lf("crates/engine/src/txn.rs", src);
+        let findings = check_lock_hygiene(&f);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("Condvar"));
+    }
+
+    #[test]
+    fn wait_in_lock_manager_is_exempt() {
+        let src = "fn park(&self) {\n  let mut g = self.state.lock();\n  \
+                   self.cv.wait(&mut g);\n}\n";
+        let f = lf("crates/engine/src/lock.rs", src);
+        assert!(check_lock_hygiene(&f).is_empty());
+    }
+
+    #[test]
+    fn suppression_comment_is_honored() {
+        let src = "fn flush(&self) {\n  \
+                   // lint: allow(lock_hygiene) -- single-writer by design\n  \
+                   let g = self.state.lock();\n  self.file.sync_all().ok();\n}\n";
+        let f = lf("crates/engine/src/wal.rs", src);
+        assert!(check_lock_hygiene(&f).is_empty());
+    }
+
+    #[test]
+    fn nested_locks_need_annotations_and_order() {
+        let unannotated = "fn two(&self) {\n  let a = self.map.lock();\n  \
+                           let b = self.entry.lock();\n  use_both(a, b);\n}\n";
+        let f = lf("crates/engine/src/db.rs", unannotated);
+        let findings = check_lock_hygiene(&f);
+        assert!(
+            findings.iter().any(|x| x.message.contains("lock-order")),
+            "{findings:?}"
+        );
+
+        let ordered = "fn two(&self) {\n  let a = self.map.lock(); // lock-order: 1\n  \
+                       let b = self.entry.lock(); // lock-order: 2\n  use_both(a, b);\n}\n";
+        let f = lf("crates/engine/src/db.rs", ordered);
+        assert!(check_lock_hygiene(&f).is_empty());
+
+        let inverted = "fn two(&self) {\n  let a = self.map.lock(); // lock-order: 2\n  \
+                        let b = self.entry.lock(); // lock-order: 1\n  use_both(a, b);\n}\n";
+        let f = lf("crates/engine/src/db.rs", inverted);
+        let findings = check_lock_hygiene(&f);
+        assert!(
+            findings.iter().any(|x| x.message.contains("inversion")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn undocumented_pub_item_is_flagged() {
+        let src = "/// Documented.\npub fn a() {}\n\npub fn b() {}\n";
+        let f = lf("crates/core/src/model.rs", src);
+        let findings = check_api_docs(&f);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains('b'));
+    }
+
+    #[test]
+    fn docs_above_attributes_count() {
+        let src = "/// Documented.\n#[derive(Debug)]\npub struct S;\n";
+        let f = lf("crates/engine/src/db.rs", src);
+        assert!(check_api_docs(&f).is_empty());
+    }
+
+    #[test]
+    fn error_enum_without_impl_is_flagged() {
+        let a = ("crates/x/src/error.rs", "pub enum FooError { A }\n");
+        let findings = check_error_impls(&[a]);
+        assert_eq!(findings.len(), 1);
+
+        let b = (
+            "crates/x/src/error.rs",
+            "pub enum FooError { A }\nimpl std::error::Error for FooError {}\n",
+        );
+        assert!(check_error_impls(&[b]).is_empty());
+    }
+}

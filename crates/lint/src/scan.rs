@@ -1,0 +1,370 @@
+//! Lexical preprocessing for the lints.
+//!
+//! The lints are deliberately `std`-only (no `syn`, no proc-macro machinery),
+//! so they work on a *scrubbed* view of each source file: comments and the
+//! contents of string/char literals are blanked out (newlines preserved), which
+//! lets the rules pattern-match on code without tripping over `"panic!"`
+//! appearing inside a string or a doc comment. Comments are captured
+//! separately, with their line numbers, for the annotation-driven rules.
+
+/// A source file after lexical preprocessing.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// Source with comment bodies and literal contents replaced by spaces.
+    /// Byte-for-byte the same length and line structure as the input.
+    pub code: String,
+    /// Each comment (line or block) with the 1-based line it starts on.
+    pub comments: Vec<(usize, String)>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scrub `source`: blank out comments and literal contents, collect comments.
+pub fn scrub(source: &str) -> Scrubbed {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut cur_comment = String::new();
+    let mut comment_line = 0usize;
+    let mut line = 1usize;
+    let mut state = State::Normal;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+        }
+        match state {
+            State::Normal => {
+                if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    state = State::LineComment;
+                    comment_line = line;
+                    cur_comment.clear();
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    state = State::BlockComment(1);
+                    comment_line = line;
+                    cur_comment.clear();
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                // Raw strings: r"..."/r#"..."# and br variants.
+                if c == b'r' || (c == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'r') {
+                    let prev_is_ident =
+                        i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+                    if !prev_is_ident {
+                        let mut j = i + if c == b'b' { 2 } else { 1 };
+                        let mut hashes = 0u32;
+                        while j < bytes.len() && bytes[j] == b'#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if j < bytes.len() && bytes[j] == b'"' {
+                            out.extend_from_slice(&bytes[i..=j]);
+                            i = j + 1;
+                            state = State::RawStr(hashes);
+                            continue;
+                        }
+                    }
+                }
+                if c == b'"' {
+                    state = State::Str;
+                    out.push(c);
+                    i += 1;
+                    continue;
+                }
+                if c == b'\'' {
+                    // Distinguish a char literal from a lifetime: a lifetime is
+                    // `'ident` NOT followed by a closing quote.
+                    let is_lifetime = i + 1 < bytes.len()
+                        && (bytes[i + 1].is_ascii_alphabetic() || bytes[i + 1] == b'_')
+                        && !(i + 2 < bytes.len() && bytes[i + 2] == b'\'');
+                    if !is_lifetime {
+                        state = State::Char;
+                        out.push(c);
+                        i += 1;
+                        continue;
+                    }
+                }
+                out.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                if c == b'\n' {
+                    comments.push((comment_line, cur_comment.clone()));
+                    state = State::Normal;
+                    out.push(b'\n');
+                } else {
+                    cur_comment.push(c as char);
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    state = State::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    if depth == 1 {
+                        comments.push((comment_line, cur_comment.clone()));
+                        state = State::Normal;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    cur_comment.push(c as char);
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == b'\\' && i + 1 < bytes.len() {
+                    out.extend_from_slice(b"  ");
+                    if bytes[i + 1] == b'\n' {
+                        let last = out.len() - 1;
+                        out[last] = b'\n';
+                        line += 1;
+                    }
+                    i += 2;
+                } else if c == b'"' {
+                    out.push(c);
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        out.push(b'"');
+                        out.extend(std::iter::repeat_n(b'#', hashes as usize));
+                        i = j;
+                        state = State::Normal;
+                        continue;
+                    }
+                }
+                out.push(if c == b'\n' { b'\n' } else { b' ' });
+                i += 1;
+            }
+            State::Char => {
+                if c == b'\\' && i + 1 < bytes.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'\'' {
+                    out.push(c);
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+        }
+    }
+    if state == State::LineComment {
+        comments.push((comment_line, cur_comment.clone()));
+    }
+
+    Scrubbed {
+        code: String::from_utf8_lossy(&out).into_owned(),
+        comments,
+    }
+}
+
+/// 1-based line ranges (inclusive) of test-only code: `#[cfg(test)]` items and
+/// `#[test]` functions.
+pub fn test_regions(code: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let bytes = code.as_bytes();
+    let mut search = 0usize;
+    loop {
+        let found = ["#[cfg(test)]", "#[test]", "#[cfg(all(test"]
+            .iter()
+            .filter_map(|pat| code[search..].find(pat).map(|p| p + search))
+            .min();
+        let Some(start) = found else { break };
+        // Walk forward to the opening brace of the annotated item, then match
+        // braces to its end.
+        let Some(open_rel) = bytes[start..].iter().position(|&b| b == b'{') else {
+            break;
+        };
+        let open = start + open_rel;
+        let close = match_brace(code, open).unwrap_or(bytes.len() - 1);
+        let from = line_of(code, start);
+        let to = line_of(code, close);
+        regions.push((from, to));
+        search = close + 1;
+    }
+    regions
+}
+
+/// Whether 1-based `line` falls in any of `regions`.
+pub fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// 1-based line number of byte offset `pos`.
+pub fn line_of(code: &str, pos: usize) -> usize {
+    code.as_bytes()[..pos]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Byte offset of the `}` matching the `{` at `open`, if any.
+pub fn match_brace(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    debug_assert_eq!(bytes[open], b'{');
+    let mut depth = 0usize;
+    for (off, &b) in bytes[open..].iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// A function body located in scrubbed code.
+#[derive(Debug)]
+pub struct FnBody {
+    /// Byte range of the body, excluding the outer braces.
+    pub start: usize,
+    pub end: usize,
+    /// 1-based line the `fn` keyword appears on.
+    pub line: usize,
+}
+
+/// Locate every `fn` body in scrubbed code (including nested/impl fns).
+pub fn fn_bodies(code: &str) -> Vec<FnBody> {
+    let bytes = code.as_bytes();
+    let mut bodies = Vec::new();
+    let mut i = 0usize;
+    while let Some(rel) = code[i..].find("fn ") {
+        let at = i + rel;
+        i = at + 3;
+        // Require a word boundary before `fn`.
+        if at > 0 {
+            let prev = bytes[at - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        // Find the body `{`, giving up at a `;` (trait method declaration).
+        let mut j = at + 3;
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = match_brace(code, open) else {
+            continue;
+        };
+        bodies.push(FnBody {
+            start: open + 1,
+            end: close,
+            line: line_of(code, at),
+        });
+    }
+    bodies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"panic!()\"; // unwrap() here\nlet y = 1;\n";
+        let s = scrub(src);
+        assert!(!s.code.contains("panic!"));
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("let y = 1;"));
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].0, 1);
+        assert!(s.comments[0].1.contains("unwrap() here"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"no .unwrap() \"#; }";
+        let s = scrub(src);
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn char_literal_not_confused_with_lifetime() {
+        let src = "let c = 'x'; let q = '\"'; let s = \"after\";";
+        let s = scrub(src);
+        assert!(s.code.contains("let q"));
+        assert!(!s.code.contains("after"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn g() {}";
+        let s = scrub(src);
+        assert!(!s.code.contains("outer"));
+        assert!(s.code.contains("fn g()"));
+    }
+
+    #[test]
+    fn test_region_covers_cfg_test_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn after() {}\n";
+        let s = scrub(src);
+        let regions = test_regions(&s.code);
+        assert_eq!(regions, vec![(2, 5)]);
+        assert!(in_regions(&regions, 3));
+        assert!(!in_regions(&regions, 1));
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn fn_bodies_found() {
+        let src = "impl X { fn a(&self) { body(); } }\nfn top() { x(); }\n";
+        let s = scrub(src);
+        let bodies = fn_bodies(&s.code);
+        assert_eq!(bodies.len(), 2);
+        assert_eq!(bodies[0].line, 1);
+        assert_eq!(bodies[1].line, 2);
+    }
+}

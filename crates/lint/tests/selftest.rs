@@ -1,0 +1,110 @@
+//! End-to-end self-tests for delta-lint.
+//!
+//! Two directions: the real workspace must be clean (this is the same gate CI
+//! runs), and a planted violation in a synthetic tree must be caught — proving
+//! a green run means "analyzed and passed", not "analyzed nothing".
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn temp_tree(name: &str) -> PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("delta-lint-selftest-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("crates/engine/src")).unwrap();
+    root
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let findings = delta_lint::run(&workspace_root()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn planted_unwrap_in_recovery_path_is_caught() {
+    let root = temp_tree("unwrap");
+    fs::write(
+        root.join("crates/engine/src/wal.rs"),
+        r#"
+/// Recover the log.
+pub fn recover(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[0..8].try_into().unwrap())
+}
+"#,
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root).unwrap();
+    assert!(
+        findings.iter().any(|f| f.rule == "panic-freedom"),
+        "planted unwrap must be flagged, got: {findings:?}"
+    );
+}
+
+#[test]
+fn planted_guard_across_io_is_caught() {
+    let root = temp_tree("lockio");
+    fs::write(
+        root.join("crates/engine/src/wal.rs"),
+        r#"
+use std::fs::File;
+use parking_lot::Mutex;
+
+/// Holds a guard across file creation: a lock-hygiene violation.
+pub fn bad(m: &Mutex<u32>) {
+    let guard = m.lock();
+    let _f = File::create("/tmp/x").ok();
+    drop(guard);
+}
+"#,
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root).unwrap();
+    assert!(
+        findings.iter().any(|f| f.rule == "lock-hygiene"),
+        "guard across I/O must be flagged, got: {findings:?}"
+    );
+}
+
+#[test]
+fn allowlist_suppresses_planted_violation() {
+    let root = temp_tree("allow");
+    fs::write(
+        root.join("crates/engine/src/wal.rs"),
+        r#"
+/// Recover the log.
+pub fn recover(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[0..8].try_into().unwrap())
+}
+"#,
+    )
+    .unwrap();
+    fs::create_dir_all(root.join("crates/lint")).unwrap();
+    fs::write(
+        root.join("crates/lint/allowlist.txt"),
+        "crates/engine/src/wal.rs: try_into().unwrap()\n",
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root).unwrap();
+    assert!(
+        !findings.iter().any(|f| f.rule == "panic-freedom"),
+        "allowlisted line must not be flagged, got: {findings:?}"
+    );
+}

@@ -198,9 +198,7 @@ impl Expr {
             Expr::Literal(_) | Expr::Column(_) => false,
             Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_now(),
             Expr::Binary { left, right, .. } => left.contains_now() || right.contains_now(),
-            Expr::Aggregate { arg, .. } => {
-                arg.as_ref().map(|a| a.contains_now()).unwrap_or(false)
-            }
+            Expr::Aggregate { arg, .. } => arg.as_ref().map(|a| a.contains_now()).unwrap_or(false),
         }
     }
 
@@ -238,8 +236,14 @@ impl fmt::Display for Expr {
             Expr::Literal(Value::Timestamp(t)) => write!(f, "TIMESTAMP {t}"),
             Expr::Literal(v) => write!(f, "{v}"),
             Expr::Column(c) => write!(f, "{}", ident(c)),
-            Expr::Unary { op: UnOp::Not, expr } => write!(f, "(NOT {expr})"),
-            Expr::Unary { op: UnOp::Neg, expr } => write!(f, "(-{expr})"),
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => write!(f, "(NOT {expr})"),
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => write!(f, "(-{expr})"),
             Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
             Expr::IsNull { expr, negated } => {
                 if *negated {
@@ -395,9 +399,7 @@ impl Statement {
 /// Quote an identifier when needed.
 fn ident(name: &str) -> String {
     let plain = !name.is_empty()
-        && name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !name.chars().next().unwrap().is_ascii_digit();
     if plain {
         name.to_string()

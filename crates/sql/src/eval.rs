@@ -80,13 +80,19 @@ impl<'a> EvalContext<'a> {
                 .resolver
                 .resolve(name)
                 .ok_or_else(|| EvalError::new(format!("unknown column '{name}'"))),
-            Expr::Unary { op: UnOp::Neg, expr } => match self.eval(expr)? {
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => match self.eval(expr)? {
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(-i)),
                 Value::Double(d) => Ok(Value::Double(-d)),
                 other => Err(EvalError::new(format!("cannot negate {other}"))),
             },
-            Expr::Unary { op: UnOp::Not, expr } => match self.eval_truth(expr)? {
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => match self.eval_truth(expr)? {
                 Some(b) => Ok(Value::Bool(!b)),
                 None => Ok(Value::Null),
             },
@@ -134,9 +140,9 @@ impl<'a> EvalContext<'a> {
                 if l.is_null() || r.is_null() {
                     return Ok(Value::Null);
                 }
-                let ord = l.sql_cmp(&r).ok_or_else(|| {
-                    EvalError::new(format!("cannot compare {l} with {r}"))
-                })?;
+                let ord = l
+                    .sql_cmp(&r)
+                    .ok_or_else(|| EvalError::new(format!("cannot compare {l} with {r}")))?;
                 let b = match op {
                     BinOp::Eq => ord == std::cmp::Ordering::Equal,
                     BinOp::Ne => ord != std::cmp::Ordering::Equal,
@@ -345,7 +351,10 @@ mod tests {
 
     #[test]
     fn timestamp_arithmetic() {
-        assert_eq!(eval("last_modified + 1000").unwrap(), Value::Timestamp(6000));
+        assert_eq!(
+            eval("last_modified + 1000").unwrap(),
+            Value::Timestamp(6000)
+        );
         assert_eq!(
             eval("last_modified - last_modified").unwrap(),
             Value::Int(0)

@@ -25,6 +25,9 @@ pub enum Token {
     Ident(String),
     /// Integer literal.
     Int(i64),
+    /// Integer literal whose magnitude exceeds `i64::MAX`; only valid when
+    /// the parser folds it under a unary minus (e.g. `-9223372036854775808`).
+    BigInt(u64),
     /// Floating-point literal.
     Float(f64),
     /// Single-quoted string literal (quotes stripped, `''` unescaped).
@@ -52,6 +55,7 @@ impl fmt::Display for Token {
         match self {
             Token::Ident(s) => write!(f, "{s}"),
             Token::Int(i) => write!(f, "{i}"),
+            Token::BigInt(u) => write!(f, "{u}"),
             Token::Float(x) => write!(f, "{x}"),
             Token::Str(s) => write!(f, "'{s}'"),
             Token::LParen => f.write_str("("),
@@ -183,12 +187,12 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     } else {
                         // Consume one UTF-8 character.
                         let ch_len = utf8_len(bytes[i]);
-                        s.push_str(
-                            std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| LexError {
+                        s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                            LexError {
                                 pos: i,
                                 message: "invalid UTF-8 in string".into(),
-                            })?,
-                        );
+                            }
+                        })?);
                         i += ch_len;
                     }
                 }
@@ -228,10 +232,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                         message: format!("bad float literal '{text}'"),
                     })?));
                 } else {
-                    tokens.push(Token::Int(text.parse().map_err(|_| LexError {
-                        pos: start,
-                        message: format!("integer literal '{text}' out of range"),
-                    })?));
+                    // Magnitudes above i64::MAX are kept as BigInt so the
+                    // parser can still accept `-9223372036854775808`.
+                    match text.parse::<i64>() {
+                        Ok(i) => tokens.push(Token::Int(i)),
+                        Err(_) => {
+                            tokens.push(Token::BigInt(text.parse().map_err(|_| LexError {
+                                pos: start,
+                                message: format!("integer literal '{text}' out of range"),
+                            })?))
+                        }
+                    }
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {

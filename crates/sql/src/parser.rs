@@ -138,7 +138,9 @@ impl Parser {
             Some(Token::Ident(s)) => Ok(s),
             other => Err(ParseError::new(format!(
                 "expected identifier, found {}",
-                other.map(|t| format!("'{t}'")).unwrap_or("end of input".into())
+                other
+                    .map(|t| format!("'{t}'"))
+                    .unwrap_or("end of input".into())
             ))),
         }
     }
@@ -357,7 +359,9 @@ impl Parser {
                 other => {
                     return Err(ParseError::new(format!(
                         "LIMIT needs a non-negative integer, found {}",
-                        other.map(|t| format!("'{t}'")).unwrap_or("end of input".into())
+                        other
+                            .map(|t| format!("'{t}'"))
+                            .unwrap_or("end of input".into())
                     )))
                 }
             }
@@ -440,10 +444,22 @@ impl Parser {
             });
         }
         if self.eat(&Token::Minus) {
+            // `-9223372036854775808` lexes as Minus + BigInt because the
+            // magnitude alone does not fit in i64; fold it here.
+            if let Some(&Token::BigInt(u)) = self.peek() {
+                self.next();
+                return if u == i64::MIN.unsigned_abs() {
+                    Ok(Expr::Literal(Value::Int(i64::MIN)))
+                } else {
+                    Err(ParseError::new(format!(
+                        "integer literal '-{u}' out of range"
+                    )))
+                };
+            }
             let e = self.unary()?;
             // Fold negation of numeric literals.
             return Ok(match e {
-                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(i.wrapping_neg())),
                 Expr::Literal(Value::Double(d)) => Expr::Literal(Value::Double(-d)),
                 other => Expr::Unary {
                     op: UnOp::Neg,
@@ -457,6 +473,9 @@ impl Parser {
     fn primary(&mut self) -> Result<Expr, ParseError> {
         match self.next() {
             Some(Token::Int(i)) => Ok(Expr::Literal(Value::Int(i))),
+            Some(Token::BigInt(u)) => Err(ParseError::new(format!(
+                "integer literal '{u}' out of range"
+            ))),
             Some(Token::Float(x)) => Ok(Expr::Literal(Value::Double(x))),
             Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
             Some(Token::LParen) => {
@@ -485,7 +504,21 @@ impl Parser {
                         let Some(Token::Int(i)) = self.next() else {
                             unreachable!()
                         };
-                        return Ok(Expr::Literal(Value::Timestamp(if neg { -i } else { i })));
+                        return Ok(Expr::Literal(Value::Timestamp(if neg {
+                            i.wrapping_neg()
+                        } else {
+                            i
+                        })));
+                    }
+                    if let Some(&Token::BigInt(u)) = self.peek() {
+                        if neg && u == i64::MIN.unsigned_abs() {
+                            self.next();
+                            return Ok(Expr::Literal(Value::Timestamp(i64::MIN)));
+                        }
+                        return Err(ParseError::new(format!(
+                            "timestamp literal '{}{u}' out of range",
+                            if neg { "-" } else { "" }
+                        )));
                     }
                     if neg {
                         // Roll back the consumed '-' if no integer followed.
@@ -510,7 +543,9 @@ impl Parser {
             }
             other => Err(ParseError::new(format!(
                 "expected expression, found {}",
-                other.map(|t| format!("'{t}'")).unwrap_or("end of input".into())
+                other
+                    .map(|t| format!("'{t}'"))
+                    .unwrap_or("end of input".into())
             ))),
         }
     }
@@ -573,7 +608,8 @@ mod tests {
 
     #[test]
     fn update_with_predicate() {
-        let s = round_trip("UPDATE PARTS SET status = 'revised' WHERE last_modified_date > 19991115");
+        let s =
+            round_trip("UPDATE PARTS SET status = 'revised' WHERE last_modified_date > 19991115");
         match s {
             Statement::Update {
                 sets, predicate, ..
@@ -599,7 +635,9 @@ mod tests {
 
     #[test]
     fn select_star_and_exprs() {
-        let s = round_trip("SELECT *, qty * 2 AS double_qty FROM parts WHERE qty >= 10 AND name <> 'x'");
+        let s = round_trip(
+            "SELECT *, qty * 2 AS double_qty FROM parts WHERE qty >= 10 AND name <> 'x'",
+        );
         match s {
             Statement::Select { projection, .. } => {
                 assert_eq!(projection.len(), 2);
@@ -639,7 +677,11 @@ mod tests {
     fn is_null_and_is_not_null() {
         let e = parse_expression("a IS NULL OR b IS NOT NULL").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Or, left, right } => {
+            Expr::Binary {
+                op: BinOp::Or,
+                left,
+                right,
+            } => {
                 assert!(matches!(*left, Expr::IsNull { negated: false, .. }));
                 assert!(matches!(*right, Expr::IsNull { negated: true, .. }));
             }
@@ -685,11 +727,18 @@ mod tests {
     fn aggregates_and_group_by() {
         let s = round_trip("SELECT grp, COUNT(*), SUM(qty) AS total, AVG(qty), MIN(qty), MAX(qty) FROM parts WHERE qty > 0 GROUP BY grp");
         match s {
-            Statement::Select { projection, group_by, .. } => {
+            Statement::Select {
+                projection,
+                group_by,
+                ..
+            } => {
                 assert_eq!(projection.len(), 6);
                 assert_eq!(group_by, vec![Expr::Column("grp".into())]);
                 match &projection[1] {
-                    SelectItem::Expr { expr: Expr::Aggregate { func, arg }, .. } => {
+                    SelectItem::Expr {
+                        expr: Expr::Aggregate { func, arg },
+                        ..
+                    } => {
                         assert_eq!(*func, delta_sql_agg_alias::Count);
                         assert!(arg.is_none());
                     }

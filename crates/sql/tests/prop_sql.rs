@@ -23,10 +23,33 @@ fn arb_ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("avoid bare keywords", |s| {
         !matches!(
             s.as_str(),
-            "select" | "from" | "where" | "and" | "or" | "not" | "is" | "null" | "true"
-                | "false" | "as" | "set" | "values" | "into" | "begin" | "commit" | "now"
-                | "insert" | "update" | "delete" | "create" | "drop" | "table" | "rollback"
-                | "abort" | "key" | "primary"
+            "select"
+                | "from"
+                | "where"
+                | "and"
+                | "or"
+                | "not"
+                | "is"
+                | "null"
+                | "true"
+                | "false"
+                | "as"
+                | "set"
+                | "values"
+                | "into"
+                | "begin"
+                | "commit"
+                | "now"
+                | "insert"
+                | "update"
+                | "delete"
+                | "create"
+                | "drop"
+                | "table"
+                | "rollback"
+                | "abort"
+                | "key"
+                | "primary"
         )
     })
 }
@@ -176,7 +199,7 @@ proptest! {
     fn freeze_now_is_idempotent_and_complete(e in arb_expr(), now in any::<i64>()) {
         let frozen = e.freeze_now(now);
         prop_assert!(!frozen.contains_now());
-        prop_assert_eq!(frozen.freeze_now(now + 1), frozen.clone());
+        prop_assert_eq!(frozen.freeze_now(now.wrapping_add(1)), frozen.clone());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::error::{StorageError, StorageResult};
 use crate::file::{DiskFile, FileId, PageId, PAGE_SIZE};
+use crate::invariant;
 use crate::page::SlottedPage;
 
 /// Cumulative buffer-pool statistics.
@@ -86,12 +87,7 @@ impl BufferPool {
     pub fn deregister_file(&self, id: FileId) {
         self.files.write().remove(&id);
         let mut inner = self.inner.lock();
-        let stale: Vec<PageId> = inner
-            .map
-            .keys()
-            .filter(|p| p.file == id)
-            .copied()
-            .collect();
+        let stale: Vec<PageId> = inner.map.keys().filter(|p| p.file == id).copied().collect();
         for pid in stale {
             if let Some(slot) = inner.map.remove(&pid) {
                 inner.frames[slot] = None;
@@ -168,14 +164,22 @@ impl BufferPool {
                 None => return Ok(slot),
             };
             if evict {
-                let frame = inner.frames[slot].take().expect("checked above");
-                inner.map.remove(&frame.id);
-                if frame.dirty {
-                    let file = self.file(frame.id.file)?;
-                    file.write_page(frame.id.page_no, frame.page.as_bytes())?;
-                    self.writebacks.fetch_add(1, Ordering::Relaxed);
+                if let Some(frame) = inner.frames[slot].take() {
+                    inner.map.remove(&frame.id);
+                    let mut wrote_back = false;
+                    if frame.dirty {
+                        let file = self.file(frame.id.file)?;
+                        file.write_page(frame.id.page_no, frame.page.as_bytes())?;
+                        self.writebacks.fetch_add(1, Ordering::Relaxed);
+                        wrote_back = true;
+                    }
+                    invariant!(
+                        wrote_back == frame.dirty,
+                        "clock eviction dropped dirty page {:?} without writeback",
+                        frame.id
+                    );
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
-                self.evictions.fetch_add(1, Ordering::Relaxed);
                 return Ok(slot);
             }
         }
@@ -183,15 +187,13 @@ impl BufferPool {
     }
 
     /// Run `f` with shared access to the page.
-    pub fn with_page<R>(
-        &self,
-        pid: PageId,
-        f: impl FnOnce(&SlottedPage) -> R,
-    ) -> StorageResult<R> {
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&SlottedPage) -> R) -> StorageResult<R> {
         let mut inner = self.inner.lock();
         let slot = self.locate(&mut inner, pid)?;
-        let frame = inner.frames[slot].as_ref().expect("just located");
-        Ok(f(&frame.page))
+        match inner.frames[slot].as_ref() {
+            Some(frame) => Ok(f(&frame.page)),
+            None => Err(StorageError::NotFound(format!("frame for page {pid:?}"))),
+        }
     }
 
     /// Run `f` with exclusive access to the page; the page is marked dirty.
@@ -202,9 +204,13 @@ impl BufferPool {
     ) -> StorageResult<R> {
         let mut inner = self.inner.lock();
         let slot = self.locate(&mut inner, pid)?;
-        let frame = inner.frames[slot].as_mut().expect("just located");
-        frame.dirty = true;
-        Ok(f(&mut frame.page))
+        match inner.frames[slot].as_mut() {
+            Some(frame) => {
+                frame.dirty = true;
+                Ok(f(&mut frame.page))
+            }
+            None => Err(StorageError::NotFound(format!("frame for page {pid:?}"))),
+        }
     }
 
     /// Allocate a fresh page at the end of `file`, install it in the pool
@@ -236,6 +242,14 @@ impl BufferPool {
                 self.writebacks.fetch_add(1, Ordering::Relaxed);
             }
         }
+        invariant!(
+            inner
+                .frames
+                .iter()
+                .flatten()
+                .all(|fr| !fr.dirty || file_id.is_some_and(|f| fr.id.file != f)),
+            "flush left a dirty page behind"
+        );
         Ok(())
     }
 
@@ -286,10 +300,8 @@ mod tests {
         let mut pids = vec![];
         for i in 0..6 {
             let pid = pool.allocate_page(fid).unwrap();
-            pool.with_page_mut(pid, |p| {
-                p.insert(format!("page-{i}").as_bytes()).unwrap()
-            })
-            .unwrap();
+            pool.with_page_mut(pid, |p| p.insert(format!("page-{i}").as_bytes()).unwrap())
+                .unwrap();
             pids.push(pid);
         }
         // Earlier pages must have been evicted (pool holds 2) and written back.

@@ -101,23 +101,23 @@ pub mod ascii {
                 continue;
             }
             let v = match col.data_type {
-                DataType::Int => Value::Int(field.parse().map_err(|_| {
-                    StorageError::Corrupt(format!("bad INT field '{field}'"))
-                })?),
+                DataType::Int => Value::Int(
+                    field
+                        .parse()
+                        .map_err(|_| StorageError::Corrupt(format!("bad INT field '{field}'")))?,
+                ),
                 DataType::Timestamp => Value::Timestamp(field.parse().map_err(|_| {
                     StorageError::Corrupt(format!("bad TIMESTAMP field '{field}'"))
                 })?),
-                DataType::Double => Value::Double(field.parse().map_err(|_| {
-                    StorageError::Corrupt(format!("bad DOUBLE field '{field}'"))
-                })?),
+                DataType::Double => {
+                    Value::Double(field.parse().map_err(|_| {
+                        StorageError::Corrupt(format!("bad DOUBLE field '{field}'"))
+                    })?)
+                }
                 DataType::Bool => match *field {
                     "true" => Value::Bool(true),
                     "false" => Value::Bool(false),
-                    _ => {
-                        return Err(StorageError::Corrupt(format!(
-                            "bad BOOL field '{field}'"
-                        )))
-                    }
+                    _ => return Err(StorageError::Corrupt(format!("bad BOOL field '{field}'"))),
                 },
                 DataType::Varchar => {
                     if *field == NULL_TOKEN {

@@ -36,14 +36,20 @@ impl fmt::Display for StorageError {
             StorageError::NotFound(what) => write!(f, "not found: {what}"),
             StorageError::PageFull => write!(f, "page full"),
             StorageError::RecordTooLarge { size, max } => {
-                write!(f, "record of {size} bytes exceeds page capacity of {max} bytes")
+                write!(
+                    f,
+                    "record of {size} bytes exceeds page capacity of {max} bytes"
+                )
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             StorageError::TypeError(msg) => write!(f, "type error: {msg}"),
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
             StorageError::IncompatibleFormat { expected, found } => {
-                write!(f, "incompatible export format: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "incompatible export format: expected {expected}, found {found}"
+                )
             }
         }
     }
@@ -70,7 +76,10 @@ mod tests {
 
     #[test]
     fn display_includes_detail() {
-        let e = StorageError::RecordTooLarge { size: 9000, max: 8100 };
+        let e = StorageError::RecordTooLarge {
+            size: 9000,
+            max: 8100,
+        };
         let s = e.to_string();
         assert!(s.contains("9000"));
         assert!(s.contains("8100"));

@@ -100,8 +100,9 @@ impl HeapFile {
         if rid.page_no >= self.page_count()? {
             return Ok(None);
         }
-        self.pool
-            .with_page(self.pid(rid.page_no), |p| p.get(rid.slot).map(|r| r.to_vec()))
+        self.pool.with_page(self.pid(rid.page_no), |p| {
+            p.get(rid.slot).map(|r| r.to_vec())
+        })
     }
 
     /// Delete the record at `rid`.

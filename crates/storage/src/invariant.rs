@@ -1,0 +1,86 @@
+//! Feature-gated runtime invariants.
+//!
+//! The [`invariant!`](crate::invariant) macro asserts internal consistency
+//! conditions that are too expensive (or too paranoid) for production builds:
+//! dense WAL LSNs, lock-manager writer exclusion, buffer-pool writeback
+//! discipline, queue ack accounting. With the `invariants` feature off (the
+//! default) the condition is type-checked but compiles to nothing; with it on
+//! (`cargo test --features invariants`) a violated invariant panics with the
+//! condition, location, and message.
+//!
+//! The feature is resolved *here*, at the macro's definition site, so
+//! downstream crates enable it transitively via their own `invariants`
+//! feature forwarding to `delta-storage/invariants`.
+
+/// Assert a runtime invariant (active: `invariants` feature is on).
+///
+/// `invariant!(cond)` panics with the stringified condition;
+/// `invariant!(cond, "fmt {}", args)` panics with the formatted message.
+#[cfg(feature = "invariants")]
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!(
+                "invariant violated: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            );
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            panic!(
+                "invariant violated: {} at {}:{}",
+                format_args!($($arg)+),
+                file!(),
+                line!()
+            );
+        }
+    };
+}
+
+/// Assert a runtime invariant (inactive: compiles to a type-check only).
+#[cfg(not(feature = "invariants"))]
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr $(,)?) => {
+        let _ = || {
+            let _: bool = $cond;
+        };
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        let _ = || {
+            let _: bool = $cond;
+            let _ = format_args!($($arg)+);
+        };
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn invariant_compiles_in_both_modes() {
+        let x = 2;
+        invariant!(x > 1);
+        invariant!(x > 1, "x was {}", x);
+    }
+
+    #[test]
+    #[cfg_attr(not(feature = "invariants"), ignore = "invariants feature off")]
+    fn violated_invariant_panics_when_enabled() {
+        let caught = std::panic::catch_unwind(|| {
+            let x = 0;
+            invariant!(x > 1, "x was {}", x);
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    #[cfg(not(feature = "invariants"))]
+    fn violated_invariant_is_free_when_disabled() {
+        let x = 0;
+        invariant!(x > 1, "x was {}", x);
+    }
+}

@@ -27,6 +27,7 @@ pub mod codec;
 pub mod error;
 pub mod file;
 pub mod heap;
+pub mod invariant;
 pub mod page;
 pub mod record;
 pub mod schema;

@@ -47,7 +47,7 @@ impl SlottedPage {
     /// A freshly formatted, empty page.
     pub fn new() -> SlottedPage {
         let mut p = SlottedPage {
-            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+            data: Box::new([0u8; PAGE_SIZE]),
         };
         p.set_slot_count(0);
         p.set_free_ptr(PAGE_SIZE as u16);
@@ -62,11 +62,9 @@ impl SlottedPage {
                 bytes.len()
             )));
         }
-        let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        let mut data = Box::new([0u8; PAGE_SIZE]);
         data.copy_from_slice(bytes);
-        let p = SlottedPage {
-            data: data.try_into().unwrap(),
-        };
+        let p = SlottedPage { data };
         // Sanity-check the header so corrupt pages fail fast.
         let n = p.slot_count() as usize;
         if HEADER_SIZE + n * SLOT_SIZE > PAGE_SIZE || (p.free_ptr() as usize) > PAGE_SIZE {
@@ -90,7 +88,9 @@ impl SlottedPage {
 
     /// The LSN of the last WAL record applied to this page.
     pub fn lsn(&self) -> u64 {
-        u64::from_le_bytes(self.data[0..8].try_into().unwrap())
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.data[0..8]);
+        u64::from_le_bytes(b)
     }
 
     /// Stamp the page LSN.
@@ -258,10 +258,7 @@ impl SlottedPage {
 
     /// Squeeze out dead-record space. Slot numbers are preserved.
     pub fn compact(&mut self) {
-        let mut live: Vec<(u16, Vec<u8>)> = self
-            .iter()
-            .map(|(s, r)| (s, r.to_vec()))
-            .collect();
+        let mut live: Vec<(u16, Vec<u8>)> = self.iter().map(|(s, r)| (s, r.to_vec())).collect();
         // Pack from the end of the page.
         let mut free = PAGE_SIZE;
         // Stable layout: place larger offsets first is unnecessary; any order works.

@@ -165,9 +165,7 @@ impl Row {
                     }
                     Value::Bool(buf.get_u8() != 0)
                 }
-                other => {
-                    return Err(StorageError::Corrupt(format!("unknown cell tag {other}")))
-                }
+                other => return Err(StorageError::Corrupt(format!("unknown cell tag {other}"))),
             };
             values.push(v);
         }

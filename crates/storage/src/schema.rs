@@ -245,12 +245,7 @@ mod tests {
     #[test]
     fn validate_rejects_null_in_not_null() {
         let s = parts_schema();
-        let row = Row::new(vec![
-            Value::Int(1),
-            Value::Null,
-            Value::Null,
-            Value::Null,
-        ]);
+        let row = Row::new(vec![Value::Int(1), Value::Null, Value::Null, Value::Null]);
         assert!(s.validate(&row).is_err());
     }
 

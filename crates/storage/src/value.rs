@@ -119,7 +119,9 @@ impl Value {
     pub fn as_int(&self) -> StorageResult<i64> {
         match self {
             Value::Int(i) | Value::Timestamp(i) => Ok(*i),
-            other => Err(StorageError::TypeError(format!("{other} is not an integer"))),
+            other => Err(StorageError::TypeError(format!(
+                "{other} is not an integer"
+            ))),
         }
     }
 
@@ -308,10 +310,12 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_mixed_types_deterministically() {
-        let mut vals = [Value::Str("a".into()),
+        let mut vals = [
+            Value::Str("a".into()),
             Value::Null,
             Value::Int(1),
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[3], Value::Str("a".into()));

@@ -226,7 +226,10 @@ mod tests {
         let mut batch = SimulatedConnection::new(LinkProfile::lan_10mbps(), clock.clone());
         let t_batch = batch.send_batched(1000, 100);
         let ratio = t_rows.as_secs_f64() / t_batch.as_secs_f64();
-        assert!(ratio > 5.0, "per-row {t_rows:?} vs batched {t_batch:?} (ratio {ratio:.1})");
+        assert!(
+            ratio > 5.0,
+            "per-row {t_rows:?} vs batched {t_batch:?} (ratio {ratio:.1})"
+        );
     }
 
     #[test]
@@ -238,6 +241,9 @@ mod tests {
         let t_local = local.send_per_row(100, 100);
         let t_ipc = ipc.send_per_row(100, 100);
         let t_lan = lan.send_per_row(100, 100);
-        assert!(t_local < t_ipc && t_ipc < t_lan, "{t_local:?} {t_ipc:?} {t_lan:?}");
+        assert!(
+            t_local < t_ipc && t_ipc < t_lan,
+            "{t_local:?} {t_ipc:?} {t_lan:?}"
+        );
     }
 }

@@ -15,7 +15,7 @@ use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
 
-use delta_storage::{StorageError, StorageResult};
+use delta_storage::{invariant, StorageError, StorageResult};
 
 fn checksum(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
@@ -64,13 +64,18 @@ impl PersistentQueue {
             File::open(&spool_path)?.read_to_end(&mut bytes)?;
             let mut at = 0usize;
             while at + 12 <= bytes.len() {
-                let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+                let lenb: [u8; 4] = bytes[at..at + 4]
+                    .try_into()
+                    .map_err(|_| StorageError::Corrupt("queue frame header truncated".into()))?;
+                let len = u32::from_le_bytes(lenb) as usize;
                 if at + 4 + len + 8 > bytes.len() {
                     break; // torn tail: ignore the partial frame
                 }
                 let body = &bytes[at + 4..at + 4 + len];
-                let sum =
-                    u64::from_le_bytes(bytes[at + 4 + len..at + 12 + len].try_into().unwrap());
+                let sumb: [u8; 8] = bytes[at + 4 + len..at + 12 + len]
+                    .try_into()
+                    .map_err(|_| StorageError::Corrupt("queue frame trailer truncated".into()))?;
+                let sum = u64::from_le_bytes(sumb);
                 if checksum(body) != sum {
                     break; // corrupt tail
                 }
@@ -93,6 +98,11 @@ impl PersistentQueue {
             .open(&spool_path)?;
         // If a torn tail was detected, truncate it away before appending.
         file.set_len(spool_len)?;
+        invariant!(
+            acked.min(offsets.len() as u64) <= offsets.len() as u64,
+            "recovered ack count {acked} exceeds {} spooled frames",
+            offsets.len()
+        );
         Ok(PersistentQueue {
             spool_path,
             ack_path,
@@ -108,6 +118,8 @@ impl PersistentQueue {
 
     /// Append a message; returns its index.
     pub fn enqueue(&self, payload: &[u8]) -> StorageResult<u64> {
+        // lint: allow(lock_hygiene) -- the queue mutex guards the spool
+        // writer itself; frames must hit the file in index order.
         let mut inner = self.inner.lock();
         let mut frame = Vec::with_capacity(payload.len() + 12);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -124,7 +136,16 @@ impl PersistentQueue {
     /// Next undelivered message as `(index, payload)`, or `None` when drained.
     /// Delivery alone does not acknowledge: call [`PersistentQueue::ack`].
     pub fn dequeue(&self) -> StorageResult<Option<(u64, Vec<u8>)>> {
+        // lint: allow(lock_hygiene) -- reads the guarded spool at a frame
+        // offset; the mutex keeps the cursor and the file view consistent.
         let mut inner = self.inner.lock();
+        invariant!(
+            inner.acked <= inner.cursor && inner.cursor <= inner.offsets.len() as u64,
+            "queue cursor accounting broken: acked {} cursor {} total {}",
+            inner.acked,
+            inner.cursor,
+            inner.offsets.len()
+        );
         if inner.cursor >= inner.offsets.len() as u64 {
             return Ok(None);
         }
@@ -152,9 +173,17 @@ impl PersistentQueue {
 
     /// Acknowledge every message up to and including `index`. Persisted.
     pub fn ack(&self, index: u64) -> StorageResult<()> {
+        // lint: allow(lock_hygiene) -- the ack file write must be atomic with
+        // the in-memory ack watermark or a crash could re-deliver acked work.
         let mut inner = self.inner.lock();
         inner.acked = inner.acked.max(index + 1);
         inner.cursor = inner.cursor.max(inner.acked);
+        invariant!(
+            inner.acked <= inner.offsets.len() as u64,
+            "acked {} messages but only {} were ever spooled",
+            inner.acked,
+            inner.offsets.len()
+        );
         std::fs::write(&self.ack_path, inner.acked.to_string())?;
         Ok(())
     }

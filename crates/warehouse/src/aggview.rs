@@ -108,9 +108,7 @@ impl AggregateView {
         for a in &def.aggregates {
             let pos = match (&a.column, a.func) {
                 (None, AggFunc::Count) => None,
-                (None, f) => {
-                    return Err(EngineError::Invalid(format!("{f}(*) is not valid")))
-                }
+                (None, f) => return Err(EngineError::Invalid(format!("{f}(*) is not valid"))),
                 (Some(c), _) => Some(base_schema.index_of(c).ok_or_else(|| {
                     EngineError::Invalid(format!("unknown aggregate column '{c}'"))
                 })?),
@@ -181,11 +179,7 @@ impl AggregateView {
     }
 
     /// Find the view row for `key`, if present.
-    fn find_group(
-        &self,
-        db: &Database,
-        key: &[Value],
-    ) -> EngineResult<Option<(RecordId, Row)>> {
+    fn find_group(&self, db: &Database, key: &[Value]) -> EngineResult<Option<(RecordId, Row)>> {
         for (rid, row) in db.scan_table(&self.def.name)? {
             let matches = key
                 .iter()
@@ -252,8 +246,7 @@ impl AggregateView {
                 }
                 AggFunc::Sum | AggFunc::Avg => {
                     let delta = arg.expect("SUM/AVG have arguments").as_double()?;
-                    let sum = view_row.values()[self.sum_pos(i)].as_double()?
-                        + sign as f64 * delta;
+                    let sum = view_row.values()[self.sum_pos(i)].as_double()? + sign as f64 * delta;
                     view_row.set(self.sum_pos(i), Value::Double(sum));
                     let out = if nn == 0 {
                         Value::Null
@@ -540,10 +533,8 @@ mod tests {
         let mut s = db.session();
         s.execute("CREATE TABLE sales (id INT PRIMARY KEY, region VARCHAR, amount INT)")
             .unwrap();
-        s.execute(
-            "INSERT INTO sales VALUES (1, 'west', 100), (2, 'west', 50), (3, 'east', 70)",
-        )
-        .unwrap();
+        s.execute("INSERT INTO sales VALUES (1, 'west', 100), (2, 'west', 50), (3, 'east', 70)")
+            .unwrap();
         let def = AggViewDef {
             name: "sales_by_region".into(),
             table: "sales".into(),
@@ -593,8 +584,13 @@ mod tests {
             .execute("INSERT INTO sales VALUES (4, 'west', 10), (5, 'north', 5)")
             .unwrap();
         let mut txn = db.begin();
-        v.on_base_insert(&db, &mut txn, "sales", &[base_row(4, "west", 10), base_row(5, "north", 5)])
-            .unwrap();
+        v.on_base_insert(
+            &db,
+            &mut txn,
+            "sales",
+            &[base_row(4, "west", 10), base_row(5, "north", 5)],
+        )
+        .unwrap();
         db.commit(txn).unwrap();
         assert!(v.verify_against_recompute(&db).unwrap());
         let rows = v.visible_rows(&db).unwrap();
@@ -604,9 +600,12 @@ mod tests {
     #[test]
     fn delete_shrinks_group_and_removes_empty_groups() {
         let (db, v) = setup();
-        db.session().execute("DELETE FROM sales WHERE id = 3").unwrap();
+        db.session()
+            .execute("DELETE FROM sales WHERE id = 3")
+            .unwrap();
         let mut txn = db.begin();
-        v.on_base_delete(&db, &mut txn, "sales", &[base_row(3, "east", 70)]).unwrap();
+        v.on_base_delete(&db, &mut txn, "sales", &[base_row(3, "east", 70)])
+            .unwrap();
         db.commit(txn).unwrap();
         assert!(v.verify_against_recompute(&db).unwrap());
         assert_eq!(v.visible_rows(&db).unwrap().len(), 1, "east group gone");
@@ -616,9 +615,12 @@ mod tests {
     fn deleting_the_extreme_recomputes_min_max() {
         let (db, v) = setup();
         // Delete west's max (100): max must become 50 via recompute.
-        db.session().execute("DELETE FROM sales WHERE id = 1").unwrap();
+        db.session()
+            .execute("DELETE FROM sales WHERE id = 1")
+            .unwrap();
         let mut txn = db.begin();
-        v.on_base_delete(&db, &mut txn, "sales", &[base_row(1, "west", 100)]).unwrap();
+        v.on_base_delete(&db, &mut txn, "sales", &[base_row(1, "west", 100)])
+            .unwrap();
         db.commit(txn).unwrap();
         let rows = v.visible_rows(&db).unwrap();
         let west = &rows[1];
@@ -655,7 +657,8 @@ mod tests {
         let mut s = db.session();
         s.execute("CREATE TABLE sales (id INT PRIMARY KEY, region VARCHAR, amount INT)")
             .unwrap();
-        s.execute("INSERT INTO sales VALUES (1, 'west', 100), (2, 'west', 5)").unwrap();
+        s.execute("INSERT INTO sales VALUES (1, 'west', 100), (2, 'west', 5)")
+            .unwrap();
         let def = AggViewDef {
             name: "big_sales".into(),
             table: "sales".into(),
@@ -668,7 +671,11 @@ mod tests {
         v.refresh_full(&db, &mut txn).unwrap();
         db.commit(txn).unwrap();
         let rows = v.visible_rows(&db).unwrap();
-        assert_eq!(rows[0].values()[1], Value::Int(1), "small sale filtered out");
+        assert_eq!(
+            rows[0].values()[1],
+            Value::Int(1),
+            "small sale filtered out"
+        );
         // An insert below the threshold is a no-op for the view.
         let mut txn = db.begin();
         let n = v
@@ -723,7 +730,10 @@ mod tests {
             name: "x".into(),
             table: "sales".into(),
             group_by: vec![],
-            aggregates: vec![AggSpec { func: AggFunc::Sum, column: None }],
+            aggregates: vec![AggSpec {
+                func: AggFunc::Sum,
+                column: None,
+            }],
             selection: None,
         };
         assert!(AggregateView::create(&db, bad).is_err());
@@ -735,7 +745,8 @@ mod tests {
         let mut s = db.session();
         s.execute("CREATE TABLE sales (id INT PRIMARY KEY, region VARCHAR, amount INT)")
             .unwrap();
-        s.execute("INSERT INTO sales VALUES (1, 'west', NULL), (2, 'west', 10)").unwrap();
+        s.execute("INSERT INTO sales VALUES (1, 'west', NULL), (2, 'west', 10)")
+            .unwrap();
         let def = AggViewDef {
             name: "v".into(),
             table: "sales".into(),

@@ -174,8 +174,11 @@ impl Warehouse {
         let meta = self.db.table(table)?;
         let cap = Self::capture_table(table);
         if self.db.table(&cap).is_err() {
-            self.db
-                .create_table(&cap, delta_table_schema(&meta.schema), TableOptions::default())?;
+            self.db.create_table(
+                &cap,
+                delta_table_schema(&meta.schema),
+                TableOptions::default(),
+            )?;
         }
         self.db.create_trigger(TriggerDef {
             name: format!("__cap_{table}"),
@@ -234,12 +237,9 @@ impl Warehouse {
             match rec.op {
                 DeltaOp::Insert => {
                     for v in &views {
-                        touched += v.on_base_insert(
-                            &self.db,
-                            txn,
-                            table,
-                            std::slice::from_ref(&rec.row),
-                        )? as u64;
+                        touched +=
+                            v.on_base_insert(&self.db, txn, table, std::slice::from_ref(&rec.row))?
+                                as u64;
                     }
                     for v in &agg_views {
                         touched +=
@@ -249,12 +249,9 @@ impl Warehouse {
                 }
                 DeltaOp::Delete => {
                     for v in &views {
-                        touched += v.on_base_delete(
-                            &self.db,
-                            txn,
-                            table,
-                            std::slice::from_ref(&rec.row),
-                        )? as u64;
+                        touched +=
+                            v.on_base_delete(&self.db, txn, table, std::slice::from_ref(&rec.row))?
+                                as u64;
                     }
                     for v in &agg_views {
                         touched +=
@@ -267,9 +264,7 @@ impl Warehouse {
                         EngineError::Invalid("dangling UB record in capture table".into())
                     })?;
                     if after.op != DeltaOp::UpdateAfter {
-                        return Err(EngineError::Invalid(
-                            "UB record not followed by UA".into(),
-                        ));
+                        return Err(EngineError::Invalid("UB record not followed by UA".into()));
                     }
                     for v in &views {
                         touched += v.on_base_update(
@@ -365,8 +360,7 @@ impl ValueDeltaApplier {
                             columns: None,
                             rows,
                         };
-                        report.rows_affected +=
-                            exec::execute(db, &mut txn, &stmt)?.affected;
+                        report.rows_affected += exec::execute(db, &mut txn, &stmt)?.affected;
                         report.statements += 1;
                         report.view_rows_touched += wh.maintain_views(&mut txn, &vd.table)?;
                         i += run;
@@ -379,8 +373,7 @@ impl ValueDeltaApplier {
                                 &projected.values()[key_pos_mirror],
                             )),
                         };
-                        report.rows_affected +=
-                            exec::execute(db, &mut txn, &stmt)?.affected;
+                        report.rows_affected += exec::execute(db, &mut txn, &stmt)?.affected;
                         report.statements += 1;
                         report.view_rows_touched += wh.maintain_views(&mut txn, &vd.table)?;
                         i += 1;
@@ -515,12 +508,17 @@ mod tests {
     fn warehouse() -> Warehouse {
         let db = open_temp("wh").unwrap();
         let mut wh = Warehouse::new(db);
-        wh.add_mirror(MirrorConfig::full("parts", source_schema())).unwrap();
+        wh.add_mirror(MirrorConfig::full("parts", source_schema()))
+            .unwrap();
         wh
     }
 
     fn row(id: i64, name: &str, qty: i64) -> Row {
-        Row::new(vec![Value::Int(id), Value::Str(name.into()), Value::Int(qty)])
+        Row::new(vec![
+            Value::Int(id),
+            Value::Str(name.into()),
+            Value::Int(qty),
+        ])
     }
 
     fn mirror_rows(wh: &Warehouse) -> Vec<Row> {
@@ -550,7 +548,10 @@ mod tests {
             row: row(2, "b", 2),
         });
         let r = ValueDeltaApplier::apply(&wh, &vd).unwrap();
-        assert_eq!(r.statements, 1, "a run of inserts coalesces into one statement");
+        assert_eq!(
+            r.statements, 1,
+            "a run of inserts coalesces into one statement"
+        );
         assert_eq!(r.rows_affected, 2);
         assert_eq!(r.transactions, 1);
 
@@ -661,14 +662,15 @@ mod tests {
             txn: 1,
             ops: vec![
                 op("INSERT INTO parts VALUES (1, 'dropped-name', 5)", 1, 1),
-                op("UPDATE parts SET qty = 6, name = 'also-dropped' WHERE id = 1", 2, 1),
+                op(
+                    "UPDATE parts SET qty = 6, name = 'also-dropped' WHERE id = 1",
+                    2,
+                    1,
+                ),
             ],
         };
         OpDeltaApplier::apply(&wh, &od).unwrap();
-        let rows = wh
-            .db()
-            .scan_table("parts")
-            .unwrap();
+        let rows = wh.db().scan_table("parts").unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1, Row::new(vec![Value::Int(1), Value::Int(6)]));
     }
@@ -735,14 +737,16 @@ mod tests {
         use crate::view::JoinCond;
         let db = open_temp("wh-views").unwrap();
         let mut wh = Warehouse::new(db);
-        wh.add_mirror(MirrorConfig::full("parts", source_schema())).unwrap();
+        wh.add_mirror(MirrorConfig::full("parts", source_schema()))
+            .unwrap();
         let supplier_schema = Schema::new(vec![
             Column::new("sid", DataType::Int).primary_key(),
             Column::new("part_id", DataType::Int),
             Column::new("region", DataType::Varchar),
         ])
         .unwrap();
-        wh.add_mirror(MirrorConfig::full("suppliers", supplier_schema.clone())).unwrap();
+        wh.add_mirror(MirrorConfig::full("suppliers", supplier_schema.clone()))
+            .unwrap();
         wh.add_view(SpjView {
             name: "v".into(),
             tables: vec!["parts".into(), "suppliers".into()],

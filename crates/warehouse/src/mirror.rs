@@ -106,9 +106,7 @@ impl MirrorConfig {
     /// `Ok(None)` when the statement cannot touch mirrored data.
     pub fn rewrite(&self, stmt: &Statement) -> EngineResult<Option<Statement>> {
         match stmt {
-            Statement::Insert {
-                columns, rows, ..
-            } => {
+            Statement::Insert { columns, rows, .. } => {
                 // Resolve the source column list.
                 let src_cols: Vec<String> = match columns {
                     Some(cols) => cols.clone(),
@@ -132,8 +130,7 @@ impl MirrorConfig {
                     .filter(|(_, c)| self.covers(c))
                     .map(|(i, _)| i)
                     .collect();
-                let new_cols: Vec<String> =
-                    keep.iter().map(|&i| src_cols[i].clone()).collect();
+                let new_cols: Vec<String> = keep.iter().map(|&i| src_cols[i].clone()).collect();
                 let new_rows: Vec<Vec<Expr>> = rows
                     .iter()
                     .map(|row| keep.iter().map(|&i| row[i].clone()).collect())
@@ -318,16 +315,18 @@ mod tests {
             parse_statement("INSERT INTO orders (customer, id, status) VALUES ('b', 2, 'new')")
                 .unwrap();
         let out = m.rewrite(&stmt).unwrap().unwrap();
-        assert_eq!(out.to_string(), "INSERT INTO orders (id, status) VALUES (2, 'new')");
+        assert_eq!(
+            out.to_string(),
+            "INSERT INTO orders (id, status) VALUES (2, 'new')"
+        );
     }
 
     #[test]
     fn update_rewrite_drops_unmirrored_sets() {
         let m = projected();
-        let stmt = parse_statement(
-            "UPDATE orders SET status = 'closed', customer = 'x' WHERE id = 1",
-        )
-        .unwrap();
+        let stmt =
+            parse_statement("UPDATE orders SET status = 'closed', customer = 'x' WHERE id = 1")
+                .unwrap();
         let out = m.rewrite(&stmt).unwrap().unwrap();
         assert_eq!(
             out.to_string(),
@@ -343,8 +342,7 @@ mod tests {
         let m = projected();
         let stmt = parse_statement("DELETE FROM orders WHERE customer = 'acme'").unwrap();
         assert!(m.rewrite(&stmt).is_err());
-        let stmt =
-            parse_statement("UPDATE orders SET status = 'c' WHERE total > 10").unwrap();
+        let stmt = parse_statement("UPDATE orders SET status = 'c' WHERE total > 10").unwrap();
         assert!(m.rewrite(&stmt).is_err());
     }
 
@@ -388,8 +386,7 @@ mod tests {
         let m = projected();
         // SET references the unmirrored column `customer` — only resolvable
         // from the before image.
-        let stmt =
-            parse_statement("UPDATE orders SET status = customer WHERE total > 10").unwrap();
+        let stmt = parse_statement("UPDATE orders SET status = customer WHERE total > 10").unwrap();
         let out = m.hybrid_statements(&stmt, &before_image(), 0).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(

@@ -56,10 +56,7 @@ impl OlapDriver {
 
     /// Run `maintenance` with readers active; returns its result plus the
     /// readers' statistics.
-    pub fn run_during<R>(
-        &self,
-        maintenance: impl FnOnce() -> R,
-    ) -> (R, OlapStats) {
+    pub fn run_during<R>(&self, maintenance: impl FnOnce() -> R) -> (R, OlapStats) {
         let stop = Arc::new(AtomicBool::new(false));
         let completed = Arc::new(AtomicU64::new(0));
         let timeouts = Arc::new(AtomicU64::new(0));
@@ -138,9 +135,11 @@ mod tests {
         opts.lock_timeout = Duration::from_millis(lock_ms);
         let db = Database::open(opts).unwrap();
         let mut s = db.session();
-        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
         for i in 0..50 {
-            s.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+            s.execute(&format!("INSERT INTO t VALUES ({i}, {i})"))
+                .unwrap();
         }
         db
     }
@@ -168,6 +167,9 @@ mod tests {
             std::thread::sleep(Duration::from_millis(150));
             db.commit(txn).unwrap();
         });
-        assert!(stats.timeouts > 0, "readers must have been starved: {stats:?}");
+        assert!(
+            stats.timeouts > 0,
+            "readers must have been starved: {stats:?}"
+        );
     }
 }

@@ -199,7 +199,11 @@ mod tests {
         }))
         .unwrap();
         assert!(pipe.sync(&wh).is_err());
-        assert_eq!(pipe.queue().acked(), 0, "failed batch stays unacked for retry");
+        assert_eq!(
+            pipe.queue().acked(),
+            0,
+            "failed batch stays unacked for retry"
+        );
     }
 
     #[test]

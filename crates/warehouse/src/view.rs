@@ -225,11 +225,7 @@ impl MaterializedView {
         for (idx, (t, _offset, schema)) in self.table_offsets.iter().enumerate() {
             let rows: Vec<Row> = match restricted {
                 Some((rt, rrows)) if rt == t => rrows.to_vec(),
-                _ => db
-                    .scan_table(t)?
-                    .into_iter()
-                    .map(|(_, r)| r)
-                    .collect(),
+                _ => db.scan_table(t)?.into_iter().map(|(_, r)| r).collect(),
             };
             // Join conditions connecting this table to the partial row.
             let conds: Vec<(usize, usize)> = self
@@ -242,8 +238,7 @@ impl MaterializedView {
                         && self.def.tables[..idx].contains(&j.left_table)
                     {
                         (&j.left_table, &j.left_col, &j.right_col)
-                    } else if j.left_table == *t
-                        && self.def.tables[..idx].contains(&j.right_table)
+                    } else if j.left_table == *t && self.def.tables[..idx].contains(&j.right_table)
                     {
                         (&j.right_table, &j.right_col, &j.left_col)
                     } else {
@@ -418,7 +413,8 @@ mod tests {
     fn setup() -> std::sync::Arc<Database> {
         let db = open_temp("view").unwrap();
         let mut s = db.session();
-        s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR, qty INT)").unwrap();
+        s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR, qty INT)")
+            .unwrap();
         s.execute("CREATE TABLE suppliers (sid INT PRIMARY KEY, part_id INT, region VARCHAR)")
             .unwrap();
         s.execute("INSERT INTO parts VALUES (1, 'bolt', 10), (2, 'nut', 0), (3, 'washer', 5)")
@@ -460,10 +456,7 @@ mod tests {
             .into_iter()
             .map(|(_, r)| r.into_values())
             .collect();
-        rows.sort_by(|a, b| {
-            a[0].total_cmp(&b[0])
-                .then(a[2].total_cmp(&b[2]))
-        });
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]).then(a[2].total_cmp(&b[2])));
         rows
     }
 
@@ -484,7 +477,8 @@ mod tests {
     fn rejects_non_key_preserving_projection() {
         let db = setup();
         let mut def = view_def();
-        def.projection.retain(|(t, c)| !(t == "suppliers" && c == "sid"));
+        def.projection
+            .retain(|(t, c)| !(t == "suppliers" && c == "sid"));
         match MaterializedView::create(&db, def) {
             Err(e) => assert!(e.to_string().contains("key-preserving"), "{e}"),
             Ok(_) => panic!("expected rejection"),
@@ -507,9 +501,14 @@ mod tests {
         let db = setup();
         let v = materialize(&db);
         // New west supplier for part 3.
-        let new_row = Row::new(vec![Value::Int(14), Value::Int(3), Value::Str("west".into())]);
+        let new_row = Row::new(vec![
+            Value::Int(14),
+            Value::Int(3),
+            Value::Str("west".into()),
+        ]);
         let mut s = db.session();
-        s.execute("INSERT INTO suppliers VALUES (14, 3, 'west')").unwrap();
+        s.execute("INSERT INTO suppliers VALUES (14, 3, 'west')")
+            .unwrap();
         let mut txn = db.begin();
         let n = v
             .on_base_insert(&db, &mut txn, "suppliers", std::slice::from_ref(&new_row))
@@ -524,8 +523,14 @@ mod tests {
         let db = setup();
         let v = materialize(&db);
         // Delete supplier 10 (part 1, west). Supplier row: (10, 1, 'west').
-        let old = Row::new(vec![Value::Int(10), Value::Int(1), Value::Str("west".into())]);
-        db.session().execute("DELETE FROM suppliers WHERE sid = 10").unwrap();
+        let old = Row::new(vec![
+            Value::Int(10),
+            Value::Int(1),
+            Value::Str("west".into()),
+        ]);
+        db.session()
+            .execute("DELETE FROM suppliers WHERE sid = 10")
+            .unwrap();
         let mut txn = db.begin();
         let n = v
             .on_base_delete(&db, &mut txn, "suppliers", std::slice::from_ref(&old))
@@ -542,23 +547,42 @@ mod tests {
         let db = setup();
         let v = materialize(&db);
         // Supplier 11 moves east → west: the view gains a row.
-        let old = Row::new(vec![Value::Int(11), Value::Int(1), Value::Str("east".into())]);
-        let new = Row::new(vec![Value::Int(11), Value::Int(1), Value::Str("west".into())]);
+        let old = Row::new(vec![
+            Value::Int(11),
+            Value::Int(1),
+            Value::Str("east".into()),
+        ]);
+        let new = Row::new(vec![
+            Value::Int(11),
+            Value::Int(1),
+            Value::Str("west".into()),
+        ]);
         db.session()
             .execute("UPDATE suppliers SET region = 'west' WHERE sid = 11")
             .unwrap();
         let mut txn = db.begin();
-        v.on_base_update(&db, &mut txn, "suppliers", std::slice::from_ref(&old), std::slice::from_ref(&new))
-            .unwrap();
+        v.on_base_update(
+            &db,
+            &mut txn,
+            "suppliers",
+            std::slice::from_ref(&old),
+            std::slice::from_ref(&new),
+        )
+        .unwrap();
         db.commit(txn).unwrap();
         assert_eq!(view_rows(&db).len(), 3);
         // And back out again.
-        let back = Row::new(vec![Value::Int(11), Value::Int(1), Value::Str("north".into())]);
+        let back = Row::new(vec![
+            Value::Int(11),
+            Value::Int(1),
+            Value::Str("north".into()),
+        ]);
         db.session()
             .execute("UPDATE suppliers SET region = 'north' WHERE sid = 11")
             .unwrap();
         let mut txn = db.begin();
-        v.on_base_update(&db, &mut txn, "suppliers", &[new], &[back]).unwrap();
+        v.on_base_update(&db, &mut txn, "suppliers", &[new], &[back])
+            .unwrap();
         db.commit(txn).unwrap();
         assert_eq!(view_rows(&db).len(), 2);
     }
@@ -570,16 +594,23 @@ mod tests {
         let mut s = db.session();
 
         // Mixed base changes, maintained incrementally.
-        let ins = Row::new(vec![Value::Int(20), Value::Int(3), Value::Str("west".into())]);
-        s.execute("INSERT INTO suppliers VALUES (20, 3, 'west')").unwrap();
+        let ins = Row::new(vec![
+            Value::Int(20),
+            Value::Int(3),
+            Value::Str("west".into()),
+        ]);
+        s.execute("INSERT INTO suppliers VALUES (20, 3, 'west')")
+            .unwrap();
         let mut txn = db.begin();
-        v.on_base_insert(&db, &mut txn, "suppliers", std::slice::from_ref(&ins)).unwrap();
+        v.on_base_insert(&db, &mut txn, "suppliers", std::slice::from_ref(&ins))
+            .unwrap();
         db.commit(txn).unwrap();
 
         let old_part = Row::new(vec![Value::Int(2), Value::Str("nut".into()), Value::Int(0)]);
         s.execute("DELETE FROM parts WHERE id = 2").unwrap();
         let mut txn = db.begin();
-        v.on_base_delete(&db, &mut txn, "parts", std::slice::from_ref(&old_part)).unwrap();
+        v.on_base_delete(&db, &mut txn, "parts", std::slice::from_ref(&old_part))
+            .unwrap();
         db.commit(txn).unwrap();
 
         let incremental = view_rows(&db);

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR, qty INT)")?;
     let stmts_before = primary.statements_executed();
     for i in 0..500 {
-        s.execute(&format!("INSERT INTO parts VALUES ({i}, 'p{i}', {})", i % 7))?;
+        s.execute(&format!(
+            "INSERT INTO parts VALUES ({i}, 'p{i}', {})",
+            i % 7
+        ))?;
     }
     s.execute("UPDATE parts SET qty = 99 WHERE qty = 0")?;
     s.execute("DELETE FROM parts WHERE id >= 450")?;
@@ -61,7 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for seg in primary.wal().resident_segments()? {
         applied += standby.apply_log_records(&read_segment(&seg)?)?;
     }
-    println!("shipped {shipped_bytes} bytes of archive segments; standby applied {applied} changes");
+    println!(
+        "shipped {shipped_bytes} bytes of archive segments; standby applied {applied} changes"
+    );
 
     // The standby is now an exact replica.
     let count = standby.row_count("parts")?;

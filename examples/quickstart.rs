@@ -7,14 +7,15 @@
 //! ```
 
 use deltaforge::core::model::DeltaBatch;
-use deltaforge::core::opdelta::{collect_from_table, clear_table, OpDeltaCapture, OpLogSink};
+use deltaforge::core::opdelta::{clear_table, collect_from_table, OpDeltaCapture, OpLogSink};
 use deltaforge::engine::db::Database;
 use deltaforge::engine::DbOptions;
-use deltaforge::warehouse::{MirrorConfig, Pipeline, Warehouse};
 use deltaforge::storage::{Column, DataType, Schema};
+use deltaforge::warehouse::{MirrorConfig, Pipeline, Warehouse};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scratch = std::env::temp_dir().join(format!("deltaforge-quickstart-{}", std::process::id()));
+    let scratch =
+        std::env::temp_dir().join(format!("deltaforge-quickstart-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
 
     // ---------------------------------------------------------------
@@ -107,7 +108,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         src_rows.iter().map(|(_, r)| r).collect::<Vec<_>>(),
         wh_rows.iter().map(|(_, r)| r).collect::<Vec<_>>()
     );
-    println!("verified: warehouse mirror identical to source ({} rows)", wh_rows.len());
+    println!(
+        "verified: warehouse mirror identical to source ({} rows)",
+        wh_rows.len()
+    );
     for (_, row) in &wh_rows {
         println!("  {}", deltaforge::storage::codec::ascii::format_row(row));
     }

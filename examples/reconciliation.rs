@@ -93,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Op-Delta: captured once at the business level — one authoritative
     // operation per change, nothing to reconcile.
     let ods = collect_from_table(&east, "op_log")?;
-    println!("\nOp-Delta capture saw exactly {} business transactions:", ods.len());
+    println!(
+        "\nOp-Delta capture saw exactly {} business transactions:",
+        ods.len()
+    );
     for od in &ods {
         for op in &od.ops {
             println!("  txn {}: {}", od.txn, op.statement);

@@ -19,7 +19,8 @@ const TXN_SIZES: [usize; 3] = [10, 100, 1000];
 fn make_source(dir: &std::path::Path, name: &str) -> std::sync::Arc<Database> {
     let db = Database::open(DbOptions::new(dir.join(name))).expect("open");
     let mut s = db.session();
-    s.execute("CREATE TABLE parts (id INT PRIMARY KEY, grp INT, val INT)").expect("ddl");
+    s.execute("CREATE TABLE parts (id INT PRIMARY KEY, grp INT, val INT)")
+        .expect("ddl");
     for chunk_start in (0..ROWS).step_by(500) {
         let values: Vec<String> = (chunk_start..(chunk_start + 500).min(ROWS))
             .map(|i| format!("({i}, {i}, 0)"))
@@ -42,8 +43,7 @@ fn time_update(mut run: impl FnMut(&str), n: usize) -> std::time::Duration {
 }
 
 fn main() {
-    let scratch =
-        std::env::temp_dir().join(format!("deltaforge-tvo-{}", std::process::id()));
+    let scratch = std::env::temp_dir().join(format!("deltaforge-tvo-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
 
     println!("update-transaction response time on a {ROWS}-row table\n");
@@ -55,26 +55,51 @@ fn main() {
         // Baseline: no capture at all.
         let base_db = make_source(&scratch, &format!("base-{n}"));
         let mut base = base_db.session();
-        let t_base = time_update(|sql| { base.execute(sql).expect("stmt"); }, n);
+        let t_base = time_update(
+            |sql| {
+                base.execute(sql).expect("stmt");
+            },
+            n,
+        );
 
         // Trigger capture: every changed row writes before+after images.
         let trig_db = make_source(&scratch, &format!("trig-{n}"));
-        TriggerExtractor::new("parts").install(&trig_db).expect("trigger");
+        TriggerExtractor::new("parts")
+            .install(&trig_db)
+            .expect("trigger");
         let mut trig = trig_db.session();
-        let t_trig = time_update(|sql| { trig.execute(sql).expect("stmt"); }, n);
+        let t_trig = time_update(
+            |sql| {
+                trig.execute(sql).expect("stmt");
+            },
+            n,
+        );
 
         // Op-Delta capture: the ~70-byte statement is logged once.
         let op_db = make_source(&scratch, &format!("op-{n}"));
         let mut cap = OpDeltaCapture::new(op_db.session(), OpLogSink::Table("op_log".into()))
             .expect("capture");
-        let t_op = time_update(|sql| { cap.execute(sql).expect("stmt"); }, n);
+        let t_op = time_update(
+            |sql| {
+                cap.execute(sql).expect("stmt");
+            },
+            n,
+        );
 
         let ovh = |t: std::time::Duration| {
-            format!("{:+.1}%", (t.as_secs_f64() / t_base.as_secs_f64() - 1.0) * 100.0)
+            format!(
+                "{:+.1}%",
+                (t.as_secs_f64() / t_base.as_secs_f64() - 1.0) * 100.0
+            )
         };
         println!(
             "{:>8}  {:>12.1?}  {:>14.1?}  {:>14.1?}  {:>9}  {:>9}",
-            n, t_base, t_trig, t_op, ovh(t_trig), ovh(t_op)
+            n,
+            t_base,
+            t_trig,
+            t_op,
+            ovh(t_trig),
+            ovh(t_op)
         );
     }
     println!(

@@ -13,9 +13,9 @@ use deltaforge::core::model::DeltaBatch;
 use deltaforge::core::opdelta::{clear_table, collect_from_table, OpDeltaCapture, OpLogSink};
 use deltaforge::engine::db::Database;
 use deltaforge::engine::DbOptions;
+use deltaforge::sql::ast::AggFunc;
 use deltaforge::sql::parser::parse_expression;
 use deltaforge::storage::{Column, DataType, Schema};
-use deltaforge::sql::ast::AggFunc;
 use deltaforge::warehouse::{
     AggSpec, AggViewDef, JoinCond, MirrorConfig, OlapDriver, Pipeline, SpjView, Warehouse,
 };
@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Source system with two tables.
     let source = Database::open(DbOptions::new(scratch.join("source")))?;
     let mut s = source.session();
-    s.execute("CREATE TABLE customers (cid INT PRIMARY KEY, name VARCHAR NOT NULL, region VARCHAR)")?;
+    s.execute(
+        "CREATE TABLE customers (cid INT PRIMARY KEY, name VARCHAR NOT NULL, region VARCHAR)",
+    )?;
     s.execute("CREATE TABLE orders (oid INT PRIMARY KEY, cust INT, total INT, status VARCHAR)")?;
     s.execute("INSERT INTO customers VALUES (1, 'acme', 'west'), (2, 'globex', 'east'), (3, 'initech', 'west')")?;
     drop(s);
@@ -58,11 +60,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     warehouse.add_mirror(MirrorConfig::full("customers", customers_schema()))?;
     warehouse.add_mirror(MirrorConfig::full("orders", orders_schema()))?;
     // Backfill the initial customer state.
-    for (cid, name, region) in [(1, "acme", "west"), (2, "globex", "east"), (3, "initech", "west")] {
-        warehouse
-            .db()
-            .session()
-            .execute(&format!("INSERT INTO customers VALUES ({cid}, '{name}', '{region}')"))?;
+    for (cid, name, region) in [
+        (1, "acme", "west"),
+        (2, "globex", "east"),
+        (3, "initech", "west"),
+    ] {
+        warehouse.db().session().execute(&format!(
+            "INSERT INTO customers VALUES ({cid}, '{name}', '{region}')"
+        ))?;
     }
     warehouse.add_view(SpjView {
         name: "west_open_orders".into(),

@@ -50,13 +50,16 @@ fn op_delta_pipeline_keeps_full_mirror_identical() {
     let dir = scratch("full");
     let src = Database::open(DbOptions::new(dir.join("src"))).unwrap();
     src.session()
-        .execute("CREATE TABLE orders (id INT PRIMARY KEY, status VARCHAR, customer VARCHAR, total INT)")
+        .execute(
+            "CREATE TABLE orders (id INT PRIMARY KEY, status VARCHAR, customer VARCHAR, total INT)",
+        )
         .unwrap();
     let mut cap = OpDeltaCapture::new(src.session(), OpLogSink::Table("op_log".into())).unwrap();
 
     let wh_db = Database::open(DbOptions::new(dir.join("wh"))).unwrap();
     let mut wh = Warehouse::new(wh_db);
-    wh.add_mirror(MirrorConfig::full("orders", orders_schema())).unwrap();
+    wh.add_mirror(MirrorConfig::full("orders", orders_schema()))
+        .unwrap();
     let pipe = Pipeline::open(dir.join("pipe.q")).unwrap();
 
     // Several rounds of activity with interleaved syncs.
@@ -69,16 +72,23 @@ fn op_delta_pipeline_keeps_full_mirror_identical() {
         ))
         .unwrap();
         cap.execute("BEGIN").unwrap();
-        cap.execute(&format!("UPDATE orders SET total = total + 5 WHERE id = {base}"))
+        cap.execute(&format!(
+            "UPDATE orders SET total = total + 5 WHERE id = {base}"
+        ))
+        .unwrap();
+        cap.execute(&format!("DELETE FROM orders WHERE id = {}", base + 1))
             .unwrap();
-        cap.execute(&format!("DELETE FROM orders WHERE id = {}", base + 1)).unwrap();
         cap.execute("COMMIT").unwrap();
         for od in collect_from_table(&src, "op_log").unwrap() {
             pipe.publish(&DeltaBatch::Op(od)).unwrap();
         }
         clear_table(&src, "op_log").unwrap();
         pipe.sync(&wh).unwrap();
-        assert_eq!(sorted(&src, "orders"), sorted(wh.db(), "orders"), "round {round}");
+        assert_eq!(
+            sorted(&src, "orders"),
+            sorted(wh.db(), "orders"),
+            "round {round}"
+        );
     }
 }
 
@@ -87,7 +97,9 @@ fn hybrid_flow_maintains_projected_mirror() {
     let dir = scratch("hybrid");
     let src = Database::open(DbOptions::new(dir.join("src"))).unwrap();
     src.session()
-        .execute("CREATE TABLE orders (id INT PRIMARY KEY, status VARCHAR, customer VARCHAR, total INT)")
+        .execute(
+            "CREATE TABLE orders (id INT PRIMARY KEY, status VARCHAR, customer VARCHAR, total INT)",
+        )
         .unwrap();
     // Warehouse mirrors only (id, status, total); predicates on `customer`
     // force the §4.1 hybrid.
@@ -98,13 +110,21 @@ fn hybrid_flow_maintains_projected_mirror() {
 
     cap.execute("INSERT INTO orders VALUES (1, 'open', 'acme', 10), (2, 'open', 'acme', 20), (3, 'open', 'bob', 30)")
         .unwrap();
-    cap.execute("UPDATE orders SET status = 'flagged' WHERE customer = 'acme'").unwrap();
-    cap.execute("DELETE FROM orders WHERE customer = 'bob'").unwrap();
+    cap.execute("UPDATE orders SET status = 'flagged' WHERE customer = 'acme'")
+        .unwrap();
+    cap.execute("DELETE FROM orders WHERE customer = 'bob'")
+        .unwrap();
 
     let ods = collect_from_table(&src, "op_log").unwrap();
     assert_eq!(ods.len(), 3);
-    assert!(ods[1].ops[0].before_image.is_some(), "update predicated on unmirrored column");
-    assert!(ods[2].ops[0].before_image.is_some(), "delete predicated on unmirrored column");
+    assert!(
+        ods[1].ops[0].before_image.is_some(),
+        "update predicated on unmirrored column"
+    );
+    assert!(
+        ods[2].ops[0].before_image.is_some(),
+        "delete predicated on unmirrored column"
+    );
 
     let wh_db = Database::open(DbOptions::new(dir.join("wh"))).unwrap();
     let mut wh = Warehouse::new(wh_db);
@@ -120,8 +140,16 @@ fn hybrid_flow_maintains_projected_mirror() {
     assert_eq!(
         rows,
         vec![
-            Row::new(vec![Value::Int(1), Value::Str("flagged".into()), Value::Int(10)]),
-            Row::new(vec![Value::Int(2), Value::Str("flagged".into()), Value::Int(20)]),
+            Row::new(vec![
+                Value::Int(1),
+                Value::Str("flagged".into()),
+                Value::Int(10)
+            ]),
+            Row::new(vec![
+                Value::Int(2),
+                Value::Str("flagged".into()),
+                Value::Int(20)
+            ]),
         ]
     );
 }
@@ -131,20 +159,26 @@ fn trigger_extracted_value_delta_round_trips_through_pipeline() {
     let dir = scratch("value");
     let src = Database::open(DbOptions::new(dir.join("src"))).unwrap();
     let mut s = src.session();
-    s.execute("CREATE TABLE orders (id INT PRIMARY KEY, status VARCHAR, customer VARCHAR, total INT)")
-        .unwrap();
+    s.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, status VARCHAR, customer VARCHAR, total INT)",
+    )
+    .unwrap();
     let x = TriggerExtractor::new("orders");
     x.install(&src).unwrap();
-    s.execute("INSERT INTO orders VALUES (1, 'open', 'acme', 10)").unwrap();
-    s.execute("INSERT INTO orders VALUES (2, 'open', 'bob', 20)").unwrap();
-    s.execute("UPDATE orders SET total = 25 WHERE id = 2").unwrap();
+    s.execute("INSERT INTO orders VALUES (1, 'open', 'acme', 10)")
+        .unwrap();
+    s.execute("INSERT INTO orders VALUES (2, 'open', 'bob', 20)")
+        .unwrap();
+    s.execute("UPDATE orders SET total = 25 WHERE id = 2")
+        .unwrap();
     let vd = x.drain(&src).unwrap();
 
     // Ship through the queue as a serialized envelope (exactly what crosses
     // the network), then apply.
     let wh_db = Database::open(DbOptions::new(dir.join("wh"))).unwrap();
     let mut wh = Warehouse::new(wh_db);
-    wh.add_mirror(MirrorConfig::full("orders", orders_schema())).unwrap();
+    wh.add_mirror(MirrorConfig::full("orders", orders_schema()))
+        .unwrap();
     let pipe = Pipeline::open(dir.join("pipe.q")).unwrap();
     pipe.publish(&DeltaBatch::Value(vd)).unwrap();
     let report = pipe.sync(&wh).unwrap();
@@ -176,7 +210,8 @@ fn unacked_batch_is_reapplied_after_consumer_restart() {
     let pipe = Pipeline::open(&qpath).unwrap();
     let wh_db = Database::open(DbOptions::new(dir.join("wh"))).unwrap();
     let mut wh = Warehouse::new(wh_db);
-    wh.add_mirror(MirrorConfig::full("orders", orders_schema())).unwrap();
+    wh.add_mirror(MirrorConfig::full("orders", orders_schema()))
+        .unwrap();
     let report = pipe.sync(&wh).unwrap();
     assert_eq!(report.batches, 1, "redelivered after restart");
     assert_eq!(wh.db().row_count("orders").unwrap(), 1);
@@ -187,7 +222,9 @@ fn views_stay_consistent_across_both_appliers_end_to_end() {
     let dir = scratch("views");
     let src = Database::open(DbOptions::new(dir.join("src"))).unwrap();
     src.session()
-        .execute("CREATE TABLE orders (id INT PRIMARY KEY, status VARCHAR, customer VARCHAR, total INT)")
+        .execute(
+            "CREATE TABLE orders (id INT PRIMARY KEY, status VARCHAR, customer VARCHAR, total INT)",
+        )
         .unwrap();
     TriggerExtractor::new("orders").install(&src).unwrap();
     let mut cap = OpDeltaCapture::new(src.session(), OpLogSink::Table("op_log".into())).unwrap();
@@ -195,7 +232,8 @@ fn views_stay_consistent_across_both_appliers_end_to_end() {
     let build_wh = |name: &str| {
         let wh_db = Database::open(DbOptions::new(dir.join(name))).unwrap();
         let mut wh = Warehouse::new(wh_db);
-        wh.add_mirror(MirrorConfig::full("orders", orders_schema())).unwrap();
+        wh.add_mirror(MirrorConfig::full("orders", orders_schema()))
+            .unwrap();
         wh.add_view(SpjView {
             name: "open_orders".into(),
             tables: vec!["orders".into()],
@@ -214,8 +252,10 @@ fn views_stay_consistent_across_both_appliers_end_to_end() {
 
     cap.execute("INSERT INTO orders VALUES (1, 'open', 'a', 10), (2, 'open', 'b', 20), (3, 'closed', 'c', 30)")
         .unwrap();
-    cap.execute("UPDATE orders SET status = 'closed' WHERE id = 1").unwrap();
-    cap.execute("UPDATE orders SET status = 'open' WHERE id = 3").unwrap();
+    cap.execute("UPDATE orders SET status = 'closed' WHERE id = 1")
+        .unwrap();
+    cap.execute("UPDATE orders SET status = 'open' WHERE id = 3")
+        .unwrap();
     cap.execute("DELETE FROM orders WHERE id = 2").unwrap();
 
     let vd = TriggerExtractor::new("orders").drain(&src).unwrap();
@@ -235,13 +275,15 @@ fn views_stay_consistent_across_both_appliers_end_to_end() {
     // A second useless join: ensure joins in multi-table views work e2e too.
     let wh2_db = Database::open(DbOptions::new(dir.join("wh2"))).unwrap();
     let mut wh2 = Warehouse::new(wh2_db);
-    wh2.add_mirror(MirrorConfig::full("orders", orders_schema())).unwrap();
+    wh2.add_mirror(MirrorConfig::full("orders", orders_schema()))
+        .unwrap();
     let customers = Schema::new(vec![
         Column::new("name", DataType::Varchar).primary_key(),
         Column::new("tier", DataType::Varchar),
     ])
     .unwrap();
-    wh2.add_mirror(MirrorConfig::full("customers", customers)).unwrap();
+    wh2.add_mirror(MirrorConfig::full("customers", customers))
+        .unwrap();
     wh2.db()
         .session()
         .execute("INSERT INTO customers VALUES ('a', 'gold'), ('c', 'silver')")
@@ -269,7 +311,9 @@ fn aggregate_views_maintained_by_both_appliers() {
     let dir = scratch("aggviews");
     let src = Database::open(DbOptions::new(dir.join("src"))).unwrap();
     src.session()
-        .execute("CREATE TABLE orders (id INT PRIMARY KEY, status VARCHAR, customer VARCHAR, total INT)")
+        .execute(
+            "CREATE TABLE orders (id INT PRIMARY KEY, status VARCHAR, customer VARCHAR, total INT)",
+        )
         .unwrap();
     TriggerExtractor::new("orders").install(&src).unwrap();
     let mut cap = OpDeltaCapture::new(src.session(), OpLogSink::Table("op_log".into())).unwrap();
@@ -277,7 +321,8 @@ fn aggregate_views_maintained_by_both_appliers() {
     let build_wh = |name: &str| {
         let wh_db = Database::open(DbOptions::new(dir.join(name))).unwrap();
         let mut wh = Warehouse::new(wh_db);
-        wh.add_mirror(MirrorConfig::full("orders", orders_schema())).unwrap();
+        wh.add_mirror(MirrorConfig::full("orders", orders_schema()))
+            .unwrap();
         wh.add_agg_view(AggViewDef {
             name: "revenue_by_customer".into(),
             table: "orders".into(),
@@ -299,8 +344,10 @@ fn aggregate_views_maintained_by_both_appliers() {
         "INSERT INTO orders VALUES (1, 'open', 'acme', 100), (2, 'open', 'acme', 50), (3, 'open', 'bob', 70)",
     )
     .unwrap();
-    cap.execute("UPDATE orders SET status = 'closed' WHERE id = 1").unwrap();
-    cap.execute("UPDATE orders SET total = 90 WHERE id = 3").unwrap();
+    cap.execute("UPDATE orders SET status = 'closed' WHERE id = 1")
+        .unwrap();
+    cap.execute("UPDATE orders SET total = 90 WHERE id = 3")
+        .unwrap();
     cap.execute("DELETE FROM orders WHERE id = 2").unwrap();
 
     let vd = TriggerExtractor::new("orders").drain(&src).unwrap();
@@ -322,7 +369,15 @@ fn aggregate_views_maintained_by_both_appliers() {
         assert_eq!(rows[0].values()[2], Value::Int(90));
     }
     assert_eq!(
-        wh_op.agg_view("revenue_by_customer").unwrap().visible_rows(wh_op.db()).unwrap(),
-        wh_val.agg_view("revenue_by_customer").unwrap().visible_rows(wh_val.db()).unwrap(),
+        wh_op
+            .agg_view("revenue_by_customer")
+            .unwrap()
+            .visible_rows(wh_op.db())
+            .unwrap(),
+        wh_val
+            .agg_view("revenue_by_customer")
+            .unwrap()
+            .visible_rows(wh_val.db())
+            .unwrap(),
     );
 }

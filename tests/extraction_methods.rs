@@ -34,11 +34,15 @@ fn run_workload(label: &str) -> Harness {
     let dir = scratch(label);
     let db = Database::open(DbOptions::new(dir.join("src")).archive(true)).unwrap();
     let mut s = db.session();
-    s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR, qty INT, last_modified TIMESTAMP)")
-        .unwrap();
+    s.execute(
+        "CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR, qty INT, last_modified TIMESTAMP)",
+    )
+    .unwrap();
     for i in 0..50 {
-        s.execute(&format!("INSERT INTO parts (id, name, qty) VALUES ({i}, 'p{i}', 0)"))
-            .unwrap();
+        s.execute(&format!(
+            "INSERT INTO parts (id, name, qty) VALUES ({i}, 'p{i}', 0)"
+        ))
+        .unwrap();
     }
     drop(s);
     // Arm everything.
@@ -51,12 +55,16 @@ fn run_workload(label: &str) -> Harness {
 
     // THE workload: insert, double update of one row, delete another,
     // plus a rolled-back transaction.
-    cap.execute("INSERT INTO parts (id, name, qty) VALUES (100, 'new', 1)").unwrap();
-    cap.execute("UPDATE parts SET qty = 1 WHERE id = 7").unwrap();
-    cap.execute("UPDATE parts SET qty = 2 WHERE id = 7").unwrap();
+    cap.execute("INSERT INTO parts (id, name, qty) VALUES (100, 'new', 1)")
+        .unwrap();
+    cap.execute("UPDATE parts SET qty = 1 WHERE id = 7")
+        .unwrap();
+    cap.execute("UPDATE parts SET qty = 2 WHERE id = 7")
+        .unwrap();
     cap.execute("DELETE FROM parts WHERE id = 9").unwrap();
     cap.execute("BEGIN").unwrap();
-    cap.execute("UPDATE parts SET qty = 99 WHERE id = 3").unwrap();
+    cap.execute("UPDATE parts SET qty = 99 WHERE id = 3")
+        .unwrap();
     cap.execute("ROLLBACK").unwrap();
 
     let _ = log_watermark;
@@ -107,13 +115,18 @@ fn snapshot_method_sees_deletes_but_not_intermediate_states() {
         .map(|r| (r.op, r.row.values()[0].as_int().unwrap()))
         .collect();
     assert!(ops.contains(&(DeltaOp::Insert, 100)));
-    assert!(ops.contains(&(DeltaOp::Delete, 9)), "snapshots DO see deletes");
+    assert!(
+        ops.contains(&(DeltaOp::Delete, 9)),
+        "snapshots DO see deletes"
+    );
     assert!(ops.contains(&(DeltaOp::UpdateBefore, 7)));
     assert!(ops.contains(&(DeltaOp::UpdateAfter, 7)));
     // But only one update pair for row 7 (intermediate state lost), and no
     // transaction context.
     assert_eq!(
-        ops.iter().filter(|(op, id)| *id == 7 && *op == DeltaOp::UpdateAfter).count(),
+        ops.iter()
+            .filter(|(op, id)| *id == 7 && *op == DeltaOp::UpdateAfter)
+            .count(),
         1
     );
     assert!(!vd.has_txn_context());
@@ -155,10 +168,12 @@ fn log_method_matches_trigger_content_without_touching_transactions() {
     // the rolled-back transaction.
     assert_eq!(vd.len(), 50 + 6);
     assert!(vd.has_txn_context());
-    assert!(!vd
-        .records
-        .iter()
-        .any(|r| r.row.values()[2] == Value::Int(99)), "aborted work absent");
+    assert!(
+        !vd.records
+            .iter()
+            .any(|r| r.row.values()[2] == Value::Int(99)),
+        "aborted work absent"
+    );
 }
 
 #[test]
@@ -179,7 +194,10 @@ fn op_delta_captures_operations_with_boundaries_and_tiny_volume() {
         .collect();
     assert!(sqls.iter().any(|s| s.contains("qty = 1")));
     assert!(sqls.iter().any(|s| s.contains("qty = 2")));
-    assert!(!sqls.iter().any(|s| s.contains("99")), "rolled-back op absent");
+    assert!(
+        !sqls.iter().any(|s| s.contains("99")),
+        "rolled-back op absent"
+    );
 }
 
 #[test]
@@ -189,14 +207,17 @@ fn volume_comparison_matches_section_4_1() {
     let dir = scratch("volume");
     let db = Database::open(DbOptions::new(dir.join("src"))).unwrap();
     let mut s = db.session();
-    s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR, qty INT)").unwrap();
+    s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR, qty INT)")
+        .unwrap();
     for i in 0..500 {
-        s.execute(&format!("INSERT INTO parts VALUES ({i}, 'p{i}', 0)")).unwrap();
+        s.execute(&format!("INSERT INTO parts VALUES ({i}, 'p{i}', 0)"))
+            .unwrap();
     }
     drop(s);
     TriggerExtractor::new("parts").install(&db).unwrap();
     let mut cap = OpDeltaCapture::new(db.session(), OpLogSink::Table("op_log".into())).unwrap();
-    cap.execute("UPDATE parts SET qty = 1 WHERE id >= 0").unwrap();
+    cap.execute("UPDATE parts SET qty = 1 WHERE id >= 0")
+        .unwrap();
 
     let value = TriggerExtractor::new("parts").drain(&db).unwrap();
     let op = collect_from_table(&db, "op_log").unwrap();

@@ -6,10 +6,10 @@ use deltaforge::core::extractor::{DeltaSource, LogSource, TriggerSource};
 use deltaforge::core::opdelta::{OpDeltaCapture, OpLogSink};
 use deltaforge::core::transform::{ColumnTransform, DeltaTransform};
 use deltaforge::engine::db::{Database, DbOptions};
+use deltaforge::sql::ast::AggFunc;
 use deltaforge::sql::parser::parse_expression;
 use deltaforge::storage::{Column, DataType, Schema, Value};
 use deltaforge::warehouse::{AggSpec, AggViewDef, MirrorConfig, Pipeline, Warehouse};
-use deltaforge::sql::ast::AggFunc;
 
 fn scratch(label: &str) -> std::path::PathBuf {
     let d = std::env::temp_dir().join(format!(
@@ -59,7 +59,8 @@ fn collector_pipeline_runs_multiple_rounds() {
     // Warehouse with a summary view over the merged stream.
     let wh_db = Database::open(DbOptions::new(dir.join("wh"))).unwrap();
     let mut wh = Warehouse::new(wh_db);
-    wh.add_mirror(MirrorConfig::full("parts", wh_parts_schema())).unwrap();
+    wh.add_mirror(MirrorConfig::full("parts", wh_parts_schema()))
+        .unwrap();
     wh.add_agg_view(AggViewDef {
         name: "stock".into(),
         table: "parts".into(),
@@ -74,13 +75,20 @@ fn collector_pipeline_runs_multiple_rounds() {
         let base_a = round * 100;
         let base_b = 1000 + round * 100;
         let mut sa = src_a.session();
-        sa.execute(&format!("INSERT INTO parts VALUES ({base_a}, {round}, 'x')")).unwrap();
+        sa.execute(&format!(
+            "INSERT INTO parts VALUES ({base_a}, {round}, 'x')"
+        ))
+        .unwrap();
         if round > 0 {
-            sa.execute(&format!("UPDATE parts SET qty = qty + 10 WHERE id = {}", base_a - 100))
-                .unwrap();
+            sa.execute(&format!(
+                "UPDATE parts SET qty = qty + 10 WHERE id = {}",
+                base_a - 100
+            ))
+            .unwrap();
         }
         let mut sb = src_b.session();
-        sb.execute(&format!("INSERT INTO parts VALUES ({base_b}, {round})")).unwrap();
+        sb.execute(&format!("INSERT INTO parts VALUES ({base_b}, {round})"))
+            .unwrap();
 
         let published = pipe.collect(&src_a, &mut sources_a).unwrap()
             + pipe.collect(&src_b, &mut sources_b).unwrap();
@@ -89,7 +97,10 @@ fn collector_pipeline_runs_multiple_rounds() {
 
         // The summary is exact after every round.
         let v = wh.agg_view("stock").unwrap();
-        assert!(v.verify_against_recompute(wh.db()).unwrap(), "round {round}");
+        assert!(
+            v.verify_against_recompute(wh.db()).unwrap(),
+            "round {round}"
+        );
         assert_eq!(
             wh.db().row_count("parts").unwrap(),
             2 * (round as usize + 1),
@@ -120,16 +131,23 @@ fn op_log_collector_ships_and_clears() {
         .execute("CREATE TABLE parts (id INT PRIMARY KEY, qty INT)")
         .unwrap();
     let mut cap = OpDeltaCapture::new(src.session(), OpLogSink::Table("op_log".into())).unwrap();
-    cap.execute("INSERT INTO parts VALUES (1, 5), (2, 7)").unwrap();
-    cap.execute("UPDATE parts SET qty = qty * 2 WHERE qty > 6").unwrap();
+    cap.execute("INSERT INTO parts VALUES (1, 5), (2, 7)")
+        .unwrap();
+    cap.execute("UPDATE parts SET qty = qty * 2 WHERE qty > 6")
+        .unwrap();
 
     let wh_db = Database::open(DbOptions::new(dir.join("wh"))).unwrap();
     let mut wh = Warehouse::new(wh_db);
-    wh.add_mirror(MirrorConfig::full("parts", wh_parts_schema())).unwrap();
+    wh.add_mirror(MirrorConfig::full("parts", wh_parts_schema()))
+        .unwrap();
     let pipe = Pipeline::open(dir.join("pipe.q")).unwrap();
 
     assert_eq!(pipe.collect_op_log(&src, "op_log").unwrap(), 2);
-    assert_eq!(src.row_count("op_log").unwrap(), 0, "log cleared after publish");
+    assert_eq!(
+        src.row_count("op_log").unwrap(),
+        0,
+        "log cleared after publish"
+    );
     pipe.sync(&wh).unwrap();
     let r = wh
         .db()
@@ -153,15 +171,21 @@ fn restricting_transform_in_the_collector_path() {
         Some(DeltaTransform::new().restrict(parse_expression("qty >= 100").unwrap())),
     )];
     let mut s = src.session();
-    s.execute("INSERT INTO parts VALUES (1, 50), (2, 150), (3, 200)").unwrap();
+    s.execute("INSERT INTO parts VALUES (1, 50), (2, 150), (3, 200)")
+        .unwrap();
 
     let wh_db = Database::open(DbOptions::new(dir.join("wh"))).unwrap();
     let mut wh = Warehouse::new(wh_db);
-    wh.add_mirror(MirrorConfig::full("parts", wh_parts_schema())).unwrap();
+    wh.add_mirror(MirrorConfig::full("parts", wh_parts_schema()))
+        .unwrap();
     let pipe = Pipeline::open(dir.join("pipe.q")).unwrap();
     pipe.collect(&src, &mut sources).unwrap();
     pipe.sync(&wh).unwrap();
-    assert_eq!(wh.db().row_count("parts").unwrap(), 2, "only qty >= 100 shipped");
+    assert_eq!(
+        wh.db().row_count("parts").unwrap(),
+        2,
+        "only qty >= 100 shipped"
+    );
 
     // A batch whose records are all filtered publishes nothing.
     s.execute("INSERT INTO parts VALUES (4, 1)").unwrap();

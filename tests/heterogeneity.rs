@@ -85,19 +85,24 @@ fn two_heterogeneous_sources_feed_one_mirror() {
     // Business activity on both sources. Ids are disjoint by convention
     // (division-prefixed ranges), as integration architects arrange.
     let mut sa = src_a.session();
-    sa.execute("INSERT INTO parts VALUES (1001, 5, 'x-77')").unwrap();
-    sa.execute("INSERT INTO parts VALUES (1002, 8, 'y-12')").unwrap();
-    sa.execute("UPDATE parts SET qty = 6 WHERE id = 1001").unwrap();
+    sa.execute("INSERT INTO parts VALUES (1001, 5, 'x-77')")
+        .unwrap();
+    sa.execute("INSERT INTO parts VALUES (1002, 8, 'y-12')")
+        .unwrap();
+    sa.execute("UPDATE parts SET qty = 6 WHERE id = 1001")
+        .unwrap();
     let mut sb = src_b.session();
     sb.execute("INSERT INTO parts VALUES (2001, 3)").unwrap(); // 36 units
-    sb.execute("DELETE FROM parts WHERE part_no = 2001").unwrap();
+    sb.execute("DELETE FROM parts WHERE part_no = 2001")
+        .unwrap();
     sb.execute("INSERT INTO parts VALUES (2002, 2)").unwrap(); // 24 units
 
     // Extract with each source's method, transform, and apply to the shared
     // warehouse mirror.
     let wh_db = Database::open(DbOptions::new(dir.join("wh"))).unwrap();
     let mut wh = Warehouse::new(wh_db);
-    wh.add_mirror(MirrorConfig::full("parts", warehouse_schema())).unwrap();
+    wh.add_mirror(MirrorConfig::full("parts", warehouse_schema()))
+        .unwrap();
 
     for vd in trig_source.pull(&src_a).unwrap() {
         let now = src_a.peek_clock();
@@ -123,9 +128,21 @@ fn two_heterogeneous_sources_feed_one_mirror() {
     assert_eq!(
         rows,
         vec![
-            Row::new(vec![Value::Int(1001), Value::Int(6), Value::Str("legacy".into())]),
-            Row::new(vec![Value::Int(1002), Value::Int(8), Value::Str("legacy".into())]),
-            Row::new(vec![Value::Int(2002), Value::Int(24), Value::Str("modern".into())]),
+            Row::new(vec![
+                Value::Int(1001),
+                Value::Int(6),
+                Value::Str("legacy".into())
+            ]),
+            Row::new(vec![
+                Value::Int(1002),
+                Value::Int(8),
+                Value::Str("legacy".into())
+            ]),
+            Row::new(vec![
+                Value::Int(2002),
+                Value::Int(24),
+                Value::Str("modern".into())
+            ]),
         ]
     );
 
@@ -152,7 +169,8 @@ fn restriction_during_extraction_subsets_what_ships() {
     let mut s = src.session();
     s.execute("INSERT INTO parts VALUES (1, 5, 'west'), (2, 7, 'east'), (3, 9, 'west')")
         .unwrap();
-    s.execute("UPDATE parts SET region = 'east' WHERE id = 3").unwrap();
+    s.execute("UPDATE parts SET region = 'east' WHERE id = 3")
+        .unwrap();
 
     let west_only = DeltaTransform::new().restrict(parse_expression("region = 'west'").unwrap());
     let vd = &source.pull(&src).unwrap()[0];
@@ -172,5 +190,8 @@ fn restriction_during_extraction_subsets_what_ships() {
     let rows = wh.db().scan_table("parts").unwrap();
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].1.values()[0], Value::Int(1));
-    assert!(shipped.wire_size() < vd.wire_size(), "restriction shrank the shipment");
+    assert!(
+        shipped.wire_size() < vd.wire_size(),
+        "restriction shrank the shipment"
+    );
 }

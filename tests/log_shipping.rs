@@ -27,18 +27,24 @@ fn archived_segments_ship_and_replay_on_a_standby() {
     opts.wal_segment_bytes = 4096; // force rotation
     let primary = Database::open(opts).unwrap();
     let mut s = primary.session();
-    s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR)").unwrap();
+    s.execute("CREATE TABLE parts (id INT PRIMARY KEY, name VARCHAR)")
+        .unwrap();
     for i in 0..300 {
-        s.execute(&format!("INSERT INTO parts VALUES ({i}, 'p{i}')")).unwrap();
+        s.execute(&format!("INSERT INTO parts VALUES ({i}, 'p{i}')"))
+            .unwrap();
     }
-    s.execute("UPDATE parts SET name = 'touched' WHERE id < 10").unwrap();
+    s.execute("UPDATE parts SET name = 'touched' WHERE id < 10")
+        .unwrap();
     s.execute("DELETE FROM parts WHERE id >= 290").unwrap();
     primary.checkpoint().unwrap();
 
     // Ship the archived segments over the file transport (checksummed), then
     // apply them with the standby's "recovery manager".
     let segments = LogExtractor::shippable_segments(&primary).unwrap();
-    assert!(segments.len() > 1, "rotation must have produced several segments");
+    assert!(
+        segments.len() > 1,
+        "rotation must have produced several segments"
+    );
     let transport = FileTransport::new(dir.join("standby-inbox")).unwrap();
     let standby = Database::open(DbOptions::new(dir.join("standby"))).unwrap();
     let mut applied = 0;
@@ -79,7 +85,10 @@ fn tampered_shipment_is_rejected_before_apply() {
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xFF;
     std::fs::write(&target, bytes).unwrap();
-    assert!(transport.receive(&shipped.name).is_err(), "manifest check must fail");
+    assert!(
+        transport.receive(&shipped.name).is_err(),
+        "manifest check must fail"
+    );
 }
 
 #[test]
@@ -101,7 +110,11 @@ fn log_extraction_watermark_survives_segment_archival() {
         s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
     }
     let second = x.extract(&db).unwrap();
-    assert_eq!(second[0].len(), 50, "only the new changes, despite archival");
+    assert_eq!(
+        second[0].len(),
+        50,
+        "only the new changes, despite archival"
+    );
 }
 
 #[test]

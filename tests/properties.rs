@@ -9,11 +9,11 @@
 
 use proptest::prelude::*;
 
+use deltaforge::core::logextract::LogExtractor;
 use deltaforge::core::model::{DeltaOp, ValueDelta};
 use deltaforge::core::opdelta::{collect_from_table, OpDeltaCapture, OpLogSink};
 use deltaforge::core::snapshot::{diff_snapshots, take_snapshot, DiffAlgorithm};
 use deltaforge::core::trigger_extract::TriggerExtractor;
-use deltaforge::core::logextract::LogExtractor;
 use deltaforge::engine::db::{Database, DbOptions};
 use deltaforge::storage::{Column, DataType, Row, Schema};
 use deltaforge::warehouse::{
@@ -40,7 +40,10 @@ fn arb_leaf() -> impl Strategy<Value = Step> {
             val: val % 1000,
             txt
         }),
-        (id.clone(), any::<i64>()).prop_map(|(id, val)| Step::UpdateById { id, val: val % 1000 }),
+        (id.clone(), any::<i64>()).prop_map(|(id, val)| Step::UpdateById {
+            id,
+            val: val % 1000
+        }),
         (id.clone(), 0i64..8, -5i64..5).prop_map(|(lo, span, delta)| Step::UpdateRange {
             lo,
             hi: lo + span,

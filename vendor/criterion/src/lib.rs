@@ -1,0 +1,185 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal timing harness with criterion's API shape: `criterion_group!` /
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! `sample_size`, and `Bencher::iter` / `iter_batched`. Each benchmark runs
+//! `sample_size` timed iterations after one warm-up and prints min / mean /
+//! max wall time — enough to eyeball the paper-reproduction tables offline,
+//! not a statistical replacement for real criterion.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup output is sized; only the variants DeltaForge uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small batches (treated like `PerIteration` here).
+    SmallInput,
+    /// Large batches (treated like `PerIteration` here).
+    LargeInput,
+}
+
+/// Opaque-to-the-optimizer identity, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Passed to benchmark closures; records timed iterations.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` for the configured number of samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {name}: no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("nonempty");
+    let max = samples.iter().max().expect("nonempty");
+    println!(
+        "bench {name}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+        samples.len()
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Start a named group whose benchmarks share settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    report(name, &b.samples);
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 11, "one warm-up plus sample_size timed runs");
+    }
+
+    #[test]
+    fn groups_honor_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut setups = 0u32;
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| setups += 1, |_| (), BatchSize::PerIteration)
+        });
+        g.finish();
+        assert_eq!(setups, 4);
+    }
+}

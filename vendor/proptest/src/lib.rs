@@ -1,0 +1,224 @@
+//! Offline mini-proptest: a std-only shim exposing the `proptest` API surface
+//! DeltaForge's property tests use.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! this implementation. Semantics match real proptest where the tests can
+//! observe them: strategies compose (`prop_map`, `prop_filter`,
+//! `prop_recursive`, `prop_oneof!`, collections, regex-subset strings), the
+//! `proptest!` macro runs `ProptestConfig::cases` generated cases, and
+//! `prop_assert*`/`prop_assume!` report failures with the offending inputs.
+//! Shrinking is deliberately omitted — generation is deterministically seeded
+//! per test, so any failure replays exactly under `cargo test`.
+
+pub mod collection;
+pub mod num;
+pub mod option;
+pub mod rng;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop` namespace (`prop::collection::vec`, `prop::option::of`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::option;
+    }
+}
+
+/// Weighted or unweighted choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Property-style assertion: fails the current case (with source location)
+/// instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} at {}:{}", format!($($fmt)+), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Property-style equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assert_eq failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assert_eq failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Property-style inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, "assert_ne failed: both `{:?}`", left);
+    }};
+}
+
+/// Discard the current case when its inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Define property tests: each runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::rng::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                while passed < config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let inputs = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&format!("{:?}; ", &$arg));
+                        )+
+                        s
+                    };
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected
+                                    < config
+                                        .cases
+                                        .saturating_mul(16)
+                                        .saturating_add(config.max_global_rejects),
+                                "proptest {}: too many rejected cases ({rejected})",
+                                stringify!($name),
+                            );
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(reason)) => {
+                            panic!(
+                                "proptest {} failed after {} passing case(s): {}\n  inputs: {}",
+                                stringify!($name),
+                                passed,
+                                reason,
+                                inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        }
+
+        #[test]
+        fn assume_discards_without_failing(v in 0i64..10) {
+            prop_assume!(v != 3);
+            prop_assert!(v != 3);
+        }
+
+        #[test]
+        fn question_mark_propagates(v in 0i64..10) {
+            let parsed: i64 = v
+                .to_string()
+                .parse()
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_eq!(parsed, v);
+            return Ok(());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest always_fails failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(v in 0i64..10) {
+                prop_assert!(v < 0, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,42 @@
+//! Numeric strategies (`prop::num`).
+
+/// Strategies over `f64`.
+pub mod f64 {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Strategy producing normal floats: finite, nonzero, not subnormal —
+    /// mirroring `proptest::num::f64::NORMAL`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalStrategy;
+
+    /// Any normal `f64` (positive or negative).
+    pub const NORMAL: NormalStrategy = NormalStrategy;
+
+    impl Strategy for NormalStrategy {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            loop {
+                // Uniform over bit patterns is roughly log-uniform over
+                // magnitude, which covers every exponent regime.
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_normal() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn normal_is_normal() {
+            let mut rng = TestRng::from_seed(17);
+            for _ in 0..1000 {
+                assert!(NORMAL.generate(&mut rng).is_normal());
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Option strategies (`prop::option`).
+
+use std::fmt::Debug;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy yielding `None` a quarter of the time, `Some(inner)` otherwise.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.one_in(4) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `prop::option::of`: optional values of `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

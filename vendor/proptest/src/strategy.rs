@@ -1,0 +1,329 @@
+//! Strategy trait and combinators: the value-generation half of proptest.
+//!
+//! A [`Strategy`] deterministically maps an RNG stream to values. Shrinking
+//! is intentionally not implemented — failing cases print their inputs and
+//! the RNG is seeded per test, so failures reproduce exactly.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use crate::rng::TestRng;
+
+/// How many times filtering combinators retry before giving up.
+const MAX_FILTER_TRIES: usize = 2000;
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Produce one value from the RNG stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F, U>
+    where
+        Self: Sized,
+    {
+        Map {
+            source: self,
+            f,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Keep only values satisfying `pred`; panics after too many rejects.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Build a recursive strategy: `recurse` receives a strategy for the
+    /// current level and returns the next level; levels are unioned with the
+    /// leaf so all depths up to `depth` occur.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(level).boxed();
+            level = Union::weighted(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        level
+    }
+
+    /// Type-erase into a cloneable, reference-counted strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            generate: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A cloneable type-erased strategy (proptest's `BoxedStrategy`).
+pub struct BoxedStrategy<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generate: Rc::clone(&self.generate),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F, U> {
+    source: S,
+    f: F,
+    _marker: PhantomData<fn() -> U>,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F, U> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_TRIES {
+            let v = self.source.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected {MAX_FILTER_TRIES} candidates",
+            self.whence
+        );
+    }
+}
+
+/// Weighted union of type-erased strategies (what `prop_oneof!` builds).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T: Debug> Union<T> {
+    /// Build from `(weight, strategy)` arms; weights must not all be zero.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total as usize) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Values with a default full-domain strategy, used by [`any`].
+pub trait ArbitraryValue: Sized + Debug {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-domain strategy for `T`, edge-biased for integers.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias toward edges and small magnitudes like real proptest.
+                match rng.below(8) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    4 => (rng.next_u64() % 64) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+arb_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+macro_rules! arb_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.i64_in(self.start as i64, self.end as i64) as $t
+            }
+        }
+    )*};
+}
+
+arb_range!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        rng.u64_in(self.start, self.end)
+    }
+}
+
+macro_rules! arb_tuple {
+    ($($name:ident)+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+arb_tuple!(A);
+arb_tuple!(A B);
+arb_tuple!(A B C);
+arb_tuple!(A B C D);
+arb_tuple!(A B C D E);
+arb_tuple!(A B C D E F);
+arb_tuple!(A B C D E F G);
+arb_tuple!(A B C D E F G H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_filter_union_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let s = crate::strategy::Union::weighted(vec![
+            (1, (0i64..10).prop_map(|v| v * 2).boxed()),
+            (1, Just(-1i64).boxed()),
+        ])
+        .prop_filter("nonzero", |v| *v != 0);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v == -1 || (v > 0 && v < 20 && v % 2 == 0));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => (*v == i64::MIN) as usize,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0i64..5)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::from_seed(11);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = s.generate(&mut rng);
+            assert!(depth(&t) <= 3 + 1);
+            saw_node |= matches!(t, Tree::Node(_));
+        }
+        assert!(saw_node, "recursion must actually recurse");
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::from_seed(5);
+        let (a, b, c) = (0i64..3, any::<bool>(), Just(7u8)).generate(&mut rng);
+        assert!((0..3).contains(&a));
+        let _: bool = b;
+        assert_eq!(c, 7);
+    }
+}

@@ -1,0 +1,289 @@
+//! String strategies from a small regex-pattern subset.
+//!
+//! `&'static str` implements [`Strategy`] by interpreting the pattern the way
+//! proptest does. Supported syntax (everything the workspace's tests use):
+//! character classes `[a-z0-9_]` (ranges, literals, `\`-escapes), the Unicode
+//! shorthand `\PC` (any non-control scalar), literal characters, and
+//! repetition `{n}` / `{m,n}` / `*` / `+` / `?`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// One parsed pattern element: a set of candidate chars plus a repeat range.
+#[derive(Debug, Clone)]
+struct Elem {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Explicit alternatives: single chars and inclusive ranges.
+    Class {
+        singles: Vec<char>,
+        ranges: Vec<(char, char)>,
+    },
+    /// `\PC`: any non-control Unicode scalar.
+    AnyPrintable,
+}
+
+/// A selection of printable non-ASCII scalars so `\PC` exercises multi-byte
+/// UTF-8, combining-free accents, CJK, and astral-plane chars.
+const UNICODE_SAMPLES: &[char] = &[
+    'é', 'ß', 'ñ', 'ü', 'Ø', 'Ж', 'λ', 'Ω', 'π', 'ا', 'ह', '中', '日', '한', 'ア', '字', '€', '™',
+    '∞', '𝒜', '🚀', '☃',
+];
+
+fn parse_pattern(pat: &str) -> Vec<Elem> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut at = 0;
+    let mut elems = Vec::new();
+    while at < chars.len() {
+        let set = match chars[at] {
+            '\\' => {
+                at += 1;
+                match chars.get(at) {
+                    Some('P') | Some('p') => {
+                        // Only the category-C shorthand is supported.
+                        assert_eq!(
+                            chars.get(at + 1),
+                            Some(&'C'),
+                            "unsupported \\P class in {pat:?}"
+                        );
+                        at += 2;
+                        CharSet::AnyPrintable
+                    }
+                    Some(&c) => {
+                        at += 1;
+                        let lit = match c {
+                            'n' => '\n',
+                            'r' => '\r',
+                            't' => '\t',
+                            other => other,
+                        };
+                        CharSet::Class {
+                            singles: vec![lit],
+                            ranges: vec![],
+                        }
+                    }
+                    None => panic!("dangling escape in pattern {pat:?}"),
+                }
+            }
+            '[' => {
+                at += 1;
+                let mut singles = Vec::new();
+                let mut ranges = Vec::new();
+                let mut pending: Option<char> = None;
+                loop {
+                    let c = *chars
+                        .get(at)
+                        .unwrap_or_else(|| panic!("unterminated class in {pat:?}"));
+                    at += 1;
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let e = *chars
+                                .get(at)
+                                .unwrap_or_else(|| panic!("dangling escape in {pat:?}"));
+                            at += 1;
+                            let lit = match e {
+                                'n' => '\n',
+                                'r' => '\r',
+                                't' => '\t',
+                                other => other,
+                            };
+                            if let Some(p) = pending.take() {
+                                singles.push(p);
+                            }
+                            pending = Some(lit);
+                        }
+                        '-' if pending.is_some() && chars.get(at).is_some_and(|c| *c != ']') => {
+                            let lo = pending.take().expect("checked");
+                            let mut hi = chars[at];
+                            at += 1;
+                            if hi == '\\' {
+                                hi = chars[at];
+                                at += 1;
+                            }
+                            assert!(lo <= hi, "inverted range in {pat:?}");
+                            ranges.push((lo, hi));
+                        }
+                        other => {
+                            if let Some(p) = pending.take() {
+                                singles.push(p);
+                            }
+                            pending = Some(other);
+                        }
+                    }
+                }
+                if let Some(p) = pending.take() {
+                    singles.push(p);
+                }
+                assert!(
+                    !singles.is_empty() || !ranges.is_empty(),
+                    "empty class in {pat:?}"
+                );
+                CharSet::Class { singles, ranges }
+            }
+            lit => {
+                at += 1;
+                CharSet::Class {
+                    singles: vec![lit],
+                    ranges: vec![],
+                }
+            }
+        };
+        // Optional repetition suffix.
+        let (min, max) = match chars.get(at) {
+            Some('{') => {
+                at += 1;
+                let mut digits = String::new();
+                while chars.get(at).is_some_and(char::is_ascii_digit) {
+                    digits.push(chars[at]);
+                    at += 1;
+                }
+                let lo: usize = digits
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repeat in {pat:?}"));
+                let hi = if chars.get(at) == Some(&',') {
+                    at += 1;
+                    let mut digits = String::new();
+                    while chars.get(at).is_some_and(char::is_ascii_digit) {
+                        digits.push(chars[at]);
+                        at += 1;
+                    }
+                    digits
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pat:?}"))
+                } else {
+                    lo
+                };
+                assert_eq!(chars.get(at), Some(&'}'), "unterminated repeat in {pat:?}");
+                at += 1;
+                (lo, hi)
+            }
+            Some('*') => {
+                at += 1;
+                (0, 16)
+            }
+            Some('+') => {
+                at += 1;
+                (1, 16)
+            }
+            Some('?') => {
+                at += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted repeat in {pat:?}");
+        elems.push(Elem { set, min, max });
+    }
+    elems
+}
+
+fn generate_char(set: &CharSet, rng: &mut TestRng) -> char {
+    match set {
+        CharSet::Class { singles, ranges } => {
+            // Weight each range by its width so wide ranges dominate.
+            let range_total: usize = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as usize - *lo as usize + 1)
+                .sum();
+            let total = singles.len() + range_total;
+            let mut pick = rng.below(total);
+            if pick < singles.len() {
+                return singles[pick];
+            }
+            pick -= singles.len();
+            for (lo, hi) in ranges {
+                let width = *hi as usize - *lo as usize + 1;
+                if pick < width {
+                    // Rejection-free only when the range spans no surrogates;
+                    // test patterns are ASCII ranges, so this never loops.
+                    return char::from_u32(*lo as u32 + pick as u32)
+                        .unwrap_or_else(|| char::from_u32(*lo as u32).expect("range start"));
+                }
+                pick -= width;
+            }
+            unreachable!("class weights exhausted")
+        }
+        CharSet::AnyPrintable => {
+            if rng.below(100) < 80 {
+                // ASCII printable.
+                char::from_u32(rng.u64_in(0x20, 0x7f) as u32).expect("ascii printable")
+            } else {
+                UNICODE_SAMPLES[rng.below(UNICODE_SAMPLES.len())]
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let elems = parse_pattern(self);
+        let mut out = String::new();
+        for e in &elems {
+            let n = if e.min == e.max {
+                e.min
+            } else {
+                e.min + rng.below(e.max - e.min + 1)
+            };
+            for _ in 0..n {
+                out.push(generate_char(&e.set, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_pattern_shape() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..300 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            let mut cs = s.chars();
+            assert!(cs.next().expect("nonempty").is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range_pattern() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = "[ -~]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn escape_class_pattern() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = "[|\\\\\n\r\t']{0,10}".generate(&mut rng);
+            assert!(s.chars().all(|c| "|\\\n\r\t'".contains(c)));
+        }
+    }
+
+    #[test]
+    fn unicode_pattern_is_printable() {
+        let mut rng = TestRng::from_seed(4);
+        let mut saw_non_ascii = false;
+        for _ in 0..400 {
+            let s = "\\PC{0,24}".generate(&mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| !c.is_control()));
+            saw_non_ascii |= !s.is_ascii();
+        }
+        assert!(saw_non_ascii, "\\PC should exercise non-ASCII");
+    }
+}

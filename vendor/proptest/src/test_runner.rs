@@ -1,0 +1,70 @@
+//! Test-runner configuration and case-level error type.
+
+/// Per-`proptest!` block configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; this shim does not shrink (the RNG is
+    /// deterministically seeded instead, so failures replay exactly).
+    pub max_shrink_iters: u32,
+    /// Upper bound on `prop_assume!` rejections before the test aborts
+    /// (added to 16x the case count).
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(256);
+        Config {
+            cases,
+            max_shrink_iters: 1024,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold: the whole test fails.
+    Fail(String),
+    /// The inputs were unsuitable (`prop_assume!`): the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with `reason`.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A discarded case with `reason`.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
