@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod expc;
+pub mod expg;
 pub mod expr;
 pub mod expv;
 pub mod expw;
@@ -29,6 +30,8 @@ pub fn all_ids() -> Vec<&'static str> {
         "expv",
         "expr",
         "expc",
+        "expg_group_commit",
+        "expg_sync",
         "ablation_wal",
         "ablation_ts_index",
         "ablation_snapshot",
@@ -49,6 +52,8 @@ pub fn run(id: &str, scale: &Scale) -> Option<TableReport> {
         "expv" => expv::run(scale),
         "expr" => expr::run(scale),
         "expc" => expc::run(scale),
+        "expg_group_commit" => expg::group_commit(scale),
+        "expg_sync" => expg::sync_batched(scale),
         "ablation_wal" => ablations::wal_sync(scale),
         "ablation_ts_index" => ablations::ts_index(scale),
         "ablation_snapshot" => ablations::snapshot_algorithms(scale),

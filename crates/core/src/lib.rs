@@ -42,6 +42,8 @@ pub mod reconcile;
 pub mod selfmaint;
 /// Method 1: snapshot differencing.
 pub mod snapshot;
+/// Bounded SQL parse cache for the warehouse apply hot path.
+pub mod stmtcache;
 /// Method 2: timestamp-column scans.
 pub mod timestamp;
 /// Column-level delta transforms applied in flight.
@@ -55,4 +57,5 @@ pub use extractor::{
 pub use model::{DeltaBatch, DeltaOp, OpDelta, OpLogRecord, ValueDelta, ValueDeltaRecord};
 pub use opdelta::{OpDeltaCapture, OpLogSink};
 pub use selfmaint::{MaintRequirement, SelfMaintAnalyzer, WarehouseProfile};
+pub use stmtcache::{CacheStats, StatementCache};
 pub use transform::{ColumnTransform, DeltaTransform};

@@ -287,6 +287,24 @@ impl OpDelta {
 
     /// Parse the text envelope.
     pub fn from_text(text: &str) -> StorageResult<OpDelta> {
+        OpDelta::from_text_with(text, &|sql| {
+            parse_statement(sql).map_err(|e| StorageError::Corrupt(format!("op-delta SQL: {e}")))
+        })
+    }
+
+    /// Parse the text envelope, resolving statements through `cache` so
+    /// repeated SQL across batches parses once (the apply hot path).
+    pub fn from_text_cached(
+        text: &str,
+        cache: &crate::stmtcache::StatementCache,
+    ) -> StorageResult<OpDelta> {
+        OpDelta::from_text_with(text, &|sql| cache.get_or_parse(sql))
+    }
+
+    fn from_text_with(
+        text: &str,
+        parse: &dyn Fn(&str) -> StorageResult<Statement>,
+    ) -> StorageResult<OpDelta> {
         let mut lines = text.lines().peekable();
         let header = lines
             .next()
@@ -318,8 +336,7 @@ impl OpDelta {
             let seq: u64 = seq_s
                 .parse()
                 .map_err(|_| StorageError::Corrupt("bad STMT seq".into()))?;
-            let statement = parse_statement(&unescape_line(sql)?)
-                .map_err(|e| StorageError::Corrupt(format!("op-delta SQL: {e}")))?;
+            let statement = parse(&unescape_line(sql)?)?;
             // Gather an optional nested before-image block.
             let mut bi_text = String::new();
             while let Some(next) = lines.peek() {
@@ -377,6 +394,23 @@ impl DeltaBatch {
             Ok(DeltaBatch::Value(ValueDelta::from_text(text)?))
         } else if text.starts_with("OP-DELTA") {
             Ok(DeltaBatch::Op(OpDelta::from_text(text)?))
+        } else {
+            Err(StorageError::Corrupt("unknown delta envelope".into()))
+        }
+    }
+
+    /// Parse shipped bytes, resolving Op-Delta statements through `cache`
+    /// (value deltas carry no SQL and decode identically either way).
+    pub fn from_bytes_cached(
+        bytes: &[u8],
+        cache: &crate::stmtcache::StatementCache,
+    ) -> StorageResult<DeltaBatch> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| StorageError::Corrupt("delta batch not UTF-8".into()))?;
+        if text.starts_with("VALUE-DELTA") {
+            Ok(DeltaBatch::Value(ValueDelta::from_text(text)?))
+        } else if text.starts_with("OP-DELTA") {
+            Ok(DeltaBatch::Op(OpDelta::from_text_cached(text, cache)?))
         } else {
             Err(StorageError::Corrupt("unknown delta envelope".into()))
         }

@@ -48,6 +48,10 @@ pub struct DbOptions {
     pub wal_segment_bytes: u64,
     /// Keep closed WAL segments (input to log-based extraction, §3 method 4).
     pub archive_mode: bool,
+    /// Group-commit the WAL: concurrent committers share write+sync rounds
+    /// via a leader/follower protocol. Off reproduces the serial
+    /// one-sync-per-commit baseline (see `WalStats`).
+    pub wal_group_commit: bool,
     /// Lock wait budget before a timeout error (deadlock resolution).
     pub lock_timeout: Duration,
     /// Use an index only when the estimated matching fraction is below this
@@ -68,6 +72,7 @@ impl DbOptions {
             wal_sync: SyncMode::None,
             wal_segment_bytes: 1 << 20,
             archive_mode: false,
+            wal_group_commit: true,
             lock_timeout: Duration::from_secs(5),
             index_scan_threshold: 0.2,
             product: ProductTag::new("cotsdb", 1),
@@ -84,6 +89,12 @@ impl DbOptions {
     /// Builder-style WAL sync mode.
     pub fn sync(mut self, mode: SyncMode) -> DbOptions {
         self.wal_sync = mode;
+        self
+    }
+
+    /// Builder-style toggle for WAL group commit.
+    pub fn group_commit(mut self, on: bool) -> DbOptions {
+        self.wal_group_commit = on;
         self
     }
 }
@@ -117,6 +128,7 @@ impl Database {
             opts.wal_segment_bytes,
             opts.wal_sync,
             opts.archive_mode,
+            opts.wal_group_commit,
         )?;
         let locks = LockManager::new(opts.lock_timeout);
         let db = Arc::new(Database {
@@ -470,31 +482,85 @@ impl Database {
         Ok(result)
     }
 
-    /// Roll back: undo heap changes, rebuild affected indexes, release locks.
+    /// Roll back: undo heap changes with *incremental* index maintenance —
+    /// each undo entry removes/reinserts exactly the keys it touched, using
+    /// the row images at hand, so aborting a small transaction never scans
+    /// the table. A full `rebuild_indexes_for` remains only as the fallback
+    /// for entries whose index fixup cannot be applied cleanly (e.g. a stale
+    /// rid after an in-transaction row relocation).
     pub fn abort(&self, txn: Transaction) -> EngineResult<()> {
-        let mut touched: Vec<String> = Vec::new();
+        let mut rebuild: Vec<String> = Vec::new();
         for entry in txn.undo.iter().rev() {
             match entry {
                 UndoEntry::Insert { table, rid } => {
-                    self.heap(table)?.delete(*rid)?;
-                    note(&mut touched, table);
+                    let heap = self.heap(table)?;
+                    let image = heap.get(*rid)?;
+                    heap.delete(*rid)?;
+                    let unhooked = image.as_deref().map(|bytes| {
+                        Row::from_bytes(bytes)
+                            .map_err(EngineError::Storage)
+                            .and_then(|row| self.unhook_index_keys(table, &row, *rid))
+                    });
+                    if !matches!(unhooked, Some(Ok(()))) {
+                        note(&mut rebuild, table);
+                    }
                 }
                 UndoEntry::Delete { table, before } => {
-                    self.heap(table)?.insert(&before.to_bytes())?;
-                    note(&mut touched, table);
+                    let rid = self.heap(table)?.insert(&before.to_bytes())?;
+                    if self.hook_index_keys(table, before, rid).is_err() {
+                        note(&mut rebuild, table);
+                    }
                 }
                 UndoEntry::Update { table, rid, before } => {
-                    self.heap(table)?.update(*rid, &before.to_bytes())?;
-                    note(&mut touched, table);
+                    let heap = self.heap(table)?;
+                    let after = heap.get(*rid)?;
+                    let new_rid = heap.update(*rid, &before.to_bytes())?;
+                    let fixed = after
+                        .as_deref()
+                        .ok_or_else(|| {
+                            EngineError::Invalid(format!("undo: no row at {rid:?} in {table}"))
+                        })
+                        .and_then(|bytes| Row::from_bytes(bytes).map_err(EngineError::Storage))
+                        .and_then(|row| self.unhook_index_keys(table, &row, *rid))
+                        .and_then(|()| self.hook_index_keys(table, before, new_rid));
+                    if fixed.is_err() {
+                        note(&mut rebuild, table);
+                    }
                 }
             }
         }
-        for t in &touched {
+        for t in &rebuild {
             if self.catalog.contains(t) {
                 self.rebuild_indexes_for(t)?;
             }
         }
         self.locks.release_all(txn.id, &txn.locked_tables);
+        Ok(())
+    }
+
+    /// Remove every index entry of `table` keyed by `row`'s columns at `rid`.
+    fn unhook_index_keys(&self, table: &str, row: &Row, rid: RecordId) -> EngineResult<()> {
+        let meta = self.catalog.get(table)?;
+        for idx in self.indexes.for_table(table) {
+            let pos = meta
+                .schema
+                .index_of(&idx.def.column)
+                .ok_or_else(|| EngineError::NoSuchObject(format!("{table}.{}", idx.def.column)))?;
+            idx.remove(&row.values()[pos], rid);
+        }
+        Ok(())
+    }
+
+    /// Insert every index entry of `table` keyed by `row`'s columns at `rid`.
+    fn hook_index_keys(&self, table: &str, row: &Row, rid: RecordId) -> EngineResult<()> {
+        let meta = self.catalog.get(table)?;
+        for idx in self.indexes.for_table(table) {
+            let pos = meta
+                .schema
+                .index_of(&idx.def.column)
+                .ok_or_else(|| EngineError::NoSuchObject(format!("{table}.{}", idx.def.column)))?;
+            idx.insert(&row.values()[pos], rid)?;
+        }
         Ok(())
     }
 

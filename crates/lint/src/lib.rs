@@ -1,7 +1,7 @@
 //! delta-lint: workspace correctness analysis for DeltaForge.
 //!
 //! A `std`-only static analyzer (no `syn`, no proc macros) that walks the
-//! workspace's Rust sources and enforces three project-specific rules the
+//! workspace's Rust sources and enforces project-specific rules the
 //! stock toolchain cannot express:
 //!
 //! * **panic-freedom** — crash-recovery modules (WAL replay, queue recovery,
@@ -14,6 +14,9 @@
 //! * **api-hygiene** — every `pub` item in `delta-core` and `delta-engine`
 //!   carries a doc comment, and every public `*Error` type implements
 //!   `std::error::Error`.
+//! * **suppression-hygiene** — every `lint: allow(<rule>)` tag must carry a
+//!   ` -- <reason>`, so each sanctioned exception (like the group-commit
+//!   condvar wait in the WAL) records why it is safe.
 //!
 //! Run it with `cargo run -p delta-lint`; it exits nonzero when findings
 //! remain, which is how CI gates on it.
@@ -112,6 +115,7 @@ pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
         findings.extend(rules::check_panic_freedom(&file, &allow));
         findings.extend(rules::check_lock_hygiene(&file));
         findings.extend(rules::check_api_docs(&file));
+        findings.extend(rules::check_suppression_hygiene(&file));
     }
 
     // Error-impl checking needs whole-crate visibility (impls may live in a

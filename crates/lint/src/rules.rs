@@ -286,6 +286,13 @@ fn lock_order_annotations(file: &LintFile<'_>) -> HashMap<usize, u64> {
     map
 }
 
+/// Whether a comment's captured text is a doc comment (`///` or `//!`).
+/// Doc comments *describe* lint tags rather than apply them, so they
+/// neither sanction code nor get audited for reasons.
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with('/') || text.starts_with('!')
+}
+
 fn has_suppression(file: &LintFile<'_>, line: usize, rule: &str) -> bool {
     let tag = format!("lint: allow({rule})");
     // A suppression applies to its own line, or — when it sits in a comment
@@ -296,7 +303,7 @@ fn has_suppression(file: &LintFile<'_>, line: usize, rule: &str) -> bool {
         file.scrubbed
             .comments
             .iter()
-            .any(|(cl, text)| *cl == l && text.contains(&tag))
+            .any(|(cl, text)| *cl == l && !is_doc_comment(text) && text.contains(&tag))
     };
     if tag_on(line) {
         return true;
@@ -501,6 +508,43 @@ pub fn check_api_docs(file: &LintFile<'_>) -> Vec<Finding> {
     findings
 }
 
+/// Suppression-hygiene: every `lint: allow(<rule>)` tag must carry a
+/// ` -- <reason>` on the same comment line. A suppression is a sanctioned
+/// exception to a rule; one without a recorded justification cannot be
+/// audited and is how sanctioned exceptions rot into blanket waivers.
+pub fn check_suppression_hygiene(file: &LintFile<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (line, text) in &file.scrubbed.comments {
+        if is_doc_comment(text) {
+            continue;
+        }
+        let Some(pos) = text.find("lint: allow(") else {
+            continue;
+        };
+        if file.is_test_line(*line) {
+            continue;
+        }
+        let rest = &text[pos..];
+        let tag_end = rest.find(')').map(|p| p + 1);
+        let reasoned = tag_end.is_some_and(|end| {
+            let after = rest[end..].trim_start();
+            after
+                .strip_prefix("--")
+                .is_some_and(|reason| !reason.trim().is_empty())
+        });
+        if !reasoned {
+            let tag = tag_end.map_or(rest, |end| &rest[..end]);
+            findings.push(Finding {
+                rule: "suppression-hygiene",
+                path: file.path.to_string(),
+                line: *line,
+                message: format!("suppression `{tag}` carries no `-- <reason>`"),
+            });
+        }
+    }
+    findings
+}
+
 /// API-hygiene (errors): every `pub` error type (enum or struct named
 /// `*Error`) must implement `std::error::Error`. `files` maps repo-relative
 /// path to source text for one whole crate.
@@ -631,6 +675,45 @@ mod tests {
                    let g = self.state.lock();\n  self.file.sync_all().ok();\n}\n";
         let f = lf("crates/engine/src/wal.rs", src);
         assert!(check_lock_hygiene(&f).is_empty());
+    }
+
+    #[test]
+    fn bare_suppression_is_a_hygiene_finding() {
+        let src = "fn flush(&self) {\n  \
+                   // lint: allow(lock_hygiene)\n  \
+                   let g = self.state.lock();\n  self.file.sync_all().ok();\n}\n";
+        let f = lf("crates/engine/src/wal.rs", src);
+        // The bare tag still silences lock-hygiene...
+        assert!(check_lock_hygiene(&f).is_empty());
+        // ...but is itself flagged for carrying no reason.
+        let findings = check_suppression_hygiene(&f);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "suppression-hygiene");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn reasoned_suppression_passes_hygiene() {
+        let src = "fn flush(&self) {\n  \
+                   // lint: allow(lock_hygiene) -- single-writer by design\n  \
+                   let g = self.state.lock();\n  self.file.sync_all().ok();\n}\n";
+        let f = lf("crates/engine/src/wal.rs", src);
+        assert!(check_suppression_hygiene(&f).is_empty());
+    }
+
+    #[test]
+    fn empty_reason_counts_as_bare() {
+        let src = "// lint: allow(lock_hygiene) --   \nfn f() {}\n";
+        let f = lf("crates/engine/src/wal.rs", src);
+        assert_eq!(check_suppression_hygiene(&f).len(), 1);
+    }
+
+    #[test]
+    fn suppressions_in_test_code_are_not_audited() {
+        let src = "#[cfg(test)]\nmod tests {\n  \
+                   // lint: allow(lock_hygiene)\n  fn t() {}\n}\n";
+        let f = lf("crates/engine/src/wal.rs", src);
+        assert!(check_suppression_hygiene(&f).is_empty());
     }
 
     #[test]

@@ -83,6 +83,103 @@ pub fn bad(m: &Mutex<u32>) {
     );
 }
 
+/// A guard held across a Condvar wait, WAL-style, with a configurable
+/// comment line above the acquisition.
+fn condvar_wait_src(comment: &str) -> String {
+    format!(
+        r#"
+use parking_lot::{{Condvar, Mutex}};
+
+/// Block until the group leader publishes our LSN.
+pub fn follow(seq: &Mutex<u64>, cv: &Condvar, last: u64) {{
+    {comment}
+    let mut g = seq.lock();
+    while *g < last {{
+        cv.wait(&mut g);
+    }}
+}}
+"#
+    )
+}
+
+#[test]
+fn condvar_wait_without_suppression_is_caught_even_in_wal() {
+    // The real wal.rs sanctions its group-commit wait with a reasoned
+    // suppression at the call site. That allowance must not be a file-wide
+    // exemption: the same wait planted WITHOUT the suppression is flagged.
+    let root = temp_tree("wait-wal");
+    fs::write(
+        root.join("crates/engine/src/wal.rs"),
+        condvar_wait_src("// no suppression here"),
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root).unwrap();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "lock-hygiene" && f.message.contains("Condvar")),
+        "unsanctioned condvar wait in wal.rs must be flagged, got: {findings:?}"
+    );
+}
+
+#[test]
+fn reasoned_suppression_sanctions_the_wait() {
+    let root = temp_tree("wait-ok");
+    fs::write(
+        root.join("crates/engine/src/wal.rs"),
+        condvar_wait_src(
+            "// lint: allow(lock_hygiene) -- group-commit wait: the condvar \
+             releases the sequencer lock while parked",
+        ),
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root).unwrap();
+    assert!(
+        findings.is_empty(),
+        "reasoned suppression must sanction the wait cleanly, got: {findings:?}"
+    );
+}
+
+#[test]
+fn wait_allowance_does_not_leak_to_other_modules() {
+    // The identical unsanctioned wait in a different engine module is
+    // flagged too — only crates/engine/src/lock.rs is structurally exempt.
+    let root = temp_tree("wait-other");
+    fs::write(
+        root.join("crates/engine/src/txn.rs"),
+        condvar_wait_src("// no suppression here"),
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root).unwrap();
+    assert!(
+        findings.iter().any(|f| f.rule == "lock-hygiene"
+            && f.path == "crates/engine/src/txn.rs"
+            && f.message.contains("Condvar")),
+        "wait in a non-exempt module must be flagged, got: {findings:?}"
+    );
+}
+
+#[test]
+fn bare_suppression_is_flagged_end_to_end() {
+    // A suppression without a reason silences lock-hygiene but trips
+    // suppression-hygiene, so the run still fails.
+    let root = temp_tree("wait-bare");
+    fs::write(
+        root.join("crates/engine/src/wal.rs"),
+        condvar_wait_src("// lint: allow(lock_hygiene)"),
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root).unwrap();
+    assert!(
+        !findings.iter().any(|f| f.rule == "lock-hygiene"),
+        "the bare tag still silences lock-hygiene, got: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == "suppression-hygiene"),
+        "a reasonless suppression must be flagged, got: {findings:?}"
+    );
+}
+
 #[test]
 fn allowlist_suppresses_planted_violation() {
     let root = temp_tree("allow");

@@ -136,8 +136,17 @@ impl PersistentQueue {
     /// Next undelivered message as `(index, payload)`, or `None` when drained.
     /// Delivery alone does not acknowledge: call [`PersistentQueue::ack`].
     pub fn dequeue(&self) -> StorageResult<Option<(u64, Vec<u8>)>> {
-        // lint: allow(lock_hygiene) -- reads the guarded spool at a frame
-        // offset; the mutex keeps the cursor and the file view consistent.
+        let mut batch = self.dequeue_up_to(1)?;
+        Ok(batch.pop())
+    }
+
+    /// Up to `max` undelivered messages as `(index, payload)` pairs, in
+    /// index order, reading the whole run with one spool open+seek — the
+    /// batched-consumer fast path. Delivery alone does not acknowledge; an
+    /// empty vec means the queue is drained.
+    pub fn dequeue_up_to(&self, max: u64) -> StorageResult<Vec<(u64, Vec<u8>)>> {
+        // lint: allow(lock_hygiene) -- reads the guarded spool at frame
+        // offsets; the mutex keeps the cursor and the file view consistent.
         let mut inner = self.inner.lock();
         invariant!(
             inner.acked <= inner.cursor && inner.cursor <= inner.offsets.len() as u64,
@@ -146,29 +155,42 @@ impl PersistentQueue {
             inner.cursor,
             inner.offsets.len()
         );
-        if inner.cursor >= inner.offsets.len() as u64 {
-            return Ok(None);
+        let total = inner.offsets.len() as u64;
+        if inner.cursor >= total || max == 0 {
+            return Ok(Vec::new());
         }
         inner.writer.flush()?;
-        let idx = inner.cursor;
-        let offset = inner.offsets[idx as usize];
+        let first = inner.cursor;
+        let count = max.min(total - first);
         let mut f = File::open(&self.spool_path)?;
         use std::io::Seek;
-        f.seek(std::io::SeekFrom::Start(offset))?;
-        let mut lenb = [0u8; 4];
-        f.read_exact(&mut lenb)?;
-        let len = u32::from_le_bytes(lenb) as usize;
-        let mut payload = vec![0u8; len];
-        f.read_exact(&mut payload)?;
-        let mut sumb = [0u8; 8];
-        f.read_exact(&mut sumb)?;
-        if checksum(&payload) != u64::from_le_bytes(sumb) {
-            return Err(StorageError::Corrupt(format!(
-                "queue frame {idx} checksum mismatch"
-            )));
+        f.seek(std::io::SeekFrom::Start(inner.offsets[first as usize]))?;
+        let mut out = Vec::with_capacity(count as usize);
+        for idx in first..first + count {
+            let mut lenb = [0u8; 4];
+            f.read_exact(&mut lenb)?;
+            let len = u32::from_le_bytes(lenb) as usize;
+            let mut payload = vec![0u8; len];
+            f.read_exact(&mut payload)?;
+            let mut sumb = [0u8; 8];
+            f.read_exact(&mut sumb)?;
+            if checksum(&payload) != u64::from_le_bytes(sumb) {
+                return Err(StorageError::Corrupt(format!(
+                    "queue frame {idx} checksum mismatch"
+                )));
+            }
+            out.push((idx, payload));
         }
-        inner.cursor += 1;
-        Ok(Some((idx, payload)))
+        inner.cursor = first + count;
+        Ok(out)
+    }
+
+    /// Reset the delivery cursor to the ack watermark, so every
+    /// unacknowledged message is delivered again — the in-process equivalent
+    /// of a consumer restart, used when an apply fails mid-run.
+    pub fn rewind_to_acked(&self) {
+        let mut inner = self.inner.lock();
+        inner.cursor = inner.acked;
     }
 
     /// Acknowledge every message up to and including `index`. Persisted.
@@ -297,6 +319,41 @@ mod tests {
         let (_, payload) = q.dequeue().unwrap().unwrap();
         assert_eq!(payload.len(), big.len());
         assert_eq!(payload, big);
+    }
+
+    #[test]
+    fn dequeue_up_to_returns_a_run_in_order() {
+        let q = PersistentQueue::open(qpath("batch.q")).unwrap();
+        for i in 0..7u8 {
+            q.enqueue(&[i]).unwrap();
+        }
+        let run = q.dequeue_up_to(4).unwrap();
+        assert_eq!(run.len(), 4);
+        for (want, (idx, payload)) in run.iter().enumerate() {
+            assert_eq!(*idx, want as u64);
+            assert_eq!(payload, &vec![want as u8]);
+        }
+        // Remaining messages still deliverable; over-asking clamps.
+        let rest = q.dequeue_up_to(100).unwrap();
+        assert_eq!(rest.len(), 3);
+        assert_eq!(rest[0].0, 4);
+        assert!(q.dequeue_up_to(5).unwrap().is_empty());
+        assert_eq!(q.dequeue_up_to(0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rewind_to_acked_redelivers_unacked_run() {
+        let q = PersistentQueue::open(qpath("rewind.q")).unwrap();
+        for i in 0..4u8 {
+            q.enqueue(&[i]).unwrap();
+        }
+        let run = q.dequeue_up_to(3).unwrap();
+        q.ack(run[0].0).unwrap(); // ack only the first
+        q.rewind_to_acked();
+        let again = q.dequeue_up_to(10).unwrap();
+        assert_eq!(again.len(), 3, "unacked messages redeliver");
+        assert_eq!(again[0].0, 1);
+        assert_eq!(again[0].1, vec![1u8]);
     }
 
     #[test]

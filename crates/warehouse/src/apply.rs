@@ -18,9 +18,11 @@
 //! comparison between them is apples-to-apples.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use delta_core::model::{DeltaOp, OpDelta, ValueDelta};
+use delta_core::stmtcache::CacheStats;
 use delta_core::trigger_extract::decode_delta_row;
 use delta_engine::db::Database;
 use delta_engine::exec;
@@ -30,6 +32,7 @@ use delta_engine::txn::Transaction;
 use delta_engine::{EngineError, EngineResult, TableOptions};
 use delta_sql::ast::{BinOp, Expr, Statement};
 use delta_storage::{Row, Value};
+use parking_lot::Mutex;
 
 use crate::aggview::{AggViewDef, AggregateView};
 use crate::mirror::MirrorConfig;
@@ -49,11 +52,55 @@ pub struct ApplyReport {
 }
 
 impl ApplyReport {
-    fn merge(&mut self, other: ApplyReport) {
+    /// Accumulate another report into this one.
+    pub fn merge(&mut self, other: ApplyReport) {
         self.transactions += other.transactions;
         self.statements += other.statements;
         self.rows_affected += other.rows_affected;
         self.view_rows_touched += other.view_rows_touched;
+    }
+}
+
+/// A cache of mirror rewrites keyed by the statement's canonical SQL text.
+///
+/// Op-Delta replay rewrites every captured statement against the mirror's
+/// projection before executing it. The rewrite is a pure function of the
+/// statement text (the mirror config is fixed per warehouse), so repeated
+/// statements — replays, re-drains, retry loops — can skip the rewrite.
+/// Hybrid ops carrying a before image bypass this cache entirely: their
+/// expansion depends on the warehouse clock and current mirror state.
+#[derive(Default)]
+pub struct RewriteCache {
+    map: Mutex<HashMap<String, Option<Statement>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RewriteCache {
+    /// An empty cache.
+    pub fn new() -> RewriteCache {
+        RewriteCache::default()
+    }
+
+    /// The mirror rewrite of `stmt`, cached by its SQL text.
+    fn rewrite(&self, cfg: &MirrorConfig, stmt: &Statement) -> EngineResult<Option<Statement>> {
+        let key = stmt.to_string();
+        if let Some(cached) = self.map.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cached.clone());
+        }
+        let rewritten = cfg.rewrite(stmt)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().insert(key, rewritten.clone());
+        Ok(rewritten)
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -315,7 +362,21 @@ impl ValueDeltaApplier {
     /// Apply one extracted batch as a single indivisible transaction,
     /// exclusively locking the mirror and every dependent view up front.
     pub fn apply(wh: &Warehouse, vd: &ValueDelta) -> EngineResult<ApplyReport> {
-        let cfg = wh.mirror(&vd.table)?;
+        ValueDeltaApplier::apply_run(wh, &[vd])
+    }
+
+    /// Apply a run of batches for one table as a single indivisible
+    /// transaction: one outage, one lock acquisition, one commit for the
+    /// whole run. Insert coalescing stays per batch, so the statement
+    /// counts match applying each batch alone.
+    pub fn apply_run(wh: &Warehouse, vds: &[&ValueDelta]) -> EngineResult<ApplyReport> {
+        let first = vds
+            .first()
+            .ok_or_else(|| EngineError::Invalid("empty value-delta run".into()))?;
+        if vds.iter().any(|vd| vd.table != first.table) {
+            return Err(EngineError::Invalid("value-delta run spans tables".into()));
+        }
+        let cfg = wh.mirror(&first.table)?;
         let mirror_schema = cfg.mirror_schema()?;
         let key_col = cfg.key_column()?.name.clone();
         let key_pos_mirror = mirror_schema
@@ -323,12 +384,12 @@ impl ValueDeltaApplier {
             .expect("mirror keeps the key");
         let db = wh.db();
         let mut txn = db.begin();
-        // The outage: every affected table locked for the whole batch.
-        db.lock_table(&mut txn, &vd.table, LockMode::Exclusive)?;
-        for v in wh.views_for(&vd.table) {
+        // The outage: every affected table locked for the whole run.
+        db.lock_table(&mut txn, &first.table, LockMode::Exclusive)?;
+        for v in wh.views_for(&first.table) {
             db.lock_table(&mut txn, &v.def.name, LockMode::Exclusive)?;
         }
-        for v in wh.agg_views.iter().filter(|v| v.involves(&vd.table)) {
+        for v in wh.agg_views.iter().filter(|v| v.involves(&first.table)) {
             db.lock_table(&mut txn, &v.def.name, LockMode::Exclusive)?;
         }
         let result = (|| {
@@ -336,6 +397,37 @@ impl ValueDeltaApplier {
                 transactions: 1,
                 ..Default::default()
             };
+            for vd in vds {
+                Self::apply_records(wh, cfg, &key_col, key_pos_mirror, vd, &mut txn, &mut report)?;
+            }
+            Ok(report)
+        })();
+        match result {
+            Ok(report) => {
+                db.commit(txn)?;
+                Ok(report)
+            }
+            Err(e) => {
+                db.abort(txn)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Translate and execute one batch's records inside the open outage
+    /// transaction.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_records(
+        wh: &Warehouse,
+        cfg: &MirrorConfig,
+        key_col: &str,
+        key_pos_mirror: usize,
+        vd: &ValueDelta,
+        txn: &mut Transaction,
+        report: &mut ApplyReport,
+    ) -> EngineResult<()> {
+        let db = wh.db();
+        {
             let mut i = 0;
             while i < vd.records.len() {
                 let rec = &vd.records[i];
@@ -360,22 +452,22 @@ impl ValueDeltaApplier {
                             columns: None,
                             rows,
                         };
-                        report.rows_affected += exec::execute(db, &mut txn, &stmt)?.affected;
+                        report.rows_affected += exec::execute(db, txn, &stmt)?.affected;
                         report.statements += 1;
-                        report.view_rows_touched += wh.maintain_views(&mut txn, &vd.table)?;
+                        report.view_rows_touched += wh.maintain_views(txn, &vd.table)?;
                         i += run;
                     }
                     DeltaOp::Delete => {
                         let stmt = Statement::Delete {
                             table: vd.table.clone(),
                             predicate: Some(keyed_predicate(
-                                &key_col,
+                                key_col,
                                 &projected.values()[key_pos_mirror],
                             )),
                         };
-                        report.rows_affected += exec::execute(db, &mut txn, &stmt)?.affected;
+                        report.rows_affected += exec::execute(db, txn, &stmt)?.affected;
                         report.statements += 1;
-                        report.view_rows_touched += wh.maintain_views(&mut txn, &vd.table)?;
+                        report.view_rows_touched += wh.maintain_views(txn, &vd.table)?;
                         i += 1;
                     }
                     DeltaOp::UpdateBefore => {
@@ -392,7 +484,7 @@ impl ValueDeltaApplier {
                         let del = Statement::Delete {
                             table: vd.table.clone(),
                             predicate: Some(keyed_predicate(
-                                &key_col,
+                                key_col,
                                 &projected.values()[key_pos_mirror],
                             )),
                         };
@@ -401,10 +493,10 @@ impl ValueDeltaApplier {
                             columns: None,
                             rows: vec![literal_row(&cfg.project_row(&after.row))],
                         };
-                        report.rows_affected += exec::execute(db, &mut txn, &del)?.affected;
-                        report.rows_affected += exec::execute(db, &mut txn, &ins)?.affected;
+                        report.rows_affected += exec::execute(db, txn, &del)?.affected;
+                        report.rows_affected += exec::execute(db, txn, &ins)?.affected;
                         report.statements += 2;
-                        report.view_rows_touched += wh.maintain_views(&mut txn, &vd.table)?;
+                        report.view_rows_touched += wh.maintain_views(txn, &vd.table)?;
                         i += 2;
                     }
                     DeltaOp::UpdateAfter => {
@@ -414,18 +506,8 @@ impl ValueDeltaApplier {
                     }
                 }
             }
-            Ok(report)
-        })();
-        match result {
-            Ok(report) => {
-                db.commit(txn)?;
-                Ok(report)
-            }
-            Err(e) => {
-                db.abort(txn)?;
-                Err(e)
-            }
         }
+        Ok(())
     }
 }
 
@@ -436,6 +518,24 @@ impl OpDeltaApplier {
     /// Replay one source transaction as one self-contained warehouse
     /// transaction.
     pub fn apply(wh: &Warehouse, od: &OpDelta) -> EngineResult<ApplyReport> {
+        OpDeltaApplier::apply_inner(wh, od, None)
+    }
+
+    /// Like [`apply`](OpDeltaApplier::apply), but resolving mirror rewrites
+    /// through `cache` so repeated statement text skips the rewrite.
+    pub fn apply_cached(
+        wh: &Warehouse,
+        od: &OpDelta,
+        cache: &RewriteCache,
+    ) -> EngineResult<ApplyReport> {
+        OpDeltaApplier::apply_inner(wh, od, Some(cache))
+    }
+
+    fn apply_inner(
+        wh: &Warehouse,
+        od: &OpDelta,
+        cache: Option<&RewriteCache>,
+    ) -> EngineResult<ApplyReport> {
         let db = wh.db();
         let mut txn = db.begin();
         let result = (|| {
@@ -452,7 +552,10 @@ impl OpDeltaApplier {
                 let cfg = wh.mirror(&table)?;
                 let statements: Vec<Statement> = match &op.before_image {
                     Some(bi) => cfg.hybrid_statements(&op.statement, bi, db.peek_clock())?,
-                    None => cfg.rewrite(&op.statement)?.into_iter().collect(),
+                    None => match cache {
+                        Some(c) => c.rewrite(cfg, &op.statement)?.into_iter().collect(),
+                        None => cfg.rewrite(&op.statement)?.into_iter().collect(),
+                    },
                 };
                 for stmt in &statements {
                     report.rows_affected += exec::execute(db, &mut txn, stmt)?.affected;

@@ -32,8 +32,8 @@ pub mod pipeline;
 pub mod view;
 
 pub use aggview::{AggSpec, AggViewDef, AggregateView};
-pub use apply::{ApplyReport, OpDeltaApplier, ValueDeltaApplier, Warehouse};
+pub use apply::{ApplyReport, OpDeltaApplier, RewriteCache, ValueDeltaApplier, Warehouse};
 pub use mirror::MirrorConfig;
 pub use olap::{OlapDriver, OlapStats};
-pub use pipeline::Pipeline;
+pub use pipeline::{Pipeline, SyncReport, DEFAULT_SYNC_BATCH};
 pub use view::{JoinCond, SpjView};

@@ -1,0 +1,226 @@
+//! Crash-safety of the batched sync protocol.
+//!
+//! `Pipeline::sync` acknowledges a run only after its apply transaction
+//! commits, so the dangerous window is *between* commit and ack: a crash
+//! there re-delivers batches whose effects are already in the warehouse.
+//! This test simulates exactly that window — apply a run directly, never
+//! ack, drop the pipeline — then reopens the queue and verifies the
+//! redelivered run converges: keyed deletes hit zero rows, updates net to
+//! zero in the aggregate view, and nothing is lost or double-counted.
+
+use delta_core::model::{DeltaBatch, DeltaOp, ValueDelta, ValueDeltaRecord};
+use delta_engine::db::open_temp;
+use delta_sql::ast::AggFunc;
+use delta_storage::{Column, DataType, Row, Schema, Value};
+use delta_warehouse::{
+    AggSpec, AggViewDef, MirrorConfig, Pipeline, SyncReport, ValueDeltaApplier, Warehouse,
+};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("id", DataType::Int).primary_key(),
+        Column::new("v", DataType::Int),
+    ])
+    .unwrap()
+}
+
+fn qpath(label: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "delta-crash-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!("{label}.q"));
+    let _ = std::fs::remove_file(&p);
+    let _ = std::fs::remove_file(p.with_extension("ack"));
+    p
+}
+
+/// A warehouse with a full mirror of `t` and a global summary view
+/// (count + sum of `v`) so double-applied deltas would show up as a
+/// wrong count or sum even when the mirror itself converges.
+fn warehouse(label: &str) -> Warehouse {
+    let db = open_temp(label).unwrap();
+    let mut wh = Warehouse::new(db);
+    wh.add_mirror(MirrorConfig::full("t", schema())).unwrap();
+    wh.add_agg_view(AggViewDef {
+        name: "t_totals".into(),
+        table: "t".into(),
+        group_by: vec![],
+        aggregates: vec![AggSpec::count_star(), AggSpec::of(AggFunc::Sum, "v")],
+        selection: None,
+    })
+    .unwrap();
+    wh
+}
+
+fn record(op: DeltaOp, id: i64, v: i64) -> ValueDeltaRecord {
+    ValueDeltaRecord {
+        op,
+        txn: 0,
+        row: Row::new(vec![Value::Int(id), Value::Int(v)]),
+    }
+}
+
+fn batch(records: Vec<ValueDeltaRecord>) -> ValueDelta {
+    let mut vd = ValueDelta::new("t", schema());
+    vd.records = records;
+    vd
+}
+
+/// (count, sum) from the global summary row.
+fn totals(wh: &Warehouse) -> (Value, Value) {
+    let view = wh.agg_view("t_totals").unwrap();
+    let rows = view.visible_rows(wh.db()).unwrap();
+    assert_eq!(rows.len(), 1, "global summary is a single row");
+    (rows[0].values()[0].clone(), rows[0].values()[1].clone())
+}
+
+fn sorted_ids(wh: &Warehouse) -> Vec<Value> {
+    let mut ids: Vec<Value> = wh
+        .db()
+        .scan_table("t")
+        .unwrap()
+        .into_iter()
+        .map(|(_, r)| r.values()[0].clone())
+        .collect();
+    ids.sort_by(|a, b| a.total_cmp(b));
+    ids
+}
+
+#[test]
+fn redelivered_run_after_crash_between_commit_and_ack_converges() {
+    let wh = warehouse("crash1");
+    let path = qpath("crash1");
+
+    // Phase 1: a synced baseline — four inserts, fully acknowledged.
+    {
+        let pipe = Pipeline::open(&path).unwrap();
+        for id in 1..=4 {
+            pipe.publish(&DeltaBatch::Value(batch(vec![record(
+                DeltaOp::Insert,
+                id,
+                10 * id,
+            )])))
+            .unwrap();
+        }
+        let report = pipe.sync(&wh).unwrap();
+        assert_eq!(report.batches, 4);
+        assert_eq!(pipe.queue().acked(), 4);
+        assert_eq!(totals(&wh), (Value::Int(4), Value::Int(100)));
+
+        // Phase 2: publish an update run and apply it exactly as `sync`
+        // would (one transaction for the consecutive same-table batches) —
+        // but "crash" before the ack, leaving the run deliverable.
+        //
+        // Only updates and deletes here: those are the shapes whose replay
+        // must be absorbed (a replayed plain insert is a duplicate key,
+        // which sync correctly surfaces as an error instead of hiding).
+        let upd = batch(vec![
+            record(DeltaOp::UpdateBefore, 1, 10),
+            record(DeltaOp::UpdateAfter, 1, 110),
+        ]);
+        let del = batch(vec![record(DeltaOp::Delete, 2, 20)]);
+        pipe.publish(&DeltaBatch::Value(upd.clone())).unwrap();
+        pipe.publish(&DeltaBatch::Value(del.clone())).unwrap();
+        let applied = ValueDeltaApplier::apply_run(&wh, &[&upd, &del]).unwrap();
+        assert_eq!(applied.transactions, 1);
+        assert_eq!(
+            pipe.queue().acked(),
+            4,
+            "the crash window: applied, not acked"
+        );
+        // `pipe` dropped here: the process dies with two unacked batches.
+    }
+
+    // The apply did commit — the warehouse already shows the new state.
+    assert_eq!(totals(&wh), (Value::Int(3), Value::Int(180)));
+
+    // Phase 3: restart. The reopened queue rewinds its cursor to the ack
+    // watermark, so the already-applied run is delivered again.
+    let pipe = Pipeline::open(&path).unwrap();
+    assert_eq!(pipe.queue().pending(), 2, "unacked suffix is redelivered");
+    let report = pipe.sync(&wh).unwrap();
+    assert_eq!(report.batches, 2);
+    assert_eq!(
+        report.runs, 1,
+        "consecutive same-table batches stay one run"
+    );
+
+    // Convergence: the keyed update re-sets row 1 to the value it already
+    // has, the keyed delete of row 2 hits nothing. Mirror and summary both
+    // end exactly where the single application left them.
+    assert_eq!(
+        sorted_ids(&wh),
+        vec![Value::Int(1), Value::Int(3), Value::Int(4)]
+    );
+    let v1 = wh
+        .db()
+        .scan_table("t")
+        .unwrap()
+        .into_iter()
+        .map(|(_, r)| r)
+        .find(|r| r.values()[0] == Value::Int(1))
+        .unwrap();
+    assert_eq!(v1.values()[1], Value::Int(110));
+    assert_eq!(totals(&wh), (Value::Int(3), Value::Int(180)));
+    let view = wh.agg_view("t_totals").unwrap();
+    assert!(
+        view.verify_against_recompute(wh.db()).unwrap(),
+        "summary table must match a from-scratch recompute after redelivery"
+    );
+
+    // Everything acknowledged; a further sync is a no-op.
+    assert_eq!(pipe.queue().acked(), 6);
+    assert_eq!(pipe.queue().pending(), 0);
+    assert_eq!(pipe.sync(&wh).unwrap(), SyncReport::default());
+}
+
+#[test]
+fn partially_acked_run_redelivers_only_the_unacked_suffix() {
+    // A crash can also land between two groups of one sync: the first
+    // group acked, the second applied-but-unacked. Reopening must replay
+    // only the suffix.
+    let wh = warehouse("crash2");
+    let path = qpath("crash2");
+    {
+        let pipe = Pipeline::open(&path).unwrap();
+        for id in 1..=3 {
+            pipe.publish(&DeltaBatch::Value(batch(vec![record(
+                DeltaOp::Insert,
+                id,
+                id,
+            )])))
+            .unwrap();
+        }
+        pipe.sync(&wh).unwrap();
+
+        // Group A (acked): update id=1 → 5. Group B (crash window).
+        let a = batch(vec![
+            record(DeltaOp::UpdateBefore, 1, 1),
+            record(DeltaOp::UpdateAfter, 1, 5),
+        ]);
+        pipe.publish(&DeltaBatch::Value(a.clone())).unwrap();
+        let pipe = pipe.with_batch_size(1); // force one group per batch
+        let report = pipe.sync(&wh).unwrap();
+        assert_eq!((report.batches, report.runs), (1, 1));
+        assert_eq!(pipe.queue().acked(), 4);
+
+        let b = batch(vec![record(DeltaOp::Delete, 3, 3)]);
+        pipe.publish(&DeltaBatch::Value(b.clone())).unwrap();
+        ValueDeltaApplier::apply(&wh, &b).unwrap();
+        // Crash: group B committed, never acked.
+    }
+
+    let pipe = Pipeline::open(&path).unwrap();
+    assert_eq!(pipe.queue().pending(), 1, "only group B comes back");
+    let report = pipe.sync(&wh).unwrap();
+    assert_eq!(report.batches, 1);
+
+    assert_eq!(sorted_ids(&wh), vec![Value::Int(1), Value::Int(2)]);
+    assert_eq!(totals(&wh), (Value::Int(2), Value::Int(7)));
+    let view = wh.agg_view("t_totals").unwrap();
+    assert!(view.verify_against_recompute(wh.db()).unwrap());
+    assert_eq!(pipe.queue().pending(), 0);
+}
