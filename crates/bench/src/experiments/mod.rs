@@ -2,6 +2,7 @@
 //! index and the expected shapes.
 
 pub mod ablations;
+pub mod expb;
 pub mod expc;
 pub mod expg;
 pub mod expr;
@@ -32,6 +33,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "expc",
         "expg_group_commit",
         "expg_sync",
+        "expb_scan_scaling",
         "ablation_wal",
         "ablation_ts_index",
         "ablation_snapshot",
@@ -54,6 +56,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<TableReport> {
         "expc" => expc::run(scale),
         "expg_group_commit" => expg::group_commit(scale),
         "expg_sync" => expg::sync_batched(scale),
+        "expb_scan_scaling" => expb::run(scale),
         "ablation_wal" => ablations::wal_sync(scale),
         "ablation_ts_index" => ablations::ts_index(scale),
         "ablation_snapshot" => ablations::snapshot_algorithms(scale),

@@ -42,6 +42,9 @@ pub struct DbOptions {
     pub dir: PathBuf,
     /// Buffer pool capacity in pages.
     pub buffer_pool_pages: usize,
+    /// Buffer pool shard count (rounded up to a power of two). `0` picks the
+    /// next power of two at or above the machine's available parallelism.
+    pub buffer_pool_shards: usize,
     /// WAL durability.
     pub wal_sync: SyncMode,
     /// WAL segment capacity in bytes.
@@ -69,6 +72,7 @@ impl DbOptions {
         DbOptions {
             dir: dir.into(),
             buffer_pool_pages: 1024,
+            buffer_pool_shards: 0,
             wal_sync: SyncMode::None,
             wal_segment_bytes: 1 << 20,
             archive_mode: false,
@@ -97,6 +101,12 @@ impl DbOptions {
         self.wal_group_commit = on;
         self
     }
+
+    /// Builder-style buffer-pool shard count (`0` = auto).
+    pub fn pool_shards(mut self, shards: usize) -> DbOptions {
+        self.buffer_pool_shards = shards;
+        self
+    }
 }
 
 /// A single-node relational database.
@@ -121,7 +131,10 @@ impl Database {
     pub fn open(opts: DbOptions) -> EngineResult<Arc<Database>> {
         fs::create_dir_all(&opts.dir)?;
         let catalog = Catalog::open(&opts.dir)?;
-        let pool = Arc::new(BufferPool::new(opts.buffer_pool_pages));
+        let pool = Arc::new(match opts.buffer_pool_shards {
+            0 => BufferPool::new(opts.buffer_pool_pages),
+            n => BufferPool::with_shards(opts.buffer_pool_pages, n),
+        });
         let wal = LogManager::open(
             opts.dir.join("wal"),
             opts.dir.join("archive"),

@@ -153,6 +153,11 @@ const IO_MARKERS: &[&str] = &[
     ".flush(",
     ".set_len(",
     ".seek(",
+    // Page-granular disk I/O (DiskFile): the sharded buffer pool reads
+    // misses and writes evictions back strictly outside its shard locks,
+    // and nothing else may regress that either.
+    ".read_page(",
+    ".write_page(",
 ];
 
 const WAIT_MARKERS: &[&str] = &[".wait(", ".wait_for(", ".wait_until(", ".wait_while("];
@@ -647,6 +652,21 @@ mod tests {
         let src = "fn flush(&self) {\n  let g = self.state.lock();\n  drop(g);\n  \
                    self.file.sync_all().ok();\n}\n";
         let f = lf("crates/engine/src/wal.rs", src);
+        assert!(check_lock_hygiene(&f).is_empty());
+    }
+
+    #[test]
+    fn page_io_under_guard_is_flagged() {
+        let src = "fn miss(&self) {\n  let mut inner = self.shard.lock();\n  \
+                   self.file.read_page(no, &mut buf).ok();\n}\n";
+        let f = lf("crates/storage/src/buffer.rs", src);
+        let findings = check_lock_hygiene(&f);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("read_page"));
+
+        let src = "fn evict(&self) {\n  let mut inner = self.shard.lock();\n  \
+                   drop(inner);\n  self.file.write_page(no, bytes).ok();\n}\n";
+        let f = lf("crates/storage/src/buffer.rs", src);
         assert!(check_lock_hygiene(&f).is_empty());
     }
 

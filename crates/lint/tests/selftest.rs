@@ -83,6 +83,36 @@ pub fn bad(m: &Mutex<u32>) {
     );
 }
 
+#[test]
+fn planted_page_io_under_shard_lock_is_caught() {
+    // The sharded buffer pool's contract: miss reads and eviction writebacks
+    // happen strictly outside the shard lock. A regression that re-introduces
+    // page I/O under a guard must be a hard violation, with no suppression
+    // left in the real buffer.rs to hide behind.
+    let root = temp_tree("pageio");
+    fs::create_dir_all(root.join("crates/storage/src")).unwrap();
+    fs::write(
+        root.join("crates/storage/src/buffer.rs"),
+        r#"
+/// Locate a page, reading it from disk on a miss.
+pub fn locate(&self, pid: PageId) -> StorageResult<usize> {
+    let mut inner = self.shard.lock();
+    let file = self.file(pid.file)?;
+    file.read_page(pid.page_no, &mut buf)?;
+    Ok(0)
+}
+"#,
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root).unwrap();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "lock-hygiene" && f.message.contains("read_page")),
+        "page I/O under a shard lock must be flagged, got: {findings:?}"
+    );
+}
+
 /// A guard held across a Condvar wait, WAL-style, with a configurable
 /// comment line above the acquisition.
 fn condvar_wait_src(comment: &str) -> String {
