@@ -1,0 +1,58 @@
+//! `torture` — seeded crash–recover–resync convergence driver.
+//!
+//! ```text
+//! torture                          # default seed, 20 cycles
+//! torture --seed 7 --cycles 50     # more cycles under another schedule
+//! torture --txns 16                # heavier per-cycle workload
+//! ```
+//!
+//! Exits nonzero on any convergence or exactly-once violation, printing the
+//! master seed so the failing schedule replays exactly.
+
+use delta_bench::torture::{self, TortureConfig};
+
+fn die(msg: &str) -> ! {
+    eprintln!("torture: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = TortureConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--seed" | "--cycles" | "--txns" => {
+                i += 1;
+                let v: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die(&format!("{flag} needs a number")));
+                match flag {
+                    "--seed" => cfg.seed = v,
+                    "--cycles" => cfg.cycles = v,
+                    _ => cfg.txns = v,
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: torture [--seed N] [--cycles N] [--txns N]");
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    println!(
+        "torture: seed {} | {} cycles x {} txns",
+        cfg.seed, cfg.cycles, cfg.txns
+    );
+    match torture::run(&cfg) {
+        Ok(stats) => println!("torture: CONVERGED — {}", stats.summary()),
+        Err(msg) => {
+            eprintln!("torture: FAILED — {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -19,6 +19,7 @@
 pub mod experiments;
 pub mod json;
 pub mod report;
+pub mod torture;
 pub mod workload;
 
 pub use report::TableReport;

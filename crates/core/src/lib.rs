@@ -54,6 +54,7 @@ pub mod trigger_extract;
 pub use extractor::{
     DeltaSource, LogSource, Method, SnapshotSource, TimestampSource, TriggerSource,
 };
+pub use logextract::{LogExtractor, ResilientExtract, ResilientLogExtractor};
 pub use model::{DeltaBatch, DeltaOp, OpDelta, OpLogRecord, ValueDelta, ValueDeltaRecord};
 pub use opdelta::{OpDeltaCapture, OpLogSink};
 pub use selfmaint::{MaintRequirement, SelfMaintAnalyzer, WarehouseProfile};

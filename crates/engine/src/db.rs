@@ -11,6 +11,7 @@ use std::time::Duration;
 use parking_lot::RwLock;
 
 use delta_storage::codec::export::ProductTag;
+use delta_storage::fault::FaultInjector;
 use delta_storage::{
     BufferPool, BufferPoolStats, DiskFile, HeapFile, RecordId, Row, Schema, Value,
 };
@@ -22,7 +23,7 @@ use crate::lock::{LockManager, LockMode};
 use crate::session::Session;
 use crate::trigger::{TriggerDef, TriggerEvent, TriggerManager};
 use crate::txn::{Transaction, TxnId, TxnManager, UndoEntry};
-use crate::wal::{LogManager, LogRecord, Lsn};
+use crate::wal::{read_segment, LogManager, LogRecord, Lsn};
 
 /// WAL durability level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +65,13 @@ pub struct DbOptions {
     pub product: ProductTag,
     /// Maximum trigger nesting depth.
     pub trigger_max_depth: usize,
+    /// Armed fault-injection plan threaded into every disk file and the WAL
+    /// writer (deterministic torture testing). `None` in production.
+    pub faults: Option<Arc<FaultInjector>>,
+    /// Replay the durable WAL onto the heaps at open, bringing them to the
+    /// exact committed state after a crash. On by default; harnesses that
+    /// want to inspect the raw post-crash heap can turn it off.
+    pub recover_on_open: bool,
 }
 
 impl DbOptions {
@@ -81,6 +89,8 @@ impl DbOptions {
             index_scan_threshold: 0.2,
             product: ProductTag::new("cotsdb", 1),
             trigger_max_depth: 8,
+            faults: None,
+            recover_on_open: true,
         }
     }
 
@@ -105,6 +115,18 @@ impl DbOptions {
     /// Builder-style buffer-pool shard count (`0` = auto).
     pub fn pool_shards(mut self, shards: usize) -> DbOptions {
         self.buffer_pool_shards = shards;
+        self
+    }
+
+    /// Builder-style fault injector (deterministic torture testing).
+    pub fn faults(mut self, inj: Arc<FaultInjector>) -> DbOptions {
+        self.faults = Some(inj);
+        self
+    }
+
+    /// Builder-style toggle for WAL replay at open.
+    pub fn recover(mut self, on: bool) -> DbOptions {
+        self.recover_on_open = on;
         self
     }
 }
@@ -142,6 +164,7 @@ impl Database {
             opts.wal_sync,
             opts.archive_mode,
             opts.wal_group_commit,
+            opts.faults.clone(),
         )?;
         let locks = LockManager::new(opts.lock_timeout);
         let db = Arc::new(Database {
@@ -171,6 +194,12 @@ impl Database {
         for meta in db.catalog.all() {
             let ts = db.rebuild_indexes_for(&meta.name)?;
             max_ts = max_ts.max(ts);
+        }
+        // Crash recovery: replay the resident durable WAL so the heaps hold
+        // exactly the committed state, no matter what a crash interrupted.
+        if db.opts.recover_on_open {
+            let rec_ts = db.recover_from_wal()?;
+            max_ts = max_ts.max(rec_ts);
         }
         db.clock.store(max_ts + 1, Ordering::SeqCst);
         Ok(db)
@@ -241,7 +270,7 @@ impl Database {
 
     fn attach_heap(&self, meta: &TableMeta) -> EngineResult<Arc<HeapFile>> {
         let path = self.opts.dir.join(meta.heap_file_name());
-        let file = Arc::new(DiskFile::open(path)?);
+        let file = Arc::new(DiskFile::open_with_faults(path, self.opts.faults.clone())?);
         self.pool.register_file(meta.file_id, file);
         let heap = Arc::new(HeapFile::new(self.pool.clone(), meta.file_id));
         self.heaps.write().insert(meta.name.clone(), heap.clone());
@@ -813,7 +842,252 @@ impl Database {
         self.pool.flush_and_sync_all()?;
         self.wal.append_batch(&[LogRecord::Checkpoint])?;
         self.wal.switch_segment()?;
-        self.wal.recycle_closed_segments()
+        let recycled = self.wal.recycle_closed_segments()?;
+        // Recycling may leave part of the LSN history visible only in the
+        // archive; persist the high-water mark so a reopen that cannot read
+        // the archive (shipped, quarantined, deleted) never re-issues LSNs.
+        self.wal.write_lsn_hint()?;
+        Ok(recycled)
+    }
+
+    /// Redo recovery, run at open: replay the resident (post-checkpoint)
+    /// durable WAL onto the heaps so every table holds exactly its committed
+    /// state. Checkpoints bound the work — they flush all dirty pages and
+    /// recycle the segments they cover, so only the post-checkpoint suffix
+    /// is ever replayed.
+    ///
+    /// Without page LSNs a blind replay would be unsound: an evicted page may
+    /// already hold the effect of a *later* record. The log is therefore
+    /// resolved per primary key first — the last committed record for each
+    /// key fixes that key's final image — and the heap is upserted/deleted to
+    /// match, which is idempotent regardless of which pages reached disk.
+    /// Tables without a single-column primary key fall back to image-matched
+    /// sequential replay with idempotence guards.
+    ///
+    /// Mid-file WAL corruption surfaces as a typed `Corrupt` error from
+    /// `read_segment` — recovery fails loudly rather than guessing. Returns
+    /// the largest row timestamp seen in committed images (clock restore).
+    fn recover_from_wal(&self) -> EngineResult<i64> {
+        use std::collections::{HashMap, HashSet};
+        let mut records: Vec<(Lsn, LogRecord)> = Vec::new();
+        for p in self.wal.resident_segments()? {
+            records.extend(read_segment(&p)?);
+        }
+        records.sort_by_key(|(lsn, _)| *lsn);
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let committed: HashSet<TxnId> = records
+            .iter()
+            .filter_map(|(_, r)| match r {
+                LogRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+
+        // Resolve the final committed image per (table, key). DDL applies
+        // inline (it is autonomous and usually already in the catalog) and
+        // resets any pending state for the table it touches.
+        let mut max_ts = 0i64;
+        let mut keyed: HashMap<String, HashMap<String, (Value, Option<Row>)>> = HashMap::new();
+        let mut unkeyed: HashMap<String, Vec<LogRecord>> = HashMap::new();
+        let note_ts = |row: &Row, max_ts: &mut i64| {
+            for v in row.values() {
+                if let Value::Timestamp(t) = v {
+                    *max_ts = (*max_ts).max(*t);
+                }
+            }
+        };
+        for (_, rec) in &records {
+            match rec {
+                LogRecord::CreateTable {
+                    name,
+                    schema,
+                    options,
+                } => {
+                    keyed.remove(name);
+                    unkeyed.remove(name);
+                    if !self.catalog.contains(name) {
+                        let schema = Schema::from_catalog_string(schema)?;
+                        let auto_timestamp =
+                            options.strip_prefix("auto_ts=").map(|s| s.to_string());
+                        self.create_table(name, schema, TableOptions { auto_timestamp })?;
+                    }
+                }
+                LogRecord::DropTable { name } => {
+                    keyed.remove(name);
+                    unkeyed.remove(name);
+                    if self.catalog.contains(name) {
+                        self.drop_table(name)?;
+                    }
+                }
+                LogRecord::Insert { txn, table, row } if committed.contains(txn) => {
+                    if !self.catalog.contains(table) {
+                        continue;
+                    }
+                    note_ts(row, &mut max_ts);
+                    let meta = self.table(table)?;
+                    match single_pk_pos(&meta) {
+                        Some(pk) => {
+                            let key = row.values()[pk].clone();
+                            keyed
+                                .entry(table.clone())
+                                .or_default()
+                                .insert(key.to_string(), (key, Some(row.clone())));
+                        }
+                        None => unkeyed.entry(table.clone()).or_default().push(rec.clone()),
+                    }
+                }
+                LogRecord::Delete { txn, table, before } if committed.contains(txn) => {
+                    if !self.catalog.contains(table) {
+                        continue;
+                    }
+                    let meta = self.table(table)?;
+                    match single_pk_pos(&meta) {
+                        Some(pk) => {
+                            let key = before.values()[pk].clone();
+                            keyed
+                                .entry(table.clone())
+                                .or_default()
+                                .insert(key.to_string(), (key, None));
+                        }
+                        None => unkeyed.entry(table.clone()).or_default().push(rec.clone()),
+                    }
+                }
+                LogRecord::Update {
+                    txn,
+                    table,
+                    before,
+                    after,
+                } if committed.contains(txn) => {
+                    if !self.catalog.contains(table) {
+                        continue;
+                    }
+                    note_ts(after, &mut max_ts);
+                    let meta = self.table(table)?;
+                    match single_pk_pos(&meta) {
+                        Some(pk) => {
+                            let old_key = before.values()[pk].clone();
+                            let new_key = after.values()[pk].clone();
+                            let finals = keyed.entry(table.clone()).or_default();
+                            if old_key.to_string() != new_key.to_string() {
+                                // Primary-key update: the old key vanishes.
+                                finals.insert(old_key.to_string(), (old_key, None));
+                            }
+                            finals.insert(new_key.to_string(), (new_key, Some(after.clone())));
+                        }
+                        None => unkeyed.entry(table.clone()).or_default().push(rec.clone()),
+                    }
+                }
+                _ => {}
+            }
+        }
+        if keyed.is_empty() && unkeyed.is_empty() {
+            return Ok(max_ts);
+        }
+
+        let mut txn = self.begin();
+        let result = self.apply_recovery(&mut txn, &keyed, &unkeyed);
+        // Recovery re-establishes effects the durable log already records;
+        // logging them again would duplicate history on every open.
+        txn.wal_buffer.clear();
+        match result {
+            Ok(()) => {
+                self.commit(txn)?;
+                Ok(max_ts)
+            }
+            Err(e) => {
+                let _ = self.abort(txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// The heap-mutation half of [`recover_from_wal`], in one transaction.
+    fn apply_recovery(
+        &self,
+        txn: &mut Transaction,
+        keyed: &std::collections::HashMap<
+            String,
+            std::collections::HashMap<String, (Value, Option<Row>)>,
+        >,
+        unkeyed: &std::collections::HashMap<String, Vec<LogRecord>>,
+    ) -> EngineResult<()> {
+        for (table, finals) in keyed {
+            if !self.catalog.contains(table) {
+                continue;
+            }
+            let meta = self.table(table)?;
+            self.lock_table(txn, table, LockMode::Exclusive)?;
+            for (key, image) in finals.values() {
+                let current = self.locate_by_key(&meta, key)?;
+                match (current, image) {
+                    (Some((rid, old)), Some(new)) => {
+                        if &old != new {
+                            self.update_row(txn, &meta, rid, old, new.clone(), 0, false, false)?;
+                        }
+                    }
+                    (None, Some(new)) => {
+                        self.insert_row(txn, &meta, new.clone(), 0, false, false)?;
+                    }
+                    (Some((rid, old)), None) => {
+                        self.delete_row(txn, &meta, rid, old, 0, false)?;
+                    }
+                    (None, None) => {}
+                }
+            }
+        }
+        for (table, recs) in unkeyed {
+            if !self.catalog.contains(table) {
+                continue;
+            }
+            let meta = self.table(table)?;
+            self.lock_table(txn, table, LockMode::Exclusive)?;
+            for rec in recs {
+                match rec {
+                    LogRecord::Insert { row, .. }
+                        if self.locate_by_image(&meta, row)?.is_none() =>
+                    {
+                        self.insert_row(txn, &meta, row.clone(), 0, false, false)?;
+                    }
+                    LogRecord::Delete { before, .. } => {
+                        if let Some((rid, old)) = self.locate_by_image(&meta, before)? {
+                            self.delete_row(txn, &meta, rid, old, 0, false)?;
+                        }
+                    }
+                    LogRecord::Update { before, after, .. } => {
+                        if let Some((rid, old)) = self.locate_by_image(&meta, before)? {
+                            self.update_row(txn, &meta, rid, old, after.clone(), 0, false, false)?;
+                        } else if self.locate_by_image(&meta, after)?.is_none() {
+                            self.insert_row(txn, &meta, after.clone(), 0, false, false)?;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Find the live row whose single-column primary key equals `key`.
+    fn locate_by_key(
+        &self,
+        meta: &TableMeta,
+        key: &Value,
+    ) -> EngineResult<Option<(RecordId, Row)>> {
+        if let Some(idx) = self
+            .indexes
+            .for_table(&meta.name)
+            .into_iter()
+            .find(|i| i.def.unique)
+        {
+            for rid in idx.lookup(key) {
+                if let Some(bytes) = self.heap(&meta.name)?.get(rid)? {
+                    return Ok(Some((rid, Row::from_bytes(&bytes)?)));
+                }
+            }
+        }
+        Ok(None)
     }
 
     /// Apply committed log records (from this or another database's log) to
@@ -917,6 +1191,16 @@ impl Database {
             }
         }
         Ok(None)
+    }
+}
+
+/// Position of a single-column primary key in `meta`'s schema, if any.
+fn single_pk_pos(meta: &TableMeta) -> Option<usize> {
+    let pk = meta.schema.primary_key_indices();
+    if pk.len() == 1 {
+        Some(pk[0])
+    } else {
+        None
     }
 }
 

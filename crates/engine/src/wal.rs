@@ -31,11 +31,13 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
 use parking_lot::{Condvar, Mutex};
 
-use delta_storage::{invariant, Row, StorageError, StorageResult};
+use delta_storage::fault::{FaultAction, FaultInjector};
+use delta_storage::{invariant, IoOp, Row, StorageError, StorageResult};
 
 use crate::db::SyncMode;
 use crate::error::{EngineError, EngineResult};
@@ -134,6 +136,10 @@ fn get_str(buf: &mut &[u8]) -> StorageResult<String> {
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 const FNV_PRIME: u64 = 0x100000001b3;
+
+/// File in the WAL directory holding the persisted LSN high-water hint (see
+/// [`LogManager::write_lsn_hint`]).
+const LSN_HINT_FILE: &str = "lsn.hint";
 
 /// Fold `bytes` into a running FNV-1a state.
 fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
@@ -249,13 +255,22 @@ fn seal_entries(buf: &mut [u8], fixups: &[FrameFixup], first: Lsn) {
     }
 }
 
-/// Encode one record (with LSN) into a framed, checksummed entry.
-#[cfg(test)]
-fn encode_entry(lsn: Lsn, rec: &LogRecord) -> Vec<u8> {
+/// Encode one record (with LSN) into a framed, checksummed entry. Public for
+/// codec corruption tests and external log tooling; the hot path encodes
+/// whole batches via the open/seal split instead.
+pub fn encode_record(lsn: Lsn, rec: &LogRecord) -> Vec<u8> {
     let mut buf = Vec::with_capacity(80);
     let fix = encode_entry_open(rec, &mut buf);
     seal_entries(&mut buf, &[fix], lsn);
     buf
+}
+
+/// Decode one framed entry from the front of `buf`; returns `(lsn, record)`
+/// and advances `buf` past it. Every corruption mode — truncation, bit flips,
+/// bad checksum, trailing garbage — surfaces as a typed
+/// [`StorageError::Corrupt`], never a panic.
+pub fn decode_record(buf: &mut &[u8]) -> StorageResult<(Lsn, LogRecord)> {
+    decode_entry(buf)
 }
 
 /// Decode one entry from the front of `buf`; returns `(lsn, record)`.
@@ -432,6 +447,9 @@ pub struct LogManager {
     /// Cleared encode buffers recycled across commits.
     spares: Mutex<Vec<Vec<u8>>>,
     counters: WalCounters,
+    /// Armed fault plan shared with the database's disk files; group writes
+    /// and syncs consult it (deterministic torture testing).
+    faults: Option<Arc<FaultInjector>>,
 }
 
 struct WalInner {
@@ -478,6 +496,7 @@ impl LogManager {
         sync_mode: SyncMode,
         archive_mode: bool,
         group_commit: bool,
+        faults: Option<Arc<FaultInjector>>,
     ) -> EngineResult<LogManager> {
         let wal_dir = wal_dir.as_ref().to_path_buf();
         let archive_dir = archive_dir.as_ref().to_path_buf();
@@ -486,6 +505,14 @@ impl LogManager {
 
         let mut segments = list_segment_files(&wal_dir)?;
         segments.sort();
+        // LSN high-water hint, persisted at checkpoint: segment scans alone
+        // cannot recover the next LSN when archived history has been moved,
+        // quarantined, or deleted — and re-issuing an already-used LSN would
+        // silently desynchronize every log-shipping consumer downstream.
+        let hint: Lsn = fs::read_to_string(wal_dir.join(LSN_HINT_FILE))
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0);
         let (active_index, mut next_lsn) = match segments.last() {
             Some(last) => {
                 // Recover the next LSN by reading every resident segment.
@@ -507,9 +534,7 @@ impl LogManager {
             }
             None => (1, 1),
         };
-        if next_lsn == 0 {
-            next_lsn = 1;
-        }
+        next_lsn = next_lsn.max(hint).max(1);
         let active_path = wal_dir.join(segment_name(active_index));
         // A crash mid-append can leave a torn entry at the active segment's
         // tail; truncate it away so new appends continue a valid stream.
@@ -552,6 +577,7 @@ impl LogManager {
             }),
             spares: Mutex::new(Vec::new()),
             counters: WalCounters::default(),
+            faults,
         })
     }
 
@@ -753,12 +779,60 @@ impl LogManager {
             // single-writer funnel of the group-commit protocol; it must
             // cover the group's write+sync so file order matches LSN order.
             let mut inner = self.inner.lock();
+            let segment_path = self.wal_dir.join(segment_name(inner.writer.segment_index));
+            // One fault decision per group write round. An injected failure
+            // propagates to the committers and poisons the log — a half
+            // written group is exactly the torn tail reopen truncates away.
+            if let Some(inj) = &self.faults {
+                match inj.decide(IoOp::Write) {
+                    None | Some(FaultAction::DropSync) => {}
+                    Some(a @ FaultAction::TornWrite { keep }) => {
+                        let all: Vec<u8> =
+                            group.iter().flat_map(|b| b.bytes.iter().copied()).collect();
+                        let keep = (keep as usize).min(all.len());
+                        inner.writer.out.write_all(&all[..keep])?;
+                        inner.writer.out.flush()?;
+                        inner.writer.segment_bytes += keep as u64;
+                        return Err(EngineError::Storage(inj.error(
+                            IoOp::Write,
+                            &segment_path,
+                            a,
+                        )));
+                    }
+                    Some(a) => {
+                        return Err(EngineError::Storage(inj.error(
+                            IoOp::Write,
+                            &segment_path,
+                            a,
+                        )))
+                    }
+                }
+            }
             for b in group.iter() {
                 inner.writer.out.write_all(&b.bytes)?;
                 inner.writer.segment_bytes += b.bytes.len() as u64;
             }
+            let dropped_sync = match (&self.faults, self.sync_mode) {
+                (Some(inj), SyncMode::Flush | SyncMode::Fsync) => match inj.decide(IoOp::Sync) {
+                    None => false,
+                    Some(FaultAction::DropSync) => true,
+                    Some(a) => {
+                        return Err(EngineError::Storage(inj.error(
+                            IoOp::Sync,
+                            &segment_path,
+                            a,
+                        )))
+                    }
+                },
+                _ => false,
+            };
             match self.sync_mode {
                 SyncMode::None => {}
+                _ if dropped_sync => {
+                    // Lying fsync: the group stays in OS/process buffers and
+                    // a later simulated crash may lose it. Commit reports
+                    // success — exactly the failure mode being modeled.
+                }
                 SyncMode::Flush => inner.writer.out.flush()?,
                 SyncMode::Fsync => {
                     inner.writer.out.flush()?;
@@ -861,6 +935,24 @@ impl LogManager {
             return Ok(()); // nothing in the active segment
         }
         self.rotate(&mut inner)
+    }
+
+    /// Persist the current next-LSN as a high-water hint file in the WAL
+    /// directory (atomically, via write-then-rename). Called at checkpoint,
+    /// right after closed segments are recycled: from then on, part of the
+    /// log's LSN history lives only in the archive (or nowhere, without
+    /// archive mode), and a reopen that cannot see it — archives shipped
+    /// elsewhere, quarantined as corrupt, or deleted — must still never
+    /// re-issue an LSN that log-shipping consumers have already seen.
+    pub fn write_lsn_hint(&self) -> EngineResult<()> {
+        let next = {
+            // Guard dropped before any file I/O below.
+            self.seq.lock().next_lsn
+        };
+        let tmp = self.wal_dir.join(format!("{LSN_HINT_FILE}.tmp"));
+        fs::write(&tmp, format!("{next}\n"))?;
+        fs::rename(&tmp, self.wal_dir.join(LSN_HINT_FILE))?;
+        Ok(())
     }
 
     /// Paths of archived segments, in order.
@@ -1024,6 +1116,7 @@ mod tests {
             SyncMode::Flush,
             archive,
             true,
+            None,
         )
         .unwrap()
     }
@@ -1036,6 +1129,7 @@ mod tests {
             SyncMode::Flush,
             false,
             false,
+            None,
         )
         .unwrap()
     }
@@ -1071,7 +1165,7 @@ mod tests {
         ];
         let mut buf = Vec::new();
         for (i, r) in recs.iter().enumerate() {
-            buf.extend_from_slice(&encode_entry(i as u64 + 1, r));
+            buf.extend_from_slice(&encode_record(i as u64 + 1, r));
         }
         let mut cursor = &buf[..];
         for (i, r) in recs.iter().enumerate() {
@@ -1084,7 +1178,7 @@ mod tests {
 
     #[test]
     fn corrupt_entry_is_rejected() {
-        let mut buf = encode_entry(1, &LogRecord::Checkpoint);
+        let mut buf = encode_record(1, &LogRecord::Checkpoint);
         let n = buf.len();
         buf[n - 9] ^= 1; // flip a bit in the body
         assert!(decode_entry(&mut &buf[..]).is_err());
@@ -1183,7 +1277,7 @@ mod tests {
             path = wal.resident_segments().unwrap()[0].clone();
         }
         // Simulate a crash mid-append: half an entry at the end.
-        let extra = encode_entry(99, &LogRecord::Checkpoint);
+        let extra = encode_record(99, &LogRecord::Checkpoint);
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.extend_from_slice(&extra[..extra.len() / 2]);
         std::fs::write(&path, &bytes).unwrap();
@@ -1199,6 +1293,38 @@ mod tests {
             7,
             "post-crash appends visible"
         );
+    }
+
+    #[test]
+    fn lost_archive_never_rewinds_lsns() {
+        let dir = tmp("lsnhint");
+        let next_before;
+        {
+            let wal = open(&dir, true);
+            wal.append_batch(&txn_batch(1, 20)).unwrap();
+            // Checkpoint-style recycle: rotate, archive the closed segment,
+            // and persist the LSN high-water hint.
+            wal.switch_segment().unwrap();
+            wal.recycle_closed_segments().unwrap();
+            wal.write_lsn_hint().unwrap();
+            next_before = wal.next_lsn();
+        }
+        // The archived history disappears: shipped elsewhere, quarantined as
+        // corrupt, or deleted by an operator. Only the (empty) active
+        // segment remains.
+        for p in list_segment_files(&dir.join("archive")).unwrap() {
+            std::fs::remove_file(p).unwrap();
+        }
+        // Reopen must not re-issue LSNs a log-shipping consumer has already
+        // seen — a rewound sequence silently holes the downstream stream.
+        let wal = open(&dir, true);
+        assert!(
+            wal.next_lsn() >= next_before,
+            "LSNs rewound from {next_before} to {} after archive loss",
+            wal.next_lsn()
+        );
+        let (first, _) = wal.append_batch(&txn_batch(2, 1)).unwrap();
+        assert!(first >= next_before);
     }
 
     #[test]

@@ -115,6 +115,7 @@ pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
         findings.extend(rules::check_panic_freedom(&file, &allow));
         findings.extend(rules::check_lock_hygiene(&file));
         findings.extend(rules::check_api_docs(&file));
+        findings.extend(rules::check_fsync_discard(&file));
         findings.extend(rules::check_suppression_hygiene(&file));
     }
 

@@ -550,6 +550,47 @@ pub fn check_suppression_hygiene(file: &LintFile<'_>) -> Vec<Finding> {
     findings
 }
 
+/// Durability-call patterns whose result must never be discarded.
+const SYNC_CALLS: &[&str] = &[".sync_all(", ".sync_data(", ".sync("];
+
+/// Fsync-discard: discarding the result of a durability call (`let _ =` or
+/// a trailing `.ok()`) silently converts an I/O failure — or a lying fsync —
+/// into data loss. The result must be propagated (`?`) or handled. This is a
+/// **hard** rule: violations have no allowlist, only inline
+/// `lint: allow(fsync_discard) -- reason` suppressions, and the repo is
+/// expected to carry none.
+pub fn check_fsync_discard(file: &LintFile<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in file.scrubbed.code.lines().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno) || has_suppression(file, lineno, "fsync_discard") {
+            continue;
+        }
+        let Some((call, pos)) = SYNC_CALLS
+            .iter()
+            .find_map(|p| line.find(p).map(|at| (*p, at)))
+        else {
+            continue;
+        };
+        let before = &line[..pos];
+        let after = &line[pos..];
+        let discarded =
+            before.contains("let _ =") || before.contains("let _=") || after.contains(".ok()");
+        if discarded {
+            findings.push(Finding {
+                rule: "fsync-discard",
+                path: file.path.to_string(),
+                line: lineno,
+                message: format!(
+                    "result of `{}` discarded — a failed (or lying) fsync must surface as an error",
+                    call.trim_matches(['.', '('])
+                ),
+            });
+        }
+    }
+    findings
+}
+
 /// API-hygiene (errors): every `pub` error type (enum or struct named
 /// `*Error`) must implement `std::error::Error`. `files` maps repo-relative
 /// path to source text for one whole crate.
@@ -635,6 +676,43 @@ mod tests {
         let allow = parse_allowlist("crates/storage/src/page.rs: checked().expect");
         assert!(check_panic_freedom(&f, &allow).is_empty());
         assert_eq!(check_panic_freedom(&f, &[]).len(), 1);
+    }
+
+    #[test]
+    fn discarded_sync_all_is_flagged() {
+        let src = "fn close(&self) {\n  let _ = self.file.sync_all();\n}\n";
+        let f = lf("crates/storage/src/file.rs", src);
+        let findings = check_fsync_discard(&f);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "fsync-discard");
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("sync_all"));
+    }
+
+    #[test]
+    fn sync_swallowed_with_ok_is_flagged() {
+        let src = "fn close(&self) {\n  self.file.sync_data().ok();\n}\n";
+        let f = lf("crates/storage/src/file.rs", src);
+        assert_eq!(check_fsync_discard(&f).len(), 1);
+    }
+
+    #[test]
+    fn propagated_sync_is_clean() {
+        let src = "fn close(&self) -> io::Result<()> {\n  self.file.sync_all()?;\n  \
+                   let r = self.wal.sync();\n  r\n}\n";
+        let f = lf("crates/storage/src/file.rs", src);
+        assert!(check_fsync_discard(&f).is_empty());
+    }
+
+    #[test]
+    fn fsync_discard_in_tests_and_with_suppression_is_tolerated() {
+        let test_src = "#[cfg(test)]\nmod tests {\n  fn t() { let _ = f.sync_all(); }\n}\n";
+        let f = lf("crates/storage/src/file.rs", test_src);
+        assert!(check_fsync_discard(&f).is_empty());
+        let sup = "fn f() {\n  // lint: allow(fsync_discard) -- best-effort temp spill\n  \
+                   let _ = tmp.sync_all();\n}\n";
+        let f = lf("crates/storage/src/file.rs", sup);
+        assert!(check_fsync_discard(&f).is_empty());
     }
 
     #[test]

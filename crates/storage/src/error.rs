@@ -6,6 +6,30 @@ use std::io;
 /// Result alias used throughout the storage crate.
 pub type StorageResult<T> = Result<T, StorageError>;
 
+/// The physical file operation an I/O error occurred in. Carried by
+/// [`StorageError::PageIo`] and [`StorageError::InjectedFault`] so a failure
+/// deep inside a torture run is diagnosable from the error alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    Read,
+    Write,
+    Sync,
+    Allocate,
+    Truncate,
+}
+
+impl fmt::Display for IoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+            IoOp::Sync => "sync",
+            IoOp::Allocate => "allocate",
+            IoOp::Truncate => "truncate",
+        })
+    }
+}
+
 /// Errors raised by the storage layer.
 #[derive(Debug)]
 pub enum StorageError {
@@ -27,6 +51,22 @@ pub enum StorageError {
     PoolExhausted,
     /// An export file was produced by an incompatible product or version.
     IncompatibleFormat { expected: String, found: String },
+    /// A page-granular file operation failed, with full context: which
+    /// operation, on which file, at which page (when page-addressed).
+    PageIo {
+        op: IoOp,
+        path: String,
+        page: Option<u32>,
+        source: io::Error,
+    },
+    /// A deterministic fault-injection plan fired on this operation. Only
+    /// ever produced under an armed [`crate::fault::FaultInjector`]; seeing
+    /// it in production means a test harness leaked its fault plan.
+    InjectedFault {
+        op: IoOp,
+        path: String,
+        detail: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -51,6 +91,18 @@ impl fmt::Display for StorageError {
                     "incompatible export format: expected {expected}, found {found}"
                 )
             }
+            StorageError::PageIo {
+                op,
+                path,
+                page,
+                source,
+            } => match page {
+                Some(p) => write!(f, "{op} failed on {path} page {p}: {source}"),
+                None => write!(f, "{op} failed on {path}: {source}"),
+            },
+            StorageError::InjectedFault { op, path, detail } => {
+                write!(f, "injected fault on {op} of {path}: {detail}")
+            }
         }
     }
 }
@@ -59,6 +111,7 @@ impl std::error::Error for StorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StorageError::Io(e) => Some(e),
+            StorageError::PageIo { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -91,6 +144,31 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         use std::error::Error;
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn page_io_carries_full_context() {
+        let e = StorageError::PageIo {
+            op: IoOp::Write,
+            path: "/tmp/t.db".into(),
+            page: Some(42),
+            source: io::Error::other("disk on fire"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("write") && s.contains("/tmp/t.db") && s.contains("42"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn injected_fault_names_the_operation() {
+        let e = StorageError::InjectedFault {
+            op: IoOp::Sync,
+            path: "wal.seg".into(),
+            detail: "EIO at op 7".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("injected fault") && s.contains("sync") && s.contains("wal.seg"));
     }
 
     #[test]

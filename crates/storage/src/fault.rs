@@ -1,0 +1,330 @@
+//! Deterministic, seeded fault injection for the storage tier.
+//!
+//! A [`FaultPlan`] is a reproducible schedule of physical-I/O faults: "fail
+//! the 7th write", "tear the 3rd write after 100 bytes", "drop the 2nd
+//! fsync", "crash at the 12th sync". A [`FaultInjector`] arms the plan and is
+//! threaded into [`crate::file::DiskFile`] (and, via `DbOptions`, into the
+//! engine's WAL writer), where every physical operation consults it first.
+//!
+//! Determinism is the whole point: the same seed always produces the same
+//! schedule, operations are counted per kind, and a torture-harness failure
+//! reproduces exactly from its printed seed. Nothing here uses wall-clock
+//! time or OS randomness.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::{IoOp, StorageError};
+
+/// What an armed fault does when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the operation with a typed [`StorageError::InjectedFault`]
+    /// (a simulated `EIO`). The operation has no effect.
+    Error,
+    /// Perform only the first `keep` bytes of the write, then fail. Models a
+    /// power cut mid-write: the prefix is on disk, the caller sees an error.
+    TornWrite { keep: u32 },
+    /// Report success without syncing (the classic lying-fsync firmware bug).
+    /// Data stays in OS buffers; a later simulated crash may lose it.
+    DropSync,
+    /// Fail this and every subsequent operation until the injector is
+    /// disarmed: the process is "dead" and the harness must recover by
+    /// reopening the database.
+    Crash,
+}
+
+/// One scheduled fault: fire on the `at`-th operation of kind `op`
+/// (0-based, counted per kind over the injector's lifetime).
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledFault {
+    pub op: IoOp,
+    pub at: u64,
+    pub action: FaultAction,
+}
+
+/// A reproducible fault schedule. The `seed` is bookkeeping for reproduction
+/// messages; the schedule itself is the explicit fault list.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan tagged with `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Schedule a hard error on the `at`-th `op`.
+    pub fn fail(mut self, op: IoOp, at: u64) -> FaultPlan {
+        self.faults.push(ScheduledFault {
+            op,
+            at,
+            action: FaultAction::Error,
+        });
+        self
+    }
+
+    /// Schedule a torn write: the `at`-th write keeps only `keep` bytes.
+    pub fn torn_write(mut self, at: u64, keep: u32) -> FaultPlan {
+        self.faults.push(ScheduledFault {
+            op: IoOp::Write,
+            at,
+            action: FaultAction::TornWrite { keep },
+        });
+        self
+    }
+
+    /// Schedule a dropped fsync on the `at`-th sync.
+    pub fn drop_sync(mut self, at: u64) -> FaultPlan {
+        self.faults.push(ScheduledFault {
+            op: IoOp::Sync,
+            at,
+            action: FaultAction::DropSync,
+        });
+        self
+    }
+
+    /// Schedule a crash at the `at`-th `op`.
+    pub fn crash(mut self, op: IoOp, at: u64) -> FaultPlan {
+        self.faults.push(ScheduledFault {
+            op,
+            at,
+            action: FaultAction::Crash,
+        });
+        self
+    }
+
+    /// A random plan of up to `budget` faults, each triggering within the
+    /// first `horizon` operations of its kind. Fully determined by `seed`.
+    pub fn random(seed: u64, budget: usize, horizon: u64) -> FaultPlan {
+        let mut rng = seed;
+        let mut plan = FaultPlan::new(seed);
+        let horizon = horizon.max(1);
+        for _ in 0..budget {
+            let op = match splitmix64(&mut rng) % 3 {
+                0 => IoOp::Write,
+                1 => IoOp::Sync,
+                _ => IoOp::Read,
+            };
+            let at = splitmix64(&mut rng) % horizon;
+            let action = match splitmix64(&mut rng) % 8 {
+                0 | 1 => FaultAction::Error,
+                2 | 3 if op == IoOp::Write => FaultAction::TornWrite {
+                    keep: (splitmix64(&mut rng) % 8192) as u32,
+                },
+                4 | 5 if op == IoOp::Sync => FaultAction::DropSync,
+                6 => FaultAction::Crash,
+                _ => FaultAction::Error,
+            };
+            plan.faults.push(ScheduledFault { op, at, action });
+        }
+        plan
+    }
+}
+
+/// SplitMix64 — the deterministic generator behind every seeded schedule in
+/// the fault layer (and reused by the transport simulator and the torture
+/// harness). Advances `state` and returns the next value.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Counters and outcome of an armed plan (for harness reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults that actually fired.
+    pub injected: u64,
+    /// Whether a `Crash` action fired (the injector stays dead until
+    /// [`FaultInjector::disarm`]).
+    pub crashed: bool,
+}
+
+/// An armed [`FaultPlan`]: counts operations per kind and hands the scheduled
+/// action to the I/O layer at the exact scheduled operation.
+pub struct FaultInjector {
+    seed: u64,
+    remaining: Mutex<Vec<ScheduledFault>>,
+    // One counter per IoOp discriminant: Read, Write, Sync, Allocate, Truncate.
+    counters: [AtomicU64; 5],
+    crashed: AtomicBool,
+    injected: AtomicU64,
+}
+
+fn op_index(op: IoOp) -> usize {
+    match op {
+        IoOp::Read => 0,
+        IoOp::Write => 1,
+        IoOp::Sync => 2,
+        IoOp::Allocate => 3,
+        IoOp::Truncate => 4,
+    }
+}
+
+impl FaultInjector {
+    /// Arm `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            seed: plan.seed,
+            remaining: Mutex::new(plan.faults),
+            counters: Default::default(),
+            crashed: AtomicBool::new(false),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The seed the armed plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Consult the injector for the next operation of kind `op`. Returns the
+    /// action to take, or `None` for a clean pass-through. Once a `Crash`
+    /// fires, every later call returns `Crash` until [`disarm`](Self::disarm).
+    pub fn decide(&self, op: IoOp) -> Option<FaultAction> {
+        if self.crashed.load(Ordering::Acquire) {
+            return Some(FaultAction::Crash);
+        }
+        let n = self.counters[op_index(op)].fetch_add(1, Ordering::AcqRel);
+        let mut remaining = self.remaining.lock();
+        let hit = remaining.iter().position(|f| f.op == op && f.at == n)?;
+        let fault = remaining.swap_remove(hit);
+        drop(remaining);
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        if fault.action == FaultAction::Crash {
+            self.crashed.store(true, Ordering::Release);
+        }
+        Some(fault.action)
+    }
+
+    /// Whether a crash action has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Disarm: drop all pending faults and clear the crashed flag. Used by
+    /// harnesses for the final, clean convergence pass.
+    pub fn disarm(&self) {
+        self.remaining.lock().clear();
+        self.crashed.store(false, Ordering::Release);
+    }
+
+    /// Counters and outcome so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            injected: self.injected.load(Ordering::Relaxed),
+            crashed: self.crashed(),
+        }
+    }
+
+    /// The typed error a fired fault surfaces as.
+    pub fn error(&self, op: IoOp, path: &std::path::Path, action: FaultAction) -> StorageError {
+        let detail = match action {
+            FaultAction::Error => format!("EIO (seed {})", self.seed),
+            FaultAction::TornWrite { keep } => {
+                format!("torn write, {keep} bytes kept (seed {})", self.seed)
+            }
+            FaultAction::DropSync => format!("dropped sync (seed {})", self.seed),
+            FaultAction::Crash => format!("simulated crash (seed {})", self.seed),
+        };
+        StorageError::InjectedFault {
+            op,
+            path: path.display().to_string(),
+            detail,
+        }
+    }
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("seed", &self.seed)
+            .field("pending", &self.remaining.lock().len())
+            .field("crashed", &self.crashed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let xs: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs[0], xs[1]);
+    }
+
+    #[test]
+    fn random_plans_reproduce_from_seed() {
+        let a = FaultPlan::random(7, 10, 100);
+        let b = FaultPlan::random(7, 10, 100);
+        assert_eq!(a.faults.len(), b.faults.len());
+        for (x, y) in a.faults.iter().zip(&b.faults) {
+            assert_eq!((x.op, x.at, x.action), (y.op, y.at, y.action));
+        }
+        let c = FaultPlan::random(8, 10, 100);
+        let same = a
+            .faults
+            .iter()
+            .zip(&c.faults)
+            .all(|(x, y)| (x.op, x.at, x.action) == (y.op, y.at, y.action));
+        assert!(!same, "different seeds must give different schedules");
+    }
+
+    #[test]
+    fn fires_at_exact_operation_index() {
+        let inj = FaultInjector::new(FaultPlan::new(1).fail(IoOp::Write, 2));
+        assert_eq!(inj.decide(IoOp::Write), None);
+        assert_eq!(inj.decide(IoOp::Read), None); // separate counter
+        assert_eq!(inj.decide(IoOp::Write), None);
+        assert_eq!(inj.decide(IoOp::Write), Some(FaultAction::Error));
+        assert_eq!(inj.decide(IoOp::Write), None); // consumed
+        assert_eq!(inj.stats().injected, 1);
+    }
+
+    #[test]
+    fn crash_is_sticky_until_disarmed() {
+        let inj = FaultInjector::new(FaultPlan::new(1).crash(IoOp::Sync, 0));
+        assert_eq!(inj.decide(IoOp::Sync), Some(FaultAction::Crash));
+        assert!(inj.crashed());
+        assert_eq!(inj.decide(IoOp::Read), Some(FaultAction::Crash));
+        assert_eq!(inj.decide(IoOp::Write), Some(FaultAction::Crash));
+        inj.disarm();
+        assert!(!inj.crashed());
+        assert_eq!(inj.decide(IoOp::Write), None);
+    }
+
+    #[test]
+    fn injected_error_is_typed_and_names_the_seed() {
+        let inj = FaultInjector::new(FaultPlan::new(99));
+        let e = inj.error(
+            IoOp::Write,
+            std::path::Path::new("/x/y.db"),
+            FaultAction::Error,
+        );
+        match &e {
+            StorageError::InjectedFault { op, path, detail } => {
+                assert_eq!(*op, IoOp::Write);
+                assert!(path.contains("y.db"));
+                assert!(detail.contains("99"));
+            }
+            other => panic!("expected InjectedFault, got {other:?}"),
+        }
+    }
+}

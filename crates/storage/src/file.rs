@@ -6,13 +6,15 @@
 //! the Import-vs-Loader gap by "extra I/O", which we make observable).
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::error::{StorageError, StorageResult};
+use crate::error::{IoOp, StorageError, StorageResult};
+use crate::fault::{FaultAction, FaultInjector};
 
 /// Size of every page in the system.
 pub const PAGE_SIZE: usize = 8192;
@@ -48,11 +50,22 @@ pub struct DiskFile {
     page_count: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
+    /// Armed fault plan; every physical operation consults it first.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl DiskFile {
     /// Open (creating if absent) the paged file at `path`.
     pub fn open(path: impl AsRef<Path>) -> StorageResult<DiskFile> {
+        DiskFile::open_with_faults(path, None)
+    }
+
+    /// Open with an armed fault injector consulted on every physical
+    /// operation (deterministic torture testing; `None` is a clean file).
+    pub fn open_with_faults(
+        path: impl AsRef<Path>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> StorageResult<DiskFile> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new()
             .read(true)
@@ -73,7 +86,18 @@ impl DiskFile {
             page_count: AtomicU64::new(len / PAGE_SIZE as u64),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            faults,
         })
+    }
+
+    /// A real I/O failure, enriched with operation, path and page context.
+    fn page_io(&self, op: IoOp, page: Option<u32>, source: io::Error) -> StorageError {
+        StorageError::PageIo {
+            op,
+            path: self.path.display().to_string(),
+            page,
+            source,
+        }
     }
 
     /// Path this file lives at.
@@ -96,13 +120,32 @@ impl DiskFile {
         self.writes.load(Ordering::Relaxed)
     }
 
+    /// Consult the fault injector for `op`. `Ok(None)` is a clean
+    /// pass-through; `Ok(Some(action))` is a fault the caller must act out
+    /// (torn write, dropped sync); `Err` is an injected hard failure.
+    fn consult(&self, op: IoOp) -> StorageResult<Option<FaultAction>> {
+        let Some(inj) = &self.faults else {
+            return Ok(None);
+        };
+        match inj.decide(op) {
+            None => Ok(None),
+            Some(a @ (FaultAction::Error | FaultAction::Crash)) => {
+                Err(inj.error(op, &self.path, a))
+            }
+            Some(a) => Ok(Some(a)),
+        }
+    }
+
     /// Append a fresh zeroed page, returning its page number.
     pub fn allocate_page(&self) -> StorageResult<u32> {
+        self.consult(IoOp::Allocate)?;
         // lint: allow(lock_hygiene) -- the mutex *is* the file handle; seek+write must be atomic
         let mut f = self.file.lock();
         let page_no = self.page_count.load(Ordering::Acquire);
-        f.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
-        f.write_all(&[0u8; PAGE_SIZE])?;
+        f.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))
+            .map_err(|e| self.page_io(IoOp::Allocate, Some(page_no as u32), e))?;
+        f.write_all(&[0u8; PAGE_SIZE])
+            .map_err(|e| self.page_io(IoOp::Allocate, Some(page_no as u32), e))?;
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.page_count.store(page_no + 1, Ordering::Release);
         Ok(page_no as u32)
@@ -117,10 +160,13 @@ impl DiskFile {
                 self.path.display()
             )));
         }
+        self.consult(IoOp::Read)?;
         // lint: allow(lock_hygiene) -- the mutex *is* the file handle; seek+read must be atomic
         let mut f = self.file.lock();
-        f.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
-        f.read_exact(buf)?;
+        f.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))
+            .map_err(|e| self.page_io(IoOp::Read, Some(page_no), e))?;
+        f.read_exact(buf)
+            .map_err(|e| self.page_io(IoOp::Read, Some(page_no), e))?;
         self.reads.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -134,26 +180,47 @@ impl DiskFile {
                 self.path.display()
             )));
         }
+        let action = self.consult(IoOp::Write)?;
         // lint: allow(lock_hygiene) -- the mutex *is* the file handle; seek+write must be atomic
         let mut f = self.file.lock();
-        f.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
-        f.write_all(buf)?;
+        f.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))
+            .map_err(|e| self.page_io(IoOp::Write, Some(page_no), e))?;
+        if let (Some(a @ FaultAction::TornWrite { keep }), Some(inj)) = (action, &self.faults) {
+            // Act out the tear: the prefix reaches the file, the caller
+            // sees a typed error. The page now holds mixed old/new bytes,
+            // exactly like a power cut mid-write.
+            let keep = (keep as usize).min(buf.len());
+            f.write_all(&buf[..keep])
+                .map_err(|e| self.page_io(IoOp::Write, Some(page_no), e))?;
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            return Err(inj.error(IoOp::Write, &self.path, a));
+        }
+        f.write_all(buf)
+            .map_err(|e| self.page_io(IoOp::Write, Some(page_no), e))?;
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Flush OS buffers to stable storage.
     pub fn sync(&self) -> StorageResult<()> {
+        if let Some(FaultAction::DropSync) = self.consult(IoOp::Sync)? {
+            // Lying fsync: report success without syncing.
+            return Ok(());
+        }
         // lint: allow(lock_hygiene) -- the mutex *is* the file handle
-        self.file.lock().sync_data()?;
+        let f = self.file.lock();
+        f.sync_data()
+            .map_err(|e| self.page_io(IoOp::Sync, None, e))?;
         Ok(())
     }
 
     /// Truncate back to zero pages (used by the Loader's `REPLACE` mode).
     pub fn truncate(&self) -> StorageResult<()> {
+        self.consult(IoOp::Truncate)?;
         // lint: allow(lock_hygiene) -- the mutex *is* the file handle; truncate+reset must be atomic
         let f = self.file.lock();
-        f.set_len(0)?;
+        f.set_len(0)
+            .map_err(|e| self.page_io(IoOp::Truncate, None, e))?;
         self.page_count.store(0, Ordering::Release);
         Ok(())
     }
@@ -226,6 +293,74 @@ mod tests {
         std::fs::write(&p, vec![0u8; PAGE_SIZE + 17]).unwrap();
         assert!(DiskFile::open(&p).is_err());
         let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn injected_eio_on_nth_write_is_typed() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let p = tmpdir().join("t6.db");
+        let _ = std::fs::remove_file(&p);
+        // allocate_page counts as Allocate, so Write #0 is the first write_page.
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new(5).fail(IoOp::Write, 1)));
+        let f = DiskFile::open_with_faults(&p, Some(inj.clone())).unwrap();
+        f.allocate_page().unwrap();
+        f.allocate_page().unwrap();
+        let page = vec![1u8; PAGE_SIZE];
+        f.write_page(0, &page).unwrap();
+        match f.write_page(1, &page) {
+            Err(StorageError::InjectedFault { op, .. }) => assert_eq!(op, IoOp::Write),
+            other => panic!("expected InjectedFault, got {other:?}"),
+        }
+        assert_eq!(inj.stats().injected, 1);
+        // Next write is clean again.
+        f.write_page(1, &page).unwrap();
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_and_errors() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let p = tmpdir().join("t7.db");
+        let _ = std::fs::remove_file(&p);
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new(6).torn_write(0, 100)));
+        let f = DiskFile::open_with_faults(&p, Some(inj)).unwrap();
+        f.allocate_page().unwrap();
+        let page = vec![0xCCu8; PAGE_SIZE];
+        assert!(matches!(
+            f.write_page(0, &page),
+            Err(StorageError::InjectedFault { .. })
+        ));
+        let mut back = vec![0u8; PAGE_SIZE];
+        f.read_page(0, &mut back).unwrap();
+        assert_eq!(&back[..100], &page[..100], "prefix reached the file");
+        assert_eq!(back[100], 0, "tail kept the old (zeroed) bytes");
+    }
+
+    #[test]
+    fn dropped_sync_lies_successfully() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let p = tmpdir().join("t8.db");
+        let _ = std::fs::remove_file(&p);
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new(7).drop_sync(0)));
+        let f = DiskFile::open_with_faults(&p, Some(inj.clone())).unwrap();
+        f.sync().unwrap(); // dropped, but reports success
+        assert_eq!(inj.stats().injected, 1);
+        f.sync().unwrap(); // real
+    }
+
+    #[test]
+    fn crash_fails_everything_until_disarm() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let p = tmpdir().join("t9.db");
+        let _ = std::fs::remove_file(&p);
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new(8).crash(IoOp::Read, 0)));
+        let f = DiskFile::open_with_faults(&p, Some(inj.clone())).unwrap();
+        f.allocate_page().unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(f.read_page(0, &mut buf).is_err());
+        assert!(f.write_page(0, &buf).is_err());
+        assert!(f.sync().is_err());
+        inj.disarm();
+        f.read_page(0, &mut buf).unwrap();
     }
 
     #[test]

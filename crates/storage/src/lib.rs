@@ -25,6 +25,7 @@
 pub mod buffer;
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod heap;
 pub mod invariant;
@@ -34,7 +35,8 @@ pub mod schema;
 pub mod value;
 
 pub use buffer::{BufferPool, BufferPoolStats};
-pub use error::{StorageError, StorageResult};
+pub use error::{IoOp, StorageError, StorageResult};
+pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultStats, ScheduledFault};
 pub use file::{DiskFile, FileId, PageId, PAGE_SIZE};
 pub use heap::{HeapFile, RecordId};
 pub use page::SlottedPage;

@@ -18,5 +18,8 @@ pub mod netsim;
 pub mod queue;
 
 pub use file::FileTransport;
-pub use netsim::{LinkProfile, SimulatedConnection, TransferStats, VirtualClock};
-pub use queue::PersistentQueue;
+pub use netsim::{
+    LinkProfile, NetFault, NetFaultPlan, NetFaultSim, NetFaultStats, SimulatedConnection,
+    TransferStats, VirtualClock,
+};
+pub use queue::{FaultyQueue, PersistentQueue};

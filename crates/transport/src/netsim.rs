@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use delta_storage::fault::splitmix64;
+
 /// A monotonically advancing virtual clock (microseconds).
 #[derive(Debug, Default)]
 pub struct VirtualClock {
@@ -178,6 +180,129 @@ impl SimulatedConnection {
     }
 }
 
+/// The fate of one delivered message, drawn from a seeded [`NetFaultSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Normal delivery.
+    Deliver,
+    /// The message is lost in flight; the transport must redeliver it later
+    /// (at-least-once queues do this by not advancing past it).
+    Drop,
+    /// The message arrives twice; consumers must deduplicate by sequence id.
+    Duplicate,
+    /// The message arrives late, after messages sent behind it; consumers
+    /// restore order by sequence id.
+    Reorder,
+    /// The message arrives and is processed, but its acknowledgement is lost
+    /// — the sender redelivers an already-applied message.
+    DelayAck,
+}
+
+/// Seeded per-message fault probabilities (percent, 0–100 each; the sum of
+/// the four fault classes must stay ≤ 100).
+#[derive(Debug, Clone, Copy)]
+pub struct NetFaultPlan {
+    pub seed: u64,
+    pub loss_pct: u8,
+    pub dup_pct: u8,
+    pub reorder_pct: u8,
+    pub delay_ack_pct: u8,
+}
+
+impl NetFaultPlan {
+    /// A plan that always delivers (fault-free baseline).
+    pub fn clean(seed: u64) -> NetFaultPlan {
+        NetFaultPlan {
+            seed,
+            loss_pct: 0,
+            dup_pct: 0,
+            reorder_pct: 0,
+            delay_ack_pct: 0,
+        }
+    }
+
+    /// A moderately hostile link: 8% loss, 8% duplication, 8% reordering,
+    /// 6% lost acks.
+    pub fn lossy(seed: u64) -> NetFaultPlan {
+        NetFaultPlan {
+            seed,
+            loss_pct: 8,
+            dup_pct: 8,
+            reorder_pct: 8,
+            delay_ack_pct: 6,
+        }
+    }
+}
+
+/// Counters of fates drawn so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetFaultStats {
+    pub delivered: u64,
+    pub dropped: u64,
+    pub duplicated: u64,
+    pub reordered: u64,
+    pub delayed_acks: u64,
+}
+
+/// Deterministic message-fate generator: the same seed always produces the
+/// same fate sequence, so any transport failure reproduces exactly.
+#[derive(Debug, Clone)]
+pub struct NetFaultSim {
+    plan: NetFaultPlan,
+    rng: u64,
+    stats: NetFaultStats,
+}
+
+impl NetFaultSim {
+    pub fn new(plan: NetFaultPlan) -> NetFaultSim {
+        NetFaultSim {
+            rng: plan.seed,
+            plan,
+            stats: NetFaultStats::default(),
+        }
+    }
+
+    /// Draw the fate of the next message.
+    pub fn next_fault(&mut self) -> NetFault {
+        let draw = (splitmix64(&mut self.rng) % 100) as u8;
+        let p = &self.plan;
+        let mut bound = p.loss_pct;
+        let fate = if draw < bound {
+            NetFault::Drop
+        } else if draw < {
+            bound += p.dup_pct;
+            bound
+        } {
+            NetFault::Duplicate
+        } else if draw < {
+            bound += p.reorder_pct;
+            bound
+        } {
+            NetFault::Reorder
+        } else if draw < {
+            bound += p.delay_ack_pct;
+            bound
+        } {
+            NetFault::DelayAck
+        } else {
+            NetFault::Deliver
+        };
+        match fate {
+            NetFault::Deliver => self.stats.delivered += 1,
+            NetFault::Drop => self.stats.dropped += 1,
+            NetFault::Duplicate => self.stats.duplicated += 1,
+            NetFault::Reorder => self.stats.reordered += 1,
+            NetFault::DelayAck => self.stats.delayed_acks += 1,
+        }
+        fate
+    }
+
+    /// Fate counters so far.
+    pub fn stats(&self) -> NetFaultStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +355,49 @@ mod tests {
             ratio > 5.0,
             "per-row {t_rows:?} vs batched {t_batch:?} (ratio {ratio:.1})"
         );
+    }
+
+    #[test]
+    fn fault_sim_is_deterministic_per_seed() {
+        let fates = |seed: u64| -> Vec<NetFault> {
+            let mut sim = NetFaultSim::new(NetFaultPlan::lossy(seed));
+            (0..256).map(|_| sim.next_fault()).collect()
+        };
+        assert_eq!(fates(7), fates(7), "same seed, same fate sequence");
+        assert_ne!(fates(7), fates(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn clean_plan_always_delivers() {
+        let mut sim = NetFaultSim::new(NetFaultPlan::clean(3));
+        for _ in 0..512 {
+            assert_eq!(sim.next_fault(), NetFault::Deliver);
+        }
+        assert_eq!(sim.stats().delivered, 512);
+        assert_eq!(sim.stats().dropped, 0);
+    }
+
+    #[test]
+    fn lossy_plan_roughly_matches_configured_rates() {
+        let mut sim = NetFaultSim::new(NetFaultPlan::lossy(99));
+        let n = 20_000u64;
+        for _ in 0..n {
+            sim.next_fault();
+        }
+        let s = sim.stats();
+        assert_eq!(
+            s.delivered + s.dropped + s.duplicated + s.reordered + s.delayed_acks,
+            n
+        );
+        // 8% of 20k = 1600; allow a generous band around each rate.
+        for (got, want_pct) in [(s.dropped, 8), (s.duplicated, 8), (s.reordered, 8)] {
+            let want = n * want_pct / 100;
+            assert!(
+                got > want / 2 && got < want * 2,
+                "rate off: got {got}, configured {want}"
+            );
+        }
+        assert!(s.delivered > n / 2, "most messages still deliver");
     }
 
     #[test]

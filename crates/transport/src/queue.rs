@@ -17,6 +17,8 @@ use parking_lot::Mutex;
 
 use delta_storage::{invariant, StorageError, StorageResult};
 
+use crate::netsim::{NetFault, NetFaultSim, NetFaultStats};
+
 fn checksum(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in bytes {
@@ -148,8 +150,11 @@ impl PersistentQueue {
         // lint: allow(lock_hygiene) -- reads the guarded spool at frame
         // offsets; the mutex keeps the cursor and the file view consistent.
         let mut inner = self.inner.lock();
+        // The cursor may legitimately sit *below* the ack watermark after a
+        // fault-injected `rewind_to` (redelivery of already-acked messages),
+        // so only the upper bound is invariant.
         invariant!(
-            inner.acked <= inner.cursor && inner.cursor <= inner.offsets.len() as u64,
+            inner.cursor <= inner.offsets.len() as u64,
             "queue cursor accounting broken: acked {} cursor {} total {}",
             inner.acked,
             inner.cursor,
@@ -193,13 +198,25 @@ impl PersistentQueue {
         inner.cursor = inner.acked;
     }
 
+    /// Force the delivery cursor to `index` (clamped to the spool length).
+    /// Unlike [`PersistentQueue::rewind_to_acked`], this may rewind *below*
+    /// the ack watermark — the transport-fault hook modelling a lost consumer
+    /// acknowledgement: the sender redelivers messages the consumer already
+    /// applied, so consumers must deduplicate by sequence id.
+    pub fn rewind_to(&self, index: u64) {
+        let mut inner = self.inner.lock();
+        inner.cursor = index.min(inner.offsets.len() as u64);
+    }
+
     /// Acknowledge every message up to and including `index`. Persisted.
     pub fn ack(&self, index: u64) -> StorageResult<()> {
         // lint: allow(lock_hygiene) -- the ack file write must be atomic with
         // the in-memory ack watermark or a crash could re-deliver acked work.
         let mut inner = self.inner.lock();
         inner.acked = inner.acked.max(index + 1);
-        inner.cursor = inner.cursor.max(inner.acked);
+        // Deliberately do NOT drag the cursor forward to the watermark: after
+        // a fault-injected rewind the cursor may trail `acked`, and snapping
+        // it forward here would skip messages withheld by an injected loss.
         invariant!(
             inner.acked <= inner.offsets.len() as u64,
             "acked {} messages but only {} were ever spooled",
@@ -224,6 +241,106 @@ impl PersistentQueue {
     /// Messages durably acknowledged.
     pub fn acked(&self) -> u64 {
         self.inner.lock().acked
+    }
+
+    /// Like [`PersistentQueue::dequeue_up_to`], but each message's fate is
+    /// drawn from `sim`'s seeded fault plan:
+    ///
+    /// * **Drop** — the message is lost in flight; the run is truncated there
+    ///   and the cursor rewound, so the next round retransmits from the gap.
+    /// * **Duplicate** — the message appears twice in the run.
+    /// * **Reorder** — the message lands one slot late.
+    /// * **DelayAck** — the message is delivered, but the cursor is rewound
+    ///   to it anyway (its acknowledgement was lost), so the next round
+    ///   redelivers a message the consumer may already have applied and
+    ///   acknowledged.
+    ///
+    /// The spool stays intact: every enqueued message is still delivered at
+    /// least once, possibly more than once and out of index order, so
+    /// consumers must restore order and deduplicate by sequence id.
+    pub fn dequeue_up_to_with_faults(
+        &self,
+        max: u64,
+        sim: &mut NetFaultSim,
+    ) -> StorageResult<Vec<(u64, Vec<u8>)>> {
+        let run = self.dequeue_up_to(max)?;
+        let mut out: Vec<(u64, Vec<u8>)> = Vec::with_capacity(run.len());
+        // A message fated to reorder is held back one slot.
+        let mut held: Option<(u64, Vec<u8>)> = None;
+        // Lowest index the next round must retransmit from, if any.
+        let mut redeliver: Option<u64> = None;
+        for (idx, payload) in run {
+            match sim.next_fault() {
+                NetFault::Drop => {
+                    if let Some(prev) = held.take() {
+                        out.push(prev); // was already in flight; it arrives
+                    }
+                    redeliver = Some(redeliver.map_or(idx, |r| r.min(idx)));
+                    break;
+                }
+                NetFault::Reorder => {
+                    if let Some(prev) = held.replace((idx, payload)) {
+                        out.push(prev);
+                    }
+                }
+                NetFault::Deliver => {
+                    out.push((idx, payload));
+                    if let Some(prev) = held.take() {
+                        out.push(prev);
+                    }
+                }
+                NetFault::Duplicate => {
+                    out.push((idx, payload.clone()));
+                    out.push((idx, payload));
+                    if let Some(prev) = held.take() {
+                        out.push(prev);
+                    }
+                }
+                NetFault::DelayAck => {
+                    redeliver = Some(redeliver.map_or(idx, |r| r.min(idx)));
+                    out.push((idx, payload));
+                    if let Some(prev) = held.take() {
+                        out.push(prev);
+                    }
+                }
+            }
+        }
+        if let Some(prev) = held.take() {
+            out.push(prev);
+        }
+        if let Some(lo) = redeliver {
+            self.rewind_to(lo);
+        }
+        Ok(out)
+    }
+}
+
+/// A delivery-side fault adapter: wraps a [`PersistentQueue`]'s batched
+/// dequeue with a seeded [`NetFaultSim`], so a drained run exhibits loss
+/// (run truncated and redelivered next round), duplication, reordering, and
+/// lost-ack redelivery — while the spool itself stays intact. The queue's
+/// at-least-once guarantee is preserved: every enqueued message is still
+/// delivered at least once, possibly more than once and out of index order,
+/// so consumers must restore order and deduplicate by sequence id.
+pub struct FaultyQueue<'a> {
+    queue: &'a PersistentQueue,
+    sim: NetFaultSim,
+}
+
+impl<'a> FaultyQueue<'a> {
+    pub fn new(queue: &'a PersistentQueue, sim: NetFaultSim) -> FaultyQueue<'a> {
+        FaultyQueue { queue, sim }
+    }
+
+    /// Fate counters drawn so far.
+    pub fn stats(&self) -> NetFaultStats {
+        self.sim.stats()
+    }
+
+    /// Dequeue a run through the seeded fault plan — see
+    /// [`PersistentQueue::dequeue_up_to_with_faults`].
+    pub fn dequeue_up_to(&mut self, max: u64) -> StorageResult<Vec<(u64, Vec<u8>)>> {
+        self.queue.dequeue_up_to_with_faults(max, &mut self.sim)
     }
 }
 
@@ -354,6 +471,106 @@ mod tests {
         assert_eq!(again.len(), 3, "unacked messages redeliver");
         assert_eq!(again[0].0, 1);
         assert_eq!(again[0].1, vec![1u8]);
+    }
+
+    #[test]
+    fn rewind_below_ack_redelivers_acked_messages() {
+        let q = PersistentQueue::open(qpath("reack.q")).unwrap();
+        for i in 0..3u8 {
+            q.enqueue(&[i]).unwrap();
+        }
+        let run = q.dequeue_up_to(10).unwrap();
+        q.ack(run.last().unwrap().0).unwrap();
+        assert_eq!(q.acked(), 3);
+        // Lost-ack simulation: the sender never saw the acks and retransmits.
+        q.rewind_to(0);
+        let again = q.dequeue_up_to(10).unwrap();
+        assert_eq!(again.len(), 3, "acked messages redeliver after rewind_to");
+        assert_eq!(again[0], (0, vec![0u8]));
+        assert_eq!(q.acked(), 3, "the durable watermark is untouched");
+    }
+
+    #[test]
+    fn faulty_queue_clean_plan_is_transparent() {
+        use crate::netsim::{NetFaultPlan, NetFaultSim};
+        let q = PersistentQueue::open(qpath("fclean.q")).unwrap();
+        for i in 0..6u8 {
+            q.enqueue(&[i]).unwrap();
+        }
+        let mut fq = FaultyQueue::new(&q, NetFaultSim::new(NetFaultPlan::clean(1)));
+        let run = fq.dequeue_up_to(10).unwrap();
+        assert_eq!(run.len(), 6);
+        for (want, (idx, payload)) in run.iter().enumerate() {
+            assert_eq!(*idx, want as u64);
+            assert_eq!(payload, &vec![want as u8]);
+        }
+        assert_eq!(fq.stats().delivered, 6);
+    }
+
+    #[test]
+    fn faulty_queue_loss_truncates_and_redelivers() {
+        use crate::netsim::{NetFaultPlan, NetFaultSim};
+        let q = PersistentQueue::open(qpath("floss.q")).unwrap();
+        for i in 0..4u8 {
+            q.enqueue(&[i]).unwrap();
+        }
+        let mut plan = NetFaultPlan::clean(7);
+        plan.loss_pct = 100;
+        let mut fq = FaultyQueue::new(&q, NetFaultSim::new(plan));
+        assert!(fq.dequeue_up_to(10).unwrap().is_empty());
+        assert_eq!(q.pending(), 4, "lost messages stay pending for retransmit");
+        // A clean consumer still gets everything.
+        let run = q.dequeue_up_to(10).unwrap();
+        assert_eq!(run.len(), 4);
+    }
+
+    #[test]
+    fn faulty_queue_duplicates_every_message() {
+        use crate::netsim::{NetFaultPlan, NetFaultSim};
+        let q = PersistentQueue::open(qpath("fdup.q")).unwrap();
+        for i in 0..3u8 {
+            q.enqueue(&[i]).unwrap();
+        }
+        let mut plan = NetFaultPlan::clean(9);
+        plan.dup_pct = 100;
+        let mut fq = FaultyQueue::new(&q, NetFaultSim::new(plan));
+        let run = fq.dequeue_up_to(10).unwrap();
+        assert_eq!(run.len(), 6);
+        for i in 0..3u64 {
+            assert_eq!(run[2 * i as usize].0, i);
+            assert_eq!(run[2 * i as usize + 1].0, i, "each index arrives twice");
+        }
+    }
+
+    #[test]
+    fn faulty_queue_is_at_least_once_and_deterministic() {
+        use crate::netsim::{NetFaultPlan, NetFaultSim};
+        use std::collections::BTreeSet;
+        let deliver = |label: &str| -> Vec<u64> {
+            let q = PersistentQueue::open(qpath(label)).unwrap();
+            for i in 0..20u8 {
+                q.enqueue(&[i]).unwrap();
+            }
+            let mut fq = FaultyQueue::new(&q, NetFaultSim::new(NetFaultPlan::lossy(42)));
+            let mut order = Vec::new();
+            let mut seen = BTreeSet::new();
+            for _ in 0..200 {
+                let run = fq.dequeue_up_to(5).unwrap();
+                for (idx, payload) in run {
+                    assert_eq!(payload, vec![idx as u8], "payload matches its id");
+                    order.push(idx);
+                    seen.insert(idx);
+                }
+                if seen.len() == 20 && q.pending() == 0 {
+                    break;
+                }
+            }
+            assert_eq!(seen.len(), 20, "every message delivered at least once");
+            order
+        };
+        let a = deliver("fdet-a.q");
+        let b = deliver("fdet-b.q");
+        assert_eq!(a, b, "same seed, same delivery sequence");
     }
 
     #[test]

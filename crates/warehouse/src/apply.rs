@@ -31,7 +31,7 @@ use delta_engine::trigger::{delta_table_schema, CaptureImages, TriggerAction, Tr
 use delta_engine::txn::Transaction;
 use delta_engine::{EngineError, EngineResult, TableOptions};
 use delta_sql::ast::{BinOp, Expr, Statement};
-use delta_storage::{Row, Value};
+use delta_storage::{Column, DataType, Row, Schema, Value};
 use parking_lot::Mutex;
 
 use crate::aggview::{AggViewDef, AggregateView};
@@ -217,6 +217,58 @@ impl Warehouse {
         format!("__changes_{table}")
     }
 
+    /// Create the applied-sequence watermark table if it does not exist.
+    /// One row (`id = 0`) holds the highest queue sequence id whose apply
+    /// transaction has committed.
+    pub fn ensure_applied_watermark(&self) -> EngineResult<()> {
+        if self.db.table(APPLIED_SEQ_TABLE).is_err() {
+            let schema = Schema::new(vec![
+                Column::new("id", DataType::Int).primary_key(),
+                Column::new("seq", DataType::Int),
+            ])
+            .map_err(EngineError::Storage)?;
+            self.db
+                .create_table(APPLIED_SEQ_TABLE, schema, TableOptions::default())?;
+        }
+        Ok(())
+    }
+
+    /// The highest queue sequence id durably applied to this warehouse, or
+    /// `None` if nothing was ever tracked. Redelivered batches at or below
+    /// this watermark were already applied and must be skipped — this is
+    /// what makes at-least-once delivery exactly-once-observable.
+    pub fn applied_watermark(&self) -> EngineResult<Option<u64>> {
+        if self.db.table(APPLIED_SEQ_TABLE).is_err() {
+            return Ok(None);
+        }
+        let rows = self.db.scan_table(APPLIED_SEQ_TABLE)?;
+        Ok(rows
+            .first()
+            .and_then(|(_, r)| r.values()[1].as_int().ok())
+            .map(|v| v as u64))
+    }
+
+    /// Record `seq` as applied *inside* `txn`, so the delta effects and the
+    /// watermark advance commit atomically: a crash either keeps both (the
+    /// redelivery dedupes) or neither (the redelivery re-applies).
+    pub fn record_applied(&self, txn: &mut Transaction, seq: u64) -> EngineResult<()> {
+        let del = Statement::Delete {
+            table: APPLIED_SEQ_TABLE.to_string(),
+            predicate: Some(keyed_predicate("id", &Value::Int(0))),
+        };
+        let ins = Statement::Insert {
+            table: APPLIED_SEQ_TABLE.to_string(),
+            columns: None,
+            rows: vec![vec![
+                Expr::Literal(Value::Int(0)),
+                Expr::Literal(Value::Int(seq as i64)),
+            ]],
+        };
+        exec::execute(&self.db, txn, &del)?;
+        exec::execute(&self.db, txn, &ins)?;
+        Ok(())
+    }
+
     fn install_capture(&self, table: &str) -> EngineResult<()> {
         let meta = self.db.table(table)?;
         let cap = Self::capture_table(table);
@@ -342,6 +394,9 @@ impl Warehouse {
     }
 }
 
+/// The warehouse-side watermark table of applied queue sequence ids.
+pub const APPLIED_SEQ_TABLE: &str = "__applied_seq";
+
 /// Literal-expression row for building single-row INSERT statements.
 fn literal_row(row: &Row) -> Vec<Expr> {
     row.values().iter().cloned().map(Expr::Literal).collect()
@@ -370,6 +425,17 @@ impl ValueDeltaApplier {
     /// whole run. Insert coalescing stays per batch, so the statement
     /// counts match applying each batch alone.
     pub fn apply_run(wh: &Warehouse, vds: &[&ValueDelta]) -> EngineResult<ApplyReport> {
+        ValueDeltaApplier::apply_run_tracked(wh, vds, None)
+    }
+
+    /// Like [`apply_run`](ValueDeltaApplier::apply_run), but additionally
+    /// recording `applied_seq` in the warehouse watermark table inside the
+    /// same transaction (see [`Warehouse::record_applied`]).
+    pub fn apply_run_tracked(
+        wh: &Warehouse,
+        vds: &[&ValueDelta],
+        applied_seq: Option<u64>,
+    ) -> EngineResult<ApplyReport> {
         let first = vds
             .first()
             .ok_or_else(|| EngineError::Invalid("empty value-delta run".into()))?;
@@ -399,6 +465,9 @@ impl ValueDeltaApplier {
             };
             for vd in vds {
                 Self::apply_records(wh, cfg, &key_col, key_pos_mirror, vd, &mut txn, &mut report)?;
+            }
+            if let Some(seq) = applied_seq {
+                wh.record_applied(&mut txn, seq)?;
             }
             Ok(report)
         })();
@@ -518,7 +587,7 @@ impl OpDeltaApplier {
     /// Replay one source transaction as one self-contained warehouse
     /// transaction.
     pub fn apply(wh: &Warehouse, od: &OpDelta) -> EngineResult<ApplyReport> {
-        OpDeltaApplier::apply_inner(wh, od, None)
+        OpDeltaApplier::apply_inner(wh, od, None, None)
     }
 
     /// Like [`apply`](OpDeltaApplier::apply), but resolving mirror rewrites
@@ -528,13 +597,26 @@ impl OpDeltaApplier {
         od: &OpDelta,
         cache: &RewriteCache,
     ) -> EngineResult<ApplyReport> {
-        OpDeltaApplier::apply_inner(wh, od, Some(cache))
+        OpDeltaApplier::apply_inner(wh, od, Some(cache), None)
+    }
+
+    /// Like [`apply_cached`](OpDeltaApplier::apply_cached), but additionally
+    /// recording `applied_seq` in the warehouse watermark table inside the
+    /// replay transaction (see [`Warehouse::record_applied`]).
+    pub fn apply_cached_tracked(
+        wh: &Warehouse,
+        od: &OpDelta,
+        cache: &RewriteCache,
+        applied_seq: Option<u64>,
+    ) -> EngineResult<ApplyReport> {
+        OpDeltaApplier::apply_inner(wh, od, Some(cache), applied_seq)
     }
 
     fn apply_inner(
         wh: &Warehouse,
         od: &OpDelta,
         cache: Option<&RewriteCache>,
+        applied_seq: Option<u64>,
     ) -> EngineResult<ApplyReport> {
         let db = wh.db();
         let mut txn = db.begin();
@@ -566,6 +648,9 @@ impl OpDeltaApplier {
                 // *other* tables had when this statement ran, so the
                 // delta-x-delta term is never double counted.
                 report.view_rows_touched += wh.maintain_views(&mut txn, &table)?;
+            }
+            if let Some(seq) = applied_seq {
+                wh.record_applied(&mut txn, seq)?;
             }
             Ok(report)
         })();

@@ -35,5 +35,5 @@ pub use aggview::{AggSpec, AggViewDef, AggregateView};
 pub use apply::{ApplyReport, OpDeltaApplier, RewriteCache, ValueDeltaApplier, Warehouse};
 pub use mirror::MirrorConfig;
 pub use olap::{OlapDriver, OlapStats};
-pub use pipeline::{Pipeline, SyncReport, DEFAULT_SYNC_BATCH};
+pub use pipeline::{Pipeline, QuarantinedDelta, RetryPolicy, SyncReport, DEFAULT_SYNC_BATCH};
 pub use view::{JoinCond, SpjView};

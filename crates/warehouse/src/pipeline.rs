@@ -18,6 +18,8 @@
 //! one-transaction-per-source-transaction semantics but reuse parsed SQL
 //! and mirror rewrites through shared caches.
 
+use std::time::Duration;
+
 use delta_core::extractor::DeltaSource;
 use delta_core::model::{DeltaBatch, ValueDelta};
 use delta_core::opdelta::{clear_table, collect_from_table};
@@ -25,7 +27,9 @@ use delta_core::stmtcache::{CacheStats, StatementCache};
 use delta_core::transform::DeltaTransform;
 use delta_engine::db::Database;
 use delta_engine::{EngineError, EngineResult};
-use delta_transport::PersistentQueue;
+use delta_storage::fault::splitmix64;
+use delta_transport::{NetFaultPlan, NetFaultSim, PersistentQueue};
+use parking_lot::Mutex;
 
 use crate::apply::{ApplyReport, OpDeltaApplier, RewriteCache, ValueDeltaApplier, Warehouse};
 
@@ -37,8 +41,69 @@ pub struct SyncReport {
     /// Apply groups executed (each is one ack; value-delta groups are also
     /// one warehouse transaction).
     pub runs: u64,
+    /// Redelivered batches skipped because the warehouse watermark showed
+    /// them already applied (or they arrived twice in one run).
+    pub deduped: u64,
+    /// Apply attempts repeated under the retry policy.
+    pub retries: u64,
+    /// Poison batches parked in the dead-letter queue.
+    pub quarantined: u64,
     /// Aggregated apply statistics.
     pub apply: ApplyReport,
+}
+
+/// Bounded retry with exponential backoff and seeded jitter for failed
+/// apply groups. Enabling a policy (see [`Pipeline::with_retry`]) also
+/// enables poison-batch quarantine: a batch still failing after
+/// `max_attempts` is parked in the dead-letter queue with its error, and
+/// the pipeline keeps draining instead of wedging.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total apply attempts per group (≥ 1) before quarantine.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each further attempt.
+    pub base_backoff: Duration,
+    /// Cap on the exponential backoff (jitter may still exceed it slightly).
+    pub max_backoff: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with short test-friendly backoffs (1 ms base, 16 ms cap).
+    pub fn quick(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(16),
+            jitter_seed: 0,
+        }
+    }
+
+    /// Backoff before attempt `attempt + 1` (attempts are counted from 1):
+    /// `min(base * 2^(attempt-1), max)` plus up to one `base` of jitter.
+    fn backoff(&self, attempt: u32, jitter_state: &mut u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16));
+        let capped = exp.min(self.max_backoff);
+        let base_us = self.base_backoff.as_micros() as u64;
+        let jitter_us = if base_us == 0 {
+            0
+        } else {
+            splitmix64(jitter_state) % base_us
+        };
+        capped + Duration::from_micros(jitter_us)
+    }
+}
+
+/// A poison batch parked in the dead-letter queue: its queue sequence id,
+/// the error that exhausted the retries, and the original payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedDelta {
+    pub index: u64,
+    pub error: String,
+    pub payload: Vec<u8>,
 }
 
 /// Default number of queued payloads pulled per dequeue run.
@@ -50,16 +115,30 @@ pub struct Pipeline {
     batch_size: u64,
     stmt_cache: StatementCache,
     rewrite_cache: RewriteCache,
+    retry: Option<RetryPolicy>,
+    /// Dead-letter queue for quarantined poison batches (`<queue>.dlq`);
+    /// opened when a retry policy is configured.
+    dlq: Option<PersistentQueue>,
+    dlq_path: std::path::PathBuf,
+    /// Seeded transport-fault simulator applied to every dequeue.
+    net_faults: Option<Mutex<NetFaultSim>>,
+    jitter_state: Mutex<u64>,
 }
 
 impl Pipeline {
     /// Open (or create) the pipeline's queue at `queue_path`.
     pub fn open(queue_path: impl AsRef<std::path::Path>) -> EngineResult<Pipeline> {
+        let queue_path = queue_path.as_ref();
         Ok(Pipeline {
-            queue: PersistentQueue::open(queue_path.as_ref()).map_err(EngineError::Storage)?,
+            queue: PersistentQueue::open(queue_path).map_err(EngineError::Storage)?,
             batch_size: DEFAULT_SYNC_BATCH,
             stmt_cache: StatementCache::new(),
             rewrite_cache: RewriteCache::new(),
+            retry: None,
+            dlq: None,
+            dlq_path: queue_path.with_extension("dlq"),
+            net_faults: None,
+            jitter_state: Mutex::new(0),
         })
     }
 
@@ -67,6 +146,25 @@ impl Pipeline {
     /// 1 reproduces the unbatched one-ack-per-batch behaviour.
     pub fn with_batch_size(mut self, n: u64) -> Pipeline {
         self.batch_size = n.max(1);
+        self
+    }
+
+    /// Enable bounded retry with backoff for failed apply groups and
+    /// quarantine of poison batches into the dead-letter queue at
+    /// `<queue>.dlq`. Without a policy, a failed apply rewinds and surfaces
+    /// the error (the pre-existing fail-stop behaviour).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> EngineResult<Pipeline> {
+        self.dlq = Some(PersistentQueue::open(&self.dlq_path).map_err(EngineError::Storage)?);
+        *self.jitter_state.get_mut() = policy.jitter_seed;
+        self.retry = Some(policy);
+        Ok(self)
+    }
+
+    /// Route every dequeue through a seeded transport-fault simulator
+    /// (loss, duplication, reordering, lost acks). `sync` stays convergent:
+    /// it restores order and deduplicates by sequence id.
+    pub fn with_net_faults(mut self, plan: NetFaultPlan) -> Pipeline {
+        self.net_faults = Some(Mutex::new(NetFaultSim::new(plan)));
         self
     }
 
@@ -139,25 +237,78 @@ impl Pipeline {
     /// payloads. Consecutive value-delta batches for one table are applied
     /// as a single warehouse transaction ([`ValueDeltaApplier::apply_run`]);
     /// Op-Deltas replay one warehouse transaction each. Every group is
-    /// acknowledged only after its apply commits, and any failure rewinds
-    /// the dequeue cursor so the unacknowledged suffix is redelivered by
-    /// the next `sync`.
+    /// acknowledged only after its apply commits, and each group's apply
+    /// transaction also advances the warehouse's applied-sequence watermark,
+    /// making redelivery exactly-once-observable: batches at or below the
+    /// watermark (lost acks, crash between commit and ack, duplicated
+    /// delivery) are skipped, and out-of-order delivery is restored by
+    /// sequence id before applying.
+    ///
+    /// Without a [`RetryPolicy`], any apply failure rewinds the dequeue
+    /// cursor so the unacknowledged suffix is redelivered by the next
+    /// `sync`. With one, the group is retried with backoff and — if it keeps
+    /// failing — isolated per batch; batches that still fail are parked in
+    /// the dead-letter queue and the pipeline keeps draining.
     pub fn sync(&self, wh: &Warehouse) -> EngineResult<SyncReport> {
         let mut report = SyncReport::default();
+        wh.ensure_applied_watermark()?;
         loop {
-            let run = self
-                .queue
-                .dequeue_up_to(self.batch_size)
-                .map_err(EngineError::Storage)?;
+            let mut run = match &self.net_faults {
+                Some(sim) => self
+                    .queue
+                    .dequeue_up_to_with_faults(self.batch_size, &mut sim.lock()),
+                None => self.queue.dequeue_up_to(self.batch_size),
+            }
+            .map_err(EngineError::Storage)?;
             if run.is_empty() {
                 break;
             }
-            // Decode the whole run up front; a corrupt payload rewinds so
-            // nothing in the run is silently skipped past.
-            let mut batches = Vec::with_capacity(run.len());
-            for (idx, payload) in &run {
-                match DeltaBatch::from_bytes_cached(payload, &self.stmt_cache) {
-                    Ok(b) => batches.push((*idx, b)),
+            // Restore sequence order (reordered delivery), then drop
+            // duplicates: both in-run repeats and anything at or below the
+            // warehouse's applied watermark.
+            run.sort_by_key(|(idx, _)| *idx);
+            let applied_watermark = wh.applied_watermark()?;
+            let mut deliverable: Vec<(u64, Vec<u8>)> = Vec::with_capacity(run.len());
+            let mut already_applied_hi: Option<u64> = None;
+            for (idx, payload) in run {
+                let stale = applied_watermark.is_some_and(|w| idx <= w);
+                if stale {
+                    // Applied in a previous life but possibly never acked
+                    // (crash between commit and ack, or a lost ack): re-ack
+                    // so it stops redelivering.
+                    already_applied_hi = Some(already_applied_hi.map_or(idx, |h| h.max(idx)));
+                }
+                if stale || deliverable.last().is_some_and(|(last, _)| *last == idx) {
+                    report.deduped += 1;
+                    continue;
+                }
+                deliverable.push((idx, payload));
+            }
+            if let Some(hi) = already_applied_hi {
+                self.queue.ack(hi).map_err(EngineError::Storage)?;
+            }
+            // Never apply across a sequence gap: acking past one would
+            // silently skip the missing batch. (The fault adapter truncates
+            // runs at a loss, so gaps should not occur; this is a guard.)
+            if let Some(gap) = deliverable
+                .windows(2)
+                .position(|w| w[1].0 != w[0].0 + 1)
+                .map(|p| p + 1)
+            {
+                self.queue.rewind_to(deliverable[gap].0);
+                deliverable.truncate(gap);
+            }
+            // Decode every deliverable payload. A corrupt payload is poison
+            // by construction: quarantine it when a retry policy is active,
+            // otherwise rewind and surface the error.
+            let mut batches: Vec<(u64, Vec<u8>, DeltaBatch)> =
+                Vec::with_capacity(deliverable.len());
+            for (idx, payload) in deliverable {
+                match DeltaBatch::from_bytes_cached(&payload, &self.stmt_cache) {
+                    Ok(b) => batches.push((idx, payload, b)),
+                    Err(e) if self.retry.is_some() => {
+                        self.quarantine(idx, &payload, &EngineError::Storage(e), &mut report)?;
+                    }
                     Err(e) => {
                         self.queue.rewind_to_acked();
                         return Err(EngineError::Storage(e));
@@ -166,10 +317,10 @@ impl Pipeline {
             }
             let mut i = 0;
             while i < batches.len() {
-                let end = match &batches[i].1 {
+                let end = match &batches[i].2 {
                     DeltaBatch::Value(vd) => {
                         let mut j = i + 1;
-                        while let Some((_, DeltaBatch::Value(next))) = batches.get(j) {
+                        while let Some((_, _, DeltaBatch::Value(next))) = batches.get(j) {
                             if next.table != vd.table {
                                 break;
                             }
@@ -179,39 +330,156 @@ impl Pipeline {
                     }
                     DeltaBatch::Op(_) => i + 1,
                 };
-                let applied = match &batches[i].1 {
-                    DeltaBatch::Value(_) => {
-                        let vds: Vec<&ValueDelta> = batches[i..end]
-                            .iter()
-                            .filter_map(|(_, b)| match b {
-                                DeltaBatch::Value(vd) => Some(vd),
-                                DeltaBatch::Op(_) => None,
-                            })
-                            .collect();
-                        ValueDeltaApplier::apply_run(wh, &vds)
+                match self.apply_group(wh, &batches[i..end], &mut report) {
+                    Ok(applied) => {
+                        // The group committed (with its watermark advance).
+                        // Group indices are consecutive, so the ack at the
+                        // last index covers exactly the applied prefix.
+                        self.queue
+                            .ack(batches[end - 1].0)
+                            .map_err(EngineError::Storage)?;
+                        report.batches += (end - i) as u64;
+                        report.runs += 1;
+                        report.apply.merge(applied);
                     }
-                    DeltaBatch::Op(od) => OpDeltaApplier::apply_cached(wh, od, &self.rewrite_cache),
-                };
-                let applied = match applied {
-                    Ok(a) => a,
+                    Err(e) if self.retry.is_some() && end - i > 1 => {
+                        // Isolate the poison: re-apply the group one batch at
+                        // a time so only the bad batch is quarantined.
+                        let _ = e;
+                        for k in i..end {
+                            match self.apply_group(wh, &batches[k..k + 1], &mut report) {
+                                Ok(applied) => {
+                                    self.queue.ack(batches[k].0).map_err(EngineError::Storage)?;
+                                    report.batches += 1;
+                                    report.runs += 1;
+                                    report.apply.merge(applied);
+                                }
+                                Err(e) => {
+                                    let (idx, payload, _) = &batches[k];
+                                    self.quarantine(*idx, payload, &e, &mut report)?;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) if self.retry.is_some() => {
+                        let (idx, payload, _) = &batches[i];
+                        self.quarantine(*idx, payload, &e, &mut report)?;
+                    }
                     Err(e) => {
                         self.queue.rewind_to_acked();
                         return Err(e);
                     }
-                };
-                // The group committed. Run indices are consecutive, so the
-                // ack watermark at the group's last index covers exactly the
-                // applied prefix.
-                self.queue
-                    .ack(batches[end - 1].0)
-                    .map_err(EngineError::Storage)?;
-                report.batches += (end - i) as u64;
-                report.runs += 1;
-                report.apply.merge(applied);
+                }
                 i = end;
             }
         }
         Ok(report)
+    }
+
+    /// Apply one group (a same-table value-delta run or a single Op-Delta),
+    /// recording the group's last sequence id in the warehouse watermark
+    /// inside the apply transaction, retrying with backoff under the
+    /// configured policy.
+    fn apply_group(
+        &self,
+        wh: &Warehouse,
+        group: &[(u64, Vec<u8>, DeltaBatch)],
+        report: &mut SyncReport,
+    ) -> EngineResult<ApplyReport> {
+        let seq = group.last().expect("non-empty group").0;
+        let mut attempt = 1u32;
+        loop {
+            let result = match &group[0].2 {
+                DeltaBatch::Value(_) => {
+                    let vds: Vec<&ValueDelta> = group
+                        .iter()
+                        .filter_map(|(_, _, b)| match b {
+                            DeltaBatch::Value(vd) => Some(vd),
+                            DeltaBatch::Op(_) => None,
+                        })
+                        .collect();
+                    ValueDeltaApplier::apply_run_tracked(wh, &vds, Some(seq))
+                }
+                DeltaBatch::Op(od) => {
+                    OpDeltaApplier::apply_cached_tracked(wh, od, &self.rewrite_cache, Some(seq))
+                }
+            };
+            match result {
+                Ok(r) => return Ok(r),
+                Err(e) => {
+                    let Some(policy) = self.retry else {
+                        return Err(e);
+                    };
+                    if attempt >= policy.max_attempts {
+                        return Err(e);
+                    }
+                    report.retries += 1;
+                    let pause = policy.backoff(attempt, &mut self.jitter_state.lock());
+                    std::thread::sleep(pause);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Park a poison batch in the dead-letter queue (sequence id + error +
+    /// original payload) and acknowledge it so the main queue keeps
+    /// draining. The quarantined payload stays inspectable via
+    /// [`Pipeline::quarantined`].
+    fn quarantine(
+        &self,
+        idx: u64,
+        payload: &[u8],
+        error: &EngineError,
+        report: &mut SyncReport,
+    ) -> EngineResult<()> {
+        let dlq = self
+            .dlq
+            .as_ref()
+            .expect("quarantine requires a retry policy");
+        let err_text = error.to_string();
+        let mut frame = Vec::with_capacity(12 + err_text.len() + payload.len());
+        frame.extend_from_slice(&idx.to_le_bytes());
+        frame.extend_from_slice(&(err_text.len() as u32).to_le_bytes());
+        frame.extend_from_slice(err_text.as_bytes());
+        frame.extend_from_slice(payload);
+        dlq.enqueue(&frame).map_err(EngineError::Storage)?;
+        self.queue.ack(idx).map_err(EngineError::Storage)?;
+        report.quarantined += 1;
+        Ok(())
+    }
+
+    /// Every batch parked in the dead-letter queue, oldest first.
+    pub fn quarantined(&self) -> EngineResult<Vec<QuarantinedDelta>> {
+        let Some(dlq) = &self.dlq else {
+            return Ok(Vec::new());
+        };
+        dlq.rewind_to(0);
+        let frames = dlq
+            .dequeue_up_to(dlq.total())
+            .map_err(EngineError::Storage)?;
+        let mut out = Vec::with_capacity(frames.len());
+        for (_, frame) in frames {
+            if frame.len() < 12 {
+                return Err(EngineError::Storage(delta_storage::StorageError::Corrupt(
+                    "dead-letter frame shorter than its header".into(),
+                )));
+            }
+            let index = u64::from_le_bytes(frame[0..8].try_into().expect("8 bytes"));
+            let err_len = u32::from_le_bytes(frame[8..12].try_into().expect("4 bytes")) as usize;
+            if frame.len() < 12 + err_len {
+                return Err(EngineError::Storage(delta_storage::StorageError::Corrupt(
+                    "dead-letter frame truncated inside its error text".into(),
+                )));
+            }
+            let error = String::from_utf8_lossy(&frame[12..12 + err_len]).into_owned();
+            out.push(QuarantinedDelta {
+                index,
+                error,
+                payload: frame[12 + err_len..].to_vec(),
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -396,6 +664,110 @@ mod tests {
         assert_eq!(report.batches, 3);
         assert_eq!(report.runs, 3, "runs of one batch each");
         assert_eq!(report.apply.transactions, 3);
+    }
+
+    #[test]
+    fn redelivery_after_ack_dedupes_to_exactly_once() {
+        let wh = warehouse("pipe8");
+        let pipe = Pipeline::open(qpath("pipe8")).unwrap();
+        for i in 0..3 {
+            pipe.publish(&DeltaBatch::Value(insert_vd(i, i))).unwrap();
+        }
+        let first = pipe.sync(&wh).unwrap();
+        assert_eq!(first.batches, 3);
+        assert_eq!(wh.applied_watermark().unwrap(), Some(2));
+        // Lost acks: the sender retransmits everything from the start.
+        pipe.queue().rewind_to(0);
+        let second = pipe.sync(&wh).unwrap();
+        assert_eq!(second.batches, 0, "nothing re-applies");
+        assert_eq!(second.deduped, 3, "all three recognized as applied");
+        assert_eq!(second.apply.transactions, 0);
+        assert_eq!(wh.db().row_count("t").unwrap(), 3, "no duplicate rows");
+        assert_eq!(pipe.queue().acked(), 3, "redelivered batches re-acked");
+    }
+
+    #[test]
+    fn duplicated_delivery_within_a_run_applies_once() {
+        use delta_transport::NetFaultPlan;
+        let wh = warehouse("pipe9");
+        let mut plan = NetFaultPlan::clean(5);
+        plan.dup_pct = 100; // every message arrives twice
+        let pipe = Pipeline::open(qpath("pipe9"))
+            .unwrap()
+            .with_net_faults(plan);
+        for i in 0..4 {
+            pipe.publish(&DeltaBatch::Value(insert_vd(i, i))).unwrap();
+        }
+        let report = pipe.sync(&wh).unwrap();
+        assert_eq!(report.batches, 4);
+        assert_eq!(report.deduped, 4, "one duplicate of each batch dropped");
+        assert_eq!(wh.db().row_count("t").unwrap(), 4);
+    }
+
+    #[test]
+    fn lossy_link_still_converges() {
+        use delta_transport::NetFaultPlan;
+        let wh = warehouse("pipe10");
+        let pipe = Pipeline::open(qpath("pipe10"))
+            .unwrap()
+            .with_batch_size(3)
+            .with_net_faults(NetFaultPlan::lossy(1234));
+        for i in 0..20 {
+            pipe.publish(&DeltaBatch::Value(insert_vd(i, 10 * i)))
+                .unwrap();
+        }
+        // Drops rewind the cursor, so one sync may end before the queue is
+        // empty; drain until converged.
+        for _ in 0..100 {
+            pipe.sync(&wh).unwrap();
+            if pipe.queue().pending() == 0 && pipe.queue().acked() == 20 {
+                break;
+            }
+        }
+        assert_eq!(wh.db().row_count("t").unwrap(), 20, "exactly once each");
+        assert_eq!(wh.applied_watermark().unwrap(), Some(19));
+    }
+
+    #[test]
+    fn poison_batch_quarantines_after_retries_and_pipeline_drains() {
+        let wh = warehouse("pipe11");
+        let pipe = Pipeline::open(qpath("pipe11"))
+            .unwrap()
+            .with_retry(RetryPolicy::quick(3))
+            .unwrap();
+        pipe.publish(&DeltaBatch::Value(insert_vd(1, 1))).unwrap();
+        // Poison: value delta against a table with no mirror.
+        let mut bad = ValueDelta::new("missing", schema());
+        bad.records.push(ValueDeltaRecord {
+            op: DeltaOp::Insert,
+            txn: 0,
+            row: Row::new(vec![Value::Int(9), Value::Int(9)]),
+        });
+        let bad_bytes = DeltaBatch::Value(bad.clone()).to_bytes();
+        pipe.publish(&DeltaBatch::Value(bad)).unwrap();
+        pipe.publish(&DeltaBatch::Value(insert_vd(2, 2))).unwrap();
+
+        let report = pipe.sync(&wh).unwrap();
+        assert_eq!(report.quarantined, 1, "the poison batch is parked");
+        assert!(
+            report.retries >= 2,
+            "the policy retried before quarantining (retries = {})",
+            report.retries
+        );
+        assert_eq!(report.batches, 2, "both good batches applied");
+        assert_eq!(wh.db().row_count("t").unwrap(), 2);
+        assert_eq!(pipe.queue().acked(), 3, "queue fully drained");
+        assert_eq!(pipe.queue().pending(), 0);
+
+        let parked = pipe.quarantined().unwrap();
+        assert_eq!(parked.len(), 1);
+        assert_eq!(parked[0].index, 1);
+        assert!(
+            parked[0].error.contains("missing"),
+            "error names the cause: {}",
+            parked[0].error
+        );
+        assert_eq!(parked[0].payload, bad_bytes, "payload kept for inspection");
     }
 
     #[test]
