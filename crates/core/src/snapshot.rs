@@ -815,11 +815,8 @@ fn window_diff(
                 stats.comparisons += 1;
                 cmp_keys(nk, &k) == Ordering::Equal
             });
-            match hit {
-                Some(i) => {
-                    let (_, nrow) = new_buf.remove(i).expect("index valid");
-                    emit_update_or_skip(&mut delta, row, nrow);
-                }
+            match hit.and_then(|i| new_buf.remove(i)) {
+                Some((_, nrow)) => emit_update_or_skip(&mut delta, row, nrow),
                 None => old_buf.push_back((k, row)),
             }
         }
@@ -830,18 +827,17 @@ fn window_diff(
                 stats.comparisons += 1;
                 cmp_keys(ok, &k) == Ordering::Equal
             });
-            match hit {
-                Some(i) => {
-                    let (_, orow) = old_buf.remove(i).expect("index valid");
-                    emit_update_or_skip(&mut delta, orow, row);
-                }
+            match hit.and_then(|i| old_buf.remove(i)) {
+                Some((_, orow)) => emit_update_or_skip(&mut delta, orow, row),
                 None => new_buf.push_back((k, row)),
             }
         }
         // Evict overflow: rows that scrolled out of the window become
         // deletes/inserts (the algorithm's documented degradation).
         while old_buf.len() > window {
-            let (_, row) = old_buf.pop_front().expect("non-empty");
+            let Some((_, row)) = old_buf.pop_front() else {
+                break;
+            };
             delta.records.push(ValueDeltaRecord {
                 op: DeltaOp::Delete,
                 txn: 0,
@@ -849,7 +845,9 @@ fn window_diff(
             });
         }
         while new_buf.len() > window {
-            let (_, row) = new_buf.pop_front().expect("non-empty");
+            let Some((_, row)) = new_buf.pop_front() else {
+                break;
+            };
             delta.records.push(ValueDeltaRecord {
                 op: DeltaOp::Insert,
                 txn: 0,

@@ -930,6 +930,9 @@ impl LogManager {
     /// records so far become eligible for archiving at the next checkpoint.
     /// (The real-world analogue is `ALTER SYSTEM SWITCH LOGFILE`.)
     pub fn switch_segment(&self) -> EngineResult<()> {
+        // lint: allow(lock_hygiene) -- rotation must run under the writer
+        // lock: the old segment's tail and the new segment's header have to
+        // be ordered against concurrent appends.
         let mut inner = self.inner.lock();
         if inner.writer.segment_bytes == 0 {
             return Ok(()); // nothing in the active segment

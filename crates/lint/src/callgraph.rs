@@ -1,0 +1,882 @@
+//! Workspace symbol index and call graph.
+//!
+//! Every `fn` item in the workspace gets an entry (name, module path,
+//! signature, body span); call sites inside each body are extracted from the
+//! scrubbed text and resolved back to workspace functions *best-effort*:
+//!
+//! * a site with exactly one shape-compatible candidate (kind, path segments,
+//!   arity) becomes a **resolved** edge;
+//! * a site whose name matches several candidates that survive filtering is
+//!   **ambiguous** — it contributes no edges but is counted, so the analyses
+//!   are honestly under-approximate rather than noisily wrong;
+//! * everything else (std, vendored crates, closures) is **external**.
+//!
+//! The interprocedural rules (`effects`, `graph`, the lock/panic passes in
+//! `rules`) all run on top of this index.
+
+use crate::rules::LintFile;
+use crate::scan::{self, FnItem};
+use std::collections::BTreeMap;
+
+/// Index of a function in [`CallGraph::fns`].
+pub type FnId = usize;
+
+/// One indexed workspace function.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Index of the file in the workspace file list.
+    pub file: usize,
+    /// Repo-relative path of that file.
+    pub path: String,
+    /// Module path derived from the file path, e.g. `["engine", "wal"]`.
+    pub module: Vec<String>,
+    /// The parsed item (name, signature, spans).
+    pub item: FnItem,
+    /// Whether the item lives in test-only code.
+    pub is_test: bool,
+}
+
+impl FnInfo {
+    /// Fully qualified display name, e.g. `engine::wal::Wal::append_batch`.
+    pub fn qual(&self) -> String {
+        let mut parts: Vec<&str> = self.module.iter().map(String::as_str).collect();
+        if let Some(ty) = &self.item.self_ty {
+            parts.push(ty);
+        }
+        parts.push(&self.item.name);
+        parts.join("::")
+    }
+}
+
+/// How a call site names its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper(x)`
+    Free,
+    /// `recv.helper(x)`
+    Method,
+    /// `module::helper(x)` / `Type::helper(x)` — carries the leading segments.
+    Path(Vec<String>),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The function whose body contains the site.
+    pub caller: FnId,
+    /// Byte offset of the callee name in the caller file's scrubbed code.
+    pub pos: usize,
+    /// 1-based line of the site.
+    pub line: usize,
+    /// Callee name as written.
+    pub name: String,
+    /// Site shape.
+    pub kind: CallKind,
+    /// Argument count at the site.
+    pub args: usize,
+    /// Receiver expression for method sites (`self`, `self.wal`, `shard`).
+    pub recv: Option<String>,
+}
+
+/// Outcome of resolving one call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// Exactly one workspace candidate survives shape filtering.
+    Resolved(FnId),
+    /// Several candidates survive — explicitly bucketed, contributes no edge.
+    Ambiguous(Vec<FnId>),
+    /// No workspace candidate (std, vendored, closure, shadowed).
+    External,
+}
+
+/// Resolution totals for the whole workspace (reported in `--stats`/JSON).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolutionStats {
+    /// Sites resolved to exactly one workspace function.
+    pub resolved: usize,
+    /// Sites left in the ambiguous bucket.
+    pub ambiguous: usize,
+    /// Sites that target nothing in the workspace index.
+    pub external: usize,
+}
+
+/// The workspace symbol index plus resolved call edges.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Every indexed function.
+    pub fns: Vec<FnInfo>,
+    /// Resolved edges: `callees[f]` lists `(callee, line-of-first-site)`.
+    pub callees: Vec<Vec<(FnId, usize)>>,
+    /// Reverse edges.
+    pub callers: Vec<Vec<FnId>>,
+    /// Every extracted site with its resolution (for span-based rules).
+    pub sites: Vec<(CallSite, Resolution)>,
+    /// Resolution totals.
+    pub stats: ResolutionStats,
+}
+
+impl CallGraph {
+    /// Functions defined in file `file`, in source order.
+    pub fn fns_in_file(&self, file: usize) -> impl Iterator<Item = FnId> + '_ {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.file == file)
+            .map(|(id, _)| id)
+    }
+
+    /// Resolved sites inside `caller` whose name position lies in `[from, to)`.
+    pub fn resolved_sites_in_span(
+        &self,
+        caller: FnId,
+        from: usize,
+        to: usize,
+    ) -> impl Iterator<Item = (&CallSite, FnId)> + '_ {
+        self.sites.iter().filter_map(move |(s, r)| match r {
+            Resolution::Resolved(id) if s.caller == caller && s.pos >= from && s.pos < to => {
+                Some((s, *id))
+            }
+            _ => None,
+        })
+    }
+}
+
+/// Module path of a repo-relative file: `crates/engine/src/wal.rs` ->
+/// `["engine", "wal"]`, `src/lib.rs` -> `["deltaforge"]`.
+fn module_of(rel: &str) -> Vec<String> {
+    let mut parts: Vec<&str> = rel.split('/').collect();
+    let file = parts.pop().unwrap_or("");
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    let mut out: Vec<String> = Vec::new();
+    match parts.first().copied() {
+        Some("crates") => {
+            if let Some(name) = parts.get(1) {
+                out.push(name.to_string());
+            }
+            out.extend(parts.iter().skip(3).map(|s| s.to_string())); // after src/
+        }
+        Some("src") => {
+            out.push("deltaforge".to_string());
+            out.extend(parts.iter().skip(1).map(|s| s.to_string()));
+        }
+        _ => out.extend(parts.iter().map(|s| s.to_string())),
+    }
+    if stem != "lib" && stem != "mod" && stem != "main" {
+        out.push(stem.to_string());
+    }
+    out
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "unsafe", "as", "in", "let",
+    "else", "ref", "mut", "use", "where", "break", "continue", "await", "dyn", "box", "true",
+    "false", "impl", "pub",
+];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Extract call sites from the body span of one function in scrubbed code.
+fn call_sites_in(code: &str, caller: FnId, body: (usize, usize), out: &mut Vec<CallSite>) {
+    let bytes = code.as_bytes();
+    let (start, end) = body;
+    let mut i = start;
+    while i < end {
+        if !is_ident_byte(bytes[i]) || bytes[i].is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        let id_start = i;
+        while i < end && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let name = &code[id_start..i];
+        if KEYWORDS.contains(&name) {
+            continue;
+        }
+        // Skip definitions: `fn name(`.
+        if code[..id_start].trim_end().ends_with("fn") {
+            continue;
+        }
+        // Optional turbofish between name and parens: `collect::<Vec<_>>()`.
+        let mut j = i;
+        if code[j..].starts_with("::<") {
+            let mut depth = 0i32;
+            let mut k = j + 2;
+            while k < end {
+                match bytes[k] {
+                    b'<' => depth += 1,
+                    b'>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k;
+        }
+        if j >= end || bytes[j] != b'(' {
+            continue;
+        }
+        let Some(close) = scan::match_paren(code, j) else {
+            continue;
+        };
+        let args = scan::paren_arity(code, j, close);
+        let kind = if id_start > 0 && bytes[id_start - 1] == b'.' {
+            CallKind::Method
+        } else if id_start >= 2 && &code[id_start - 2..id_start] == "::" {
+            // Walk back over `seg::seg::` prefixes.
+            let mut segs = Vec::new();
+            let mut p = id_start - 2;
+            loop {
+                let seg_end = p;
+                let mut seg_start = seg_end;
+                while seg_start > 0 && is_ident_byte(bytes[seg_start - 1]) {
+                    seg_start -= 1;
+                }
+                if seg_start == seg_end {
+                    break; // `<T as Trait>::f` or similar — no plain segment
+                }
+                segs.push(code[seg_start..seg_end].to_string());
+                if seg_start >= 2 && &code[seg_start - 2..seg_start] == "::" {
+                    p = seg_start - 2;
+                } else {
+                    break;
+                }
+            }
+            segs.reverse();
+            CallKind::Path(segs)
+        } else {
+            CallKind::Free
+        };
+        let recv = match kind {
+            CallKind::Method => Some(scan::receiver_of(code, id_start - 1)),
+            _ => None,
+        };
+        out.push(CallSite {
+            caller,
+            pos: id_start,
+            line: scan::line_of(code, id_start),
+            name: name.to_string(),
+            kind,
+            args,
+            recv,
+        });
+    }
+}
+
+/// Method names that collide with `std` collection/iterator/io APIs. A
+/// method call through an untyped receiver (`self.map.insert(..)`,
+/// `spares.drain(..)`) whose name is on this list is treated as external:
+/// without receiver types, matching such a name to a workspace function by
+/// arity alone misresolves far more often than it resolves. Direct
+/// `self.name(..)` calls are unaffected — those are typed by the enclosing
+/// `impl` block.
+const STD_COLLISION_METHODS: &[&str] = &[
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "drain",
+    "clear",
+    "contains",
+    "contains_key",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "entry",
+    "extend",
+    "append",
+    "retain",
+    "sort",
+    "first",
+    "last",
+    "join",
+    "split",
+    "parse",
+    "clone",
+    "take",
+    "replace",
+    "swap",
+    "send",
+    "recv",
+    "wait",
+    "flush",
+    "read",
+    "write",
+    "seek",
+    "next",
+    "peek",
+    "map",
+    "filter",
+    "find",
+    "position",
+    "fold",
+    "collect",
+    "count",
+    "truncate",
+    "resize",
+    "reserve",
+    "dedup",
+    "store",
+    "load",
+    "cmp",
+    "eq",
+    "hash",
+    "fmt",
+    "drop",
+    "front",
+    "back",
+    "split_off",
+    "swap_remove",
+    "min",
+    "max",
+    "sum",
+    "abs",
+    "rev",
+    "zip",
+    "chain",
+    "enumerate",
+    "skip",
+    "any",
+    "all",
+    "finish",
+    "field",
+    "build",
+];
+
+/// Resolve one site against the name index. Filters candidates by call shape
+/// (method vs free), path segments (module suffix or `Self`/type name),
+/// receiver typing for method calls, and arity; exactly one survivor
+/// resolves, several stay ambiguous.
+fn resolve(site: &CallSite, fns: &[FnInfo], cands: &[FnId]) -> Resolution {
+    let caller_ty = fns[site.caller].item.self_ty.clone();
+    let shaped: Vec<FnId> = cands
+        .iter()
+        .copied()
+        .filter(|&id| {
+            let f = &fns[id];
+            match &site.kind {
+                CallKind::Method => {
+                    if !(f.item.has_self && site.args == f.item.params) {
+                        return false;
+                    }
+                    match site.recv.as_deref() {
+                        // `self.helper(..)` is typed by the enclosing impl.
+                        Some("self") => f.item.self_ty == caller_ty,
+                        // Untyped receiver: refuse std-colliding names rather
+                        // than guess.
+                        _ => !STD_COLLISION_METHODS.contains(&site.name.as_str()),
+                    }
+                }
+                CallKind::Free => !f.item.has_self && site.args == f.item.params,
+                CallKind::Path(segs) => {
+                    let path_ok = match segs.last().map(String::as_str) {
+                        Some("Self") => f.item.self_ty == caller_ty,
+                        Some(seg) if seg.chars().next().is_some_and(|c| c.is_ascii_uppercase()) => {
+                            f.item.self_ty.as_deref() == Some(seg)
+                        }
+                        Some(_) => {
+                            // Module segments must be a suffix of the
+                            // candidate's module path.
+                            let m: Vec<&str> = f.module.iter().map(String::as_str).collect();
+                            let s: Vec<&str> = segs
+                                .iter()
+                                .map(String::as_str)
+                                .filter(|s| *s != "crate" && *s != "super" && *s != "self")
+                                .collect();
+                            !s.is_empty() && m.ends_with(&s) || s.is_empty() // bare `crate::f(..)`
+                        }
+                        None => true,
+                    };
+                    let arity_ok = site.args == f.item.params
+                        || (f.item.has_self && site.args == f.item.params + 1);
+                    path_ok && arity_ok
+                }
+            }
+        })
+        .collect();
+    match shaped.len() {
+        0 => Resolution::External,
+        1 => Resolution::Resolved(shaped[0]),
+        _ => Resolution::Ambiguous(shaped),
+    }
+}
+
+/// Build the workspace call graph from preprocessed files.
+pub fn build(files: &[LintFile<'_>]) -> Result<CallGraph, crate::LintError> {
+    let mut fns: Vec<FnInfo> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        let items = scan::fn_items(&file.scrubbed.code).map_err(|e| crate::LintError::Scan {
+            path: file.path.to_string(),
+            err: e,
+        })?;
+        let module = module_of(file.path);
+        for item in items {
+            let is_test = scan::in_regions(&file.test_regions, item.line);
+            fns.push(FnInfo {
+                file: fi,
+                path: file.path.to_string(),
+                module: module.clone(),
+                item,
+                is_test,
+            });
+        }
+    }
+
+    // Candidate index: non-test functions only (test helpers are unreachable
+    // from shipping code and would only add ambiguity).
+    let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+    for (id, f) in fns.iter().enumerate() {
+        if !f.is_test {
+            by_name.entry(&f.item.name).or_default().push(id);
+        }
+    }
+
+    let mut sites = Vec::new();
+    for (id, f) in fns.iter().enumerate() {
+        let code = &files[f.file].scrubbed.code;
+        call_sites_in(code, id, (f.item.body_start, f.item.body_end), &mut sites);
+    }
+
+    let resolved_sites: Vec<(CallSite, Resolution)> = sites
+        .into_iter()
+        .map(|site| {
+            let res = match by_name.get(site.name.as_str()) {
+                Some(cands) => resolve(&site, &fns, cands),
+                None => Resolution::External,
+            };
+            (site, res)
+        })
+        .collect();
+    let (callees, callers, stats) = link_sites(fns.len(), &resolved_sites);
+
+    Ok(CallGraph {
+        fns,
+        callees,
+        callers,
+        sites: resolved_sites,
+        stats,
+    })
+}
+
+/// Per-function callee lists (callee id, call line), caller lists, and
+/// resolution totals, as rebuilt by [`link_sites`].
+type LinkedEdges = (Vec<Vec<(FnId, usize)>>, Vec<Vec<FnId>>, ResolutionStats);
+
+/// Rebuild edge lists and resolution totals from resolved sites (shared by
+/// [`build`] and the cache loader).
+fn link_sites(n_fns: usize, sites: &[(CallSite, Resolution)]) -> LinkedEdges {
+    let mut stats = ResolutionStats::default();
+    let mut callees: Vec<Vec<(FnId, usize)>> = vec![Vec::new(); n_fns];
+    let mut callers: Vec<Vec<FnId>> = vec![Vec::new(); n_fns];
+    for (site, res) in sites {
+        match res {
+            Resolution::Resolved(callee) => {
+                stats.resolved += 1;
+                if !callees[site.caller].iter().any(|(c, _)| c == callee) {
+                    callees[site.caller].push((*callee, site.line));
+                }
+                if !callers[*callee].contains(&site.caller) {
+                    callers[*callee].push(site.caller);
+                }
+            }
+            Resolution::Ambiguous(_) => stats.ambiguous += 1,
+            Resolution::External => stats.external += 1,
+        }
+    }
+    (callees, callers, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Symbol-index cache: a line-oriented serialization of the index keyed on
+// per-file content hashes. Validation is all-or-nothing — any file added,
+// removed, reordered, or edited invalidates the whole cache, so a hit is
+// byte-for-byte equivalent to a fresh build.
+// ---------------------------------------------------------------------------
+
+const CACHE_HEADER: &str = "delta-lint-cache v1";
+
+fn source_hash(text: &str) -> u64 {
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    text.hash(&mut h);
+    h.finish()
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t")
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(o) => out.push(o),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Serialize `graph` to `path`, keyed on the hash of every source file.
+pub fn save_cache(
+    path: &std::path::Path,
+    sources: &[(String, String)],
+    graph: &CallGraph,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str(CACHE_HEADER);
+    out.push('\n');
+    out.push_str(&format!("files {}\n", sources.len()));
+    for (p, s) in sources {
+        out.push_str(&format!("{:016x} {p}\n", source_hash(s)));
+    }
+    out.push_str(&format!("fns {}\n", graph.fns.len()));
+    for f in &graph.fns {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            f.file,
+            u8::from(f.is_test),
+            f.item.line,
+            f.item.body_start,
+            f.item.body_end,
+            f.item.params,
+            u8::from(f.item.has_self),
+            f.item
+                .self_ty
+                .as_deref()
+                .map(esc)
+                .unwrap_or_else(|| "-".into()),
+            if f.module.is_empty() {
+                "-".into()
+            } else {
+                f.module.join("::")
+            },
+            esc(&f.item.name),
+            esc(&f.item.sig),
+        ));
+    }
+    out.push_str(&format!("sites {}\n", graph.sites.len()));
+    for (s, r) in &graph.sites {
+        let kind = match &s.kind {
+            CallKind::Free => "F".to_string(),
+            CallKind::Method => "M".to_string(),
+            CallKind::Path(segs) => format!("P:{}", segs.join("::")),
+        };
+        let res = match r {
+            Resolution::Resolved(id) => format!("R:{id}"),
+            Resolution::Ambiguous(ids) => format!(
+                "A:{}",
+                ids.iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            Resolution::External => "E".to_string(),
+        };
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            s.caller,
+            s.pos,
+            s.line,
+            s.args,
+            kind,
+            res,
+            s.recv.as_deref().map(esc).unwrap_or_else(|| "-".into()),
+            esc(&s.name),
+        ));
+    }
+    std::fs::write(path, out)
+}
+
+/// Load a cached index from `path` if it validates against `sources`
+/// (same files, same order, same content hashes). Any mismatch or parse
+/// failure is a miss, never an error — the caller just rebuilds.
+pub fn load_cache(path: &std::path::Path, sources: &[(String, String)]) -> Option<CallGraph> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != CACHE_HEADER {
+        return None;
+    }
+    let n_files: usize = lines.next()?.strip_prefix("files ")?.parse().ok()?;
+    if n_files != sources.len() {
+        return None;
+    }
+    for (p, s) in sources {
+        let line = lines.next()?;
+        let (hash, file) = line.split_once(' ')?;
+        if file != p || hash != format!("{:016x}", source_hash(s)) {
+            return None;
+        }
+    }
+    let n_fns: usize = lines.next()?.strip_prefix("fns ")?.parse().ok()?;
+    let mut fns = Vec::with_capacity(n_fns);
+    for _ in 0..n_fns {
+        let cols: Vec<&str> = lines.next()?.split('\t').collect();
+        let [file, is_test, line, body_start, body_end, params, has_self, self_ty, module, name, sig] =
+            cols[..]
+        else {
+            return None;
+        };
+        let file: usize = file.parse().ok()?;
+        let path = sources.get(file)?.0.clone();
+        fns.push(FnInfo {
+            file,
+            path,
+            module: if module == "-" {
+                Vec::new()
+            } else {
+                module.split("::").map(str::to_string).collect()
+            },
+            item: FnItem {
+                name: unesc(name),
+                line: line.parse().ok()?,
+                sig: unesc(sig),
+                self_ty: (self_ty != "-").then(|| unesc(self_ty)),
+                body_start: body_start.parse().ok()?,
+                body_end: body_end.parse().ok()?,
+                params: params.parse().ok()?,
+                has_self: has_self == "1",
+            },
+            is_test: is_test == "1",
+        });
+    }
+    let n_sites: usize = lines.next()?.strip_prefix("sites ")?.parse().ok()?;
+    let mut sites = Vec::with_capacity(n_sites);
+    for _ in 0..n_sites {
+        let cols: Vec<&str> = lines.next()?.split('\t').collect();
+        let [caller, pos, line, args, kind, res, recv, name] = cols[..] else {
+            return None;
+        };
+        let caller: usize = caller.parse().ok()?;
+        if caller >= fns.len() {
+            return None;
+        }
+        let kind = match kind {
+            "F" => CallKind::Free,
+            "M" => CallKind::Method,
+            k => CallKind::Path(
+                k.strip_prefix("P:")?
+                    .split("::")
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect(),
+            ),
+        };
+        let res = match res {
+            "E" => Resolution::External,
+            r => {
+                if let Some(id) = r.strip_prefix("R:") {
+                    let id: usize = id.parse().ok()?;
+                    if id >= fns.len() {
+                        return None;
+                    }
+                    Resolution::Resolved(id)
+                } else {
+                    let ids: Option<Vec<FnId>> = r
+                        .strip_prefix("A:")?
+                        .split(',')
+                        .map(|i| i.parse().ok().filter(|&i: &usize| i < fns.len()))
+                        .collect();
+                    Resolution::Ambiguous(ids?)
+                }
+            }
+        };
+        sites.push((
+            CallSite {
+                caller,
+                pos: pos.parse().ok()?,
+                line: line.parse().ok()?,
+                name: unesc(name),
+                kind,
+                args: args.parse().ok()?,
+                recv: (recv != "-").then(|| unesc(recv)),
+            },
+            res,
+        ));
+    }
+    let (callees, callers, stats) = link_sites(fns.len(), &sites);
+    Some(CallGraph {
+        fns,
+        callees,
+        callers,
+        sites,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(srcs: &[(&str, &str)]) -> CallGraph {
+        let files: Vec<LintFile<'_>> = srcs
+            .iter()
+            .map(|(p, s)| LintFile::new(p, s).unwrap())
+            .collect();
+        build(&files).unwrap()
+    }
+
+    fn find<'g>(g: &'g CallGraph, name: &str) -> (FnId, &'g FnInfo) {
+        g.fns
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.item.name == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn free_call_resolves_across_files() {
+        let g = graph_of(&[
+            ("crates/a/src/x.rs", "pub fn top() { helper(1); }\n"),
+            ("crates/a/src/y.rs", "pub fn helper(n: u32) -> u32 { n }\n"),
+        ]);
+        let (top, _) = find(&g, "top");
+        let (helper, _) = find(&g, "helper");
+        assert_eq!(g.callees[top], vec![(helper, 1)]);
+        assert_eq!(g.callers[helper], vec![top]);
+        assert_eq!(g.stats.resolved, 1);
+    }
+
+    #[test]
+    fn method_call_resolves_by_shape() {
+        let g = graph_of(&[(
+            "crates/a/src/x.rs",
+            "impl Pool {\n  pub fn get(&self, k: u32) -> u32 { self.probe(k) }\n  \
+             fn probe(&self, k: u32) -> u32 { k }\n}\n",
+        )]);
+        let (get, _) = find(&g, "get");
+        let (probe, _) = find(&g, "probe");
+        assert_eq!(g.callees[get], vec![(probe, 2)]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_external_not_misresolved() {
+        let g = graph_of(&[(
+            "crates/a/src/x.rs",
+            "pub fn insert(a: u32, b: u32, c: u32) {}\n\
+             pub fn top(m: &mut Map) { m.insert(1, 2); }\n",
+        )]);
+        let (top, _) = find(&g, "top");
+        assert!(g.callees[top].is_empty());
+        assert_eq!(g.stats.external, 1);
+    }
+
+    #[test]
+    fn same_name_two_impls_is_ambiguous() {
+        let g = graph_of(&[(
+            "crates/a/src/x.rs",
+            "impl A { pub fn reset(&self) {} }\n\
+             impl B { pub fn reset(&self) {} }\n\
+             pub fn top(v: &A) { v.reset(); }\n",
+        )]);
+        let (top, _) = find(&g, "top");
+        assert!(g.callees[top].is_empty(), "ambiguous sites add no edges");
+        assert_eq!(g.stats.ambiguous, 1);
+    }
+
+    #[test]
+    fn path_call_filters_by_type_and_module() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/x.rs",
+                "impl Wal { pub fn sync(&self) {} }\npub fn beat() {}\n",
+            ),
+            (
+                "crates/b/src/y.rs",
+                "impl Db { pub fn sync(&self) {} }\n\
+                 pub fn top(w: &Wal) { Wal::sync(w); x::beat(); }\n",
+            ),
+        ]);
+        let (top, _) = find(&g, "top");
+        let wal_sync = g
+            .fns
+            .iter()
+            .position(|f| f.item.name == "sync" && f.item.self_ty.as_deref() == Some("Wal"))
+            .unwrap();
+        let (beat, _) = find(&g, "beat");
+        let mut edges: Vec<FnId> = g.callees[top].iter().map(|(c, _)| *c).collect();
+        edges.sort_unstable();
+        let mut want = vec![wal_sync, beat];
+        want.sort_unstable();
+        assert_eq!(edges, want);
+    }
+
+    #[test]
+    fn test_fns_are_not_candidates() {
+        let g = graph_of(&[(
+            "crates/a/src/x.rs",
+            "pub fn top() { helper(); }\n\
+             #[cfg(test)]\nmod tests {\n  fn helper() {}\n}\n",
+        )]);
+        let (top, _) = find(&g, "top");
+        assert!(g.callees[top].is_empty());
+        assert_eq!(g.stats.external, 1);
+    }
+
+    #[test]
+    fn cache_roundtrip_and_invalidation() {
+        let sources = vec![
+            (
+                "crates/a/src/x.rs".to_string(),
+                "pub fn top() { helper(1); }\n".to_string(),
+            ),
+            (
+                "crates/a/src/y.rs".to_string(),
+                "pub fn helper(n: u32) -> u32 { n }\n".to_string(),
+            ),
+        ];
+        let files: Vec<LintFile<'_>> = sources
+            .iter()
+            .map(|(p, s)| LintFile::new(p, s).unwrap())
+            .collect();
+        let g = build(&files).unwrap();
+        let dir = std::env::temp_dir().join("delta-lint-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.cache");
+        save_cache(&path, &sources, &g).unwrap();
+
+        let loaded = load_cache(&path, &sources).expect("cache should validate");
+        assert_eq!(loaded.fns.len(), g.fns.len());
+        assert_eq!(loaded.stats, g.stats);
+        for (a, b) in g.fns.iter().zip(loaded.fns.iter()) {
+            assert_eq!(a.item.name, b.item.name);
+            assert_eq!(a.item.body_start, b.item.body_start);
+            assert_eq!(a.module, b.module);
+        }
+        assert_eq!(loaded.callees, g.callees);
+
+        // Any source edit invalidates the whole cache.
+        let mut edited = sources.clone();
+        edited[1].1.push_str("// touched\n");
+        assert!(load_cache(&path, &edited).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn module_paths_derived_from_file_paths() {
+        assert_eq!(module_of("crates/engine/src/wal.rs"), vec!["engine", "wal"]);
+        assert_eq!(module_of("crates/engine/src/lib.rs"), vec!["engine"]);
+        assert_eq!(module_of("src/lib.rs"), vec!["deltaforge"]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Global lock-order graph and the static deadlock pass.
+//!
+//! Nodes are *lock classes* (normalized guard receivers, e.g. `tables`).
+//! Edges `A -> B` mean "B is acquired while A is held" and come from three
+//! sources:
+//!
+//! 1. **Observed nesting** inside one function body.
+//! 2. **Interprocedural nesting**: a guard on `A` held across a call to a
+//!    function that (transitively) acquires `B` — the edge carries the call
+//!    chain down to the actual acquisition site.
+//! 3. **Declared order**: `// lock-order: N` annotations in one file declare
+//!    `lower -> higher` edges, so the documented protocol participates in
+//!    cycle detection even where a nesting is not (yet) written.
+//!
+//! Any cycle in this graph is a potential ABBA deadlock; the pass fails CI
+//! and prints every edge of the cycle with its provenance chain, so the two
+//! offending acquisition paths can be read directly from the report.
+//! Same-class edges are skipped: distinct instances of one class (e.g. two
+//! shards) share a name, and same-class nesting is governed by the per-file
+//! annotation rule instead.
+
+use crate::rules::{collect_acquisitions, Finding};
+use crate::Workspace;
+use std::collections::BTreeMap;
+
+/// One lock-order edge with human-readable provenance.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Lock class held.
+    pub from: String,
+    /// Lock class acquired under it.
+    pub to: String,
+    /// File the evidence lives in.
+    pub path: String,
+    /// 1-based line of the evidence.
+    pub line: usize,
+    /// How the edge arises (nesting site, call chain, or annotation pair).
+    pub detail: String,
+}
+
+/// Build the global lock-order graph for a workspace.
+pub fn lock_order_edges(ws: &Workspace<'_>) -> Vec<LockEdge> {
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut push = |e: LockEdge| {
+        if e.from != e.to && !edges.iter().any(|x| x.from == e.from && x.to == e.to) {
+            edges.push(e);
+        }
+    };
+
+    for (fn_id, info) in ws.graph.fns.iter().enumerate() {
+        if info.is_test {
+            continue;
+        }
+        let file = &ws.files[info.file];
+        if file.is_test_line(info.item.line) {
+            continue;
+        }
+        let acqs = collect_acquisitions(ws, fn_id);
+
+        // Observed nesting within this body.
+        for (i, outer) in acqs.iter().enumerate() {
+            for inner in &acqs[i + 1..] {
+                if inner.pos >= outer.span_end || file.is_test_line(inner.line) {
+                    continue;
+                }
+                push(LockEdge {
+                    from: outer.class.clone(),
+                    to: inner.class.clone(),
+                    path: file.path.to_string(),
+                    line: inner.line,
+                    detail: format!(
+                        "`{}` acquired at {}:{} while `{}` held (in `{}`)",
+                        inner.receiver,
+                        file.path,
+                        inner.line,
+                        outer.receiver,
+                        info.qual()
+                    ),
+                });
+            }
+
+            // Interprocedural: calls inside the guard span that acquire locks
+            // somewhere down the chain.
+            let span_end = outer.span_end.min(info.item.body_end);
+            for (site, callee) in ws
+                .graph
+                .resolved_sites_in_span(fn_id, outer.pos + 1, span_end)
+            {
+                for class in &ws.effects.locks[callee] {
+                    if *class == outer.class {
+                        continue;
+                    }
+                    push(LockEdge {
+                        from: outer.class.clone(),
+                        to: class.clone(),
+                        path: file.path.to_string(),
+                        line: site.line,
+                        detail: format!(
+                            "call to `{}` at {}:{} acquires `{}` while `{}` held: {}",
+                            site.name,
+                            file.path,
+                            site.line,
+                            class,
+                            outer.receiver,
+                            ws.effects.lock_chain(&ws.graph, callee, class)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Declared order: annotation pairs within each file.
+    for (file_idx, file) in ws.files.iter().enumerate() {
+        // class -> (order, line), first annotation wins (consistency is
+        // checked by lock-hygiene).
+        let mut classes: BTreeMap<String, (u64, usize)> = BTreeMap::new();
+        for fn_id in ws.graph.fns_in_file(file_idx) {
+            if ws.graph.fns[fn_id].is_test {
+                continue;
+            }
+            for acq in collect_acquisitions(ws, fn_id) {
+                if let Some(n) = acq.order {
+                    classes.entry(acq.class.clone()).or_insert((n, acq.line));
+                }
+            }
+        }
+        let flat: Vec<(&String, &(u64, usize))> = classes.iter().collect();
+        for (i, (a, (na, la))) in flat.iter().enumerate() {
+            for (b, (nb, _)) in &flat[i + 1..] {
+                let (from, to, detail_line) = if na < nb {
+                    (a, b, la)
+                } else if nb < na {
+                    (b, a, la)
+                } else {
+                    continue;
+                };
+                push(LockEdge {
+                    from: (*from).clone(),
+                    to: (*to).clone(),
+                    path: file.path.to_string(),
+                    line: *detail_line,
+                    detail: format!(
+                        "declared by `lock-order:` annotations in {} (`{}` before `{}`)",
+                        file.path, from, to
+                    ),
+                });
+            }
+        }
+    }
+    edges
+}
+
+/// Detect cycles in the lock-order graph; each cycle becomes one finding
+/// whose message prints every edge's provenance chain.
+pub fn cycle_findings(edges: &[LockEdge]) -> Vec<Finding> {
+    // Adjacency over class names.
+    let mut adj: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, e) in edges.iter().enumerate() {
+        adj.entry(&e.from).or_default().push(i);
+        adj.entry(&e.to).or_default();
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let index: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let mut color = vec![Color::White; nodes.len()];
+    let mut findings = Vec::new();
+    let mut seen_cycles: Vec<Vec<String>> = Vec::new();
+
+    // Iterative DFS carrying the edge path.
+    for &start in &nodes {
+        let si = index[start];
+        if color[si] != Color::White {
+            continue;
+        }
+        // Stack frames: (node, next-edge-cursor); path holds edge indices.
+        let mut stack: Vec<(usize, usize)> = vec![(si, 0)];
+        let mut path: Vec<usize> = Vec::new();
+        color[si] = Color::Gray;
+        while let Some((node, cursor)) = stack.pop() {
+            let node_name = nodes[node];
+            let out: &[usize] = adj.get(node_name).map(Vec::as_slice).unwrap_or(&[]);
+            if cursor >= out.len() {
+                color[node] = Color::Black;
+                path.pop();
+                continue;
+            }
+            stack.push((node, cursor + 1));
+            {
+                let eidx = out[cursor];
+                let next = index[edges[eidx].to.as_str()];
+                match color[next] {
+                    Color::White => {
+                        color[next] = Color::Gray;
+                        path.push(eidx);
+                        stack.push((next, 0));
+                    }
+                    Color::Gray => {
+                        // Back edge: the cycle is the path suffix from `next`
+                        // plus this closing edge.
+                        let mut cycle_edges: Vec<usize> = Vec::new();
+                        let mut at = edges[eidx].to.as_str();
+                        for &p in &path {
+                            if cycle_edges.is_empty() && edges[p].from != at {
+                                continue;
+                            }
+                            cycle_edges.push(p);
+                            at = &edges[p].to;
+                        }
+                        cycle_edges.push(eidx);
+                        let mut names: Vec<String> =
+                            cycle_edges.iter().map(|&p| edges[p].from.clone()).collect();
+                        names.push(edges[eidx].to.clone());
+                        // Canonical form for dedup: rotate to smallest node.
+                        let mut canon: Vec<String> = names[..names.len() - 1].to_vec();
+                        if let Some(min_at) = canon
+                            .iter()
+                            .enumerate()
+                            .min_by(|a, b| a.1.cmp(b.1))
+                            .map(|(i, _)| i)
+                        {
+                            canon.rotate_left(min_at);
+                        }
+                        if !seen_cycles.contains(&canon) {
+                            seen_cycles.push(canon);
+                            let mut msg =
+                                format!("static lock-order cycle: {}", names.join(" -> "));
+                            for &p in &cycle_edges {
+                                msg.push_str(&format!(
+                                    "\n    {} -> {}: {}",
+                                    edges[p].from, edges[p].to, edges[p].detail
+                                ));
+                            }
+                            let first = &edges[cycle_edges[0]];
+                            findings.push(Finding {
+                                rule: "lock-order-cycle",
+                                path: first.path.clone(),
+                                line: first.line,
+                                message: msg,
+                            });
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(from: &str, to: &str) -> LockEdge {
+        LockEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            path: "crates/x/src/a.rs".to_string(),
+            line: 1,
+            detail: format!("{from} then {to}"),
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_is_silent() {
+        let edges = [edge("a", "b"), edge("b", "c"), edge("a", "c")];
+        assert!(cycle_findings(&edges).is_empty());
+    }
+
+    #[test]
+    fn two_node_cycle_reports_both_chains() {
+        let edges = [edge("a", "b"), edge("b", "a")];
+        let f = cycle_findings(&edges);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "lock-order-cycle");
+        assert!(f[0].message.contains("a -> b"), "{}", f[0].message);
+        assert!(f[0].message.contains("b -> a"), "{}", f[0].message);
+        assert!(f[0].message.contains("a then b"));
+        assert!(f[0].message.contains("b then a"));
+    }
+
+    #[test]
+    fn three_node_cycle_detected_once() {
+        let edges = [edge("a", "b"), edge("b", "c"), edge("c", "a")];
+        let f = cycle_findings(&edges);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("a -> b -> c -> a"));
+    }
+
+    #[test]
+    fn self_edges_never_built() {
+        // lock_order_edges skips same-class pairs at construction; a
+        // hand-made self edge must still not loop the detector forever.
+        let edges = [edge("a", "a")];
+        let f = cycle_findings(&edges);
+        assert_eq!(f.len(), 1); // honest about a planted self-edge
+    }
+}

@@ -1,35 +1,294 @@
-//! Thin CLI for delta-lint: walk the workspace, print findings, exit nonzero
-//! when any remain. Usage: `cargo run -p delta-lint [-- <workspace-root>]`.
+//! CLI for delta-lint.
+//!
+//! ```text
+//! delta-lint [workspace-root]
+//!            [--format text|json|sarif]
+//!            [--baseline [path]]        ratchet: fail only if a rule's count
+//!                                       grows past the checked-in baseline
+//!            [--write-baseline [path]]  rewrite the baseline from this run
+//!            [--cache <path>]           reuse/save the symbol-index cache
+//!            [--stats]                  print analysis totals to stderr
+//! ```
+//!
+//! Exit codes: 0 clean (or within baseline), 1 findings (or ratchet
+//! violation), 2 usage/analysis error.
 
-use std::path::Path;
+use delta_lint::{Finding, Report, BASELINE_PATH};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+struct Opts {
+    root: PathBuf,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    stats: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: delta-lint [workspace-root] [--format text|json|sarif] \
+         [--baseline [path]] [--write-baseline [path]] [--cache <path>] [--stats]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, ()> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        format: Format::Text,
+        baseline: None,
+        write_baseline: None,
+        cache: None,
+        stats: false,
+    };
+    let mut root_set = false;
+    let mut it = args.iter().peekable();
+    // An optional-path flag consumes the next token unless it is a flag.
+    let next_path =
+        |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>| -> Option<PathBuf> {
+            match it.peek() {
+                Some(tok) if !tok.starts_with("--") => it.next().map(PathBuf::from),
+                _ => None,
+            }
+        };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                opts.format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    _ => return Err(()),
+                }
+            }
+            "--baseline" => {
+                opts.baseline =
+                    Some(next_path(&mut it).unwrap_or_else(|| opts.root.join(BASELINE_PATH)));
+            }
+            "--write-baseline" => {
+                opts.write_baseline =
+                    Some(next_path(&mut it).unwrap_or_else(|| opts.root.join(BASELINE_PATH)));
+            }
+            "--cache" => opts.cache = next_path(&mut it).ok_or(())?.into(),
+            "--stats" => opts.stats = true,
+            _ if arg.starts_with("--") => return Err(()),
+            _ if !root_set => {
+                root_set = true;
+                opts.root = PathBuf::from(arg);
+                // Default baseline paths follow the root.
+                if let Some(b) = &opts.baseline {
+                    if *b == Path::new(".").join(BASELINE_PATH) {
+                        opts.baseline = Some(opts.root.join(BASELINE_PATH));
+                    }
+                }
+            }
+            _ => return Err(()),
+        }
+    }
+    Ok(opts)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(report: &Report) {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message),
+            if i + 1 < report.findings.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    let s = report.stats;
+    out.push_str(&format!(
+        "  ],\n  \"stats\": {{\"files\": {}, \"functions\": {}, \"resolved\": {}, \
+         \"ambiguous\": {}, \"external\": {}, \"lock_edges\": {}, \"cache_hit\": {}}}\n}}",
+        s.files, s.functions, s.resolved, s.ambiguous, s.external, s.lock_edges, s.cache_hit
+    ));
+    println!("{out}");
+}
+
+fn print_sarif(report: &Report) {
+    let mut rule_ids: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+    let rules = rule_ids
+        .iter()
+        .map(|r| format!("{{\"id\": \"{}\"}}", json_escape(r)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let results = report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+                 \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+                 \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+                 \"region\": {{\"startLine\": {}}}}}}}]}}",
+                json_escape(f.rule),
+                json_escape(&f.message),
+                json_escape(&f.path),
+                f.line
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    println!(
+        "{{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {{\n      \"tool\": {{\"driver\": \
+         {{\"name\": \"delta-lint\", \"rules\": [{rules}]}}}},\n      \"results\": [\n{results}\n      ]\n    }}\n  ]\n}}"
+    );
+}
+
+fn rule_counts(findings: &[Finding]) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule).or_default() += 1;
+    }
+    counts
+}
+
+fn baseline_text(findings: &[Finding]) -> String {
+    let mut out = String::from("# delta-lint baseline: findings tolerated per rule.\n# The ratchet fails CI when any rule's count grows past this file.\n");
+    for (rule, n) in rule_counts(findings) {
+        out.push_str(&format!("{rule} {n}\n"));
+    }
+    out
+}
+
+fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (rule, n) = l.rsplit_once(' ')?;
+            Some((rule.trim().to_string(), n.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+/// Ratchet check: every rule's current count must be <= its baseline count.
+/// Returns violation messages (empty = within baseline).
+fn ratchet(findings: &[Finding], baseline: &BTreeMap<String, usize>) -> Vec<String> {
+    rule_counts(findings)
+        .iter()
+        .filter_map(|(rule, &now)| {
+            let was = baseline.get(*rule).copied().unwrap_or(0);
+            (now > was).then(|| {
+                format!("rule `{rule}`: {now} finding(s), baseline allows {was} — fix the new ones or justify with an inline suppression")
+            })
+        })
+        .collect()
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let root = match args.as_slice() {
-        [] => Path::new("."),
-        [root] => Path::new(root),
-        _ => {
-            eprintln!("usage: delta-lint [workspace-root]");
+    let Ok(opts) = parse_opts(&args) else {
+        return usage();
+    };
+
+    let report = match delta_lint::run_report(&opts.root, opts.cache.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("delta-lint: {e}");
             return ExitCode::from(2);
         }
     };
 
-    match delta_lint::run(root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("delta-lint: clean");
-            ExitCode::SUCCESS
+    if opts.stats {
+        let s = report.stats;
+        eprintln!(
+            "delta-lint: {} files, {} functions, {} resolved / {} ambiguous / {} external call sites, {} lock-order edges{}",
+            s.files,
+            s.functions,
+            s.resolved,
+            s.ambiguous,
+            s.external,
+            s.lock_edges,
+            if s.cache_hit { " (cache hit)" } else { "" }
+        );
+    }
+
+    if let Some(path) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(path, baseline_text(&report.findings)) {
+            eprintln!("delta-lint: writing baseline {}: {e}", path.display());
+            return ExitCode::from(2);
         }
-        Ok(findings) => {
-            for f in &findings {
+        eprintln!("delta-lint: baseline written to {}", path.display());
+    }
+
+    match opts.format {
+        Format::Text => {
+            for f in &report.findings {
                 println!("{f}");
             }
-            println!("delta-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
         }
-        Err(e) => {
-            eprintln!("delta-lint: {e}");
-            ExitCode::from(2)
+        Format::Json => print_json(&report),
+        Format::Sarif => print_sarif(&report),
+    }
+
+    if let Some(path) = &opts.baseline {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(text) => parse_baseline(&text),
+            Err(e) => {
+                eprintln!("delta-lint: reading baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let violations = ratchet(&report.findings, &baseline);
+        if violations.is_empty() {
+            eprintln!(
+                "delta-lint: {} finding(s), within baseline",
+                report.findings.len()
+            );
+            return ExitCode::SUCCESS;
         }
+        for v in &violations {
+            eprintln!("delta-lint: ratchet: {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    if report.findings.is_empty() {
+        if matches!(opts.format, Format::Text) {
+            println!("delta-lint: clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        if matches!(opts.format, Format::Text) {
+            println!("delta-lint: {} finding(s)", report.findings.len());
+        }
+        ExitCode::FAILURE
     }
 }

@@ -1,6 +1,15 @@
-//! The three lint rules: panic-freedom, lock-hygiene, and API-hygiene.
+//! The lint rules.
+//!
+//! Per-file rules (panic-freedom in designated modules, fsync-discard,
+//! api-hygiene, suppression-hygiene) work on a single [`LintFile`].
+//! The interprocedural rules (lock-hygiene with transitive effects,
+//! guard-from-helper, panic-reachability) work on a [`crate::Workspace`] —
+//! the full file set plus call graph and effect facts.
 
-use crate::scan::{self, Scrubbed};
+use crate::callgraph::FnId;
+use crate::effects::{self, Witness, FILE_IO, RETURNS_GUARD, WAITS_CONDVAR};
+use crate::scan::{self, ScanError, Scrubbed};
+use crate::Workspace;
 use std::collections::HashMap;
 
 /// One lint violation.
@@ -39,24 +48,30 @@ pub struct LintFile<'a> {
 }
 
 impl<'a> LintFile<'a> {
-    /// Preprocess `source` for linting.
-    pub fn new(path: &'a str, source: &'a str) -> LintFile<'a> {
+    /// Preprocess `source` for linting. Structural parse failures (an
+    /// unbalanced brace) surface as [`ScanError`]s.
+    pub fn new(path: &'a str, source: &'a str) -> Result<LintFile<'a>, ScanError> {
         let scrubbed = scan::scrub(source);
-        let test_regions = scan::test_regions(&scrubbed.code);
-        LintFile {
+        let test_regions = scan::test_regions(&scrubbed.code)?;
+        Ok(LintFile {
             path,
             source,
             scrubbed,
             test_regions,
-        }
+        })
     }
 
-    fn is_test_line(&self, line: usize) -> bool {
+    pub(crate) fn is_test_line(&self, line: usize) -> bool {
         scan::in_regions(&self.test_regions, line)
     }
 
-    fn source_line(&self, line: usize) -> &str {
-        self.source.lines().nth(line - 1).unwrap_or("")
+    /// The original source text of 1-based `line`. Out-of-range lines are a
+    /// span error — the lint must never silently compare against `""`.
+    fn source_line(&self, line: usize) -> Result<&str, ScanError> {
+        self.source.lines().nth(line - 1).ok_or_else(|| ScanError {
+            line,
+            what: format!("line {line} out of range for {}", self.path),
+        })
     }
 }
 
@@ -72,13 +87,21 @@ pub const PANIC_FREE_FILES: &[&str] = &[
     "crates/storage/src/buffer.rs",
 ];
 
-const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!"];
+/// Path prefixes whose every file is panic-free scoped. `crates/lint/src`
+/// self-lints: the analyzer must hold itself to the rule it enforces.
+pub const PANIC_FREE_PREFIXES: &[&str] = &["crates/lint/src"];
+
+fn in_panic_scope(path: &str) -> bool {
+    PANIC_FREE_FILES.contains(&path) || PANIC_FREE_PREFIXES.iter().any(|p| path.starts_with(p))
+}
 
 /// An allowlist entry: `path: substring` — a violation on `path` whose source
 /// line contains `substring` is tolerated.
 #[derive(Debug, Clone)]
 pub struct AllowEntry {
+    /// Repo-relative path the entry applies to.
     pub path: String,
+    /// Substring of the tolerated source line.
     pub substring: String,
 }
 
@@ -97,11 +120,21 @@ pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
         .collect()
 }
 
+fn allowlisted(allow: &[AllowEntry], path: &str, source_line: &str) -> bool {
+    allow
+        .iter()
+        .any(|e| e.path == path && source_line.contains(&e.substring))
+}
+
 /// Panic-freedom: no `.unwrap()` / `.expect(...)` / `panic!` / `unreachable!`
-/// in non-test code of the designated crash-recovery modules.
-pub fn check_panic_freedom(file: &LintFile<'_>, allow: &[AllowEntry]) -> Vec<Finding> {
-    if !PANIC_FREE_FILES.contains(&file.path) {
-        return Vec::new();
+/// in non-test code of the designated crash-recovery modules (and the lint's
+/// own sources). `// lint: allow(panic_freedom) -- reason` waives one site.
+pub fn check_panic_freedom(
+    file: &LintFile<'_>,
+    allow: &[AllowEntry],
+) -> Result<Vec<Finding>, ScanError> {
+    if !in_panic_scope(file.path) {
+        return Ok(Vec::new());
     }
     let mut findings = Vec::new();
     for (idx, line) in file.scrubbed.code.lines().enumerate() {
@@ -109,91 +142,56 @@ pub fn check_panic_freedom(file: &LintFile<'_>, allow: &[AllowEntry]) -> Vec<Fin
         if file.is_test_line(lineno) {
             continue;
         }
-        for pat in PANIC_PATTERNS {
+        for pat in effects::PANIC_PATTERNS {
             if !line.contains(pat) {
                 continue;
             }
-            let original = file.source_line(lineno);
-            let allowed = allow
-                .iter()
-                .any(|e| e.path == file.path && original.contains(&e.substring));
-            if !allowed {
-                findings.push(Finding {
-                    rule: "panic-freedom",
-                    path: file.path.to_string(),
-                    line: lineno,
-                    message: format!(
-                        "`{}` in crash-recovery module (use typed errors; see allowlist)",
-                        pat.trim_start_matches('.')
-                    ),
-                });
+            let original = file.source_line(lineno)?;
+            if allowlisted(allow, file.path, original)
+                || has_suppression(file, lineno, "panic_freedom")
+            {
+                continue;
             }
+            findings.push(Finding {
+                rule: "panic-freedom",
+                path: file.path.to_string(),
+                line: lineno,
+                message: format!(
+                    "`{}` in panic-free module (use typed errors; see allowlist)",
+                    pat.trim_start_matches('.')
+                ),
+            });
         }
     }
-    findings
+    Ok(findings)
 }
 
 /// Files allowed to block on a `Condvar` while holding a lock: the lock
 /// manager's whole job is to park waiters under its per-table state mutex.
-const LOCK_WAIT_EXEMPT: &[&str] = &["crates/engine/src/lock.rs"];
+pub const LOCK_WAIT_EXEMPT: &[&str] = &["crates/engine/src/lock.rs"];
 
-const IO_MARKERS: &[&str] = &[
-    "File::create",
-    "File::open",
-    "OpenOptions",
-    "fs::rename",
-    "fs::remove",
-    "fs::read",
-    "fs::write",
-    "fs::copy",
-    ".sync_all(",
-    ".sync_data(",
-    ".write_all(",
-    ".read_exact(",
-    ".flush(",
-    ".set_len(",
-    ".seek(",
-    // Page-granular disk I/O (DiskFile): the sharded buffer pool reads
-    // misses and writes evictions back strictly outside its shard locks,
-    // and nothing else may regress that either.
-    ".read_page(",
-    ".write_page(",
-];
-
-const WAIT_MARKERS: &[&str] = &[".wait(", ".wait_for(", ".wait_until(", ".wait_while("];
-
-/// A lock acquisition site within a function body.
+/// A lock acquisition site within a function body: a direct
+/// `.lock()`/`.read()`/`.write()` or a call to a guard-returning helper.
 #[derive(Debug)]
-struct Acquisition {
-    /// Byte offset of the `.` in `.lock()`/`.read()`/`.write()`.
-    pos: usize,
+pub(crate) struct Acquisition {
+    /// Byte offset of the acquisition token.
+    pub pos: usize,
     /// 1-based line number.
-    line: usize,
-    /// Receiver expression, e.g. `self.tables`.
-    receiver: String,
+    pub line: usize,
+    /// Receiver expression (`self.tables`) or helper call (`shard_guard()`).
+    pub receiver: String,
+    /// Normalized lock class (`tables`).
+    pub class: String,
     /// End of the guard's live range (byte offset, exclusive).
-    span_end: usize,
-    /// `// lock-order: N` annotation attached to this line, if any.
-    order: Option<u64>,
+    pub span_end: usize,
+    /// `// lock-order: N` annotation governing this acquisition, if any.
+    pub order: Option<u64>,
+    /// The guard-returning helper this acquisition went through, if any.
+    pub via_helper: Option<FnId>,
 }
 
-fn receiver_of(code: &str, dot: usize) -> String {
-    let bytes = code.as_bytes();
-    let mut start = dot;
-    while start > 0 {
-        let b = bytes[start - 1];
-        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b':' {
-            start -= 1;
-        } else {
-            break;
-        }
-    }
-    let r = code[start..dot].trim_start_matches('.');
-    if r.is_empty() {
-        "<expr>".to_string()
-    } else {
-        r.to_string()
-    }
+fn line_start(code: &str, pos: usize) -> usize {
+    code[..pos].rfind('\n').map(|p| p + 1).unwrap_or(0)
 }
 
 /// Innermost block enclosing `pos` within `[from, to)`; returns its end offset.
@@ -210,85 +208,152 @@ fn enclosing_block_end(code: &str, from: usize, to: usize, pos: usize) -> usize 
         }
     }
     match stack.last() {
+        // The braces were matched when the fn body was located; an unmatched
+        // inner `{` can only mean the span ends with the body.
         Some(&open) => scan::match_brace(code, open).unwrap_or(to),
         None => to,
     }
 }
 
-fn line_start(code: &str, pos: usize) -> usize {
-    code[..pos].rfind('\n').map(|p| p + 1).unwrap_or(0)
-}
-
-fn collect_acquisitions(
-    code: &str,
-    body: &scan::FnBody,
-    orders: &HashMap<usize, u64>,
-) -> Vec<Acquisition> {
-    let mut out = Vec::new();
-    let span = &code[body.start..body.end];
-    for pat in [".lock()", ".read()", ".write()"] {
-        let mut search = 0usize;
-        while let Some(rel) = span[search..].find(pat) {
-            let pos = body.start + search + rel;
-            search += rel + pat.len();
-            let line = scan::line_of(code, pos);
-            let ls = line_start(code, pos);
-            let stmt_head = code[ls..pos].trim_start();
-            let is_let = stmt_head.starts_with("let ");
-            let span_end = if is_let {
-                let mut end = enclosing_block_end(code, body.start, body.end, pos);
-                // `drop(name)` ends the guard's live range early.
-                if let Some(name) = stmt_head
-                    .trim_start_matches("let ")
-                    .trim_start_matches("mut ")
-                    .split(|c: char| !c.is_alphanumeric() && c != '_')
-                    .next()
-                    .filter(|n| !n.is_empty())
-                {
-                    let drop_pat = format!("drop({name})");
-                    if let Some(d) = code[pos..end].find(&drop_pat) {
-                        end = pos + d;
-                    }
-                }
-                end
-            } else {
-                // Temporary guard: lives to the end of the statement.
-                code[pos..body.end]
-                    .find(';')
-                    .map(|p| pos + p)
-                    .unwrap_or(body.end)
-            };
-            out.push(Acquisition {
-                pos,
-                line,
-                receiver: receiver_of(code, pos),
-                span_end,
-                order: orders.get(&line).copied(),
-            });
+/// Live range of a guard obtained at `pos`: to the end of the enclosing block
+/// for `let` bindings (clipped at `drop(name)`), to the end of the statement
+/// for temporaries. `chained` means the lock call is immediately followed by
+/// another method call (`.read().values()`) — the guard is then a temporary
+/// consumed inside the statement even under a `let`, because the binding
+/// holds the chain's result, not the guard. (Locks here are parking_lot
+/// style; there is no fallible `.lock().unwrap()` chain that returns the
+/// guard itself.)
+fn guard_span(code: &str, body_start: usize, body_end: usize, pos: usize, chained: bool) -> usize {
+    let ls = line_start(code, pos);
+    let stmt_head = code[ls..pos].trim_start();
+    if !chained && stmt_head.starts_with("let ") {
+        let mut end = enclosing_block_end(code, body_start, body_end, pos);
+        // `drop(name)` ends the guard's live range early.
+        if let Some(name) = stmt_head
+            .trim_start_matches("let ")
+            .trim_start_matches("mut ")
+            .split(|c: char| !c.is_alphanumeric() && c != '_')
+            .next()
+            .filter(|n| !n.is_empty())
+        {
+            let drop_pat = format!("drop({name})");
+            if let Some(d) = code[pos..end].find(&drop_pat) {
+                end = pos + d;
+            }
         }
+        end
+    } else {
+        // Temporary guard: lives to the end of the statement.
+        code[pos..body_end]
+            .find(';')
+            .map(|p| pos + p)
+            .unwrap_or(body_end)
     }
-    out.sort_by_key(|a| a.pos);
-    out
 }
 
-/// Map `// lock-order: N` annotations to the code line they describe (the
+/// `// lock-order: N` annotations mapped to the code line they describe (the
 /// same line for trailing comments, otherwise the next line).
-fn lock_order_annotations(file: &LintFile<'_>) -> HashMap<usize, u64> {
+pub(crate) fn lock_order_annotations(file: &LintFile<'_>) -> HashMap<usize, u64> {
     let code_lines: Vec<&str> = file.scrubbed.code.lines().collect();
     let mut map = HashMap::new();
     for (line, text) in &file.scrubbed.comments {
         let Some(rest) = text.split("lock-order:").nth(1) else {
             continue;
         };
-        let Ok(n) = rest.split_whitespace().next().unwrap_or("").parse() else {
+        let Some(tok) = rest.split_whitespace().next() else {
             continue;
         };
+        let Ok(n) = tok.parse() else { continue };
         let has_code = code_lines
             .get(line - 1)
             .is_some_and(|l| !l.trim().is_empty());
         map.insert(if has_code { *line } else { line + 1 }, n);
     }
     map
+}
+
+/// The lock-order annotation at a guard-returning helper's own acquisition
+/// site, so call-site acquisitions inherit the helper's documented order.
+fn helper_order(ws: &Workspace<'_>, helper: FnId) -> Option<u64> {
+    let info = &ws.graph.fns[helper];
+    let code = &ws.files[info.file].scrubbed.code;
+    let body = &code[info.item.body_start..info.item.body_end];
+    for pat in effects::LOCK_PATTERNS {
+        if let Some(p) = body.find(pat) {
+            let line = scan::line_of(code, info.item.body_start + p);
+            return ws.orders[info.file].get(&line).copied();
+        }
+    }
+    None
+}
+
+/// The lock class a guard-returning helper hands back: its first locally
+/// acquired class, falling back to any class it transitively acquires.
+fn helper_class(ws: &Workspace<'_>, helper: FnId) -> Option<String> {
+    let fx = &ws.effects;
+    fx.locks[helper]
+        .iter()
+        .find(|c| {
+            matches!(
+                fx.lock_witness.get(&(helper, (*c).clone())),
+                Some(Witness::Local { .. })
+            )
+        })
+        .or_else(|| fx.locks[helper].iter().next())
+        .cloned()
+}
+
+/// Every acquisition in `fn_id`'s body: direct lock calls plus calls to
+/// guard-returning helpers (which hand a live guard back to this frame).
+pub(crate) fn collect_acquisitions(ws: &Workspace<'_>, fn_id: FnId) -> Vec<Acquisition> {
+    let info = &ws.graph.fns[fn_id];
+    let file = &ws.files[info.file];
+    let code = &file.scrubbed.code;
+    let orders = &ws.orders[info.file];
+    let (start, end) = (info.item.body_start, info.item.body_end);
+    let mut out = Vec::new();
+    let span = &code[start..end];
+    for pat in effects::LOCK_PATTERNS {
+        let mut search = 0usize;
+        while let Some(rel) = span[search..].find(pat) {
+            let pos = start + search + rel;
+            search += rel + pat.len();
+            let line = scan::line_of(code, pos);
+            let receiver = scan::receiver_of(code, pos);
+            let chained = code[pos + pat.len()..].starts_with('.');
+            out.push(Acquisition {
+                pos,
+                line,
+                class: effects::lock_class(&receiver),
+                receiver,
+                span_end: guard_span(code, start, end, pos, chained),
+                order: orders.get(&line).copied(),
+                via_helper: None,
+            });
+        }
+    }
+    for (site, callee) in ws.graph.resolved_sites_in_span(fn_id, start, end) {
+        if ws.effects.bits[callee] & RETURNS_GUARD == 0 {
+            continue;
+        }
+        let Some(class) = helper_class(ws, callee) else {
+            continue;
+        };
+        out.push(Acquisition {
+            pos: site.pos,
+            line: site.line,
+            receiver: format!("{}()", site.name),
+            class,
+            span_end: guard_span(code, start, end, site.pos, false),
+            order: ws.orders[info.file]
+                .get(&site.line)
+                .copied()
+                .or_else(|| helper_order(ws, callee)),
+            via_helper: Some(callee),
+        });
+    }
+    out.sort_by_key(|a| a.pos);
+    out
 }
 
 /// Whether a comment's captured text is a doc comment (`///` or `//!`).
@@ -323,31 +388,41 @@ fn has_suppression(file: &LintFile<'_>, line: usize, rule: &str) -> bool {
     false
 }
 
-/// Lock-hygiene: guards must not be held across file I/O or `Condvar` waits
-/// (outside the lock manager), and nested acquisitions must follow the
-/// documented `// lock-order: N` annotations.
-pub fn check_lock_hygiene(file: &LintFile<'_>) -> Vec<Finding> {
+/// Lock-hygiene over one file, call-graph aware: guards must not be held
+/// across file I/O or a `Condvar` wait — whether the offending operation is
+/// textually in the span or reached through any chain of workspace calls —
+/// and nested acquisitions must follow the documented `// lock-order: N`
+/// annotations.
+pub fn check_lock_hygiene(ws: &Workspace<'_>, file_idx: usize) -> Vec<Finding> {
+    let file = &ws.files[file_idx];
     let code = &file.scrubbed.code;
-    let orders = lock_order_annotations(file);
+    let fx = &ws.effects;
     let mut findings = Vec::new();
 
     // Consistency: one receiver, one order, per file.
     let mut receiver_orders: HashMap<String, (u64, usize)> = HashMap::new();
 
-    for body in scan::fn_bodies(code) {
-        if file.is_test_line(body.line) {
+    for fn_id in ws.graph.fns_in_file(file_idx) {
+        let info = &ws.graph.fns[fn_id];
+        if info.is_test || file.is_test_line(info.item.line) {
             continue;
         }
-        let acqs = collect_acquisitions(code, &body, &orders);
+        let body_end = info.item.body_end;
+        let acqs = collect_acquisitions(ws, fn_id);
 
         for acq in &acqs {
             if file.is_test_line(acq.line) || has_suppression(file, acq.line, "lock_hygiene") {
                 continue;
             }
-            let held = &code[acq.pos..acq.span_end.min(body.end)];
+            let span_end = acq.span_end.min(body_end);
+            let held = &code[acq.pos..span_end];
             let wait_exempt = LOCK_WAIT_EXEMPT.contains(&file.path);
-            for marker in IO_MARKERS {
+
+            // Direct markers in the guard's span.
+            let mut io_hit = false;
+            for marker in effects::IO_MARKERS {
                 if let Some(p) = held.find(marker) {
+                    io_hit = true;
                     findings.push(Finding {
                         rule: "lock-hygiene",
                         path: file.path.to_string(),
@@ -362,10 +437,12 @@ pub fn check_lock_hygiene(file: &LintFile<'_>) -> Vec<Finding> {
                     break;
                 }
             }
+            let mut wait_hit = false;
             if !wait_exempt {
-                for marker in WAIT_MARKERS {
+                for marker in effects::WAIT_MARKERS {
                     // Skip the guard's own acquisition token.
                     if let Some(p) = held[1..].find(marker) {
+                        wait_hit = true;
                         findings.push(Finding {
                             rule: "lock-hygiene",
                             path: file.path.to_string(),
@@ -379,6 +456,52 @@ pub fn check_lock_hygiene(file: &LintFile<'_>) -> Vec<Finding> {
                         });
                         break;
                     }
+                }
+            }
+
+            // Transitive effects through calls in the guard's span: the I/O
+            // (or wait) may live any number of frames down.
+            for (site, callee) in ws
+                .graph
+                .resolved_sites_in_span(fn_id, acq.pos + 1, span_end)
+            {
+                if Some(callee) == acq.via_helper && site.pos == acq.pos {
+                    continue; // the acquisition call itself
+                }
+                if !io_hit && fx.bits[callee] & FILE_IO != 0 {
+                    io_hit = true;
+                    findings.push(Finding {
+                        rule: "lock-hygiene",
+                        path: file.path.to_string(),
+                        line: acq.line,
+                        message: format!(
+                            "guard on `{}` held across call to `{}` (line {}) which \
+                             performs file I/O: {}",
+                            acq.receiver,
+                            site.name,
+                            site.line,
+                            fx.chain(&ws.graph, callee, |fx, id| fx.io_witness[id].clone())
+                        ),
+                    });
+                }
+                if !wait_exempt && !wait_hit && fx.bits[callee] & WAITS_CONDVAR != 0 {
+                    wait_hit = true;
+                    findings.push(Finding {
+                        rule: "lock-hygiene",
+                        path: file.path.to_string(),
+                        line: acq.line,
+                        message: format!(
+                            "guard on `{}` held across call to `{}` (line {}) which \
+                             blocks on a Condvar: {}",
+                            acq.receiver,
+                            site.name,
+                            site.line,
+                            fx.chain(&ws.graph, callee, |fx, id| fx.wait_witness[id].clone())
+                        ),
+                    });
+                }
+                if io_hit && (wait_hit || wait_exempt) {
+                    break;
                 }
             }
         }
@@ -448,6 +571,148 @@ pub fn check_lock_hygiene(file: &LintFile<'_>) -> Vec<Finding> {
     findings.sort_by_key(|f| f.line);
     findings.dedup();
     findings
+}
+
+/// Guard-from-helper: a function that hands a live lock guard back to its
+/// caller must carry a `// lock-order: <n>` annotation at the acquisition
+/// site — callers inherit the guard without seeing the lock, so the order
+/// contract has to travel with the helper.
+pub fn check_guard_helpers(ws: &Workspace<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (id, info) in ws.graph.fns.iter().enumerate() {
+        if info.is_test || ws.effects.bits[id] & RETURNS_GUARD == 0 {
+            continue;
+        }
+        let file = &ws.files[info.file];
+        if file.is_test_line(info.item.line) {
+            continue;
+        }
+        let code = &file.scrubbed.code;
+        let body = &code[info.item.body_start..info.item.body_end];
+        let mut acquires_locally = false;
+        for pat in effects::LOCK_PATTERNS {
+            let mut search = 0usize;
+            while let Some(p) = body[search..].find(pat) {
+                let pos = info.item.body_start + search + p;
+                search += p + pat.len();
+                acquires_locally = true;
+                let line = scan::line_of(code, pos);
+                if !ws.orders[info.file].contains_key(&line)
+                    && !has_suppression(file, line, "lock_hygiene")
+                {
+                    findings.push(Finding {
+                        rule: "lock-hygiene",
+                        path: file.path.to_string(),
+                        line,
+                        message: format!(
+                            "`{}` returns a live lock guard but its acquisition carries \
+                             no `// lock-order: <n>` annotation (callers inherit the lock)",
+                            info.qual()
+                        ),
+                    });
+                }
+            }
+        }
+        let _ = acquires_locally; // helpers that merely re-export another
+                                  // helper's guard are annotated at the source
+    }
+    findings
+}
+
+/// Entry points of the recovery surface: WAL replay, crash recovery, snapshot
+/// diffing and delta apply. Panic-reachability walks the call graph from
+/// every function matching one of these shapes.
+pub fn is_recovery_entry(name: &str) -> bool {
+    matches!(name, "replay" | "recover" | "apply")
+        || name.starts_with("recover_")
+        || name.starts_with("replay_")
+        || name.starts_with("diff_snapshots")
+        || name.starts_with("apply_")
+}
+
+/// Panic-reachability: every `unwrap`/`expect`/`panic!`/`unreachable!` in
+/// non-test code reachable from a recovery entry point, reported with the
+/// call chain that reaches it. The allowlist and
+/// `// lint: allow(panic_freedom)` suppressions waive individual sites.
+pub fn check_panic_reachability(
+    ws: &Workspace<'_>,
+    allow: &[AllowEntry],
+) -> Result<Vec<Finding>, crate::LintError> {
+    let graph = &ws.graph;
+    let n = graph.fns.len();
+    // Deterministic entry order: by qualified name.
+    let mut entries: Vec<FnId> = (0..n)
+        .filter(|&id| !graph.fns[id].is_test && is_recovery_entry(&graph.fns[id].item.name))
+        .collect();
+    entries.sort_by_key(|&id| graph.fns[id].qual());
+
+    // BFS from all entries at once; `via[f]` remembers one (parent, entry)
+    // pair so chains can be reconstructed.
+    let mut seen = vec![false; n];
+    let mut parent: Vec<Option<FnId>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &e in &entries {
+        if !seen[e] {
+            seen[e] = true;
+            queue.push_back(e);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        for &(callee, _) in &graph.callees[f] {
+            if !seen[callee] {
+                seen[callee] = true;
+                parent[callee] = Some(f);
+                queue.push_back(callee);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut reported = std::collections::BTreeSet::new();
+    for (id, reached) in seen.iter().enumerate() {
+        if !reached || graph.fns[id].is_test {
+            continue;
+        }
+        let info = &graph.fns[id];
+        let file = &ws.files[info.file];
+        for (line, what) in &ws.effects.panic_sites[id] {
+            if file.is_test_line(*line)
+                || !reported.insert((info.path.clone(), *line, what.clone()))
+            {
+                continue;
+            }
+            let original = file
+                .source_line(*line)
+                .map_err(|e| crate::LintError::Scan {
+                    path: info.path.clone(),
+                    err: e,
+                })?;
+            if allowlisted(allow, &info.path, original)
+                || has_suppression(file, *line, "panic_freedom")
+            {
+                continue;
+            }
+            // Reconstruct the entry chain.
+            let mut chain = vec![graph.fns[id].qual()];
+            let mut cur = id;
+            while let Some(p) = parent[cur] {
+                chain.push(graph.fns[p].qual());
+                cur = p;
+            }
+            chain.reverse();
+            findings.push(Finding {
+                rule: "panic-reachability",
+                path: info.path.clone(),
+                line: *line,
+                message: format!(
+                    "`{what}` reachable from recovery entry `{}` via {}",
+                    graph.fns[cur].qual(),
+                    chain.join(" -> ")
+                ),
+            });
+        }
+    }
+    Ok(findings)
 }
 
 /// Crates whose public API must be fully documented.
@@ -592,16 +857,16 @@ pub fn check_fsync_discard(file: &LintFile<'_>) -> Vec<Finding> {
 }
 
 /// API-hygiene (errors): every `pub` error type (enum or struct named
-/// `*Error`) must implement `std::error::Error`. `files` maps repo-relative
-/// path to source text for one whole crate.
-pub fn check_error_impls(files: &[(&str, &str)]) -> Vec<Finding> {
+/// `*Error`) must implement `std::error::Error`. `files` holds repo-relative
+/// path and source text for one whole crate.
+pub fn check_error_impls(files: &[(&str, &str)]) -> Result<Vec<Finding>, ScanError> {
     let mut findings = Vec::new();
     let scrubbed: Vec<(&str, Scrubbed)> = files
         .iter()
         .map(|(p, src)| (*p, scan::scrub(src)))
         .collect();
     for (path, s) in &scrubbed {
-        let regions = scan::test_regions(&s.code);
+        let regions = scan::test_regions(&s.code)?;
         for (idx, line) in s.code.lines().enumerate() {
             let lineno = idx + 1;
             if scan::in_regions(&regions, lineno) {
@@ -634,238 +899,151 @@ pub fn check_error_impls(files: &[(&str, &str)]) -> Vec<Finding> {
             }
         }
     }
-    findings
+    Ok(findings)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn lf<'a>(path: &'a str, src: &'a str) -> LintFile<'a> {
-        LintFile::new(path, src)
+    fn ws_of(sources: &[(String, String)]) -> crate::Workspace<'_> {
+        crate::Workspace::build(sources).unwrap()
+    }
+
+    fn src(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect()
     }
 
     #[test]
-    fn planted_unwrap_in_recovery_module_is_flagged() {
-        let src = "fn recover() { let x = decode().unwrap(); }\n";
-        let f = lf("crates/engine/src/wal.rs", src);
-        let findings = check_panic_freedom(&f, &[]);
+    fn guard_span_let_binding_runs_to_block_end_clipped_at_drop() {
+        let code = "fn f() {\n  let g = m.lock();\n  work();\n  drop(g);\n  after();\n}\n";
+        let pos = code.find(".lock()").unwrap();
+        let end = guard_span(code, 8, code.len() - 2, pos, false);
+        assert!(code[pos..end].contains("work()"));
+        assert!(!code[pos..end].contains("after()"));
+    }
+
+    #[test]
+    fn guard_span_temporary_ends_at_statement() {
+        let code = "fn f() {\n  m.lock().push(1);\n  after();\n}\n";
+        let pos = code.find(".lock()").unwrap();
+        let end = guard_span(code, 8, code.len() - 2, pos, true);
+        assert!(!code[pos..end].contains("after()"));
+    }
+
+    #[test]
+    fn guard_span_chained_let_is_a_temporary() {
+        // The binding holds the collected Vec, not the guard.
+        let code = "fn f() {\n  let v = m.read().iter().count();\n  io();\n}\n";
+        let pos = code.find(".read()").unwrap();
+        let end = guard_span(code, 8, code.len() - 2, pos, true);
+        assert!(!code[pos..end].contains("io()"));
+    }
+
+    #[test]
+    fn lock_order_annotations_map_to_code_lines() {
+        let sources = src(&[(
+            "crates/a/src/x.rs",
+            "fn f(m: &M) {\n  let a = m.one.lock(); // lock-order: 1\n  \
+             // lock-order: 2\n  let b = m.two.lock();\n}\n",
+        )]);
+        let file = LintFile::new(&sources[0].0, &sources[0].1).unwrap();
+        let map = lock_order_annotations(&file);
+        assert_eq!(map.get(&2), Some(&1), "trailing comment maps to its line");
+        assert_eq!(map.get(&4), Some(&2), "leading comment maps to next line");
+    }
+
+    #[test]
+    fn panic_freedom_flags_and_suppresses() {
+        let sources = src(&[(
+            "crates/engine/src/wal.rs",
+            "fn a(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             // lint: allow(panic_freedom) -- test scaffolding only\n\
+             fn b(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )]);
+        let file = LintFile::new(&sources[0].0, &sources[0].1).unwrap();
+        let findings = check_panic_freedom(&file, &[]).unwrap();
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].line, 1);
-        assert!(findings[0].message.contains("unwrap"));
     }
 
     #[test]
-    fn unwrap_in_test_module_is_ignored() {
-        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n";
-        let f = lf("crates/engine/src/wal.rs", src);
-        assert!(check_panic_freedom(&f, &[]).is_empty());
-    }
-
-    #[test]
-    fn unwrap_outside_scoped_files_is_ignored() {
-        let src = "fn f() { x.unwrap(); }\n";
-        let f = lf("crates/sql/src/parser.rs", src);
-        assert!(check_panic_freedom(&f, &[]).is_empty());
-    }
-
-    #[test]
-    fn allowlist_suppresses_match() {
-        let src = "fn f() { width.checked().expect(\"bounded\"); }\n";
-        let f = lf("crates/storage/src/page.rs", src);
-        let allow = parse_allowlist("crates/storage/src/page.rs: checked().expect");
-        assert!(check_panic_freedom(&f, &allow).is_empty());
-        assert_eq!(check_panic_freedom(&f, &[]).len(), 1);
-    }
-
-    #[test]
-    fn discarded_sync_all_is_flagged() {
-        let src = "fn close(&self) {\n  let _ = self.file.sync_all();\n}\n";
-        let f = lf("crates/storage/src/file.rs", src);
-        let findings = check_fsync_discard(&f);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, "fsync-discard");
-        assert_eq!(findings[0].line, 2);
-        assert!(findings[0].message.contains("sync_all"));
-    }
-
-    #[test]
-    fn sync_swallowed_with_ok_is_flagged() {
-        let src = "fn close(&self) {\n  self.file.sync_data().ok();\n}\n";
-        let f = lf("crates/storage/src/file.rs", src);
-        assert_eq!(check_fsync_discard(&f).len(), 1);
-    }
-
-    #[test]
-    fn propagated_sync_is_clean() {
-        let src = "fn close(&self) -> io::Result<()> {\n  self.file.sync_all()?;\n  \
-                   let r = self.wal.sync();\n  r\n}\n";
-        let f = lf("crates/storage/src/file.rs", src);
-        assert!(check_fsync_discard(&f).is_empty());
-    }
-
-    #[test]
-    fn fsync_discard_in_tests_and_with_suppression_is_tolerated() {
-        let test_src = "#[cfg(test)]\nmod tests {\n  fn t() { let _ = f.sync_all(); }\n}\n";
-        let f = lf("crates/storage/src/file.rs", test_src);
-        assert!(check_fsync_discard(&f).is_empty());
-        let sup = "fn f() {\n  // lint: allow(fsync_discard) -- best-effort temp spill\n  \
-                   let _ = tmp.sync_all();\n}\n";
-        let f = lf("crates/storage/src/file.rs", sup);
-        assert!(check_fsync_discard(&f).is_empty());
-    }
-
-    #[test]
-    fn guard_across_file_io_is_flagged() {
-        let src = "fn flush(&self) {\n  let g = self.state.lock();\n  \
-                   self.file.sync_all().ok();\n}\n";
-        let f = lf("crates/engine/src/wal.rs", src);
-        let findings = check_lock_hygiene(&f);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("sync_all"));
-    }
-
-    #[test]
-    fn guard_dropped_before_io_is_clean() {
-        let src = "fn flush(&self) {\n  let g = self.state.lock();\n  drop(g);\n  \
-                   self.file.sync_all().ok();\n}\n";
-        let f = lf("crates/engine/src/wal.rs", src);
-        assert!(check_lock_hygiene(&f).is_empty());
-    }
-
-    #[test]
-    fn page_io_under_guard_is_flagged() {
-        let src = "fn miss(&self) {\n  let mut inner = self.shard.lock();\n  \
-                   self.file.read_page(no, &mut buf).ok();\n}\n";
-        let f = lf("crates/storage/src/buffer.rs", src);
-        let findings = check_lock_hygiene(&f);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("read_page"));
-
-        let src = "fn evict(&self) {\n  let mut inner = self.shard.lock();\n  \
-                   drop(inner);\n  self.file.write_page(no, bytes).ok();\n}\n";
-        let f = lf("crates/storage/src/buffer.rs", src);
-        assert!(check_lock_hygiene(&f).is_empty());
-    }
-
-    #[test]
-    fn wait_under_guard_outside_lock_manager_is_flagged() {
-        let src = "fn park(&self) {\n  let mut g = self.state.lock();\n  \
-                   self.cv.wait(&mut g);\n}\n";
-        let f = lf("crates/engine/src/txn.rs", src);
-        let findings = check_lock_hygiene(&f);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("Condvar"));
-    }
-
-    #[test]
-    fn wait_in_lock_manager_is_exempt() {
-        let src = "fn park(&self) {\n  let mut g = self.state.lock();\n  \
-                   self.cv.wait(&mut g);\n}\n";
-        let f = lf("crates/engine/src/lock.rs", src);
-        assert!(check_lock_hygiene(&f).is_empty());
-    }
-
-    #[test]
-    fn suppression_comment_is_honored() {
-        let src = "fn flush(&self) {\n  \
-                   // lint: allow(lock_hygiene) -- single-writer by design\n  \
-                   let g = self.state.lock();\n  self.file.sync_all().ok();\n}\n";
-        let f = lf("crates/engine/src/wal.rs", src);
-        assert!(check_lock_hygiene(&f).is_empty());
-    }
-
-    #[test]
-    fn bare_suppression_is_a_hygiene_finding() {
-        let src = "fn flush(&self) {\n  \
-                   // lint: allow(lock_hygiene)\n  \
-                   let g = self.state.lock();\n  self.file.sync_all().ok();\n}\n";
-        let f = lf("crates/engine/src/wal.rs", src);
-        // The bare tag still silences lock-hygiene...
-        assert!(check_lock_hygiene(&f).is_empty());
-        // ...but is itself flagged for carrying no reason.
-        let findings = check_suppression_hygiene(&f);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, "suppression-hygiene");
-        assert_eq!(findings[0].line, 2);
-    }
-
-    #[test]
-    fn reasoned_suppression_passes_hygiene() {
-        let src = "fn flush(&self) {\n  \
-                   // lint: allow(lock_hygiene) -- single-writer by design\n  \
-                   let g = self.state.lock();\n  self.file.sync_all().ok();\n}\n";
-        let f = lf("crates/engine/src/wal.rs", src);
-        assert!(check_suppression_hygiene(&f).is_empty());
-    }
-
-    #[test]
-    fn empty_reason_counts_as_bare() {
-        let src = "// lint: allow(lock_hygiene) --   \nfn f() {}\n";
-        let f = lf("crates/engine/src/wal.rs", src);
-        assert_eq!(check_suppression_hygiene(&f).len(), 1);
-    }
-
-    #[test]
-    fn suppressions_in_test_code_are_not_audited() {
-        let src = "#[cfg(test)]\nmod tests {\n  \
-                   // lint: allow(lock_hygiene)\n  fn t() {}\n}\n";
-        let f = lf("crates/engine/src/wal.rs", src);
-        assert!(check_suppression_hygiene(&f).is_empty());
-    }
-
-    #[test]
-    fn nested_locks_need_annotations_and_order() {
-        let unannotated = "fn two(&self) {\n  let a = self.map.lock();\n  \
-                           let b = self.entry.lock();\n  use_both(a, b);\n}\n";
-        let f = lf("crates/engine/src/db.rs", unannotated);
-        let findings = check_lock_hygiene(&f);
+    fn annotated_inversion_is_flagged() {
+        let sources = src(&[(
+            "crates/a/src/x.rs",
+            "fn f(m: &M) {\n  // lock-order: 2\n  let a = m.two.lock();\n  \
+             // lock-order: 1\n  let b = m.one.lock();\n  drop(b);\n  drop(a);\n}\n",
+        )]);
+        let ws = ws_of(&sources);
+        let findings = check_lock_hygiene(&ws, 0);
         assert!(
-            findings.iter().any(|x| x.message.contains("lock-order")),
-            "{findings:?}"
-        );
-
-        let ordered = "fn two(&self) {\n  let a = self.map.lock(); // lock-order: 1\n  \
-                       let b = self.entry.lock(); // lock-order: 2\n  use_both(a, b);\n}\n";
-        let f = lf("crates/engine/src/db.rs", ordered);
-        assert!(check_lock_hygiene(&f).is_empty());
-
-        let inverted = "fn two(&self) {\n  let a = self.map.lock(); // lock-order: 2\n  \
-                        let b = self.entry.lock(); // lock-order: 1\n  use_both(a, b);\n}\n";
-        let f = lf("crates/engine/src/db.rs", inverted);
-        let findings = check_lock_hygiene(&f);
-        assert!(
-            findings.iter().any(|x| x.message.contains("inversion")),
+            findings.iter().any(|f| f.message.contains("inversion")),
             "{findings:?}"
         );
     }
 
     #[test]
-    fn undocumented_pub_item_is_flagged() {
-        let src = "/// Documented.\npub fn a() {}\n\npub fn b() {}\n";
-        let f = lf("crates/core/src/model.rs", src);
-        let findings = check_api_docs(&f);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains('b'));
-    }
-
-    #[test]
-    fn docs_above_attributes_count() {
-        let src = "/// Documented.\n#[derive(Debug)]\npub struct S;\n";
-        let f = lf("crates/engine/src/db.rs", src);
-        assert!(check_api_docs(&f).is_empty());
-    }
-
-    #[test]
-    fn error_enum_without_impl_is_flagged() {
-        let a = ("crates/x/src/error.rs", "pub enum FooError { A }\n");
-        let findings = check_error_impls(&[a]);
-        assert_eq!(findings.len(), 1);
-
-        let b = (
-            "crates/x/src/error.rs",
-            "pub enum FooError { A }\nimpl std::error::Error for FooError {}\n",
+    fn nested_without_annotation_is_flagged() {
+        let sources = src(&[(
+            "crates/a/src/x.rs",
+            "fn f(m: &M) {\n  let a = m.two.lock();\n  let b = m.one.lock();\n  \
+             drop(b);\n  drop(a);\n}\n",
+        )]);
+        let ws = ws_of(&sources);
+        let findings = check_lock_hygiene(&ws, 0);
+        assert!(
+            findings.iter().any(|f| f.message.contains("lock-order")),
+            "{findings:?}"
         );
-        assert!(check_error_impls(&[b]).is_empty());
+    }
+
+    #[test]
+    fn recovery_entry_shapes() {
+        assert!(is_recovery_entry("replay"));
+        assert!(is_recovery_entry("recover_from_wal"));
+        assert!(is_recovery_entry("diff_snapshots_parallel"));
+        assert!(is_recovery_entry("apply_group"));
+        assert!(!is_recovery_entry("applied_seq"));
+        assert!(!is_recovery_entry("reapply"));
+    }
+
+    #[test]
+    fn fsync_discard_flags_let_underscore_and_ok() {
+        let sources = src(&[(
+            "crates/a/src/x.rs",
+            "fn f(file: &File) {\n  let _ = file.sync_all();\n  \
+             file.sync_data().ok();\n}\n",
+        )]);
+        let file = LintFile::new(&sources[0].0, &sources[0].1).unwrap();
+        let findings = check_fsync_discard(&file);
+        assert_eq!(findings.len(), 2);
+    }
+
+    #[test]
+    fn api_docs_skip_pub_crate_items() {
+        let sources = src(&[(
+            "crates/core/src/x.rs",
+            "/// Documented.\npub fn a() {}\npub fn b() {}\npub(crate) fn c() {}\n",
+        )]);
+        let file = LintFile::new(&sources[0].0, &sources[0].1).unwrap();
+        let findings = check_api_docs(&file);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("`b`"));
+    }
+
+    #[test]
+    fn error_type_without_impl_is_flagged() {
+        let findings =
+            check_error_impls(&[("crates/a/src/err.rs", "pub enum PageError { Bad }\n")]).unwrap();
+        assert_eq!(findings.len(), 1);
+        let findings = check_error_impls(&[(
+            "crates/a/src/err.rs",
+            "pub enum PageError { Bad }\nimpl std::error::Error for PageError {}\n",
+        )])
+        .unwrap();
+        assert!(findings.is_empty());
     }
 }

@@ -6,6 +6,38 @@
 //! lets the rules pattern-match on code without tripping over `"panic!"`
 //! appearing inside a string or a doc comment. Comments are captured
 //! separately, with their line numbers, for the annotation-driven rules.
+//!
+//! On top of the scrubbed view this module locates every `fn` item —
+//! name, signature text, enclosing `impl`/`trait` type, parameter count and
+//! body span — which is what the call-graph layer (`callgraph`) indexes.
+//! Structural surprises (an unbalanced brace, a signature that never opens a
+//! body) surface as [`ScanError`]s carrying the offending line rather than
+//! being papered over with defaults.
+
+/// A structural parse failure, with the 1-based line it was detected on.
+/// The caller (which knows the file) wraps this into a path-qualified error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanError {
+    /// 1-based line number of the construct that failed to parse.
+    pub line: usize,
+    /// What went wrong, e.g. `unbalanced '{'`.
+    pub what: String,
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+fn err(code: &str, pos: usize, what: impl Into<String>) -> ScanError {
+    ScanError {
+        line: line_of(code, pos),
+        what: what.into(),
+    }
+}
 
 /// A source file after lexical preprocessing.
 #[derive(Debug)]
@@ -196,8 +228,9 @@ pub fn scrub(source: &str) -> Scrubbed {
 }
 
 /// 1-based line ranges (inclusive) of test-only code: `#[cfg(test)]` items and
-/// `#[test]` functions.
-pub fn test_regions(code: &str) -> Vec<(usize, usize)> {
+/// `#[test]` functions. Fails loudly on an unbalanced brace instead of
+/// silently extending the region to end-of-file.
+pub fn test_regions(code: &str) -> Result<Vec<(usize, usize)>, ScanError> {
     let mut regions = Vec::new();
     let bytes = code.as_bytes();
     let mut search = 0usize;
@@ -213,13 +246,14 @@ pub fn test_regions(code: &str) -> Vec<(usize, usize)> {
             break;
         };
         let open = start + open_rel;
-        let close = match_brace(code, open).unwrap_or(bytes.len() - 1);
+        let close = match_brace(code, open)
+            .ok_or_else(|| err(code, open, "unbalanced '{' in test region"))?;
         let from = line_of(code, start);
         let to = line_of(code, close);
         regions.push((from, to));
         search = close + 1;
     }
-    regions
+    Ok(regions)
 }
 
 /// Whether 1-based `line` falls in any of `regions`.
@@ -256,20 +290,230 @@ pub fn match_brace(code: &str, open: usize) -> Option<usize> {
     None
 }
 
-/// A function body located in scrubbed code.
-#[derive(Debug)]
-pub struct FnBody {
-    /// Byte range of the body, excluding the outer braces.
-    pub start: usize,
-    pub end: usize,
-    /// 1-based line the `fn` keyword appears on.
-    pub line: usize,
+/// Byte offset of the `)` matching the `(` at `open`, if any.
+pub fn match_paren(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    debug_assert_eq!(bytes[open], b'(');
+    let mut depth = 0usize;
+    for (off, &b) in bytes[open..].iter().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
-/// Locate every `fn` body in scrubbed code (including nested/impl fns).
-pub fn fn_bodies(code: &str) -> Vec<FnBody> {
+/// Number of comma-separated items in the paren group `[open, close]`
+/// (commas nested in `()`/`[]`/`{}`/`<>` don't count). `0` for `()`.
+pub fn paren_arity(code: &str, open: usize, close: usize) -> usize {
+    let inner = code[open + 1..close].trim();
+    if inner.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    for b in inner.bytes() {
+        match b {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'<' => angle += 1,
+            b'>' => angle = (angle - 1).max(0), // `->` / comparison underflow
+            b',' if depth == 0 && angle <= 0 => commas += 1,
+            _ => {}
+        }
+    }
+    commas + 1
+}
+
+/// The dotted receiver expression ending just before byte `dot` (the `.` of a
+/// method call), e.g. `self.tables` for `self.tables.lock()`.
+pub fn receiver_of(code: &str, dot: usize) -> String {
     let bytes = code.as_bytes();
-    let mut bodies = Vec::new();
+    let mut start = dot;
+    while start > 0 {
+        let b = bytes[start - 1];
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b':' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    let r = code[start..dot].trim_start_matches('.');
+    if r.is_empty() {
+        "<expr>".to_string()
+    } else {
+        r.to_string()
+    }
+}
+
+/// A function item located in scrubbed code.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name, e.g. `append_batch`.
+    pub name: String,
+    /// 1-based line the `fn` keyword appears on.
+    pub line: usize,
+    /// Signature text from `fn` to just before the body `{`.
+    pub sig: String,
+    /// Enclosing `impl`/`trait` type name, if any (e.g. `Wal`).
+    pub self_ty: Option<String>,
+    /// Body byte range, excluding the outer braces.
+    pub body_start: usize,
+    pub body_end: usize,
+    /// Parameter count, `self` excluded.
+    pub params: usize,
+    /// Whether the first parameter is a `self` receiver.
+    pub has_self: bool,
+}
+
+impl FnItem {
+    /// Return-type text after `->`, or `""` for `()`-returning functions.
+    /// The arrow is located at paren- and angle-depth 0, so arrows inside
+    /// generic bounds (`F: Fn(u32) -> bool`) don't masquerade as the return.
+    pub fn ret(&self) -> &str {
+        let b = self.sig.as_bytes();
+        let mut paren = 0i32;
+        let mut angle = 0i32;
+        for i in 0..b.len().saturating_sub(1) {
+            match b[i] {
+                b'(' => paren += 1,
+                b')' => paren -= 1,
+                b'<' => angle += 1,
+                b'>' if i == 0 || b[i - 1] != b'-' => angle = (angle - 1).max(0),
+                b'-' if b[i + 1] == b'>' && paren == 0 && angle == 0 => {
+                    let r = self.sig[i + 2..].trim();
+                    return match r.find(" where") {
+                        Some(w) => r[..w].trim(),
+                        None => r,
+                    };
+                }
+                _ => {}
+            }
+        }
+        ""
+    }
+}
+
+/// Byte ranges of `impl`/`trait` bodies with the type they belong to.
+/// Used to attribute methods to their `self` type.
+fn type_block_ranges(code: &str) -> Vec<(usize, usize, String)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for kw in ["impl", "trait"] {
+        let mut i = 0usize;
+        while let Some(rel) = code[i..].find(kw) {
+            let at = i + rel;
+            i = at + kw.len();
+            // Word boundaries on both sides.
+            let prev_ok = at == 0 || {
+                let p = bytes[at - 1];
+                !(p.is_ascii_alphanumeric() || p == b'_')
+            };
+            let next = bytes.get(at + kw.len()).copied().unwrap_or(b' ');
+            if !prev_ok || next.is_ascii_alphanumeric() || next == b'_' {
+                continue;
+            }
+            // Item-position `impl`/`trait` follows the end of another item (or
+            // an attribute / start of file); type-position `impl Trait` follows
+            // `(`, `,`, `<`, `:`, `=`, `&`, `+`, `>` or `-` (from `->`).
+            let before = code[..at].trim_end();
+            if let Some(c) = before.chars().last() {
+                if !matches!(c, ';' | '}' | '{' | ']') {
+                    continue;
+                }
+            }
+            let Some(open_rel) = code[at..].find('{') else {
+                continue;
+            };
+            // A `;` first means an opaque form (e.g. `trait Alias = ..;`).
+            if code[at..at + open_rel].contains(';') {
+                continue;
+            }
+            let open = at + open_rel;
+            let Some(close) = match_brace(code, open) else {
+                continue;
+            };
+            let header = &code[at + kw.len()..open];
+            out.push((open + 1, close, type_name_of(header)));
+        }
+    }
+    out
+}
+
+/// Extract the implemented type's last path segment from an `impl`/`trait`
+/// header, e.g. `<'a> Iterator for SnapReader<'a>` -> `SnapReader`.
+fn type_name_of(header: &str) -> String {
+    // Take the segment after a top-level ` for ` if present, else the whole
+    // header minus leading generics.
+    let mut depth = 0i32;
+    let mut target = header;
+    let b = header.as_bytes();
+    for i in 0..b.len() {
+        match b[i] {
+            b'<' => depth += 1,
+            b'>' => depth -= 1,
+            b'f' if depth == 0 && header[i..].starts_with("for ") => {
+                let prev = if i == 0 { b' ' } else { b[i - 1] };
+                if !(prev.is_ascii_alphanumeric() || prev == b'_' || prev == b'\'') {
+                    target = &header[i + 4..];
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let t = target.trim_start();
+    // Skip leading generics on the non-`for` form: `<'a> SnapReader<'a>`.
+    let t = if let Some(rest) = t.strip_prefix('<') {
+        let mut depth = 1i32;
+        let mut at = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        at = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest[at..].trim_start()
+    } else {
+        t
+    };
+    let mut t = t
+        .trim_start_matches("dyn ")
+        .trim_start_matches('&')
+        .trim_start();
+    // Skip a reference lifetime: `&'a Foo` -> `Foo`.
+    if t.starts_with('\'') {
+        t = t.split_whitespace().nth(1).unwrap_or("");
+    }
+    // Last `::` path segment, clipped at generics/where/whitespace.
+    let head: String = t
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == ':')
+        .collect();
+    head.rsplit("::").next().unwrap_or("").to_string()
+}
+
+/// Locate every `fn` item in scrubbed code (including nested/impl fns), with
+/// signature and enclosing-type context for the call graph.
+pub fn fn_items(code: &str) -> Result<Vec<FnItem>, ScanError> {
+    let bytes = code.as_bytes();
+    let type_blocks = type_block_ranges(code);
+    let mut items = Vec::new();
     let mut i = 0usize;
     while let Some(rel) = code[i..].find("fn ") {
         let at = i + rel;
@@ -295,16 +539,69 @@ pub fn fn_bodies(code: &str) -> Vec<FnBody> {
             }
         }
         let Some(open) = open else { continue };
-        let Some(close) = match_brace(code, open) else {
-            continue;
-        };
-        bodies.push(FnBody {
-            start: open + 1,
-            end: close,
+        let close =
+            match_brace(code, open).ok_or_else(|| err(code, open, "unbalanced '{' in fn body"))?;
+        let sig = code[at..open].trim_end().to_string();
+        let name: String = code[at + 3..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            return Err(err(code, at, "`fn` with no name"));
+        }
+        // The parameter list: the first `(` at angle-depth 0 after the name
+        // (generic bounds like `F: Fn(u32)` hide parens inside `<..>`).
+        let mut angle = 0i32;
+        let mut popen = None;
+        for k in at..open {
+            match bytes[k] {
+                b'<' => angle += 1,
+                // `>` closes a generic unless it is the arrow of a `->`
+                // (e.g. in a bound like `F: Fn(u32) -> bool`).
+                b'>' if k == 0 || bytes[k - 1] != b'-' => angle = (angle - 1).max(0),
+                b'(' if angle == 0 => {
+                    popen = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let popen = popen.ok_or_else(|| err(code, at, format!("fn `{name}` has no `(`")))?;
+        let pclose = match_paren(code, popen)
+            .ok_or_else(|| err(code, popen, format!("unbalanced '(' in fn `{name}`")))?;
+        let first_param = code[popen + 1..pclose].trim_start();
+        let has_self = first_param.starts_with("self")
+            || first_param.starts_with("&self")
+            || first_param.starts_with("&mut self")
+            || first_param.starts_with("mut self")
+            || (first_param.starts_with("&'")
+                && first_param
+                    .split_whitespace()
+                    .nth(1)
+                    .is_some_and(|w| w.starts_with("self") || w.starts_with("mut")));
+        let mut params = paren_arity(code, popen, pclose);
+        if has_self {
+            params = params.saturating_sub(1);
+        }
+        let self_ty = type_blocks
+            .iter()
+            .filter(|(s, e, _)| *s <= at && at < *e)
+            .min_by_key(|(s, e, _)| e - s)
+            .map(|(_, _, ty)| ty.clone())
+            .filter(|ty| !ty.is_empty());
+        items.push(FnItem {
+            name,
             line: line_of(code, at),
+            sig,
+            self_ty,
+            body_start: open + 1,
+            body_end: close,
+            params,
+            has_self,
         });
     }
-    bodies
+    Ok(items)
 }
 
 #[cfg(test)]
@@ -351,7 +648,7 @@ mod tests {
     fn test_region_covers_cfg_test_module() {
         let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn after() {}\n";
         let s = scrub(src);
-        let regions = test_regions(&s.code);
+        let regions = test_regions(&s.code).unwrap();
         assert_eq!(regions, vec![(2, 5)]);
         assert!(in_regions(&regions, 3));
         assert!(!in_regions(&regions, 1));
@@ -359,12 +656,68 @@ mod tests {
     }
 
     #[test]
-    fn fn_bodies_found() {
-        let src = "impl X { fn a(&self) { body(); } }\nfn top() { x(); }\n";
+    fn fn_items_found_with_impl_context() {
+        let src = "impl X { fn a(&self) { body(); } }\nfn top(n: u32, m: u32) { x(); }\n";
         let s = scrub(src);
-        let bodies = fn_bodies(&s.code);
-        assert_eq!(bodies.len(), 2);
-        assert_eq!(bodies[0].line, 1);
-        assert_eq!(bodies[1].line, 2);
+        let items = fn_items(&s.code).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "a");
+        assert_eq!(items[0].line, 1);
+        assert_eq!(items[0].self_ty.as_deref(), Some("X"));
+        assert!(items[0].has_self);
+        assert_eq!(items[0].params, 0);
+        assert_eq!(items[1].name, "top");
+        assert_eq!(items[1].self_ty, None);
+        assert_eq!(items[1].params, 2);
+    }
+
+    #[test]
+    fn fn_items_trait_impl_and_generics() {
+        let src = "impl<'a> Iterator for SnapReader<'a> {\n  \
+                   fn next(&mut self) -> Option<Row> { None }\n}\n\
+                   fn pick<F: Fn(u32) -> bool>(f: F, n: u32) -> bool { f(n) }\n";
+        let s = scrub(src);
+        let items = fn_items(&s.code).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "next");
+        assert_eq!(items[0].self_ty.as_deref(), Some("SnapReader"));
+        assert_eq!(items[0].ret(), "Option<Row>");
+        assert_eq!(items[1].name, "pick");
+        assert_eq!(items[1].params, 2, "generic-bound parens must not count");
+        assert_eq!(items[1].ret(), "bool");
+    }
+
+    #[test]
+    fn impl_in_type_position_is_not_a_block() {
+        let src = "fn f(x: impl Fn() -> u32) -> impl Iterator<Item = u32> {\n  \
+                   std::iter::once(x())\n}\n";
+        let s = scrub(src);
+        let items = fn_items(&s.code).unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].self_ty, None);
+    }
+
+    #[test]
+    fn unbalanced_brace_is_a_scan_error() {
+        let src = "fn broken() { if x {\n";
+        let s = scrub(src);
+        let e = fn_items(&s.code).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.what.contains("unbalanced"));
+    }
+
+    #[test]
+    fn paren_arity_counts_top_level_commas() {
+        let code = "(a, f(b, c), d.map(|x| (x, x)))";
+        let close = match_paren(code, 0).unwrap();
+        assert_eq!(paren_arity(code, 0, close), 3);
+        assert_eq!(paren_arity("()", 0, 1), 0);
+    }
+
+    #[test]
+    fn receiver_of_walks_dotted_path() {
+        let code = "let g = self.tables.lock();";
+        let dot = code.find(".lock").unwrap();
+        assert_eq!(receiver_of(code, dot), "self.tables");
     }
 }

@@ -211,6 +211,233 @@ fn bare_suppression_is_flagged_end_to_end() {
 }
 
 #[test]
+fn planted_transitive_io_three_frames_down_is_caught() {
+    // The I/O is nowhere near the guard textually: it sits three calls down
+    // the workspace call graph. Only interprocedural effect propagation can
+    // see it.
+    let root = temp_tree("transio");
+    fs::write(
+        root.join("crates/engine/src/pool.rs"),
+        r#"
+use parking_lot::Mutex;
+
+/// Holds the pool guard across a helper that does I/O three frames down.
+pub fn evict(m: &Mutex<u32>) {
+    let g = m.lock();
+    frame_one();
+    drop(g);
+}
+
+fn frame_one() {
+    frame_two();
+}
+
+fn frame_two() {
+    frame_three();
+}
+
+fn frame_three() {
+    let _ = std::fs::write("/tmp/spill", b"page");
+}
+"#,
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root).unwrap();
+    let hit = findings
+        .iter()
+        .find(|f| f.rule == "lock-hygiene" && f.message.contains("performs file I/O"))
+        .unwrap_or_else(|| panic!("transitive I/O under guard must be flagged, got: {findings:?}"));
+    assert!(
+        hit.message.contains("frame_two"),
+        "the finding must print the call chain through intermediate frames, got: {}",
+        hit.message
+    );
+    assert!(
+        hit.message.contains("fs::write"),
+        "the finding must name the I/O sink, got: {}",
+        hit.message
+    );
+}
+
+#[test]
+fn planted_guard_returning_helper_without_annotation_is_caught() {
+    // A helper that hands a live guard to its caller must annotate the
+    // acquisition with `// lock-order: <n>` — callers inherit the lock
+    // without seeing it.
+    let root = temp_tree("guardhelper");
+    fs::write(
+        root.join("crates/engine/src/pool.rs"),
+        r#"
+use parking_lot::{Mutex, MutexGuard};
+
+pub struct Pool {
+    inner: Mutex<u32>,
+}
+
+impl Pool {
+    fn shard_guard(&self) -> MutexGuard<'_, u32> {
+        self.inner.lock()
+    }
+
+    /// Uses the helper's guard.
+    pub fn bump(&self) {
+        let g = self.shard_guard();
+        drop(g);
+    }
+}
+"#,
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root).unwrap();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "lock-hygiene" && f.message.contains("returns a live lock guard")),
+        "unannotated guard-returning helper must be flagged, got: {findings:?}"
+    );
+
+    // The same helper with the annotation is clean.
+    let root2 = temp_tree("guardhelper-ok");
+    fs::write(
+        root2.join("crates/engine/src/pool.rs"),
+        r#"
+use parking_lot::{Mutex, MutexGuard};
+
+pub struct Pool {
+    inner: Mutex<u32>,
+}
+
+impl Pool {
+    fn shard_guard(&self) -> MutexGuard<'_, u32> {
+        // lock-order: 1
+        self.inner.lock()
+    }
+
+    /// Uses the helper's guard.
+    pub fn bump(&self) {
+        let g = self.shard_guard();
+        drop(g);
+    }
+}
+"#,
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root2).unwrap();
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.message.contains("returns a live lock guard")),
+        "annotated guard-returning helper must pass, got: {findings:?}"
+    );
+}
+
+#[test]
+fn planted_panic_reachable_across_crates_is_caught_with_chain() {
+    // The panic site lives in a file with no panic-freedom scope of its own;
+    // only reachability from a recovery entry (`apply`) in ANOTHER crate
+    // flags it — with the full call chain in the message.
+    let root = temp_tree("reach");
+    fs::create_dir_all(root.join("crates/core/src")).unwrap();
+    fs::create_dir_all(root.join("crates/warehouse/src")).unwrap();
+    fs::write(
+        root.join("crates/warehouse/src/refresh.rs"),
+        r#"
+/// Apply one delta batch to the warehouse copy.
+pub fn apply(batch: &[u8]) -> u64 {
+    decode_header(batch)
+}
+"#,
+    )
+    .unwrap();
+    fs::write(
+        root.join("crates/core/src/wire.rs"),
+        r#"
+/// Decode the batch header.
+pub fn decode_header(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[0..8].try_into().unwrap())
+}
+"#,
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root).unwrap();
+    let hit = findings
+        .iter()
+        .find(|f| f.rule == "panic-reachability")
+        .unwrap_or_else(|| {
+            panic!("panic reachable from recovery entry must be flagged, got: {findings:?}")
+        });
+    assert_eq!(hit.path, "crates/core/src/wire.rs");
+    assert!(
+        hit.message.contains("apply") && hit.message.contains("decode_header"),
+        "the finding must print the entry chain, got: {}",
+        hit.message
+    );
+}
+
+#[test]
+fn planted_abba_cycle_across_two_functions_prints_both_chains() {
+    // `forward` nests a under b, `backward` nests b under a: a classic ABBA
+    // deadlock that no single function exhibits. The static pass must join
+    // the two orders into a cycle and print BOTH offending chains.
+    let root = temp_tree("abba");
+    fs::write(
+        root.join("crates/engine/src/shards.rs"),
+        r#"
+use parking_lot::Mutex;
+
+pub struct Shards {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Shards {
+    /// Takes alpha, then beta.
+    pub fn forward(&self) {
+        // lint: allow(lock_hygiene) -- planted: order declared ad hoc
+        let ga = self.alpha.lock();
+        // lint: allow(lock_hygiene) -- planted: order declared ad hoc
+        let gb = self.beta.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    /// Takes beta, then alpha.
+    pub fn backward(&self) {
+        // lint: allow(lock_hygiene) -- planted: order declared ad hoc
+        let gb = self.beta.lock();
+        // lint: allow(lock_hygiene) -- planted: order declared ad hoc
+        let ga = self.alpha.lock();
+        drop(ga);
+        drop(gb);
+    }
+}
+"#,
+    )
+    .unwrap();
+    let findings = delta_lint::run(&root).unwrap();
+    let cycle = findings
+        .iter()
+        .find(|f| f.rule == "lock-order-cycle")
+        .unwrap_or_else(|| panic!("ABBA nesting must produce a cycle finding, got: {findings:?}"));
+    assert!(
+        cycle.message.contains("alpha -> beta") && cycle.message.contains("beta -> alpha"),
+        "both edges of the cycle must be printed, got: {}",
+        cycle.message
+    );
+    assert!(
+        cycle.message.contains("forward") && cycle.message.contains("backward"),
+        "each edge must carry the function it was observed in, got: {}",
+        cycle.message
+    );
+    // The suppressions silence lock-hygiene's per-site nagging but must NOT
+    // silence the global deadlock pass.
+    assert!(
+        !findings.iter().any(|f| f.rule == "lock-hygiene"),
+        "per-site suppressions should have silenced lock-hygiene, got: {findings:?}"
+    );
+}
+
+#[test]
 fn allowlist_suppresses_planted_violation() {
     let root = temp_tree("allow");
     fs::write(

@@ -150,7 +150,11 @@ impl<'a> EvalContext<'a> {
                     BinOp::Le => ord != std::cmp::Ordering::Greater,
                     BinOp::Gt => ord == std::cmp::Ordering::Greater,
                     BinOp::Ge => ord != std::cmp::Ordering::Less,
-                    _ => unreachable!(),
+                    other => {
+                        return Err(EvalError::new(format!(
+                            "`{other}` is not a comparison operator"
+                        )))
+                    }
                 };
                 Ok(Value::Bool(b))
             }
@@ -200,7 +204,9 @@ fn arith(l: &Value, op: BinOp, r: &Value) -> Result<Value, EvalError> {
                     Ok(Int(a / b))
                 }
             }
-            _ => unreachable!(),
+            other => Err(EvalError::new(format!(
+                "`{other}` is not an arithmetic operator"
+            ))),
         },
         (Timestamp(a), Int(b)) => match op {
             BinOp::Add => Ok(Timestamp(a.wrapping_add(*b))),
@@ -225,7 +231,11 @@ fn arith(l: &Value, op: BinOp, r: &Value) -> Result<Value, EvalError> {
                     }
                     a / b
                 }
-                _ => unreachable!(),
+                other => {
+                    return Err(EvalError::new(format!(
+                        "`{other}` is not an arithmetic operator"
+                    )))
+                }
             };
             Ok(Double(out))
         }

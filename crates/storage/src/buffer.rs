@@ -693,7 +693,10 @@ impl BufferPool {
                 std::thread::yield_now();
             }
         }
-        for file in self.files.read().values() {
+        // Clone the handles out so no fsync runs under the files-map lock
+        // (file registration would otherwise stall behind slow disks).
+        let files: Vec<Arc<DiskFile>> = self.files.read().values().cloned().collect();
+        for file in files {
             file.sync()?;
         }
         self.check_invariants();

@@ -245,7 +245,11 @@ impl AggregateView {
                     );
                 }
                 AggFunc::Sum | AggFunc::Avg => {
-                    let delta = arg.expect("SUM/AVG have arguments").as_double()?;
+                    let delta = arg
+                        .ok_or_else(|| {
+                            EngineError::Invalid("SUM/AVG aggregate lost its argument".into())
+                        })?
+                        .as_double()?;
                     let sum = view_row.values()[self.sum_pos(i)].as_double()? + sign as f64 * delta;
                     view_row.set(self.sum_pos(i), Value::Double(sum));
                     let out = if nn == 0 {
@@ -254,7 +258,9 @@ impl AggregateView {
                         Value::Double(sum / nn as f64)
                     } else {
                         // SUM keeps the base column's type.
-                        let p = pos.expect("has arg");
+                        let p = pos.ok_or_else(|| {
+                            EngineError::Invalid("SUM aggregate lost its argument column".into())
+                        })?;
                         match self.base_schema.columns()[p].data_type {
                             DataType::Int => Value::Int(sum as i64),
                             _ => Value::Double(sum),
@@ -263,7 +269,9 @@ impl AggregateView {
                     view_row.set(self.agg_out_pos(i), out);
                 }
                 AggFunc::Min | AggFunc::Max => {
-                    let v = arg.expect("MIN/MAX have arguments");
+                    let v = arg.ok_or_else(|| {
+                        EngineError::Invalid("MIN/MAX aggregate lost its argument".into())
+                    })?;
                     let cur = &view_row.values()[self.agg_out_pos(i)];
                     if sign > 0 {
                         let better = cur.is_null()

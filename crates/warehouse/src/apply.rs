@@ -445,9 +445,12 @@ impl ValueDeltaApplier {
         let cfg = wh.mirror(&first.table)?;
         let mirror_schema = cfg.mirror_schema()?;
         let key_col = cfg.key_column()?.name.clone();
-        let key_pos_mirror = mirror_schema
-            .index_of(&key_col)
-            .expect("mirror keeps the key");
+        let key_pos_mirror = mirror_schema.index_of(&key_col).ok_or_else(|| {
+            EngineError::Invalid(format!(
+                "mirror of '{}' lost key column '{key_col}'",
+                first.table
+            ))
+        })?;
         let db = wh.db();
         let mut txn = db.begin();
         // The outage: every affected table locked for the whole run.

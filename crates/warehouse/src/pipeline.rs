@@ -386,7 +386,10 @@ impl Pipeline {
         group: &[(u64, Vec<u8>, DeltaBatch)],
         report: &mut SyncReport,
     ) -> EngineResult<ApplyReport> {
-        let seq = group.last().expect("non-empty group").0;
+        let seq = group
+            .last()
+            .ok_or_else(|| EngineError::Invalid("empty apply group".into()))?
+            .0;
         let mut attempt = 1u32;
         loop {
             let result = match &group[0].2 {
