@@ -5,6 +5,7 @@
 //! repro table1 fig2          # a subset
 //! repro all --scale 2        # double the row counts
 //! repro all --out results/   # also write <id>.json files
+//! repro all --strict         # exit nonzero if any shape check fails
 //! repro --list               # experiment ids
 //! ```
 
@@ -18,6 +19,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = 1.0f64;
     let mut out_dir: Option<String> = None;
+    let mut strict = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -34,6 +36,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a number"));
             }
+            "--strict" => strict = true,
             "--out" => {
                 i += 1;
                 out_dir = Some(
@@ -54,7 +57,7 @@ fn main() {
         i += 1;
     }
     if ids.is_empty() {
-        eprintln!("usage: repro [all | <experiment>...] [--scale N] [--out DIR] [--list]");
+        eprintln!("usage: repro [all | <experiment>...] [--scale N] [--out DIR] [--strict] [--list]");
         eprintln!("experiments: {}", experiments::all_ids().join(", "));
         std::process::exit(2);
     }
@@ -98,6 +101,9 @@ fn main() {
     }
     if !failed.is_empty() {
         println!("# (micro-scale cells are noisy; re-run failing experiments on an idle machine)");
+        if strict {
+            std::process::exit(1);
+        }
     }
 }
 

@@ -14,6 +14,8 @@
 use delta_core::model::DeltaBatch;
 use delta_core::opdelta::{collect_from_table, OpDeltaCapture, OpLogSink};
 use delta_core::trigger_extract::TriggerExtractor;
+use delta_storage::colbatch::DEFAULT_BLOCK_ROWS;
+use delta_storage::DeltaCodec;
 
 use crate::experiments::fig2::OpKind;
 use crate::report::TableReport;
@@ -59,12 +61,33 @@ pub fn run(scale: &Scale) -> TableReport {
                 OpKind::Delete => delete_txn_sql("parts", 0, n),
             };
             cap.execute(&sql).expect("txn");
-            let value = DeltaBatch::Value(extractor.drain(&db).expect("drain")).wire_size();
-            let op_delta = collect_from_table(&db, "op_log")
+            let value_batch = DeltaBatch::Value(extractor.drain(&db).expect("drain"));
+            let value = value_batch.wire_size();
+            let op_batches: Vec<DeltaBatch> = collect_from_table(&db, "op_log")
                 .expect("collect")
                 .into_iter()
-                .map(|od| DeltaBatch::Op(od).wire_size())
-                .sum::<usize>();
+                .map(DeltaBatch::Op)
+                .collect();
+            let op_delta = op_batches.iter().map(DeltaBatch::wire_size).sum::<usize>();
+            // Per-codec byte counts at the largest transaction (the
+            // `expv_codec` experiment drills into these; recorded here so
+            // V.json carries both codecs' volumes).
+            if n == *sizes.last().expect("non-empty") {
+                let col = value_batch.wire_size_with(DeltaCodec::Columnar, DEFAULT_BLOCK_ROWS);
+                let op_col = op_batches
+                    .iter()
+                    .map(|b| b.wire_size_with(DeltaCodec::Columnar, DEFAULT_BLOCK_ROWS))
+                    .sum::<usize>();
+                report.note(format!(
+                    "codec bytes ({}, n={n}): value delta {} raw -> {} columnar ({:.1}x); Op-Delta {} raw -> {} columnar",
+                    op.label(),
+                    fmt_bytes(value),
+                    fmt_bytes(col),
+                    value as f64 / col.max(1) as f64,
+                    fmt_bytes(op_delta),
+                    fmt_bytes(op_col),
+                ));
+            }
             measured.insert((op.label(), n), (value, op_delta));
             report.push_row(vec![
                 op.label().to_string(),

@@ -1,0 +1,124 @@
+//! **Experiment V-CODEC** — the compact delta codec's effect on the ship
+//! path, re-running experiment V's workloads at both wire codecs and
+//! replaying experiment R's LAN shipping step in deterministic virtual time.
+//!
+//! The paper's volume argument (§4.1) is about *what* you ship; this
+//! experiment measures *how* it is encoded: the legacy text envelope
+//! ([`DeltaCodec::Raw`]) against the columnar CRC-framed block format
+//! ([`DeltaCodec::Columnar`]). The uniform 100-byte-record delta workload
+//! must shrink at least 3x, and shipping the smaller encoding over the
+//! modelled 10 Mb/s LAN must never be slower in virtual time.
+
+use delta_core::model::DeltaBatch;
+use delta_core::opdelta::{collect_from_table, OpDeltaCapture, OpLogSink};
+use delta_core::trigger_extract::TriggerExtractor;
+use delta_storage::colbatch::DEFAULT_BLOCK_ROWS;
+use delta_storage::DeltaCodec;
+use delta_transport::netsim::{LinkProfile, SimulatedConnection, VirtualClock};
+
+use crate::experiments::fig2::OpKind;
+use crate::report::{fmt_duration, TableReport};
+use crate::workload::{delete_txn_sql, insert_txn_sql, update_txn_sql, Scale, SourceBuilder};
+
+fn fmt_bytes(n: usize) -> String {
+    if n < 10_000 {
+        format!("{n} B")
+    } else {
+        format!("{:.1} KiB", n as f64 / 1024.0)
+    }
+}
+
+/// Virtual time to ship `bytes` over an established 10 Mb/s LAN connection.
+fn lan_ship(bytes: usize) -> std::time::Duration {
+    let clock = VirtualClock::new();
+    let mut conn = SimulatedConnection::new(LinkProfile::lan_10mbps(), clock);
+    conn.ensure_connected(); // long-lived connection, amortized away
+    conn.send(bytes as u64)
+}
+
+pub fn run(scale: &Scale) -> TableReport {
+    let mut report = TableReport::new(
+        "VC",
+        "Experiment V-CODEC: wire bytes and LAN ship time, raw vs columnar codec",
+        "columnar shrinks uniform 100-byte-record deltas >=3x; smaller frames are never slower to ship in virtual time",
+        &[
+            "payload",
+            "raw bytes",
+            "columnar bytes",
+            "reduction",
+            "LAN ship raw",
+            "LAN ship columnar",
+        ],
+    );
+    let rows = scale.rows(10_000);
+    let n = (rows / 2).min(1_000).max(1);
+    report.note(format!(
+        "experiment V's workload: {n}-row transactions on a {rows}-row table of uniform 100-byte records"
+    ));
+    report.note(
+        "ship times replay experiment R's modelled 10 Mb/s LAN (established connection) in deterministic virtual time",
+    );
+
+    let b = SourceBuilder::new("expvc");
+    let mut uniform_reductions: Vec<f64> = Vec::new();
+    let mut ship_verdicts: Vec<bool> = Vec::new();
+    for op in OpKind::all() {
+        let db = b.db(false).expect("db");
+        b.seeded_op_table(&db, "parts", rows).expect("seed");
+        let extractor = TriggerExtractor::new("parts");
+        extractor.install(&db).expect("trigger");
+        let mut cap =
+            OpDeltaCapture::new(db.session(), OpLogSink::Table("op_log".into())).expect("capture");
+        let sql = match op {
+            OpKind::Insert => insert_txn_sql("parts", (rows * 10) as i64, n),
+            OpKind::Update => update_txn_sql("parts", 0, n),
+            OpKind::Delete => delete_txn_sql("parts", 0, n),
+        };
+        cap.execute(&sql).expect("txn");
+        let value_batch = DeltaBatch::Value(extractor.drain(&db).expect("drain"));
+        let op_bytes_raw: usize = collect_from_table(&db, "op_log")
+            .expect("collect")
+            .iter()
+            .map(|od| DeltaBatch::Op(od.clone()).wire_size())
+            .sum();
+        let op_bytes_col: usize = collect_from_table(&db, "op_log")
+            .expect("collect")
+            .iter()
+            .map(|od| {
+                DeltaBatch::Op(od.clone()).wire_size_with(DeltaCodec::Columnar, DEFAULT_BLOCK_ROWS)
+            })
+            .sum();
+        let raw = value_batch.wire_size_with(DeltaCodec::Raw, DEFAULT_BLOCK_ROWS);
+        let col = value_batch.wire_size_with(DeltaCodec::Columnar, DEFAULT_BLOCK_ROWS);
+        let (t_raw, t_col) = (lan_ship(raw), lan_ship(col));
+        uniform_reductions.push(raw as f64 / col.max(1) as f64);
+        ship_verdicts.push(t_col <= t_raw);
+        report.push_row(vec![
+            format!("{} value delta", op.label()),
+            fmt_bytes(raw),
+            fmt_bytes(col),
+            format!("{:.1}x", raw as f64 / col.max(1) as f64),
+            fmt_duration(t_raw),
+            fmt_duration(t_col),
+        ]);
+        let (t_op_raw, t_op_col) = (lan_ship(op_bytes_raw), lan_ship(op_bytes_col));
+        ship_verdicts.push(t_op_col <= t_op_raw);
+        report.push_row(vec![
+            format!("{} Op-Delta", op.label()),
+            fmt_bytes(op_bytes_raw),
+            fmt_bytes(op_bytes_col),
+            format!("{:.1}x", op_bytes_raw as f64 / op_bytes_col.max(1) as f64),
+            fmt_duration(t_op_raw),
+            fmt_duration(t_op_col),
+        ]);
+    }
+    report.check(
+        "columnar shrinks every uniform 100-byte-record value delta >=3x",
+        uniform_reductions.iter().all(|r| *r >= 3.0),
+    );
+    report.check(
+        "columnar LAN ship virtual time is never worse than raw (R verdict)",
+        ship_verdicts.iter().all(|v| *v),
+    );
+    report
+}

@@ -7,6 +7,7 @@ pub mod expc;
 pub mod expg;
 pub mod expr;
 pub mod expv;
+pub mod expv_codec;
 pub mod expw;
 pub mod fig2;
 pub mod fig3;
@@ -29,6 +30,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "table4",
         "expw",
         "expv",
+        "expv_codec",
         "expr",
         "expc",
         "expg_group_commit",
@@ -52,6 +54,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<TableReport> {
         "table4" => table4::run(scale),
         "expw" => expw::run(scale),
         "expv" => expv::run(scale),
+        "expv_codec" => expv_codec::run(scale),
         "expr" => expr::run(scale),
         "expc" => expc::run(scale),
         "expg_group_commit" => expg::group_commit(scale),

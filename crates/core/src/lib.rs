@@ -28,6 +28,8 @@
 //! * [`model`] — the delta data model shared by every method and by the
 //!   transports and warehouse appliers.
 
+/// Columnar wire codec for delta batches (the compact-ship-path format).
+pub mod colcodec;
 /// Unified [`Method`](extractor::Method) abstraction over the five extractors.
 pub mod extractor;
 /// Method 4: delta extraction from the redo/archive log.

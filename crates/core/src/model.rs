@@ -20,6 +20,7 @@ use std::fmt;
 use delta_sql::ast::Statement;
 use delta_sql::parser::parse_statement;
 use delta_storage::codec::ascii;
+use delta_storage::colbatch::{self, DeltaCodec};
 use delta_storage::{Row, Schema, StorageError, StorageResult};
 
 /// The kind of change a value-delta record describes.
@@ -378,7 +379,8 @@ pub enum DeltaBatch {
 }
 
 impl DeltaBatch {
-    /// Serialize for shipping.
+    /// Serialize for shipping in the legacy text envelope (equivalent to
+    /// [`DeltaBatch::to_bytes_with`] at [`DeltaCodec::Raw`]).
     pub fn to_bytes(&self) -> Vec<u8> {
         match self {
             DeltaBatch::Value(v) => v.to_text().into_bytes(),
@@ -386,8 +388,24 @@ impl DeltaBatch {
         }
     }
 
-    /// Parse shipped bytes.
+    /// Serialize for shipping under `codec`. `block_rows` bounds the rows per
+    /// CRC-framed block in the columnar format (ignored for `Raw`). Either
+    /// output decodes through [`DeltaBatch::from_bytes`], which sniffs the
+    /// leading magic.
+    pub fn to_bytes_with(&self, codec: DeltaCodec, block_rows: usize) -> Vec<u8> {
+        match codec {
+            DeltaCodec::Raw => self.to_bytes(),
+            DeltaCodec::Columnar => crate::colcodec::encode_batch(self, block_rows),
+        }
+    }
+
+    /// Parse shipped bytes: columnar envelopes (lead byte `0xFF`, never valid
+    /// UTF-8) are dispatched by magic; anything else is the legacy text
+    /// envelope, so pre-codec queue spools decode unchanged.
     pub fn from_bytes(bytes: &[u8]) -> StorageResult<DeltaBatch> {
+        if colbatch::is_columnar_batch(bytes) {
+            return crate::colcodec::decode_batch(bytes);
+        }
         let text = std::str::from_utf8(bytes)
             .map_err(|_| StorageError::Corrupt("delta batch not UTF-8".into()))?;
         if text.starts_with("VALUE-DELTA") {
@@ -405,6 +423,9 @@ impl DeltaBatch {
         bytes: &[u8],
         cache: &crate::stmtcache::StatementCache,
     ) -> StorageResult<DeltaBatch> {
+        if colbatch::is_columnar_batch(bytes) {
+            return crate::colcodec::decode_batch_cached(bytes, cache);
+        }
         let text = std::str::from_utf8(bytes)
             .map_err(|_| StorageError::Corrupt("delta batch not UTF-8".into()))?;
         if text.starts_with("VALUE-DELTA") {
@@ -416,9 +437,14 @@ impl DeltaBatch {
         }
     }
 
-    /// Shipped size in bytes.
+    /// Shipped size in bytes (legacy text envelope).
     pub fn wire_size(&self) -> usize {
         self.to_bytes().len()
+    }
+
+    /// Shipped size in bytes under `codec`.
+    pub fn wire_size_with(&self, codec: DeltaCodec, block_rows: usize) -> usize {
+        self.to_bytes_with(codec, block_rows).len()
     }
 }
 

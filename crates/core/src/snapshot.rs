@@ -29,12 +29,13 @@
 use std::cmp::Ordering;
 use std::collections::VecDeque;
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 
 use delta_engine::db::Database;
 use delta_engine::EngineResult;
 use delta_storage::codec::ascii;
+use delta_storage::colbatch::{self, RowSink, RowSource, SnapshotFormat};
 use delta_storage::{Row, Schema, StorageError, StorageResult, Value};
 use parking_lot::Mutex;
 
@@ -66,9 +67,12 @@ pub struct DiffStats {
     pub comparisons: u64,
 }
 
-/// Take a snapshot of `table` (an ASCII dump) at `path`. Returns row count.
+/// Take a snapshot of `table` at `path`, in the format the database's
+/// `delta_codec` option selects (ASCII under `Raw`, columnar CRC-framed
+/// blocks under `Columnar`). Returns row count. Diffing sniffs the format
+/// per file, so snapshots taken under different codecs still diff.
 pub fn take_snapshot(db: &Database, table: &str, path: impl AsRef<Path>) -> EngineResult<u64> {
-    delta_engine::util::ascii_dump(db, table, path)
+    delta_engine::util::snapshot_dump(db, table, path)
 }
 
 /// Compare `old_path` and `new_path` (snapshots of a table with `schema`,
@@ -176,19 +180,17 @@ fn cmp_keys(a: &[Value], b: &[Value]) -> Ordering {
 // ---------------------------------------------------------------------
 
 struct RunReader {
-    reader: BufReader<File>,
-    schema: Schema,
-    line: String,
+    src: RowSource,
     current: Option<(Vec<Value>, Row)>,
     key_cols: Vec<usize>,
 }
 
 impl RunReader {
     fn open(path: &Path, schema: &Schema, key_cols: &[usize]) -> StorageResult<RunReader> {
+        // RowSource sniffs the file format, so run readers stream-decode
+        // columnar snapshot blocks and legacy ASCII dumps alike.
         let mut r = RunReader {
-            reader: BufReader::new(File::open(path)?),
-            schema: schema.clone(),
-            line: String::new(),
+            src: RowSource::open(path, schema)?,
             current: None,
             key_cols: key_cols.to_vec(),
         };
@@ -197,20 +199,11 @@ impl RunReader {
     }
 
     fn advance(&mut self) -> StorageResult<()> {
-        loop {
-            self.line.clear();
-            if self.reader.read_line(&mut self.line)? == 0 {
-                self.current = None;
-                return Ok(());
-            }
-            let trimmed = self.line.trim_end_matches(['\n', '\r']);
-            if trimmed.is_empty() {
-                continue;
-            }
-            let row = ascii::parse_row(trimmed, &self.schema)?;
-            self.current = Some((key_of(&row, &self.key_cols), row));
-            return Ok(());
-        }
+        self.current = self
+            .src
+            .next_row()?
+            .map(|row| (key_of(&row, &self.key_cols), row));
+        Ok(())
     }
 }
 
@@ -238,19 +231,23 @@ fn external_sort(
         .and_then(|s| s.to_str())
         .unwrap_or("snapshot");
 
+    // Run files and the merged output inherit the input file's format:
+    // ASCII inputs spill ASCII temps (byte-identical to the historical
+    // behaviour), columnar inputs spill compact columnar temps.
+    let fmt = colbatch::detect_file_format(path)?;
+
     // Phase 1: sorted runs.
     let mut run_paths = Vec::new();
     if workers > 1 {
         let (n_runs, rows_read, rows_written) =
-            parallel_run_generation(path, schema, key_cols, run_size, workers, &dir, stem)?;
+            parallel_run_generation(path, schema, key_cols, run_size, workers, &dir, stem, fmt)?;
         stats.rows_read += rows_read;
         stats.run_rows_written += rows_written;
         run_paths = (0..n_runs)
             .map(|i| dir.join(format!("{stem}.run{i}")))
             .collect();
     } else {
-        let mut reader = BufReader::new(File::open(path)?);
-        let mut line = String::new();
+        let mut src = RowSource::open(path, schema)?;
         let mut run: Vec<(Vec<Value>, Row)> = Vec::with_capacity(run_size.min(1 << 16));
         let flush_run = |run: &mut Vec<(Vec<Value>, Row)>,
                          run_paths: &mut Vec<PathBuf>,
@@ -261,26 +258,17 @@ fn external_sort(
             }
             run.sort_by(|a, b| cmp_keys(&a.0, &b.0));
             let rp = dir.join(format!("{stem}.run{}", run_paths.len()));
-            let mut w = BufWriter::new(File::create(&rp)?);
+            let mut w = RowSink::create(&rp, fmt, colbatch::DEFAULT_BLOCK_ROWS)?;
             for (_, row) in run.iter() {
-                writeln!(w, "{}", ascii::format_row(row))?;
+                w.write_row(row)?;
                 stats.run_rows_written += 1;
             }
-            w.flush()?;
+            w.finish()?;
             run_paths.push(rp);
             run.clear();
             Ok(())
         };
-        loop {
-            line.clear();
-            if reader.read_line(&mut line)? == 0 {
-                break;
-            }
-            let trimmed = line.trim_end_matches(['\n', '\r']);
-            if trimmed.is_empty() {
-                continue;
-            }
-            let row = ascii::parse_row(trimmed, schema)?;
+        while let Some(row) = src.next_row()? {
             stats.rows_read += 1;
             run.push((key_of(&row, key_cols), row));
             if run.len() >= run_size {
@@ -297,7 +285,7 @@ fn external_sort(
             .iter()
             .map(|p| RunReader::open(p, schema, key_cols))
             .collect::<StorageResult<_>>()?;
-        let mut out = BufWriter::new(File::create(&sorted_path)?);
+        let mut out = RowSink::create(&sorted_path, fmt, colbatch::DEFAULT_BLOCK_ROWS)?;
         loop {
             // Pick the reader with the smallest current key.
             let mut best: Option<usize> = None;
@@ -319,12 +307,12 @@ fn external_sort(
                 None => break,
                 Some(i) => {
                     let (_, row) = readers[i].current.take().expect("checked");
-                    writeln!(out, "{}", ascii::format_row(&row))?;
+                    out.write_row(&row)?;
                     readers[i].advance()?;
                 }
             }
         }
-        out.flush()?;
+        out.finish()?;
     }
     for rp in run_paths {
         let _ = std::fs::remove_file(rp);
@@ -336,10 +324,19 @@ fn worker_panic() -> StorageError {
     StorageError::Corrupt("snapshot diff worker thread panicked".into())
 }
 
-/// Fan run generation out across `workers` threads: the reader chunks raw
-/// lines, workers parse/sort/write one run per chunk. Returns
+/// One unit of parallel run generation. ASCII inputs ship raw lines so the
+/// (expensive) text parse stays on the workers; columnar inputs ship rows
+/// the feeder's block decoder already produced.
+enum RunChunk {
+    Lines(Vec<String>),
+    Rows(Vec<Row>),
+}
+
+/// Fan run generation out across `workers` threads: the reader chunks the
+/// input, workers parse/sort/write one run per chunk. Returns
 /// `(runs_written, rows_read, run_rows_written)`. The chunk index names the
 /// run file, so run contents match a sequential pass exactly.
+#[allow(clippy::too_many_arguments)]
 fn parallel_run_generation(
     path: &Path,
     schema: &Schema,
@@ -348,8 +345,9 @@ fn parallel_run_generation(
     workers: usize,
     dir: &Path,
     stem: &str,
+    fmt: SnapshotFormat,
 ) -> StorageResult<(usize, u64, u64)> {
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<String>)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, RunChunk)>();
     let rx = Mutex::new(rx);
     let mut n_runs = 0usize;
     let mut rows_read = 0u64;
@@ -364,19 +362,28 @@ fn parallel_run_generation(
                         let claimed = rx.lock();
                         let msg = claimed.recv();
                         drop(claimed);
-                        let Ok((idx, lines)) = msg else { break };
-                        let mut run: Vec<(Vec<Value>, Row)> = Vec::with_capacity(lines.len());
-                        for l in &lines {
-                            let row = ascii::parse_row(l, schema)?;
-                            run.push((key_of(&row, key_cols), row));
-                        }
+                        let Ok((idx, chunk)) = msg else { break };
+                        let mut run: Vec<(Vec<Value>, Row)> = match chunk {
+                            RunChunk::Lines(lines) => {
+                                let mut run = Vec::with_capacity(lines.len());
+                                for l in &lines {
+                                    let row = ascii::parse_row(l, schema)?;
+                                    run.push((key_of(&row, key_cols), row));
+                                }
+                                run
+                            }
+                            RunChunk::Rows(rows) => rows
+                                .into_iter()
+                                .map(|row| (key_of(&row, key_cols), row))
+                                .collect(),
+                        };
                         run.sort_by(|a, b| cmp_keys(&a.0, &b.0));
                         let rp = dir.join(format!("{stem}.run{idx}"));
-                        let mut w = BufWriter::new(File::create(&rp)?);
+                        let mut w = RowSink::create(&rp, fmt, colbatch::DEFAULT_BLOCK_ROWS)?;
                         for (_, row) in &run {
-                            writeln!(w, "{}", ascii::format_row(row))?;
+                            w.write_row(row)?;
                         }
-                        w.flush()?;
+                        w.finish()?;
                         written += run.len() as u64;
                     }
                     Ok(written)
@@ -384,31 +391,51 @@ fn parallel_run_generation(
             })
             .collect();
 
-        // Feed chunks of raw lines; a read error stops the feed, and closing
-        // the channel lets the workers drain and exit.
+        // Feed chunks; a read error stops the feed, and closing the channel
+        // lets the workers drain and exit.
         let mut feed = || -> StorageResult<()> {
-            let mut reader = BufReader::new(File::open(path)?);
-            let mut line = String::new();
-            let mut chunk: Vec<String> = Vec::with_capacity(run_size.min(1 << 16));
-            loop {
-                line.clear();
-                if reader.read_line(&mut line)? == 0 {
-                    break;
+            match fmt {
+                SnapshotFormat::Ascii => {
+                    let mut reader = BufReader::new(File::open(path)?);
+                    let mut line = String::new();
+                    let mut chunk: Vec<String> = Vec::with_capacity(run_size.min(1 << 16));
+                    loop {
+                        line.clear();
+                        if reader.read_line(&mut line)? == 0 {
+                            break;
+                        }
+                        let trimmed = line.trim_end_matches(['\n', '\r']);
+                        if trimmed.is_empty() {
+                            continue;
+                        }
+                        rows_read += 1;
+                        chunk.push(trimmed.to_string());
+                        if chunk.len() >= run_size {
+                            let _ = tx.send((n_runs, RunChunk::Lines(std::mem::take(&mut chunk))));
+                            n_runs += 1;
+                        }
+                    }
+                    if !chunk.is_empty() {
+                        let _ = tx.send((n_runs, RunChunk::Lines(std::mem::take(&mut chunk))));
+                        n_runs += 1;
+                    }
                 }
-                let trimmed = line.trim_end_matches(['\n', '\r']);
-                if trimmed.is_empty() {
-                    continue;
+                SnapshotFormat::Columnar => {
+                    let mut src = RowSource::open(path, schema)?;
+                    let mut chunk: Vec<Row> = Vec::with_capacity(run_size.min(1 << 16));
+                    while let Some(row) = src.next_row()? {
+                        rows_read += 1;
+                        chunk.push(row);
+                        if chunk.len() >= run_size {
+                            let _ = tx.send((n_runs, RunChunk::Rows(std::mem::take(&mut chunk))));
+                            n_runs += 1;
+                        }
+                    }
+                    if !chunk.is_empty() {
+                        let _ = tx.send((n_runs, RunChunk::Rows(std::mem::take(&mut chunk))));
+                        n_runs += 1;
+                    }
                 }
-                rows_read += 1;
-                chunk.push(trimmed.to_string());
-                if chunk.len() >= run_size {
-                    let _ = tx.send((n_runs, std::mem::take(&mut chunk)));
-                    n_runs += 1;
-                }
-            }
-            if !chunk.is_empty() {
-                let _ = tx.send((n_runs, std::mem::take(&mut chunk)));
-                n_runs += 1;
             }
             Ok(())
         };
@@ -596,27 +623,18 @@ fn partition_by_key(
         .map(|i| dir.join(format!("{stem}.{tag}-part{i}")))
         .collect();
     let mut guard = TempFiles(paths.clone());
+    let fmt = colbatch::detect_file_format(path)?;
     let mut writers = paths
         .iter()
-        .map(|p| File::create(p).map(BufWriter::new))
-        .collect::<Result<Vec<_>, _>>()?;
-    let mut reader = BufReader::new(File::open(path)?);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break;
-        }
-        let trimmed = line.trim_end_matches(['\n', '\r']);
-        if trimmed.is_empty() {
-            continue;
-        }
-        let row = ascii::parse_row(trimmed, schema)?;
+        .map(|p| RowSink::create(p, fmt, colbatch::DEFAULT_BLOCK_ROWS))
+        .collect::<StorageResult<Vec<_>>>()?;
+    let mut src = RowSource::open(path, schema)?;
+    while let Some(row) = src.next_row()? {
         let p = key_partition(&key_of(&row, key_cols), parts);
-        writeln!(writers[p], "{trimmed}")?;
+        writers[p].write_row(&row)?;
     }
-    for w in &mut writers {
-        w.flush()?;
+    for w in writers {
+        w.finish()?;
     }
     guard.0.clear();
     Ok(paths)

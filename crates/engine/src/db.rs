@@ -13,7 +13,7 @@ use parking_lot::RwLock;
 use delta_storage::codec::export::ProductTag;
 use delta_storage::fault::FaultInjector;
 use delta_storage::{
-    BufferPool, BufferPoolStats, DiskFile, HeapFile, RecordId, Row, Schema, Value,
+    BufferPool, BufferPoolStats, DeltaCodec, DiskFile, HeapFile, RecordId, Row, Schema, Value,
 };
 
 use crate::catalog::{Catalog, TableMeta, TableOptions};
@@ -72,6 +72,14 @@ pub struct DbOptions {
     /// exact committed state after a crash. On by default; harnesses that
     /// want to inspect the raw post-crash heap can turn it off.
     pub recover_on_open: bool,
+    /// Codec for the commit-ship-apply path: snapshot dumps, shipped delta
+    /// batches, and archived WAL segments (compressed at checkpoint).
+    /// Readers sniff formats, so either setting decodes files written under
+    /// the other.
+    pub delta_codec: DeltaCodec,
+    /// Rows per CRC-framed block in columnar snapshot files and delta
+    /// batches.
+    pub codec_block_rows: usize,
 }
 
 impl DbOptions {
@@ -91,6 +99,8 @@ impl DbOptions {
             trigger_max_depth: 8,
             faults: None,
             recover_on_open: true,
+            delta_codec: DeltaCodec::default(),
+            codec_block_rows: delta_storage::colbatch::DEFAULT_BLOCK_ROWS,
         }
     }
 
@@ -127,6 +137,18 @@ impl DbOptions {
     /// Builder-style toggle for WAL replay at open.
     pub fn recover(mut self, on: bool) -> DbOptions {
         self.recover_on_open = on;
+        self
+    }
+
+    /// Builder-style ship-path codec.
+    pub fn codec(mut self, codec: DeltaCodec) -> DbOptions {
+        self.delta_codec = codec;
+        self
+    }
+
+    /// Builder-style columnar block size (rows per CRC-framed block).
+    pub fn codec_block_rows(mut self, rows: usize) -> DbOptions {
+        self.codec_block_rows = rows.max(1);
         self
     }
 }
@@ -843,6 +865,12 @@ impl Database {
         self.wal.append_batch(&[LogRecord::Checkpoint])?;
         self.wal.switch_segment()?;
         let recycled = self.wal.recycle_closed_segments()?;
+        // Archived segments are the input to log shipping; compress them off
+        // the append path so shipping moves fewer bytes. Idempotent, and
+        // readers sniff the magic, so mixed archives are fine.
+        if self.opts.archive_mode && self.opts.delta_codec == DeltaCodec::Columnar {
+            self.wal.compress_archived_segments()?;
+        }
         // Recycling may leave part of the LSN history visible only in the
         // archive; persist the high-water mark so a reopen that cannot read
         // the archive (shipped, quarantined, deleted) never re-issues LSNs.

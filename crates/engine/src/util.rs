@@ -21,7 +21,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
 use delta_storage::codec::{ascii, export};
-use delta_storage::{Row, SlottedPage};
+use delta_storage::{colbatch, DeltaCodec, Row, SlottedPage};
 
 use crate::db::Database;
 use crate::error::{EngineError, EngineResult};
@@ -146,6 +146,43 @@ pub fn ascii_dump(db: &Database, table: &str, path: impl AsRef<Path>) -> EngineR
     })();
     db.commit(txn)?;
     result
+}
+
+/// Dump `table` to `path` as columnar CRC-framed row blocks (the compact
+/// snapshot format; see `delta_storage::colbatch`). Returns rows written.
+pub fn columnar_dump(db: &Database, table: &str, path: impl AsRef<Path>) -> EngineResult<u64> {
+    let mut txn = db.begin();
+    db.lock_table(&mut txn, table, LockMode::Shared)?;
+    let result = (|| {
+        let mut sink = colbatch::RowSink::create(
+            path.as_ref(),
+            colbatch::SnapshotFormat::Columnar,
+            db.options().codec_block_rows,
+        )?;
+        let heap = db.heap(table)?;
+        let mut n = 0u64;
+        heap.for_each(|_, bytes| {
+            let row = Row::from_bytes(bytes)?;
+            sink.write_row(&row)?;
+            n += 1;
+            Ok(())
+        })?;
+        sink.finish()?;
+        Ok(n)
+    })();
+    db.commit(txn)?;
+    result
+}
+
+/// Dump `table` to `path` in the snapshot format the database's
+/// `delta_codec` option selects: ASCII under `Raw`, columnar blocks under
+/// `Columnar`. Snapshot readers sniff the format, so consumers never care
+/// which one was written.
+pub fn snapshot_dump(db: &Database, table: &str, path: impl AsRef<Path>) -> EngineResult<u64> {
+    match db.options().delta_codec {
+        DeltaCodec::Raw => ascii_dump(db, table, path),
+        DeltaCodec::Columnar => columnar_dump(db, table, path),
+    }
 }
 
 /// Direct-path load of an ASCII dump into `table`: rows are validated, packed

@@ -36,6 +36,7 @@ use std::sync::Arc;
 use bytes::{Buf, BufMut};
 use parking_lot::{Condvar, Mutex};
 
+use delta_storage::colbatch;
 use delta_storage::fault::{FaultAction, FaultInjector};
 use delta_storage::{invariant, IoOp, Row, StorageError, StorageResult};
 
@@ -965,6 +966,39 @@ impl LogManager {
         Ok(v)
     }
 
+    /// Compress archived segments in place (LZ blocks behind
+    /// [`colbatch::SEG_MAGIC`], each with its own CRC — see
+    /// [`colbatch::compress_segment`]). Already-compressed segments are
+    /// skipped, so the pass is idempotent; each file is rewritten atomically
+    /// via write-then-rename, keeping its `.wal` name so every existing
+    /// reader and the quarantine path see the same paths. Returns the number
+    /// of segments compressed.
+    ///
+    /// Archived segments are immutable once renamed into the archive, so no
+    /// writer lock is needed; [`read_segment`] sniffs the magic and
+    /// decompresses transparently, surfacing per-block CRC failures as typed
+    /// corruption for the extractor's quarantine path.
+    pub fn compress_archived_segments(&self) -> EngineResult<usize> {
+        let mut n = 0usize;
+        for p in self.archived_segments()? {
+            let mut bytes = Vec::new();
+            File::open(&p)?.read_to_end(&mut bytes)?;
+            if colbatch::is_compressed_segment(&bytes) {
+                continue;
+            }
+            let compressed = colbatch::compress_segment(&bytes);
+            let tmp = p.with_extension("wal.tmp");
+            {
+                let mut f = File::create(&tmp)?;
+                f.write_all(&compressed)?;
+                f.sync_all()?;
+            }
+            fs::rename(&tmp, &p)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
     /// Paths of resident (non-archived) segments, oldest first, including the
     /// active one.
     pub fn resident_segments(&self) -> EngineResult<Vec<PathBuf>> {
@@ -1031,6 +1065,12 @@ fn list_segment_files(dir: &Path) -> EngineResult<Vec<PathBuf>> {
 pub fn read_segment(path: &Path) -> EngineResult<Vec<(Lsn, LogRecord)>> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
+    if colbatch::is_compressed_segment(&bytes) {
+        // Compressed archive segment: verify per-block CRCs and inflate. Any
+        // damaged block surfaces as typed corruption, which the resilient
+        // extractor's quarantine path handles like any other corrupt segment.
+        bytes = colbatch::decompress_segment(&bytes).map_err(EngineError::Storage)?;
+    }
     let mut buf = &bytes[..];
     let mut out = Vec::new();
     while !buf.is_empty() {

@@ -85,6 +85,8 @@ pub const PANIC_FREE_FILES: &[&str] = &[
     "crates/storage/src/page.rs",
     "crates/storage/src/heap.rs",
     "crates/storage/src/buffer.rs",
+    "crates/storage/src/colbatch.rs",
+    "crates/core/src/colcodec.rs",
 ];
 
 /// Path prefixes whose every file is panic-free scoped. `crates/lint/src`

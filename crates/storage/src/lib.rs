@@ -24,6 +24,7 @@
 
 pub mod buffer;
 pub mod codec;
+pub mod colbatch;
 pub mod error;
 pub mod fault;
 pub mod file;
@@ -35,6 +36,7 @@ pub mod schema;
 pub mod value;
 
 pub use buffer::{BufferPool, BufferPoolStats};
+pub use colbatch::DeltaCodec;
 pub use error::{IoOp, StorageError, StorageResult};
 pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultStats, ScheduledFault};
 pub use file::{DiskFile, FileId, PageId, PAGE_SIZE};

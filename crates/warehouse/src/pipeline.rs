@@ -27,7 +27,9 @@ use delta_core::stmtcache::{CacheStats, StatementCache};
 use delta_core::transform::DeltaTransform;
 use delta_engine::db::Database;
 use delta_engine::{EngineError, EngineResult};
+use delta_storage::colbatch::DEFAULT_BLOCK_ROWS;
 use delta_storage::fault::splitmix64;
+use delta_storage::DeltaCodec;
 use delta_transport::{NetFaultPlan, NetFaultSim, PersistentQueue};
 use parking_lot::Mutex;
 
@@ -123,6 +125,10 @@ pub struct Pipeline {
     /// Seeded transport-fault simulator applied to every dequeue.
     net_faults: Option<Mutex<NetFaultSim>>,
     jitter_state: Mutex<u64>,
+    /// Wire encoding for published batches. The consumer side sniffs the
+    /// format per payload, so mixed-codec queues drain fine.
+    codec: DeltaCodec,
+    codec_block_rows: usize,
 }
 
 impl Pipeline {
@@ -139,7 +145,24 @@ impl Pipeline {
             dlq_path: queue_path.with_extension("dlq"),
             net_faults: None,
             jitter_state: Mutex::new(0),
+            codec: DeltaCodec::default(),
+            codec_block_rows: DEFAULT_BLOCK_ROWS,
         })
+    }
+
+    /// Select the wire codec for published batches ([`DeltaCodec::Columnar`]
+    /// by default). `Raw` keeps the legacy text envelope; either way the
+    /// consumer sniffs the format per payload, so a queue written under one
+    /// codec drains unchanged after switching.
+    pub fn with_codec(mut self, codec: DeltaCodec) -> Pipeline {
+        self.codec = codec;
+        self
+    }
+
+    /// Rows per columnar block in published batches (min 1).
+    pub fn with_codec_block_rows(mut self, rows: usize) -> Pipeline {
+        self.codec_block_rows = rows.max(1);
+        self
     }
 
     /// Set how many queued payloads `sync` pulls per run (min 1). A size of
@@ -188,10 +211,11 @@ impl Pipeline {
         &self.queue
     }
 
-    /// Publish one delta batch from the source side.
+    /// Publish one delta batch from the source side, encoded with the
+    /// pipeline's wire codec.
     pub fn publish(&self, batch: &DeltaBatch) -> EngineResult<u64> {
         self.queue
-            .enqueue(&batch.to_bytes())
+            .enqueue(&batch.to_bytes_with(self.codec, self.codec_block_rows))
             .map_err(EngineError::Storage)
     }
 
@@ -746,7 +770,8 @@ mod tests {
             txn: 0,
             row: Row::new(vec![Value::Int(9), Value::Int(9)]),
         });
-        let bad_bytes = DeltaBatch::Value(bad.clone()).to_bytes();
+        let bad_bytes =
+            DeltaBatch::Value(bad.clone()).to_bytes_with(DeltaCodec::default(), DEFAULT_BLOCK_ROWS);
         pipe.publish(&DeltaBatch::Value(bad)).unwrap();
         pipe.publish(&DeltaBatch::Value(insert_vd(2, 2))).unwrap();
 
