@@ -57,7 +57,9 @@ fn main() {
         i += 1;
     }
     if ids.is_empty() {
-        eprintln!("usage: repro [all | <experiment>...] [--scale N] [--out DIR] [--strict] [--list]");
+        eprintln!(
+            "usage: repro [all | <experiment>...] [--scale N] [--out DIR] [--strict] [--list]"
+        );
         eprintln!("experiments: {}", experiments::all_ids().join(", "));
         std::process::exit(2);
     }

@@ -4,6 +4,7 @@
 //! torture                          # default seed, 20 cycles
 //! torture --seed 7 --cycles 50     # more cycles under another schedule
 //! torture --txns 16                # heavier per-cycle workload
+//! torture --sync-workers 4         # parallel staged apply scheduler
 //! ```
 //!
 //! Exits nonzero on any convergence or exactly-once violation, printing the
@@ -23,7 +24,7 @@ fn main() {
     while i < args.len() {
         let flag = args[i].as_str();
         match flag {
-            "--seed" | "--cycles" | "--txns" => {
+            "--seed" | "--cycles" | "--txns" | "--sync-workers" => {
                 i += 1;
                 let v: u64 = args
                     .get(i)
@@ -32,11 +33,12 @@ fn main() {
                 match flag {
                     "--seed" => cfg.seed = v,
                     "--cycles" => cfg.cycles = v,
+                    "--sync-workers" => cfg.sync_workers = v as usize,
                     _ => cfg.txns = v,
                 }
             }
             "--help" | "-h" => {
-                eprintln!("usage: torture [--seed N] [--cycles N] [--txns N]");
+                eprintln!("usage: torture [--seed N] [--cycles N] [--txns N] [--sync-workers N]");
                 return;
             }
             other => die(&format!("unknown argument {other}")),
@@ -45,8 +47,8 @@ fn main() {
     }
 
     println!(
-        "torture: seed {} | {} cycles x {} txns",
-        cfg.seed, cfg.cycles, cfg.txns
+        "torture: seed {} | {} cycles x {} txns | {} sync worker(s)",
+        cfg.seed, cfg.cycles, cfg.txns, cfg.sync_workers
     );
     match torture::run(&cfg) {
         Ok(stats) => println!("torture: CONVERGED — {}", stats.summary()),

@@ -51,7 +51,7 @@ pub fn run(scale: &Scale) -> TableReport {
         ],
     );
     let rows = scale.rows(10_000);
-    let n = (rows / 2).min(1_000).max(1);
+    let n = (rows / 2).clamp(1, 1_000);
     report.note(format!(
         "experiment V's workload: {n}-row transactions on a {rows}-row table of uniform 100-byte records"
     ));

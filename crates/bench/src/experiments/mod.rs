@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod expb;
 pub mod expc;
 pub mod expg;
+pub mod expp;
 pub mod expr;
 pub mod expv;
 pub mod expv_codec;
@@ -36,6 +37,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "expg_group_commit",
         "expg_sync",
         "expb_scan_scaling",
+        "expp_parallel_sync",
         "ablation_wal",
         "ablation_ts_index",
         "ablation_snapshot",
@@ -60,6 +62,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<TableReport> {
         "expg_group_commit" => expg::group_commit(scale),
         "expg_sync" => expg::sync_batched(scale),
         "expb_scan_scaling" => expb::run(scale),
+        "expp_parallel_sync" => expp::run(scale),
         "ablation_wal" => ablations::wal_sync(scale),
         "ablation_ts_index" => ablations::ts_index(scale),
         "ablation_snapshot" => ablations::snapshot_algorithms(scale),

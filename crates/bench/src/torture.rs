@@ -45,6 +45,9 @@ pub struct TortureConfig {
     pub cycles: u64,
     /// Transactions attempted against the source per cycle.
     pub txns: u64,
+    /// Apply workers for the staged sync scheduler (0 = available
+    /// parallelism, 1 = the historical serial loop).
+    pub sync_workers: usize,
 }
 
 impl Default for TortureConfig {
@@ -53,6 +56,7 @@ impl Default for TortureConfig {
             seed: 0xDE17A,
             cycles: 20,
             txns: 8,
+            sync_workers: 1,
         }
     }
 }
@@ -344,7 +348,8 @@ impl Driver {
                 .and_then(|p| p.with_retry(RetryPolicy::quick(4)))
                 .map_err(|e| self.fail(cycle, format!("pipeline open: {e}")))?
                 .with_batch_size(3)
-                .with_net_faults(NetFaultPlan::lossy(net_seed));
+                .with_net_faults(NetFaultPlan::lossy(net_seed))
+                .with_sync_workers(self.cfg.sync_workers);
             for vd in extract.deltas {
                 pipe.publish(&DeltaBatch::Value(vd))
                     .map_err(|e| self.fail(cycle, format!("publish: {e}")))?;

@@ -10,6 +10,7 @@ fn twenty_seeded_cycles_converge() {
         seed: 0xDE17A,
         cycles: 20,
         txns: 8,
+        sync_workers: 1,
     };
     let stats = run(&cfg).expect("every cycle must converge");
     assert_eq!(stats.cycles, 20);
@@ -29,10 +30,30 @@ fn alternate_seed_also_converges_and_is_deterministic() {
         seed: 99,
         cycles: 6,
         txns: 6,
+        sync_workers: 1,
     };
     let a = run(&cfg).expect("seed 99 must converge");
     let b = run(&cfg).expect("seed 99 must converge again");
     // Identical seeds replay identical schedules: the counters must match
     // exactly, which is what makes a printed seed a faithful reproduction.
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn parallel_scheduler_converges_on_the_ci_seed_matrix() {
+    // The staged parallel apply path must survive the same seeded
+    // crash-convergence schedules CI runs serially (see torture-smoke in
+    // ci.yml), at a reduced cycle count to stay smoke-sized.
+    for seed in [909690, 7, 1234] {
+        let cfg = TortureConfig {
+            seed,
+            cycles: 6,
+            txns: 8,
+            sync_workers: 4,
+        };
+        let stats =
+            run(&cfg).unwrap_or_else(|e| panic!("seed {seed} with 4 workers must converge: {e}"));
+        assert_eq!(stats.cycles, 6, "seed {seed}");
+        assert!(stats.published > 0, "seed {seed}: no delta ever shipped");
+    }
 }

@@ -56,11 +56,7 @@ fn legacy_value_delta_envelope_decodes_unchanged() {
     assert_eq!(vd.records[0].txn, 7);
     assert_eq!(
         vd.records[0].row.values(),
-        &[
-            Value::Int(1),
-            Value::Str("alpha".into()),
-            Value::Int(10)
-        ]
+        &[Value::Int(1), Value::Str("alpha".into()), Value::Int(10)]
     );
     assert_eq!(vd.records[1].op, DeltaOp::UpdateBefore);
     assert_eq!(vd.records[2].op, DeltaOp::UpdateAfter);

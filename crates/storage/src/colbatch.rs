@@ -86,7 +86,11 @@ const fn crc32_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -643,9 +647,7 @@ const BLOCK_RAGGED: u8 = 1;
 /// back to a row-major layout of raw tagged cells.
 pub fn encode_rows_block(rows: &[Row]) -> Vec<u8> {
     let mut out = Vec::new();
-    let uniform = rows
-        .windows(2)
-        .all(|w| w[0].len() == w[1].len());
+    let uniform = rows.windows(2).all(|w| w[0].len() == w[1].len());
     if uniform && !rows.is_empty() {
         out.push(BLOCK_UNIFORM);
         put_uvarint(&mut out, rows.len() as u64);
@@ -909,7 +911,11 @@ enum SinkMode {
 impl RowSink {
     /// Create `path`, writing in `format`. `block_rows` bounds the rows per
     /// columnar block (ignored for ASCII).
-    pub fn create(path: &Path, format: SnapshotFormat, block_rows: usize) -> StorageResult<RowSink> {
+    pub fn create(
+        path: &Path,
+        format: SnapshotFormat,
+        block_rows: usize,
+    ) -> StorageResult<RowSink> {
         let file = File::create(path).map_err(StorageError::Io)?;
         let mode = match format {
             SnapshotFormat::Ascii => SinkMode::Ascii(BufWriter::new(file)),
@@ -1179,7 +1185,7 @@ mod tests {
             let mut bad = framed.clone();
             bad[bit / 8] ^= 1 << (bit % 8);
             let mut buf = bad.as_slice();
-            let r = get_block(&mut buf).and_then(|p| decode_rows_block(p));
+            let r = get_block(&mut buf).and_then(decode_rows_block);
             if let Ok(back) = r {
                 assert_eq!(back, rows, "flip at bit {bit} silently changed rows");
             }
@@ -1195,12 +1201,18 @@ mod tests {
         let z = lz_compress(&data);
         assert!(z.len() * 2 < data.len(), "{} vs {}", z.len(), data.len());
         assert_eq!(lz_decompress(&z, data.len()).unwrap(), data);
-        assert_eq!(lz_decompress(&lz_compress(&[]), 0).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            lz_decompress(&lz_compress(&[]), 0).unwrap(),
+            Vec::<u8>::new()
+        );
         let incompressible: Vec<u8> = (0..4096u32)
             .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
             .collect();
         let z2 = lz_compress(&incompressible);
-        assert_eq!(lz_decompress(&z2, incompressible.len()).unwrap(), incompressible);
+        assert_eq!(
+            lz_decompress(&z2, incompressible.len()).unwrap(),
+            incompressible
+        );
     }
 
     #[test]

@@ -301,10 +301,30 @@ impl PersistentQueue {
         max: u64,
         sim: &mut NetFaultSim,
     ) -> StorageResult<Vec<(u64, Vec<u8>)>> {
-        let run = self.dequeue_up_to(max)?;
-        let mut out: Vec<(u64, Vec<u8>)> = Vec::with_capacity(run.len());
+        let mut arena = Vec::new();
+        let frames = self.dequeue_run_with_faults(max, sim, &mut arena)?;
+        Ok(frames
+            .into_iter()
+            .map(|(idx, range)| (idx, arena[range].to_vec()))
+            .collect())
+    }
+
+    /// Arena-reusing twin of
+    /// [`PersistentQueue::dequeue_up_to_with_faults`]: the run is read with
+    /// one seek into the caller's `arena` (see
+    /// [`PersistentQueue::dequeue_run`]) and the fault plan is applied to
+    /// the `(index, payload range)` pairs, so prefetch-style consumers pay
+    /// no per-message allocation even on the faulted path.
+    pub fn dequeue_run_with_faults(
+        &self,
+        max: u64,
+        sim: &mut NetFaultSim,
+        arena: &mut Vec<u8>,
+    ) -> StorageResult<Vec<(u64, std::ops::Range<usize>)>> {
+        let run = self.dequeue_run(max, arena)?;
+        let mut out: Vec<(u64, std::ops::Range<usize>)> = Vec::with_capacity(run.len());
         // A message fated to reorder is held back one slot.
-        let mut held: Option<(u64, Vec<u8>)> = None;
+        let mut held: Option<(u64, std::ops::Range<usize>)> = None;
         // Lowest index the next round must retransmit from, if any.
         let mut redeliver: Option<u64> = None;
         for (idx, payload) in run {
@@ -615,7 +635,7 @@ mod tests {
     fn dequeue_run_reuses_the_arena_across_calls() {
         let q = PersistentQueue::open(qpath("arena.q")).unwrap();
         for i in 0..8u8 {
-            q.enqueue(&vec![i; 64]).unwrap();
+            q.enqueue(&[i; 64]).unwrap();
         }
         let mut arena = Vec::new();
         let run = q.dequeue_run(4, &mut arena).unwrap();
@@ -635,6 +655,48 @@ mod tests {
             "equal-sized runs reuse the arena allocation"
         );
         assert!(q.dequeue_run(4, &mut arena).unwrap().is_empty());
+    }
+
+    #[test]
+    fn faulted_arena_dequeue_matches_the_owned_path() {
+        use crate::netsim::{NetFaultPlan, NetFaultSim};
+        let build = |label: &str| {
+            let q = PersistentQueue::open(qpath(label)).unwrap();
+            for i in 0..16u8 {
+                q.enqueue(&[i; 32]).unwrap();
+            }
+            q
+        };
+        let owned = {
+            let q = build("farena-a.q");
+            let mut sim = NetFaultSim::new(NetFaultPlan::lossy(31));
+            let mut out = Vec::new();
+            for _ in 0..50 {
+                out.extend(q.dequeue_up_to_with_faults(5, &mut sim).unwrap());
+                if q.pending() == 0 {
+                    break;
+                }
+            }
+            out
+        };
+        let ranged = {
+            let q = build("farena-b.q");
+            let mut sim = NetFaultSim::new(NetFaultPlan::lossy(31));
+            let mut arena = Vec::new();
+            let mut out = Vec::new();
+            for _ in 0..50 {
+                let run = q.dequeue_run_with_faults(5, &mut sim, &mut arena).unwrap();
+                out.extend(
+                    run.into_iter()
+                        .map(|(idx, range)| (idx, arena[range].to_vec())),
+                );
+                if q.pending() == 0 {
+                    break;
+                }
+            }
+            out
+        };
+        assert_eq!(owned, ranged, "same seed, same faulted delivery sequence");
     }
 
     #[test]

@@ -218,8 +218,10 @@ impl Warehouse {
     }
 
     /// Create the applied-sequence watermark table if it does not exist.
-    /// One row (`id = 0`) holds the highest queue sequence id whose apply
-    /// transaction has committed.
+    /// The row with `id = 0` holds the highest queue sequence id of the
+    /// *contiguous* applied prefix; rows with `id = lo + 1` record
+    /// out-of-order `[lo, seq]` ranges committed by parallel apply workers
+    /// ahead of that prefix (see [`Warehouse::fold_applied_ranges`]).
     pub fn ensure_applied_watermark(&self) -> EngineResult<()> {
         if self.db.table(APPLIED_SEQ_TABLE).is_err() {
             let schema = Schema::new(vec![
@@ -233,19 +235,35 @@ impl Warehouse {
         Ok(())
     }
 
-    /// The highest queue sequence id durably applied to this warehouse, or
+    /// The highest queue sequence id of the contiguous applied prefix, or
     /// `None` if nothing was ever tracked. Redelivered batches at or below
     /// this watermark were already applied and must be skipped — this is
-    /// what makes at-least-once delivery exactly-once-observable.
+    /// what makes at-least-once delivery exactly-once-observable. Parallel
+    /// sync may additionally have committed ranges *above* the watermark;
+    /// use [`Warehouse::applied_state`] to see those too.
     pub fn applied_watermark(&self) -> EngineResult<Option<u64>> {
+        Ok(self.applied_state()?.watermark)
+    }
+
+    /// The full durable applied-sequence bookkeeping: the contiguous
+    /// watermark plus any out-of-order ranges committed ahead of it by
+    /// parallel apply workers.
+    pub fn applied_state(&self) -> EngineResult<AppliedState> {
         if self.db.table(APPLIED_SEQ_TABLE).is_err() {
-            return Ok(None);
+            return Ok(AppliedState::default());
         }
-        let rows = self.db.scan_table(APPLIED_SEQ_TABLE)?;
-        Ok(rows
-            .first()
-            .and_then(|(_, r)| r.values()[1].as_int().ok())
-            .map(|v| v as u64))
+        let mut state = AppliedState::default();
+        for (_, row) in self.db.scan_table(APPLIED_SEQ_TABLE)? {
+            let id = row.values()[0].as_int()?;
+            let seq = row.values()[1].as_int()? as u64;
+            if id == 0 {
+                state.watermark = Some(seq);
+            } else {
+                state.ranges.push(((id - 1) as u64, seq));
+            }
+        }
+        state.ranges.sort_unstable();
+        Ok(state)
     }
 
     /// Record `seq` as applied *inside* `txn`, so the delta effects and the
@@ -328,8 +346,13 @@ impl Warehouse {
             return Ok(0);
         }
         let mut touched = 0u64;
-        // Replay in capture order; a UB record is always immediately
+        // SPJ views replay per record in capture order; aggregate views
+        // accumulate the same stream as signed deltas (+1 insert, -1
+        // delete, a -1/+1 pair per update) and fold it in one batched pass
+        // per view — one group lookup and one write per touched group
+        // instead of one per row. A UB record is always immediately
         // followed by its UA partner (the trigger writes them together).
+        let mut signed: Vec<(i64, &Row)> = Vec::with_capacity(records.len());
         let mut i = 0;
         while i < records.len() {
             let rec = &records[i];
@@ -340,10 +363,7 @@ impl Warehouse {
                             v.on_base_insert(&self.db, txn, table, std::slice::from_ref(&rec.row))?
                                 as u64;
                     }
-                    for v in &agg_views {
-                        touched +=
-                            v.on_base_insert(&self.db, txn, table, std::slice::from_ref(&rec.row))?;
-                    }
+                    signed.push((1, &rec.row));
                     i += 1;
                 }
                 DeltaOp::Delete => {
@@ -352,10 +372,7 @@ impl Warehouse {
                             v.on_base_delete(&self.db, txn, table, std::slice::from_ref(&rec.row))?
                                 as u64;
                     }
-                    for v in &agg_views {
-                        touched +=
-                            v.on_base_delete(&self.db, txn, table, std::slice::from_ref(&rec.row))?;
-                    }
+                    signed.push((-1, &rec.row));
                     i += 1;
                 }
                 DeltaOp::UpdateBefore => {
@@ -374,15 +391,8 @@ impl Warehouse {
                             std::slice::from_ref(&after.row),
                         )? as u64;
                     }
-                    for v in &agg_views {
-                        touched += v.on_base_update(
-                            &self.db,
-                            txn,
-                            table,
-                            std::slice::from_ref(&rec.row),
-                            std::slice::from_ref(&after.row),
-                        )?;
-                    }
+                    signed.push((-1, &rec.row));
+                    signed.push((1, &after.row));
                     i += 2;
                 }
                 DeltaOp::UpdateAfter => {
@@ -390,7 +400,176 @@ impl Warehouse {
                 }
             }
         }
+        for v in &agg_views {
+            touched += v.apply_batch(&self.db, txn, table, &signed)?;
+        }
         Ok(touched)
+    }
+
+    /// Partition the mirrored tables into apply concurrency classes: tables
+    /// joined by any registered SPJ view share a class (their maintenance
+    /// locks and join reads overlap), every other table is alone in its
+    /// own. Delta groups for different classes may apply concurrently;
+    /// groups within one class must apply in queue-sequence order.
+    pub fn apply_classes(&self) -> HashMap<String, usize> {
+        let names: Vec<&str> = self.mirrors.keys().map(String::as_str).collect();
+        let index: HashMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (*name, i))
+            .collect();
+        let mut parent: Vec<usize> = (0..names.len()).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for view in &self.views {
+            let mut tables = view.def.tables.iter();
+            if let Some(first) = tables.next().and_then(|t| index.get(t.as_str())) {
+                for t in tables {
+                    if let Some(other) = index.get(t.as_str()) {
+                        let a = find(&mut parent, *first);
+                        let b = find(&mut parent, *other);
+                        parent[a] = b;
+                    }
+                }
+            }
+        }
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.to_string(), find(&mut parent, i)))
+            .collect()
+    }
+}
+
+/// The durable applied-sequence bookkeeping read back from
+/// [`APPLIED_SEQ_TABLE`]: the contiguous watermark plus any out-of-order
+/// ranges committed ahead of it by parallel apply workers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AppliedState {
+    /// Highest sequence id of the contiguous applied prefix.
+    pub watermark: Option<u64>,
+    /// Committed `[lo, hi]` sequence ranges above the watermark, sorted.
+    pub ranges: Vec<(u64, u64)>,
+}
+
+impl AppliedState {
+    /// Whether `seq` was already durably applied (and must be skipped on
+    /// redelivery).
+    pub fn contains(&self, seq: u64) -> bool {
+        self.watermark.is_some_and(|w| seq <= w)
+            || self.ranges.iter().any(|&(lo, hi)| lo <= seq && seq <= hi)
+    }
+}
+
+/// How an apply transaction records its queue-sequence progress in the
+/// warehouse watermark table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppliedMark {
+    /// Record nothing (direct applier use outside the sync pipeline).
+    None,
+    /// Advance the contiguous `id = 0` watermark row to `seq` (serial
+    /// sync: commits happen in sequence order, so the prefix is closed).
+    Watermark(u64),
+    /// Record the closed `[lo, hi]` range as applied without touching the
+    /// watermark (parallel sync: commits may land out of order; the
+    /// contiguous prefix is folded afterwards by
+    /// [`Warehouse::fold_applied_ranges`]).
+    Range(u64, u64),
+}
+
+impl Warehouse {
+    /// Record an out-of-order applied range `[lo, hi]` *inside* `txn`. The
+    /// row is keyed `id = lo + 1` (`id = 0` is the watermark row), so
+    /// concurrent workers recording disjoint ranges never collide.
+    pub fn record_applied_range(
+        &self,
+        txn: &mut Transaction,
+        lo: u64,
+        hi: u64,
+    ) -> EngineResult<()> {
+        let id = Value::Int((lo + 1) as i64);
+        let del = Statement::Delete {
+            table: APPLIED_SEQ_TABLE.to_string(),
+            predicate: Some(keyed_predicate("id", &id)),
+        };
+        let ins = Statement::Insert {
+            table: APPLIED_SEQ_TABLE.to_string(),
+            columns: None,
+            rows: vec![vec![
+                Expr::Literal(id),
+                Expr::Literal(Value::Int(hi as i64)),
+            ]],
+        };
+        exec::execute(&self.db, txn, &del)?;
+        exec::execute(&self.db, txn, &ins)?;
+        Ok(())
+    }
+
+    /// Apply `mark` inside `txn` (dispatch helper for the appliers).
+    fn record_mark(&self, txn: &mut Transaction, mark: AppliedMark) -> EngineResult<()> {
+        match mark {
+            AppliedMark::None => Ok(()),
+            AppliedMark::Watermark(seq) => self.record_applied(txn, seq),
+            AppliedMark::Range(lo, hi) => self.record_applied_range(txn, lo, hi),
+        }
+    }
+
+    /// Fold every out-of-order range that extends the contiguous prefix
+    /// into the `id = 0` watermark row, in one short transaction. Ranges
+    /// stay behind only while a sequence gap below them is unresolved
+    /// (e.g. a sibling group still retrying or quarantined mid-run).
+    pub fn fold_applied_ranges(&self) -> EngineResult<AppliedState> {
+        let state = self.applied_state()?;
+        if state.ranges.is_empty() {
+            return Ok(state);
+        }
+        let mut watermark = state.watermark;
+        let mut folded: Vec<(u64, u64)> = Vec::new();
+        let mut rest: Vec<(u64, u64)> = Vec::new();
+        for &(lo, hi) in &state.ranges {
+            let next = watermark.map_or(0, |w| w.saturating_add(1));
+            if lo <= next {
+                watermark = Some(watermark.map_or(hi, |w| w.max(hi)));
+                folded.push((lo, hi));
+            } else {
+                rest.push((lo, hi));
+            }
+        }
+        if folded.is_empty() {
+            return Ok(state);
+        }
+        let mut txn = self.db.begin();
+        let result = (|| {
+            for &(lo, _) in &folded {
+                let del = Statement::Delete {
+                    table: APPLIED_SEQ_TABLE.to_string(),
+                    predicate: Some(keyed_predicate("id", &Value::Int((lo + 1) as i64))),
+                };
+                exec::execute(&self.db, &mut txn, &del)?;
+            }
+            if let Some(w) = watermark {
+                self.record_applied(&mut txn, w)?;
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.db.commit(txn)?;
+                Ok(AppliedState {
+                    watermark,
+                    ranges: rest,
+                })
+            }
+            Err(e) => {
+                self.db.abort(txn)?;
+                Err(e)
+            }
+        }
     }
 }
 
@@ -436,6 +615,21 @@ impl ValueDeltaApplier {
         vds: &[&ValueDelta],
         applied_seq: Option<u64>,
     ) -> EngineResult<ApplyReport> {
+        let mark = match applied_seq {
+            Some(seq) => AppliedMark::Watermark(seq),
+            None => AppliedMark::None,
+        };
+        ValueDeltaApplier::apply_run_marked(wh, vds, mark)
+    }
+
+    /// Like [`apply_run`](ValueDeltaApplier::apply_run), but additionally
+    /// recording `mark` in the warehouse watermark table inside the same
+    /// transaction (see [`AppliedMark`]).
+    pub fn apply_run_marked(
+        wh: &Warehouse,
+        vds: &[&ValueDelta],
+        mark: AppliedMark,
+    ) -> EngineResult<ApplyReport> {
         let first = vds
             .first()
             .ok_or_else(|| EngineError::Invalid("empty value-delta run".into()))?;
@@ -469,9 +663,7 @@ impl ValueDeltaApplier {
             for vd in vds {
                 Self::apply_records(wh, cfg, &key_col, key_pos_mirror, vd, &mut txn, &mut report)?;
             }
-            if let Some(seq) = applied_seq {
-                wh.record_applied(&mut txn, seq)?;
-            }
+            wh.record_mark(&mut txn, mark)?;
             Ok(report)
         })();
         match result {
@@ -590,7 +782,7 @@ impl OpDeltaApplier {
     /// Replay one source transaction as one self-contained warehouse
     /// transaction.
     pub fn apply(wh: &Warehouse, od: &OpDelta) -> EngineResult<ApplyReport> {
-        OpDeltaApplier::apply_inner(wh, od, None, None)
+        OpDeltaApplier::apply_inner(wh, od, None, AppliedMark::None)
     }
 
     /// Like [`apply`](OpDeltaApplier::apply), but resolving mirror rewrites
@@ -600,7 +792,7 @@ impl OpDeltaApplier {
         od: &OpDelta,
         cache: &RewriteCache,
     ) -> EngineResult<ApplyReport> {
-        OpDeltaApplier::apply_inner(wh, od, Some(cache), None)
+        OpDeltaApplier::apply_inner(wh, od, Some(cache), AppliedMark::None)
     }
 
     /// Like [`apply_cached`](OpDeltaApplier::apply_cached), but additionally
@@ -612,14 +804,30 @@ impl OpDeltaApplier {
         cache: &RewriteCache,
         applied_seq: Option<u64>,
     ) -> EngineResult<ApplyReport> {
-        OpDeltaApplier::apply_inner(wh, od, Some(cache), applied_seq)
+        let mark = match applied_seq {
+            Some(seq) => AppliedMark::Watermark(seq),
+            None => AppliedMark::None,
+        };
+        OpDeltaApplier::apply_inner(wh, od, Some(cache), mark)
+    }
+
+    /// Like [`apply_cached`](OpDeltaApplier::apply_cached), but additionally
+    /// recording `mark` in the warehouse watermark table inside the replay
+    /// transaction (see [`AppliedMark`]).
+    pub fn apply_cached_marked(
+        wh: &Warehouse,
+        od: &OpDelta,
+        cache: &RewriteCache,
+        mark: AppliedMark,
+    ) -> EngineResult<ApplyReport> {
+        OpDeltaApplier::apply_inner(wh, od, Some(cache), mark)
     }
 
     fn apply_inner(
         wh: &Warehouse,
         od: &OpDelta,
         cache: Option<&RewriteCache>,
-        applied_seq: Option<u64>,
+        mark: AppliedMark,
     ) -> EngineResult<ApplyReport> {
         let db = wh.db();
         let mut txn = db.begin();
@@ -652,9 +860,7 @@ impl OpDeltaApplier {
                 // delta-x-delta term is never double counted.
                 report.view_rows_touched += wh.maintain_views(&mut txn, &table)?;
             }
-            if let Some(seq) = applied_seq {
-                wh.record_applied(&mut txn, seq)?;
-            }
+            wh.record_mark(&mut txn, mark)?;
             Ok(report)
         })();
         match result {

@@ -29,10 +29,14 @@ pub mod apply;
 pub mod mirror;
 pub mod olap;
 pub mod pipeline;
+mod sched;
 pub mod view;
 
 pub use aggview::{AggSpec, AggViewDef, AggregateView};
-pub use apply::{ApplyReport, OpDeltaApplier, RewriteCache, ValueDeltaApplier, Warehouse};
+pub use apply::{
+    AppliedMark, AppliedState, ApplyReport, OpDeltaApplier, RewriteCache, ValueDeltaApplier,
+    Warehouse,
+};
 pub use mirror::MirrorConfig;
 pub use olap::{OlapDriver, OlapStats};
 pub use pipeline::{Pipeline, QuarantinedDelta, RetryPolicy, SyncReport, DEFAULT_SYNC_BATCH};

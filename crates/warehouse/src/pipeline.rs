@@ -21,7 +21,7 @@
 use std::time::Duration;
 
 use delta_core::extractor::DeltaSource;
-use delta_core::model::{DeltaBatch, ValueDelta};
+use delta_core::model::DeltaBatch;
 use delta_core::opdelta::{clear_table, collect_from_table};
 use delta_core::stmtcache::{CacheStats, StatementCache};
 use delta_core::transform::DeltaTransform;
@@ -33,7 +33,7 @@ use delta_storage::DeltaCodec;
 use delta_transport::{NetFaultPlan, NetFaultSim, PersistentQueue};
 use parking_lot::Mutex;
 
-use crate::apply::{ApplyReport, OpDeltaApplier, RewriteCache, ValueDeltaApplier, Warehouse};
+use crate::apply::{ApplyReport, RewriteCache, Warehouse};
 
 /// What one `sync` call did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,6 +52,20 @@ pub struct SyncReport {
     pub quarantined: u64,
     /// Aggregated apply statistics.
     pub apply: ApplyReport,
+    /// Nanoseconds the background stage spent dequeuing and decoding runs
+    /// (overlapped with apply, so it can exceed the stall it caused).
+    pub decode_nanos: u64,
+    /// Nanoseconds of wall time spent in the apply stage (grouping,
+    /// scheduling, and waiting for worker transactions).
+    pub apply_nanos: u64,
+    /// Nanoseconds spent acknowledging the queue and folding the
+    /// applied-sequence watermark.
+    pub ack_nanos: u64,
+    /// Summed nanoseconds workers spent inside apply transactions; divide
+    /// by `apply_nanos * workers_used` for pool occupancy.
+    pub worker_busy_nanos: u64,
+    /// Most concurrent apply workers used by any wave this sync.
+    pub workers_used: u64,
 }
 
 /// Bounded retry with exponential backoff and seeded jitter for failed
@@ -84,7 +98,7 @@ impl RetryPolicy {
 
     /// Backoff before attempt `attempt + 1` (attempts are counted from 1):
     /// `min(base * 2^(attempt-1), max)` plus up to one `base` of jitter.
-    fn backoff(&self, attempt: u32, jitter_state: &mut u64) -> Duration {
+    pub(crate) fn backoff(&self, attempt: u32, jitter_state: &mut u64) -> Duration {
         let exp = self
             .base_backoff
             .saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16));
@@ -113,22 +127,26 @@ pub const DEFAULT_SYNC_BATCH: u64 = 64;
 
 /// A queue-backed delta pipeline into one warehouse.
 pub struct Pipeline {
-    queue: PersistentQueue,
-    batch_size: u64,
-    stmt_cache: StatementCache,
-    rewrite_cache: RewriteCache,
-    retry: Option<RetryPolicy>,
+    pub(crate) queue: PersistentQueue,
+    pub(crate) batch_size: u64,
+    pub(crate) stmt_cache: StatementCache,
+    pub(crate) rewrite_cache: RewriteCache,
+    pub(crate) retry: Option<RetryPolicy>,
     /// Dead-letter queue for quarantined poison batches (`<queue>.dlq`);
     /// opened when a retry policy is configured.
-    dlq: Option<PersistentQueue>,
+    pub(crate) dlq: Option<PersistentQueue>,
     dlq_path: std::path::PathBuf,
     /// Seeded transport-fault simulator applied to every dequeue.
-    net_faults: Option<Mutex<NetFaultSim>>,
-    jitter_state: Mutex<u64>,
+    pub(crate) net_faults: Option<Mutex<NetFaultSim>>,
+    pub(crate) jitter_state: Mutex<u64>,
     /// Wire encoding for published batches. The consumer side sniffs the
     /// format per payload, so mixed-codec queues drain fine.
     codec: DeltaCodec,
     codec_block_rows: usize,
+    /// Apply workers for `sync`; `None` defers to
+    /// [`DbOptions::sync_workers`](delta_engine::db::DbOptions) on the
+    /// warehouse database.
+    pub(crate) sync_workers: Option<usize>,
 }
 
 impl Pipeline {
@@ -147,7 +165,17 @@ impl Pipeline {
             jitter_state: Mutex::new(0),
             codec: DeltaCodec::default(),
             codec_block_rows: DEFAULT_BLOCK_ROWS,
+            sync_workers: None,
         })
+    }
+
+    /// Set how many workers `sync` may use to apply delta groups for
+    /// *different* tables concurrently (0 = available parallelism, 1 =
+    /// reproduce the serial apply loop exactly). Overrides the warehouse's
+    /// [`DbOptions::sync_workers`](delta_engine::db::DbOptions) default.
+    pub fn with_sync_workers(mut self, workers: usize) -> Pipeline {
+        self.sync_workers = Some(workers);
+        self
     }
 
     /// Select the wire codec for published batches ([`DeltaCodec::Columnar`]
@@ -257,16 +285,25 @@ impl Pipeline {
         Ok(published)
     }
 
-    /// Drain the queue into the warehouse in runs of up to `batch_size`
-    /// payloads. Consecutive value-delta batches for one table are applied
-    /// as a single warehouse transaction ([`ValueDeltaApplier::apply_run`]);
-    /// Op-Deltas replay one warehouse transaction each. Every group is
-    /// acknowledged only after its apply commits, and each group's apply
-    /// transaction also advances the warehouse's applied-sequence watermark,
-    /// making redelivery exactly-once-observable: batches at or below the
-    /// watermark (lost acks, crash between commit and ack, duplicated
-    /// delivery) are skipped, and out-of-order delivery is restored by
-    /// sequence id before applying.
+    /// Drain the queue into the warehouse through the staged apply
+    /// scheduler (see [`crate::sched`]): a background stage dequeues and
+    /// decodes the next run while the current one applies, value-delta
+    /// groups for unrelated tables apply concurrently on up to
+    /// [`Pipeline::with_sync_workers`] workers (Op-Delta batches are full
+    /// barriers), and aggregate-view maintenance folds per touched group
+    /// instead of per row. Consecutive value-delta batches for one table
+    /// still share a single warehouse transaction
+    /// ([`crate::apply::ValueDeltaApplier::apply_run`]); Op-Deltas still
+    /// replay one warehouse transaction each.
+    ///
+    /// The queue ack and the warehouse's applied-sequence watermark only
+    /// ever advance over the contiguous completed prefix of the sequence,
+    /// no matter the commit order, so redelivery stays
+    /// exactly-once-observable: batches recorded as applied (lost acks,
+    /// crash between commit and ack, duplicated delivery) are skipped, and
+    /// out-of-order delivery is restored by sequence id before applying.
+    /// With one worker the apply order, transactions, and watermark
+    /// advancement are identical to the historical serial loop.
     ///
     /// Without a [`RetryPolicy`], any apply failure rewinds the dequeue
     /// cursor so the unacknowledged suffix is redelivered by the next
@@ -274,196 +311,24 @@ impl Pipeline {
     /// failing — isolated per batch; batches that still fail are parked in
     /// the dead-letter queue and the pipeline keeps draining.
     pub fn sync(&self, wh: &Warehouse) -> EngineResult<SyncReport> {
-        let mut report = SyncReport::default();
-        wh.ensure_applied_watermark()?;
-        loop {
-            let mut run = match &self.net_faults {
-                Some(sim) => self
-                    .queue
-                    .dequeue_up_to_with_faults(self.batch_size, &mut sim.lock()),
-                None => self.queue.dequeue_up_to(self.batch_size),
-            }
-            .map_err(EngineError::Storage)?;
-            if run.is_empty() {
-                break;
-            }
-            // Restore sequence order (reordered delivery), then drop
-            // duplicates: both in-run repeats and anything at or below the
-            // warehouse's applied watermark.
-            run.sort_by_key(|(idx, _)| *idx);
-            let applied_watermark = wh.applied_watermark()?;
-            let mut deliverable: Vec<(u64, Vec<u8>)> = Vec::with_capacity(run.len());
-            let mut already_applied_hi: Option<u64> = None;
-            for (idx, payload) in run {
-                let stale = applied_watermark.is_some_and(|w| idx <= w);
-                if stale {
-                    // Applied in a previous life but possibly never acked
-                    // (crash between commit and ack, or a lost ack): re-ack
-                    // so it stops redelivering.
-                    already_applied_hi = Some(already_applied_hi.map_or(idx, |h| h.max(idx)));
-                }
-                if stale || deliverable.last().is_some_and(|(last, _)| *last == idx) {
-                    report.deduped += 1;
-                    continue;
-                }
-                deliverable.push((idx, payload));
-            }
-            if let Some(hi) = already_applied_hi {
-                self.queue.ack(hi).map_err(EngineError::Storage)?;
-            }
-            // Never apply across a sequence gap: acking past one would
-            // silently skip the missing batch. (The fault adapter truncates
-            // runs at a loss, so gaps should not occur; this is a guard.)
-            if let Some(gap) = deliverable
-                .windows(2)
-                .position(|w| w[1].0 != w[0].0 + 1)
-                .map(|p| p + 1)
-            {
-                self.queue.rewind_to(deliverable[gap].0);
-                deliverable.truncate(gap);
-            }
-            // Decode every deliverable payload. A corrupt payload is poison
-            // by construction: quarantine it when a retry policy is active,
-            // otherwise rewind and surface the error.
-            let mut batches: Vec<(u64, Vec<u8>, DeltaBatch)> =
-                Vec::with_capacity(deliverable.len());
-            for (idx, payload) in deliverable {
-                match DeltaBatch::from_bytes_cached(&payload, &self.stmt_cache) {
-                    Ok(b) => batches.push((idx, payload, b)),
-                    Err(e) if self.retry.is_some() => {
-                        self.quarantine(idx, &payload, &EngineError::Storage(e), &mut report)?;
-                    }
-                    Err(e) => {
-                        self.queue.rewind_to_acked();
-                        return Err(EngineError::Storage(e));
-                    }
-                }
-            }
-            let mut i = 0;
-            while i < batches.len() {
-                let end = match &batches[i].2 {
-                    DeltaBatch::Value(vd) => {
-                        let mut j = i + 1;
-                        while let Some((_, _, DeltaBatch::Value(next))) = batches.get(j) {
-                            if next.table != vd.table {
-                                break;
-                            }
-                            j += 1;
-                        }
-                        j
-                    }
-                    DeltaBatch::Op(_) => i + 1,
-                };
-                match self.apply_group(wh, &batches[i..end], &mut report) {
-                    Ok(applied) => {
-                        // The group committed (with its watermark advance).
-                        // Group indices are consecutive, so the ack at the
-                        // last index covers exactly the applied prefix.
-                        self.queue
-                            .ack(batches[end - 1].0)
-                            .map_err(EngineError::Storage)?;
-                        report.batches += (end - i) as u64;
-                        report.runs += 1;
-                        report.apply.merge(applied);
-                    }
-                    Err(e) if self.retry.is_some() && end - i > 1 => {
-                        // Isolate the poison: re-apply the group one batch at
-                        // a time so only the bad batch is quarantined.
-                        let _ = e;
-                        for k in i..end {
-                            match self.apply_group(wh, &batches[k..k + 1], &mut report) {
-                                Ok(applied) => {
-                                    self.queue.ack(batches[k].0).map_err(EngineError::Storage)?;
-                                    report.batches += 1;
-                                    report.runs += 1;
-                                    report.apply.merge(applied);
-                                }
-                                Err(e) => {
-                                    let (idx, payload, _) = &batches[k];
-                                    self.quarantine(*idx, payload, &e, &mut report)?;
-                                }
-                            }
-                        }
-                    }
-                    Err(e) if self.retry.is_some() => {
-                        let (idx, payload, _) = &batches[i];
-                        self.quarantine(*idx, payload, &e, &mut report)?;
-                    }
-                    Err(e) => {
-                        self.queue.rewind_to_acked();
-                        return Err(e);
-                    }
-                }
-                i = end;
-            }
-        }
-        Ok(report)
-    }
-
-    /// Apply one group (a same-table value-delta run or a single Op-Delta),
-    /// recording the group's last sequence id in the warehouse watermark
-    /// inside the apply transaction, retrying with backoff under the
-    /// configured policy.
-    fn apply_group(
-        &self,
-        wh: &Warehouse,
-        group: &[(u64, Vec<u8>, DeltaBatch)],
-        report: &mut SyncReport,
-    ) -> EngineResult<ApplyReport> {
-        let seq = group
-            .last()
-            .ok_or_else(|| EngineError::Invalid("empty apply group".into()))?
-            .0;
-        let mut attempt = 1u32;
-        loop {
-            let result = match &group[0].2 {
-                DeltaBatch::Value(_) => {
-                    let vds: Vec<&ValueDelta> = group
-                        .iter()
-                        .filter_map(|(_, _, b)| match b {
-                            DeltaBatch::Value(vd) => Some(vd),
-                            DeltaBatch::Op(_) => None,
-                        })
-                        .collect();
-                    ValueDeltaApplier::apply_run_tracked(wh, &vds, Some(seq))
-                }
-                DeltaBatch::Op(od) => {
-                    OpDeltaApplier::apply_cached_tracked(wh, od, &self.rewrite_cache, Some(seq))
-                }
-            };
-            match result {
-                Ok(r) => return Ok(r),
-                Err(e) => {
-                    let Some(policy) = self.retry else {
-                        return Err(e);
-                    };
-                    if attempt >= policy.max_attempts {
-                        return Err(e);
-                    }
-                    report.retries += 1;
-                    let pause = policy.backoff(attempt, &mut self.jitter_state.lock());
-                    std::thread::sleep(pause);
-                    attempt += 1;
-                }
-            }
-        }
+        crate::sched::run_sync(self, wh)
     }
 
     /// Park a poison batch in the dead-letter queue (sequence id + error +
-    /// original payload) and acknowledge it so the main queue keeps
-    /// draining. The quarantined payload stays inspectable via
-    /// [`Pipeline::quarantined`].
-    fn quarantine(
+    /// original payload). The caller owns acknowledgement: the scheduler
+    /// advances the queue ack over quarantined sequences only once the
+    /// contiguous prefix before them has completed. The quarantined payload
+    /// stays inspectable via [`Pipeline::quarantined`].
+    pub(crate) fn quarantine_frame(
         &self,
         idx: u64,
         payload: &[u8],
         error: &EngineError,
-        report: &mut SyncReport,
     ) -> EngineResult<()> {
         let dlq = self
             .dlq
             .as_ref()
-            .expect("quarantine requires a retry policy");
+            .ok_or_else(|| EngineError::Invalid("quarantine requires a retry policy".into()))?;
         let err_text = error.to_string();
         let mut frame = Vec::with_capacity(12 + err_text.len() + payload.len());
         frame.extend_from_slice(&idx.to_le_bytes());
@@ -471,8 +336,6 @@ impl Pipeline {
         frame.extend_from_slice(err_text.as_bytes());
         frame.extend_from_slice(payload);
         dlq.enqueue(&frame).map_err(EngineError::Storage)?;
-        self.queue.ack(idx).map_err(EngineError::Storage)?;
-        report.quarantined += 1;
         Ok(())
     }
 

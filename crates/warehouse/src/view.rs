@@ -71,6 +71,14 @@ impl SpjView {
     pub fn involves(&self, table: &str) -> bool {
         self.tables.iter().any(|t| t == table)
     }
+
+    /// Whether this view joins a table that `other` also touches. Views
+    /// sharing a base table must maintain under the same apply worker:
+    /// their join reads and view-table locks overlap (see
+    /// [`crate::apply::Warehouse::apply_classes`]).
+    pub fn shares_base_with(&self, other: &SpjView) -> bool {
+        self.tables.iter().any(|t| other.involves(t))
+    }
 }
 
 /// A combined (joined) row: values addressable as `<table>_<column>`.
