@@ -1,0 +1,89 @@
+//! `dlq` — inspect and drain a pipeline's dead-letter queue.
+//!
+//! ```text
+//! dlq <queue-path> list            # unresolved entries (seq, error, summary)
+//! dlq <queue-path> all             # every parked entry, resolved included
+//! dlq <queue-path> resolve <seq>   # mark an entry handled (keeps evidence)
+//! dlq <queue-path> requeue <seq>   # replay the payload through the queue
+//! ```
+//!
+//! `<queue-path>` is the pipeline's spool file; the DLQ and its resolution
+//! sidecar live next to it (`<queue>.dlq`, `<queue>.dlq.resolved`). The
+//! anti-entropy auditor resolves superseded entries automatically; this
+//! tool is the operator's manual path for everything else.
+
+use delta_core::model::DeltaBatch;
+use delta_warehouse::{Pipeline, QuarantinedDelta};
+
+fn die(msg: &str) -> ! {
+    eprintln!("dlq: {msg}");
+    std::process::exit(2);
+}
+
+/// One line per entry: sequence, decoded summary, recorded apply error.
+fn describe(entry: &QuarantinedDelta) {
+    let what = match DeltaBatch::from_bytes(&entry.payload) {
+        Ok(DeltaBatch::Value(vd)) => {
+            format!(
+                "value delta: table '{}', {} record(s)",
+                vd.table,
+                vd.records.len()
+            )
+        }
+        Ok(DeltaBatch::Op(od)) => {
+            format!("op delta: txn {}, {} statement(s)", od.txn, od.ops.len())
+        }
+        Err(e) => format!("undecodable payload ({} bytes): {e}", entry.payload.len()),
+    };
+    println!("seq {:>6}  {}", entry.index, what);
+    println!("            error: {}", entry.error);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (queue_path, cmd) = match args.as_slice() {
+        [q, rest @ ..] if !rest.is_empty() => (q.clone(), rest.to_vec()),
+        _ => die("usage: dlq <queue-path> [list | all | resolve <seq> | requeue <seq>]"),
+    };
+    let pipe = Pipeline::open(&queue_path)
+        .unwrap_or_else(|e| die(&format!("opening queue {queue_path}: {e}")));
+    let parse_seq = |s: Option<&String>| -> u64 {
+        s.and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| die("expected a sequence number"))
+    };
+    match cmd[0].as_str() {
+        "list" | "all" => {
+            let entries = if cmd[0] == "all" {
+                pipe.quarantined()
+            } else {
+                pipe.dlq_entries()
+            }
+            .unwrap_or_else(|e| die(&format!("reading DLQ: {e}")));
+            if entries.is_empty() {
+                println!("dlq: empty");
+                return;
+            }
+            for entry in &entries {
+                describe(entry);
+            }
+            println!("{} entr(ies)", entries.len());
+        }
+        "resolve" => {
+            let seq = parse_seq(cmd.get(1));
+            match pipe.resolve_dlq(seq) {
+                Ok(true) => println!("seq {seq} resolved"),
+                Ok(false) => println!("seq {seq} was already resolved or unknown"),
+                Err(e) => die(&format!("resolving {seq}: {e}")),
+            }
+        }
+        "requeue" => {
+            let seq = parse_seq(cmd.get(1));
+            match pipe.requeue_dlq(seq) {
+                Ok(Some(new_seq)) => println!("seq {seq} requeued as seq {new_seq}"),
+                Ok(None) => println!("seq {seq} not found among unresolved entries"),
+                Err(e) => die(&format!("requeueing {seq}: {e}")),
+            }
+        }
+        other => die(&format!("unknown subcommand {other}")),
+    }
+}

@@ -5,6 +5,7 @@
 //! torture --seed 7 --cycles 50     # more cycles under another schedule
 //! torture --txns 16                # heavier per-cycle workload
 //! torture --sync-workers 4         # parallel staged apply scheduler
+//! torture --audit                  # inject silent divergence, audit + repair
 //! ```
 //!
 //! Exits nonzero on any convergence or exactly-once violation, printing the
@@ -37,8 +38,11 @@ fn main() {
                     _ => cfg.txns = v,
                 }
             }
+            "--audit" => cfg.audit = true,
             "--help" | "-h" => {
-                eprintln!("usage: torture [--seed N] [--cycles N] [--txns N] [--sync-workers N]");
+                eprintln!(
+                    "usage: torture [--seed N] [--cycles N] [--txns N] [--sync-workers N] [--audit]"
+                );
                 return;
             }
             other => die(&format!("unknown argument {other}")),
@@ -47,8 +51,12 @@ fn main() {
     }
 
     println!(
-        "torture: seed {} | {} cycles x {} txns | {} sync worker(s)",
-        cfg.seed, cfg.cycles, cfg.txns, cfg.sync_workers
+        "torture: seed {} | {} cycles x {} txns | {} sync worker(s){}",
+        cfg.seed,
+        cfg.cycles,
+        cfg.txns,
+        cfg.sync_workers,
+        if cfg.audit { " | audit mode" } else { "" }
     );
     match torture::run(&cfg) {
         Ok(stats) => println!("torture: CONVERGED — {}", stats.summary()),

@@ -2,6 +2,7 @@
 //! index and the expected shapes.
 
 pub mod ablations;
+pub mod expa;
 pub mod expb;
 pub mod expc;
 pub mod expg;
@@ -36,6 +37,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "expc",
         "expg_group_commit",
         "expg_sync",
+        "expa_audit_repair",
         "expb_scan_scaling",
         "expp_parallel_sync",
         "ablation_wal",
@@ -61,6 +63,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<TableReport> {
         "expc" => expc::run(scale),
         "expg_group_commit" => expg::group_commit(scale),
         "expg_sync" => expg::sync_batched(scale),
+        "expa_audit_repair" => expa::run(scale),
         "expb_scan_scaling" => expb::run(scale),
         "expp_parallel_sync" => expp::run(scale),
         "ablation_wal" => ablations::wal_sync(scale),

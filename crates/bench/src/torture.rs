@@ -27,12 +27,15 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use delta_core::logextract::ResilientLogExtractor;
-use delta_core::model::DeltaBatch;
+use delta_core::model::{DeltaBatch, DeltaOp, ValueDelta, ValueDeltaRecord};
 use delta_engine::db::{Database, DbOptions, SyncMode};
 use delta_engine::EngineResult;
 use delta_storage::fault::{splitmix64, FaultInjector, FaultPlan};
+use delta_storage::{Row, Value};
 use delta_transport::NetFaultPlan;
-use delta_warehouse::{MirrorConfig, Pipeline, RetryPolicy, Warehouse};
+use delta_warehouse::{
+    audit_and_repair, AuditConfig, MirrorConfig, Pipeline, RetryPolicy, Warehouse,
+};
 
 use crate::workload::{delete_txn_sql, insert_txn_sql, op_schema, update_txn_sql};
 
@@ -48,6 +51,11 @@ pub struct TortureConfig {
     /// Apply workers for the staged sync scheduler (0 = available
     /// parallelism, 1 = the historical serial loop).
     pub sync_workers: usize,
+    /// Anti-entropy mode: each cycle additionally injects silent warehouse
+    /// divergence (flipped rows, lost rows, phantoms, poison batches,
+    /// ack-then-drop) and asserts one [`audit_and_repair`] pass converges
+    /// the mirror byte-equal before the cycle's convergence check runs.
+    pub audit: bool,
 }
 
 impl Default for TortureConfig {
@@ -57,6 +65,7 @@ impl Default for TortureConfig {
             cycles: 20,
             txns: 8,
             sync_workers: 1,
+            audit: false,
         }
     }
 }
@@ -90,6 +99,18 @@ pub struct TortureStats {
     pub deduped: u64,
     /// Apply attempts repeated under the retry policy.
     pub retries: u64,
+    /// Silent divergences injected into the warehouse (`--audit` mode).
+    pub divergences_injected: u64,
+    /// Anti-entropy audit passes run.
+    pub audits: u64,
+    /// Repair delta records the audits shipped.
+    pub repair_records: u64,
+    /// DLQ entries the audits reconciled as superseded.
+    pub dlq_reconciled: u64,
+    /// Batches acknowledged on the wire but never applied (injected
+    /// ack-then-drop faults; each permanently skews the applied watermark
+    /// below the ack frontier until repaired).
+    pub acks_dropped: u64,
 }
 
 impl TortureStats {
@@ -112,7 +133,19 @@ impl TortureStats {
             self.applied_batches,
             self.deduped,
             self.retries,
-        )
+        ) + &if self.audits > 0 {
+            format!(
+                " | divergences {} | audits {} | repair records {} | dlq reconciled {} | \
+                 acks dropped {}",
+                self.divergences_injected,
+                self.audits,
+                self.repair_records,
+                self.dlq_reconciled,
+                self.acks_dropped,
+            )
+        } else {
+            String::new()
+        }
     }
 }
 
@@ -260,6 +293,106 @@ impl Driver {
         false
     }
 
+    /// Inject one seeded silent divergence into a drained pipeline. The
+    /// five modes cover every way a mirror can silently rot: a flipped row,
+    /// a lost row, a phantom row, a poison batch rotting in the DLQ, and a
+    /// batch acknowledged on the wire but never applied.
+    fn inject_divergence(
+        &mut self,
+        db: &Arc<Database>,
+        wh: &Warehouse,
+        pipe: &Pipeline,
+        extractor: &mut ResilientLogExtractor,
+        rng: &mut u64,
+        cycle: u64,
+    ) -> Result<(), String> {
+        let keys: Vec<i64> = table_state(wh.db(), "inject")?.keys().copied().collect();
+        let pick = |rng: &mut u64| keys[(splitmix64(rng) % keys.len() as u64) as usize];
+        let mode = if keys.is_empty() {
+            2
+        } else {
+            splitmix64(rng) % 5
+        };
+        let mut ws = wh.db().session();
+        match mode {
+            0 => {
+                let sql = format!(
+                    "UPDATE {TABLE} SET val = val + 999983 WHERE id = {}",
+                    pick(rng)
+                );
+                ws.execute(&sql)
+                    .map_err(|e| self.fail(cycle, format!("inject flip: {e}")))?;
+            }
+            1 => {
+                let sql = format!("DELETE FROM {TABLE} WHERE id = {}", pick(rng));
+                ws.execute(&sql)
+                    .map_err(|e| self.fail(cycle, format!("inject delete: {e}")))?;
+            }
+            2 => {
+                let sql = format!(
+                    "INSERT INTO {TABLE} VALUES ({}, 0, 0, 'phantom')",
+                    5_000_000 + cycle
+                );
+                ws.execute(&sql)
+                    .map_err(|e| self.fail(cycle, format!("inject phantom: {e}")))?;
+            }
+            3 => {
+                // Poison: re-inserting an existing key violates the mirror's
+                // primary key on every retry and rots in the DLQ until the
+                // audit reconciles it as superseded.
+                let mut vd = ValueDelta::new(TABLE, op_schema());
+                vd.records.push(ValueDeltaRecord {
+                    op: DeltaOp::Insert,
+                    txn: 0,
+                    row: Row::new(vec![
+                        Value::Int(pick(rng)),
+                        Value::Int(0),
+                        Value::Int(0),
+                        Value::Str("poison".into()),
+                    ]),
+                });
+                pipe.publish(&DeltaBatch::Value(vd))
+                    .map_err(|e| self.fail(cycle, format!("inject poison: {e}")))?;
+            }
+            _ => {
+                // Ack-then-drop: commit a real source transaction, extract
+                // and publish its delta, then acknowledge it straight off
+                // the wire without applying — the warehouse misses rows the
+                // queue swears were delivered, and the applied watermark
+                // skews permanently below the ack frontier.
+                let n = 1 + (splitmix64(rng) % 4) as usize;
+                let first = self.next_id;
+                self.next_id += n as i64;
+                db.session()
+                    .execute(&insert_txn_sql(TABLE, first, n))
+                    .map_err(|e| self.fail(cycle, format!("inject ack-drop txn: {e}")))?;
+                let extract = extractor
+                    .extract(db)
+                    .map_err(|e| self.fail(cycle, format!("inject ack-drop extract: {e}")))?;
+                for vd in extract.deltas {
+                    pipe.publish(&DeltaBatch::Value(vd))
+                        .map_err(|e| self.fail(cycle, format!("inject ack-drop publish: {e}")))?;
+                }
+                loop {
+                    match pipe.queue().dequeue() {
+                        Ok(Some((idx, _))) => {
+                            pipe.queue().ack(idx).map_err(|e| {
+                                self.fail(cycle, format!("inject ack-drop ack: {e}"))
+                            })?;
+                            self.stats.acks_dropped += 1;
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            return Err(self.fail(cycle, format!("inject ack-drop dequeue: {e}")))
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.divergences_injected += 1;
+        Ok(())
+    }
+
     fn run(&mut self) -> Result<TortureStats, String> {
         let mut rng = self.cfg.seed;
 
@@ -389,6 +522,34 @@ impl Driver {
                 }
             }
 
+            // 4b (`--audit` mode): inject a seeded silent divergence, then
+            // run one anti-entropy pass. The cycle's convergence check
+            // below is the proof the audit actually healed it.
+            if self.cfg.audit {
+                let mut arng = splitmix64(&mut rng);
+                self.inject_divergence(&db, &wh, &pipe, &mut extractor, &mut arng, cycle)?;
+                let report = audit_and_repair(&db, &pipe, &wh, &[TABLE], &AuditConfig::default())
+                    .map_err(|e| self.fail(cycle, format!("audit: {e}")))?;
+                self.stats.audits += 1;
+                self.stats.repair_records += report.repair_records();
+                self.stats.dlq_reconciled += report.dlq_resolved();
+                self.stats.syncs += report.drain_syncs;
+                if !report.converged() {
+                    return Err(
+                        self.fail(cycle, format!("audit repair did not converge: {report:?}"))
+                    );
+                }
+                let dlq = pipe
+                    .dlq_entries()
+                    .map_err(|e| self.fail(cycle, format!("dlq after audit: {e}")))?;
+                if !dlq.is_empty() {
+                    return Err(self.fail(
+                        cycle,
+                        format!("{} DLQ entr(ies) left unreconciled after audit", dlq.len()),
+                    ));
+                }
+            }
+
             // 5: convergence + exactly-once-observable invariants.
             let src = table_state(&db, "source").map_err(|e| self.fail(cycle, e))?;
             let dst = table_state(wh.db(), "warehouse").map_err(|e| self.fail(cycle, e))?;
@@ -413,7 +574,12 @@ impl Driver {
                 ));
             }
             let acked = pipe.queue().acked();
-            if acked > 0 {
+            // Injected ack-then-drops and poison batches permanently park
+            // the applied watermark below the ack frontier (their sequences
+            // are acked but never marked applied); the audit repairs the
+            // *data*, so in audit mode the skew check only applies while
+            // neither has been injected yet.
+            if acked > 0 && self.stats.acks_dropped == 0 && self.stats.dlq_reconciled == 0 {
                 let watermark = wh
                     .applied_watermark()
                     .map_err(|e| self.fail(cycle, format!("watermark read: {e}")))?;

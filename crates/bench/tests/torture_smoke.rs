@@ -11,6 +11,7 @@ fn twenty_seeded_cycles_converge() {
         cycles: 20,
         txns: 8,
         sync_workers: 1,
+        audit: false,
     };
     let stats = run(&cfg).expect("every cycle must converge");
     assert_eq!(stats.cycles, 20);
@@ -31,6 +32,7 @@ fn alternate_seed_also_converges_and_is_deterministic() {
         cycles: 6,
         txns: 6,
         sync_workers: 1,
+        audit: false,
     };
     let a = run(&cfg).expect("seed 99 must converge");
     let b = run(&cfg).expect("seed 99 must converge again");
@@ -50,10 +52,35 @@ fn parallel_scheduler_converges_on_the_ci_seed_matrix() {
             cycles: 6,
             txns: 8,
             sync_workers: 4,
+            audit: false,
         };
         let stats =
             run(&cfg).unwrap_or_else(|e| panic!("seed {seed} with 4 workers must converge: {e}"));
         assert_eq!(stats.cycles, 6, "seed {seed}");
         assert!(stats.published > 0, "seed {seed}: no delta ever shipped");
     }
+}
+
+#[test]
+fn audit_mode_detects_and_repairs_seeded_divergence() {
+    // Anti-entropy smoke: every cycle injects one seeded silent divergence
+    // (flipped/lost/phantom rows, poison batches, ack-then-drop) and the
+    // audit pass must repair the mirror back to byte-equality before the
+    // cycle's convergence check — which `run` enforces internally.
+    let cfg = TortureConfig {
+        seed: 909690,
+        cycles: 8,
+        txns: 8,
+        sync_workers: 1,
+        audit: true,
+    };
+    let stats = run(&cfg).expect("every audited cycle must converge");
+    assert_eq!(stats.cycles, 8);
+    assert_eq!(stats.audits, 8, "one audit per cycle");
+    assert_eq!(stats.divergences_injected, 8, "one divergence per cycle");
+    assert!(
+        stats.repair_records > 0,
+        "audits never shipped a repair: {}",
+        stats.summary()
+    );
 }

@@ -30,6 +30,8 @@
 
 /// Columnar wire codec for delta batches (the compact-ship-path format).
 pub mod colcodec;
+/// Anti-entropy range digests for audit-and-repair (DESIGN.md §14).
+pub mod digest;
 /// Unified [`Method`](extractor::Method) abstraction over the five extractors.
 pub mod extractor;
 /// Method 4: delta extraction from the redo/archive log.
@@ -53,6 +55,10 @@ pub mod transform;
 /// Method 3: trigger-captured delta tables.
 pub mod trigger_extract;
 
+pub use digest::{
+    compare_digests, digest_snapshot, digest_table, filter_snapshot, DigestDiff, DigestParams,
+    KeyRange, TableDigest,
+};
 pub use extractor::{
     DeltaSource, LogSource, Method, SnapshotSource, TimestampSource, TriggerSource,
 };

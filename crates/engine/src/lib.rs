@@ -36,6 +36,8 @@ pub mod exec;
 pub mod index;
 /// Table-level two-phase locking with deadlock detection.
 pub mod lock;
+/// Online scrubbing of heap pages and archived WAL segments.
+pub mod scrub;
 /// Session state for the SQL front end.
 pub mod session;
 /// Row-level triggers (the paper's method 3 capture mechanism).
@@ -51,6 +53,7 @@ pub use catalog::{TableMeta, TableOptions};
 pub use db::{Database, DbOptions, SyncMode};
 pub use error::{EngineError, EngineResult};
 pub use exec::QueryResult;
+pub use scrub::{scrub_database, ScrubReport};
 pub use session::Session;
 pub use trigger::{CaptureImages, TriggerDef, TriggerEvent};
 pub use txn::TxnId;

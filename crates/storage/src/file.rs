@@ -171,7 +171,10 @@ impl DiskFile {
         Ok(())
     }
 
-    /// Write `buf` (must be `PAGE_SIZE` bytes) to page `page_no`.
+    /// Write `buf` (must be `PAGE_SIZE` bytes) to page `page_no`. The image
+    /// that reaches disk carries a whole-page CRC stamped into the header's
+    /// reserved word (see [`crate::scrub`]), verified only by the scrubber —
+    /// the hot read path stays CRC-free.
     pub fn write_page(&self, page_no: u32, buf: &[u8]) -> StorageResult<()> {
         assert_eq!(buf.len(), PAGE_SIZE);
         if page_no as u64 >= self.page_count.load(Ordering::Acquire) {
@@ -181,6 +184,10 @@ impl DiskFile {
             )));
         }
         let action = self.consult(IoOp::Write)?;
+        let mut stamped = [0u8; PAGE_SIZE];
+        stamped.copy_from_slice(buf);
+        crate::scrub::stamp_page_crc(&mut stamped);
+        let buf = &stamped[..];
         // lint: allow(lock_hygiene) -- the mutex *is* the file handle; seek+write must be atomic
         let mut f = self.file.lock();
         f.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))
@@ -331,7 +338,9 @@ mod tests {
         ));
         let mut back = vec![0u8; PAGE_SIZE];
         f.read_page(0, &mut back).unwrap();
-        assert_eq!(&back[..100], &page[..100], "prefix reached the file");
+        // Bytes 12..16 hold the stamped page CRC, so compare around them.
+        assert_eq!(&back[..12], &page[..12], "prefix reached the file");
+        assert_eq!(&back[16..100], &page[16..100], "prefix reached the file");
         assert_eq!(back[100], 0, "tail kept the old (zeroed) bytes");
     }
 

@@ -33,6 +33,7 @@ pub mod invariant;
 pub mod page;
 pub mod record;
 pub mod schema;
+pub mod scrub;
 pub mod value;
 
 pub use buffer::{BufferPool, BufferPoolStats};
@@ -44,4 +45,5 @@ pub use heap::{HeapFile, RecordId};
 pub use page::SlottedPage;
 pub use record::Row;
 pub use schema::{Column, Schema};
+pub use scrub::{scrub_page_file, PageCheck, PageScrubOutcome};
 pub use value::{DataType, Value};

@@ -281,6 +281,13 @@ impl PersistentQueue {
         self.inner.lock().acked
     }
 
+    /// Bytes in the spool file (frame headers and checksums included) — the
+    /// honest wire cost of everything ever enqueued, used by the audit
+    /// subsystem to account repair traffic against full-reload traffic.
+    pub fn spool_bytes(&self) -> u64 {
+        self.inner.lock().spool_len
+    }
+
     /// Like [`PersistentQueue::dequeue_up_to`], but each message's fate is
     /// drawn from `sim`'s seeded fault plan:
     ///

@@ -1,0 +1,377 @@
+//! Anti-entropy audit and self-healing repair (DESIGN.md §14).
+//!
+//! The pipeline survives crashes, lossy links, and poison batches — but
+//! nothing upstream *detects* silent divergence: a quarantined batch never
+//! applied, a bit-flipped page the scrubber flagged, an operator's stray
+//! UPDATE on the warehouse. This module closes the loop:
+//!
+//! 1. **Digest** — the source snapshots the audited table (streaming,
+//!    through the normal snapshot machinery) and builds a range digest
+//!    ([`delta_core::digest`]); the digest ships to the warehouse over the
+//!    pipeline's audit side channel as one compact batch.
+//! 2. **Localize** — the warehouse digests its mirror under the *same*
+//!    bucketing (the span travels inside the digest) and compares trees
+//!    hierarchically; equal subtrees prune, so divergence is pinned to
+//!    bounded key ranges.
+//! 3. **Repair** — both snapshots are filtered to the diverged ranges and
+//!    handed to the paper's own snapshot-differential diff
+//!    ([`diff_snapshots`]), old = warehouse, new = source; the resulting
+//!    delta ships through the **normal** queue and applies under the same
+//!    watermark/ack machinery as live traffic — repair is just more deltas.
+//! 4. **Reconcile** — DLQ entries quarantined *before* the audit watermark
+//!    that target the audited table are superseded by the repair (the
+//!    source snapshot already reflects whatever they carried) and are
+//!    marked resolved.
+//!
+//! Interleaving contract (DBLog-style, see DESIGN.md §14): extraction for
+//! the audited tables must be quiescent for the duration of the audit —
+//! publish pending deltas first, pause publishing until
+//! [`audit_and_repair`] returns. Every live delta is then either ≤ the
+//! audit watermark (drained before the snapshot, so the digest sees it) or
+//! published after the repair batches (applies later and wins). Traffic
+//! for other tables flows freely throughout.
+
+use std::path::{Path, PathBuf};
+
+use delta_core::digest::{
+    compare_digests, digest_snapshot, digest_table, filter_snapshot, DigestParams, KeyRange,
+    TableDigest, DEFAULT_TARGET_LEAVES,
+};
+use delta_core::model::{DeltaBatch, ValueDelta};
+use delta_core::snapshot::{take_snapshot, DiffAlgorithm};
+use delta_engine::db::Database;
+use delta_engine::{EngineError, EngineResult};
+use delta_storage::colbatch::RowSource;
+use delta_storage::Value;
+
+use crate::apply::Warehouse;
+use crate::pipeline::Pipeline;
+
+/// Tuning knobs of one audit pass.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig {
+    /// Leaf count the digest aims for (more leaves = finer localization,
+    /// bigger digest).
+    pub target_leaves: u64,
+    /// Snapshot-diff algorithm for the scoped repair.
+    pub diff_algo: DiffAlgorithm,
+    /// Bound on drain rounds while waiting for the queue to settle (lossy
+    /// links legitimately need several).
+    pub max_drain_syncs: u64,
+    /// Rows per published repair batch (bounds batch size and lets the
+    /// scheduler interleave repair with other tables' traffic).
+    pub repair_chunk_rows: usize,
+    /// Re-digest the warehouse after repair and record convergence.
+    pub verify_after: bool,
+}
+
+impl Default for AuditConfig {
+    fn default() -> AuditConfig {
+        AuditConfig {
+            target_leaves: DEFAULT_TARGET_LEAVES,
+            diff_algo: DiffAlgorithm::SortMerge { run_size: 4096 },
+            max_drain_syncs: 1000,
+            repair_chunk_rows: 512,
+            verify_after: true,
+        }
+    }
+}
+
+/// Outcome of auditing one table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableAudit {
+    /// Audited table.
+    pub table: String,
+    /// Key ranges the digests disagreed on (empty = already consistent).
+    pub diverged_ranges: Vec<KeyRange>,
+    /// Tree nodes compared before pruning bottomed out.
+    pub nodes_compared: u64,
+    /// Leaf pairs inspected after pruning.
+    pub leaves_compared: u64,
+    /// Repair delta records shipped for this table.
+    pub repair_records: u64,
+    /// Repair batches published.
+    pub repair_batches: u64,
+    /// DLQ entries this table's repair superseded.
+    pub dlq_resolved: u64,
+    /// Post-repair digests agreed (always true when the table started
+    /// consistent; only meaningful with [`AuditConfig::verify_after`]).
+    pub converged: bool,
+}
+
+/// Aggregate outcome of one [`audit_and_repair`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Per-table outcomes, in audit order.
+    pub tables: Vec<TableAudit>,
+    /// Queue sequence watermark the audit ran at: every delta published
+    /// before it was drained into the warehouse before digesting.
+    pub audit_watermark: u64,
+    /// Digest bytes shipped over the audit side channel.
+    pub digest_bytes: u64,
+    /// Spool bytes the repair batches added to the main queue (framing
+    /// included — the honest wire cost of repair).
+    pub repair_bytes: u64,
+    /// Bytes a full reload of every audited table would have shipped
+    /// (summed source snapshot sizes) — the denominator of the ≤ 5% gate.
+    pub full_snapshot_bytes: u64,
+    /// Sync rounds spent draining (pre-audit settle + post-repair apply).
+    pub drain_syncs: u64,
+}
+
+impl AuditReport {
+    /// Whether every audited table ended consistent.
+    pub fn converged(&self) -> bool {
+        self.tables.iter().all(|t| t.converged)
+    }
+
+    /// Whether any table needed repair at all.
+    pub fn diverged(&self) -> bool {
+        self.tables.iter().any(|t| !t.diverged_ranges.is_empty())
+    }
+
+    /// Total repair records shipped across all tables.
+    pub fn repair_records(&self) -> u64 {
+        self.tables.iter().map(|t| t.repair_records).sum()
+    }
+
+    /// Total DLQ entries resolved across all tables.
+    pub fn dlq_resolved(&self) -> u64 {
+        self.tables.iter().map(|t| t.dlq_resolved).sum()
+    }
+}
+
+/// Drain the pipeline until everything published so far is acknowledged
+/// (lossy links need several rounds). Returns the rounds used.
+fn drain(pipe: &Pipeline, wh: &Warehouse, max_rounds: u64) -> EngineResult<u64> {
+    let mut rounds = 0;
+    while rounds < max_rounds {
+        let target = pipe.queue().total();
+        if pipe.queue().acked() >= target && pipe.queue().pending() == 0 {
+            return Ok(rounds);
+        }
+        pipe.sync(wh)?;
+        rounds += 1;
+    }
+    let target = pipe.queue().total();
+    if pipe.queue().acked() >= target && pipe.queue().pending() == 0 {
+        return Ok(rounds);
+    }
+    Err(EngineError::Invalid(format!(
+        "audit drain did not settle after {max_rounds} sync rounds (acked {} of {target})",
+        pipe.queue().acked()
+    )))
+}
+
+/// Scan a snapshot once to find the key column's min/max (for digest
+/// bucketing). `None` when the snapshot is empty.
+fn snapshot_key_bounds(
+    path: &Path,
+    schema: &delta_storage::Schema,
+    key_pos: usize,
+) -> EngineResult<Option<(i64, i64)>> {
+    let mut src = RowSource::open(path, schema).map_err(EngineError::Storage)?;
+    let mut bounds: Option<(i64, i64)> = None;
+    while let Some(row) = src.next_row().map_err(EngineError::Storage)? {
+        let Some(Value::Int(k)) = row.values().get(key_pos) else {
+            return Err(EngineError::Invalid(format!(
+                "audit key column {key_pos} must be an integer"
+            )));
+        };
+        bounds = Some(match bounds {
+            None => (*k, *k),
+            Some((lo, hi)) => (lo.min(*k), hi.max(*k)),
+        });
+    }
+    Ok(bounds)
+}
+
+/// Ship `digest` over the pipeline's audit side channel and hand back the
+/// decoded copy the "warehouse side" received — the real transport leg of
+/// the digest exchange, CRC-framed end to end.
+fn exchange_digest(pipe: &Pipeline, digest: &TableDigest) -> EngineResult<(TableDigest, u64)> {
+    let audit_q = pipe.audit_queue()?;
+    let encoded = digest.encode();
+    let bytes = encoded.len() as u64;
+    audit_q.enqueue(&encoded).map_err(EngineError::Storage)?;
+    let Some((idx, payload)) = audit_q.dequeue().map_err(EngineError::Storage)? else {
+        return Err(EngineError::Invalid(
+            "audit channel dropped the digest batch".into(),
+        ));
+    };
+    audit_q.ack(idx).map_err(EngineError::Storage)?;
+    let received = TableDigest::decode(&payload).map_err(EngineError::Storage)?;
+    Ok((received, bytes))
+}
+
+/// Publish the repair delta in bounded chunks through the normal queue.
+/// Returns (batches, records, spool bytes added).
+fn publish_repair(
+    pipe: &Pipeline,
+    delta: ValueDelta,
+    chunk_rows: usize,
+) -> EngineResult<(u64, u64, u64)> {
+    let spool_before = pipe.queue().spool_bytes();
+    let mut batches = 0u64;
+    let mut records = 0u64;
+    let chunk = chunk_rows.max(1);
+    let mut remaining = delta.records;
+    while !remaining.is_empty() {
+        let tail = remaining.split_off(remaining.len().min(chunk));
+        let mut vd = ValueDelta::new(&delta.table, delta.schema.clone());
+        records += remaining.len() as u64;
+        vd.records = remaining;
+        pipe.publish(&DeltaBatch::Value(vd))?;
+        batches += 1;
+        remaining = tail;
+    }
+    Ok((batches, records, pipe.queue().spool_bytes() - spool_before))
+}
+
+/// Resolve DLQ entries the repair of `table` supersedes: quarantined
+/// before the audit watermark and decoding to a value batch for `table`
+/// (the source snapshot already reflects whatever they carried, so
+/// re-applying them could only re-diverge the mirror). Returns the count.
+fn reconcile_dlq(pipe: &Pipeline, table: &str, watermark: u64) -> EngineResult<u64> {
+    let mut resolved = 0u64;
+    for entry in pipe.dlq_entries()? {
+        if entry.index >= watermark {
+            continue; // quarantined after the audit saw the source: keep
+        }
+        let targets_table = match DeltaBatch::from_bytes(&entry.payload) {
+            Ok(DeltaBatch::Value(vd)) => vd.table == table,
+            _ => false, // op batches and undecodable payloads: keep for the operator
+        };
+        if targets_table && pipe.resolve_dlq(entry.index)? {
+            resolved += 1;
+        }
+    }
+    Ok(resolved)
+}
+
+/// Scratch directory for one audit pass's snapshot files.
+fn scratch_dir() -> EngineResult<PathBuf> {
+    let dir = std::env::temp_dir().join(format!(
+        "delta-audit-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Audit `tables` of `source` against their mirrors in `wh`, repairing any
+/// divergence through `pipe` (see the module docs for the full protocol and
+/// the quiescence contract). Works table by table: settle the queue, digest
+/// both sides, localize, ship a scoped snapshot-differential repair,
+/// reconcile superseded DLQ entries, drain, and (optionally) verify.
+pub fn audit_and_repair(
+    source: &Database,
+    pipe: &Pipeline,
+    wh: &Warehouse,
+    tables: &[&str],
+    cfg: &AuditConfig,
+) -> EngineResult<AuditReport> {
+    let mut report = AuditReport {
+        audit_watermark: pipe.queue().total(),
+        ..AuditReport::default()
+    };
+    report.drain_syncs += drain(pipe, wh, cfg.max_drain_syncs)?;
+    let dir = scratch_dir()?;
+    for &table in tables {
+        let mirror = wh.mirror(table)?;
+        if !matches!(mirror.scope, delta_core::selfmaint::MirrorScope::Full) {
+            return Err(EngineError::Invalid(format!(
+                "audit requires a full mirror of '{table}' (projected mirrors cannot be compared byte-equal)"
+            )));
+        }
+        let schema = mirror.source_schema.clone();
+        let pk = schema.primary_key_indices();
+        let (Some(&key_pos), true) = (pk.first(), pk.len() == 1) else {
+            return Err(EngineError::Invalid(format!(
+                "audit of '{table}' requires a single-column primary key"
+            )));
+        };
+        let mut audit = TableAudit {
+            table: table.to_string(),
+            converged: true,
+            ..TableAudit::default()
+        };
+
+        // Digest the source from a streaming snapshot scan.
+        let src_snap = dir.join(format!("{table}.src.snap"));
+        take_snapshot(source, table, &src_snap)?;
+        report.full_snapshot_bytes += std::fs::metadata(&src_snap)?.len();
+        let params = match snapshot_key_bounds(&src_snap, &schema, key_pos)? {
+            Some((lo, hi)) => DigestParams::for_key_range(lo, hi, cfg.target_leaves),
+            None => DigestParams::with_span(1),
+        };
+        let src_digest = digest_snapshot(table, &schema, key_pos, &src_snap, params)
+            .map_err(EngineError::Storage)?;
+
+        // Ship it; the warehouse digests its mirror under the shipped span.
+        let (received, digest_bytes) = exchange_digest(pipe, &src_digest)?;
+        report.digest_bytes += digest_bytes;
+        let wh_digest = digest_table(
+            wh.db(),
+            table,
+            key_pos,
+            DigestParams::with_span(received.span),
+        )?;
+        let diff = compare_digests(&received, &wh_digest).map_err(EngineError::Storage)?;
+        audit.nodes_compared = diff.nodes_compared;
+        audit.leaves_compared = diff.leaves_compared;
+        audit.diverged_ranges = diff.ranges.clone();
+
+        // DLQ entries older than the audit watermark are superseded whether
+        // or not the table diverged: the digest exchange just proved the
+        // source snapshot already reflects (or obsoletes) whatever they
+        // carried.
+        audit.dlq_resolved = reconcile_dlq(pipe, table, report.audit_watermark)?;
+
+        if !diff.ranges.is_empty() {
+            // Scoped snapshot-differential repair over the diverged ranges.
+            let wh_snap = dir.join(format!("{table}.wh.snap"));
+            take_snapshot(wh.db(), table, &wh_snap)?;
+            let src_scoped = dir.join(format!("{table}.src.scoped"));
+            let wh_scoped = dir.join(format!("{table}.wh.scoped"));
+            filter_snapshot(&src_snap, &schema, key_pos, &diff.ranges, &src_scoped)
+                .map_err(EngineError::Storage)?;
+            filter_snapshot(&wh_snap, &schema, key_pos, &diff.ranges, &wh_scoped)
+                .map_err(EngineError::Storage)?;
+            let (repair, _stats) = delta_core::snapshot::diff_snapshots(
+                table,
+                &schema,
+                &pk,
+                &wh_scoped,
+                &src_scoped,
+                cfg.diff_algo,
+            )
+            .map_err(EngineError::Storage)?;
+            let (batches, records, bytes) = publish_repair(pipe, repair, cfg.repair_chunk_rows)?;
+            audit.repair_batches = batches;
+            audit.repair_records = records;
+            report.repair_bytes += bytes;
+
+            report.drain_syncs += drain(pipe, wh, cfg.max_drain_syncs)?;
+
+            if cfg.verify_after {
+                let after = digest_table(
+                    wh.db(),
+                    table,
+                    key_pos,
+                    DigestParams::with_span(received.span),
+                )?;
+                audit.converged = compare_digests(&received, &after)
+                    .map_err(EngineError::Storage)?
+                    .converged();
+            }
+        }
+        report.tables.push(audit);
+        let _ = std::fs::remove_file(dir.join(format!("{table}.src.snap")));
+        let _ = std::fs::remove_file(dir.join(format!("{table}.wh.snap")));
+        let _ = std::fs::remove_file(dir.join(format!("{table}.src.scoped")));
+        let _ = std::fs::remove_file(dir.join(format!("{table}.wh.scoped")));
+    }
+    Ok(report)
+}

@@ -26,6 +26,7 @@
 
 pub mod aggview;
 pub mod apply;
+pub mod audit;
 pub mod mirror;
 pub mod olap;
 pub mod pipeline;
@@ -37,6 +38,7 @@ pub use apply::{
     AppliedMark, AppliedState, ApplyReport, OpDeltaApplier, RewriteCache, ValueDeltaApplier,
     Warehouse,
 };
+pub use audit::{audit_and_repair, AuditConfig, AuditReport, TableAudit};
 pub use mirror::MirrorConfig;
 pub use olap::{OlapDriver, OlapStats};
 pub use pipeline::{Pipeline, QuarantinedDelta, RetryPolicy, SyncReport, DEFAULT_SYNC_BATCH};

@@ -135,7 +135,16 @@ pub struct Pipeline {
     /// Dead-letter queue for quarantined poison batches (`<queue>.dlq`);
     /// opened when a retry policy is configured.
     pub(crate) dlq: Option<PersistentQueue>,
+    /// Sequence ids already parked in the DLQ. Redeliveries of these (lost
+    /// acks, cursor rewinds) are complete as far as the stream is
+    /// concerned and must not be re-applied or re-quarantined.
+    dlq_indices: Mutex<std::collections::BTreeSet<u64>>,
     dlq_path: std::path::PathBuf,
+    /// Sidecar listing resolved DLQ sequence ids (`<queue>.dlq.resolved`),
+    /// appended by [`Pipeline::resolve_dlq`] / [`Pipeline::requeue_dlq`].
+    resolved_path: std::path::PathBuf,
+    /// Side channel for audit digest batches (`<queue>.audit`).
+    audit_path: std::path::PathBuf,
     /// Seeded transport-fault simulator applied to every dequeue.
     pub(crate) net_faults: Option<Mutex<NetFaultSim>>,
     pub(crate) jitter_state: Mutex<u64>,
@@ -160,7 +169,10 @@ impl Pipeline {
             rewrite_cache: RewriteCache::new(),
             retry: None,
             dlq: None,
+            dlq_indices: Mutex::new(std::collections::BTreeSet::new()),
             dlq_path: queue_path.with_extension("dlq"),
+            resolved_path: queue_path.with_extension("dlq.resolved"),
+            audit_path: queue_path.with_extension("audit"),
             net_faults: None,
             jitter_state: Mutex::new(0),
             codec: DeltaCodec::default(),
@@ -208,6 +220,12 @@ impl Pipeline {
         self.dlq = Some(PersistentQueue::open(&self.dlq_path).map_err(EngineError::Storage)?);
         *self.jitter_state.get_mut() = policy.jitter_seed;
         self.retry = Some(policy);
+        // Prime the parked-sequence set from the persisted DLQ, so batches
+        // quarantined by an earlier pipeline incarnation are not re-applied
+        // when a lost ack redelivers them.
+        let parked: std::collections::BTreeSet<u64> =
+            self.quarantined()?.into_iter().map(|q| q.index).collect();
+        *self.dlq_indices.get_mut() = parked;
         Ok(self)
     }
 
@@ -336,13 +354,28 @@ impl Pipeline {
         frame.extend_from_slice(err_text.as_bytes());
         frame.extend_from_slice(payload);
         dlq.enqueue(&frame).map_err(EngineError::Storage)?;
+        self.dlq_indices.lock().insert(idx);
         Ok(())
     }
 
-    /// Every batch parked in the dead-letter queue, oldest first.
+    /// Whether sequence id `idx` is already parked in the DLQ (this
+    /// incarnation or a persisted earlier one).
+    pub(crate) fn already_quarantined(&self, idx: u64) -> bool {
+        self.dlq_indices.lock().contains(&idx)
+    }
+
+    /// Every batch parked in the dead-letter queue, oldest first. Works
+    /// without a retry policy too: a pipeline reopened for inspection reads
+    /// the on-disk DLQ spool directly if one exists.
     pub fn quarantined(&self) -> EngineResult<Vec<QuarantinedDelta>> {
-        let Some(dlq) = &self.dlq else {
-            return Ok(Vec::new());
+        let transient;
+        let dlq = match &self.dlq {
+            Some(dlq) => dlq,
+            None if self.dlq_path.exists() => {
+                transient = PersistentQueue::open(&self.dlq_path).map_err(EngineError::Storage)?;
+                &transient
+            }
+            None => return Ok(Vec::new()),
         };
         dlq.rewind_to(0);
         let frames = dlq
@@ -350,13 +383,17 @@ impl Pipeline {
             .map_err(EngineError::Storage)?;
         let mut out = Vec::with_capacity(frames.len());
         for (_, frame) in frames {
-            if frame.len() < 12 {
+            let (Some(idx_bytes), Some(len_bytes)) = (frame.get(0..8), frame.get(8..12)) else {
                 return Err(EngineError::Storage(delta_storage::StorageError::Corrupt(
                     "dead-letter frame shorter than its header".into(),
                 )));
-            }
-            let index = u64::from_le_bytes(frame[0..8].try_into().expect("8 bytes"));
-            let err_len = u32::from_le_bytes(frame[8..12].try_into().expect("4 bytes")) as usize;
+            };
+            let mut idx = [0u8; 8];
+            idx.copy_from_slice(idx_bytes);
+            let mut len = [0u8; 4];
+            len.copy_from_slice(len_bytes);
+            let index = u64::from_le_bytes(idx);
+            let err_len = u32::from_le_bytes(len) as usize;
             if frame.len() < 12 + err_len {
                 return Err(EngineError::Storage(delta_storage::StorageError::Corrupt(
                     "dead-letter frame truncated inside its error text".into(),
@@ -370,6 +407,82 @@ impl Pipeline {
             });
         }
         Ok(out)
+    }
+
+    /// Sequence ids marked resolved (drained, requeued, or superseded by an
+    /// audit repair), read from the crash-safe append-only sidecar.
+    fn resolved_set(&self) -> EngineResult<std::collections::BTreeSet<u64>> {
+        let mut out = std::collections::BTreeSet::new();
+        let Ok(body) = std::fs::read_to_string(&self.resolved_path) else {
+            return Ok(out); // no sidecar yet: nothing resolved
+        };
+        for line in body.lines() {
+            if let Ok(seq) = line.trim().parse::<u64>() {
+                out.insert(seq);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Append `seq` to the resolved sidecar (idempotent by construction:
+    /// the set semantics of [`Pipeline::resolved_set`] absorb duplicates).
+    fn mark_resolved(&self, seq: u64) -> EngineResult<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.resolved_path)?;
+        writeln!(f, "{seq}")?;
+        Ok(())
+    }
+
+    /// The dead-letter queue's *open* entries: everything quarantined and
+    /// not yet resolved or requeued — the operator's (and the auditor's)
+    /// reprocessing worklist, oldest first.
+    pub fn dlq_entries(&self) -> EngineResult<Vec<QuarantinedDelta>> {
+        let resolved = self.resolved_set()?;
+        Ok(self
+            .quarantined()?
+            .into_iter()
+            .filter(|q| !resolved.contains(&q.index))
+            .collect())
+    }
+
+    /// Mark the dead-letter entry with sequence id `seq` resolved without
+    /// re-applying it (an audit repair superseded it, or the operator
+    /// discarded it). Returns `false` if no open entry with that id exists.
+    pub fn resolve_dlq(&self, seq: u64) -> EngineResult<bool> {
+        let open = self.dlq_entries()?;
+        if !open.iter().any(|q| q.index == seq) {
+            return Ok(false);
+        }
+        self.mark_resolved(seq)?;
+        Ok(true)
+    }
+
+    /// Re-enqueue the dead-letter entry with sequence id `seq` on the main
+    /// queue (it gets a fresh sequence id, applied by the next `sync`) and
+    /// mark the original resolved. Returns the new sequence id, or `None`
+    /// if no open entry with that id exists.
+    pub fn requeue_dlq(&self, seq: u64) -> EngineResult<Option<u64>> {
+        let open = self.dlq_entries()?;
+        let Some(entry) = open.iter().find(|q| q.index == seq) else {
+            return Ok(None);
+        };
+        let new_seq = self
+            .queue
+            .enqueue(&entry.payload)
+            .map_err(EngineError::Storage)?;
+        self.mark_resolved(seq)?;
+        Ok(Some(new_seq))
+    }
+
+    /// Open the pipeline's audit side channel (`<queue>.audit`), the
+    /// transport leg digest batches travel on (see [`crate::audit`]). A
+    /// separate queue keeps digests out of the delta sequence — they carry
+    /// no watermark and must not consume delta sequence ids.
+    pub fn audit_queue(&self) -> EngineResult<PersistentQueue> {
+        PersistentQueue::open(&self.audit_path).map_err(EngineError::Storage)
     }
 }
 

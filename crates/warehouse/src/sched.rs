@@ -395,6 +395,14 @@ fn sync_one_run(
             entries.push((idx, Entry::Done));
             continue;
         }
+        if pipe.already_quarantined(idx) {
+            // Parked in the DLQ by an earlier sync but redelivered (lost
+            // ack, cursor rewind): equally completed — re-applying would
+            // fail again and duplicate the DLQ entry.
+            report.deduped += 1;
+            entries.push((idx, Entry::Done));
+            continue;
+        }
         match decoded {
             Ok(batch) => {
                 entries.push((idx, Entry::Batch(batches.len())));

@@ -1,0 +1,326 @@
+//! End-to-end anti-entropy audit and self-healing repair (DESIGN.md §14).
+//!
+//! The acceptance scenario for the audit subsystem: a warehouse mirror is
+//! silently corrupted (flipped rows, a deleted row, a phantom insert) and a
+//! poison batch sits in the DLQ, all while live traffic keeps flowing for
+//! another table. One [`audit_and_repair`] pass must localize the
+//! divergence to bounded key ranges, ship a *scoped* snapshot-differential
+//! repair through the normal queue (not a full reload), converge the mirror
+//! byte-equal with the source (canonical sorted dump), resolve the
+//! superseded DLQ entry, and leave the pipeline fully functional for
+//! subsequent live deltas. The repair traffic at 0.1% divergence must cost
+//! at most 5% of a full snapshot — the strict gate of experiment A.
+
+use delta_core::model::{DeltaBatch, DeltaOp, ValueDelta, ValueDeltaRecord};
+use delta_engine::db::open_temp;
+use delta_storage::{Column, DataType, Row, Schema, Value};
+use delta_warehouse::{
+    audit_and_repair, AuditConfig, MirrorConfig, Pipeline, RetryPolicy, Warehouse,
+};
+
+const TABLE: &str = "accounts";
+const SIDE: &str = "side";
+const ROWS: i64 = 2000;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("id", DataType::Int).primary_key(),
+        Column::new("v", DataType::Int),
+        Column::new("note", DataType::Varchar),
+    ])
+    .unwrap()
+}
+
+fn side_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("id", DataType::Int).primary_key(),
+        Column::new("v", DataType::Int),
+    ])
+    .unwrap()
+}
+
+fn qpath(label: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "delta-auditrep-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!("{label}.q"));
+    for ext in [
+        "ack",
+        "dlq",
+        "dlq.ack",
+        "dlq.resolved",
+        "audit",
+        "audit.ack",
+    ] {
+        let _ = std::fs::remove_file(p.with_extension(ext));
+    }
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn record(op: DeltaOp, id: i64, v: i64) -> ValueDeltaRecord {
+    ValueDeltaRecord {
+        op,
+        txn: 0,
+        row: Row::new(vec![
+            Value::Int(id),
+            Value::Int(v),
+            Value::Str(format!("row-{id}")),
+        ]),
+    }
+}
+
+/// Insert `lo..hi` into the source table *and* publish the matching value
+/// deltas, keeping both sides of the link in step.
+fn seed_rows(s: &mut delta_engine::Session, pipe: &Pipeline, lo: i64, hi: i64) {
+    let mut vd = ValueDelta::new(TABLE, schema());
+    for id in lo..hi {
+        s.execute(&format!(
+            "INSERT INTO {TABLE} VALUES ({id}, {}, 'row-{id}')",
+            id * 7
+        ))
+        .unwrap();
+        vd.records.push(record(DeltaOp::Insert, id, id * 7));
+        if vd.records.len() == 250 {
+            pipe.publish(&DeltaBatch::Value(vd)).unwrap();
+            vd = ValueDelta::new(TABLE, schema());
+        }
+    }
+    if !vd.records.is_empty() {
+        pipe.publish(&DeltaBatch::Value(vd)).unwrap();
+    }
+}
+
+/// Canonical sorted dump of one table: logical row values only, ordered,
+/// so physically different heap layouts compare equal.
+fn dump(db: &delta_engine::Database, table: &str) -> Vec<String> {
+    let mut rows: Vec<String> = db
+        .scan_table(table)
+        .unwrap()
+        .into_iter()
+        .map(|(_, row)| format!("{:?}", row.values()))
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn drain(pipe: &Pipeline, wh: &Warehouse) {
+    for _ in 0..200 {
+        if pipe.queue().pending() == 0 {
+            return;
+        }
+        pipe.sync(wh).unwrap();
+    }
+    panic!("queue did not drain");
+}
+
+#[test]
+fn audit_detects_and_repairs_silent_divergence() {
+    let source = open_temp("audit-src").unwrap();
+    let mut s = source.session();
+    s.execute(&format!(
+        "CREATE TABLE {TABLE} (id INT PRIMARY KEY, v INT, note VARCHAR)"
+    ))
+    .unwrap();
+
+    let wh_db = open_temp("audit-wh").unwrap();
+    let mut wh = Warehouse::new(wh_db);
+    wh.add_mirror(MirrorConfig::full(TABLE, schema())).unwrap();
+    wh.add_mirror(MirrorConfig::full(SIDE, side_schema()))
+        .unwrap();
+
+    let pipe = Pipeline::open(qpath("heal"))
+        .unwrap()
+        .with_retry(RetryPolicy::quick(2))
+        .unwrap();
+
+    // Live traffic: 2000 mirrored rows, fully synced.
+    seed_rows(&mut s, &pipe, 0, ROWS);
+    drain(&pipe, &wh);
+    assert_eq!(wh.db().row_count(TABLE).unwrap(), ROWS as usize);
+
+    // A poison batch for the audited table: re-inserting an existing key
+    // violates the mirror's primary key, fails every retry, and lands in
+    // the DLQ. The source snapshot already holds this row, so the audit's
+    // repair supersedes the entry.
+    let mut poison = ValueDelta::new(TABLE, schema());
+    poison.records.push(record(DeltaOp::Insert, 5, 35));
+    pipe.publish(&DeltaBatch::Value(poison)).unwrap();
+    drain(&pipe, &wh);
+    assert_eq!(pipe.dlq_entries().unwrap().len(), 1, "poison quarantined");
+
+    // Silent warehouse corruption, 0.1% of rows (2 of 2000): an operator's
+    // stray UPDATE and a flipped value — plus one lost row and one phantom,
+    // exercising every repair op kind. (4 touched rows is still 0.2%; the
+    // strict 0.1% gate is measured by experiment A. Here we assert the same
+    // ≤5% bound, which even the 0.2% case must clear by a wide margin.)
+    let mut ws = wh.db().session();
+    ws.execute(&format!("UPDATE {TABLE} SET v = 999999 WHERE id = 137"))
+        .unwrap();
+    ws.execute(&format!("UPDATE {TABLE} SET note = 'oops' WHERE id = 1500"))
+        .unwrap();
+    ws.execute(&format!("DELETE FROM {TABLE} WHERE id = 42"))
+        .unwrap();
+    ws.execute(&format!("INSERT INTO {TABLE} VALUES (90001, 1, 'phantom')"))
+        .unwrap();
+    assert_ne!(dump(&source, TABLE), dump(wh.db(), TABLE), "diverged");
+
+    // Pending live traffic at audit time: deltas published but not yet
+    // synced (the audit drains them before digesting), and traffic for an
+    // unrelated table flowing through the same queue.
+    seed_rows(&mut s, &pipe, ROWS, ROWS + 10);
+    let mut side = ValueDelta::new(SIDE, side_schema());
+    side.records.push(ValueDeltaRecord {
+        op: DeltaOp::Insert,
+        txn: 0,
+        row: Row::new(vec![Value::Int(1), Value::Int(2)]),
+    });
+    pipe.publish(&DeltaBatch::Value(side)).unwrap();
+
+    let report = audit_and_repair(&source, &pipe, &wh, &[TABLE], &AuditConfig::default()).unwrap();
+
+    // Localization: divergence detected and pinned to a handful of bounded
+    // key ranges covering exactly the corrupted keys.
+    assert!(report.diverged(), "audit saw the corruption");
+    let audit = &report.tables[0];
+    assert!(
+        !audit.diverged_ranges.is_empty() && audit.diverged_ranges.len() <= 4,
+        "divergence localized to at most one range per corrupt key: {:?}",
+        audit.diverged_ranges
+    );
+    for key in [137i64, 1500, 42, 90001] {
+        assert!(
+            audit.diverged_ranges.iter().any(|r| r.contains(key)),
+            "key {key} not covered by {:?}",
+            audit.diverged_ranges
+        );
+    }
+
+    // Convergence: byte-equal canonical dumps, verified digest agreement,
+    // and the watermark machinery intact.
+    assert!(report.converged(), "post-repair digests agree");
+    assert_eq!(dump(&source, TABLE), dump(wh.db(), TABLE), "byte-equal");
+
+    // Scoped repair, not a reload: a few records, and wire cost within the
+    // 5% budget of a full snapshot.
+    assert!(
+        audit.repair_records >= 4 && audit.repair_records <= 64,
+        "repair stayed scoped: {} records",
+        audit.repair_records
+    );
+    assert!(report.full_snapshot_bytes > 0);
+    assert!(
+        report.repair_bytes * 20 <= report.full_snapshot_bytes,
+        "repair {} bytes vs snapshot {} bytes exceeds 5%",
+        report.repair_bytes,
+        report.full_snapshot_bytes
+    );
+
+    // Reconciliation: the superseded poison entry is resolved and the DLQ
+    // drained; the resolution survives independent inspection.
+    assert_eq!(report.dlq_resolved(), 1);
+    assert!(pipe.dlq_entries().unwrap().is_empty(), "DLQ reconciled");
+
+    // The pipeline still carries live traffic after the audit.
+    seed_rows(&mut s, &pipe, ROWS + 10, ROWS + 20);
+    drain(&pipe, &wh);
+    assert_eq!(
+        dump(&source, TABLE),
+        dump(wh.db(), TABLE),
+        "live sync resumed"
+    );
+    assert_eq!(
+        wh.db().row_count(SIDE).unwrap(),
+        1usize,
+        "side traffic applied"
+    );
+}
+
+#[test]
+fn audit_of_consistent_table_is_a_cheap_noop() {
+    let source = open_temp("audit-noop-src").unwrap();
+    let mut s = source.session();
+    s.execute(&format!(
+        "CREATE TABLE {TABLE} (id INT PRIMARY KEY, v INT, note VARCHAR)"
+    ))
+    .unwrap();
+    let wh_db = open_temp("audit-noop-wh").unwrap();
+    let mut wh = Warehouse::new(wh_db);
+    wh.add_mirror(MirrorConfig::full(TABLE, schema())).unwrap();
+    let pipe = Pipeline::open(qpath("noop")).unwrap();
+    seed_rows(&mut s, &pipe, 0, 500);
+    drain(&pipe, &wh);
+
+    let report = audit_and_repair(&source, &pipe, &wh, &[TABLE], &AuditConfig::default()).unwrap();
+    assert!(!report.diverged());
+    assert!(report.converged());
+    assert_eq!(report.repair_bytes, 0);
+    assert_eq!(report.repair_records(), 0);
+    assert!(report.digest_bytes > 0, "digest still shipped");
+    // Digest traffic is O(target_leaves), independent of table size — a
+    // few KB no matter how much data it summarizes.
+    assert!(
+        report.digest_bytes < 8 * 1024,
+        "digest unexpectedly large: {} bytes",
+        report.digest_bytes
+    );
+}
+
+#[test]
+fn dlq_drain_api_lists_requeues_and_resolves() {
+    let source = open_temp("dlq-api-src").unwrap();
+    let mut s = source.session();
+    s.execute(&format!(
+        "CREATE TABLE {TABLE} (id INT PRIMARY KEY, v INT, note VARCHAR)"
+    ))
+    .unwrap();
+    let wh_db = open_temp("dlq-api-wh").unwrap();
+    let mut wh = Warehouse::new(wh_db);
+    wh.add_mirror(MirrorConfig::full(TABLE, schema())).unwrap();
+    let pipe = Pipeline::open(qpath("dlqapi"))
+        .unwrap()
+        .with_retry(RetryPolicy::quick(2))
+        .unwrap();
+    seed_rows(&mut s, &pipe, 0, 20);
+    drain(&pipe, &wh);
+
+    // Two poison batches (duplicate keys), quarantined independently.
+    for id in [3i64, 7] {
+        let mut vd = ValueDelta::new(TABLE, schema());
+        vd.records.push(record(DeltaOp::Insert, id, 0));
+        pipe.publish(&DeltaBatch::Value(vd)).unwrap();
+    }
+    drain(&pipe, &wh);
+    let entries = pipe.dlq_entries().unwrap();
+    assert_eq!(entries.len(), 2);
+    assert!(!entries[0].error.is_empty(), "apply error recorded");
+
+    // Resolving one hides it from the drain view but keeps the evidence.
+    assert!(pipe.resolve_dlq(entries[0].index).unwrap());
+    assert!(!pipe.resolve_dlq(entries[0].index).unwrap(), "idempotent");
+    assert_eq!(pipe.dlq_entries().unwrap().len(), 1);
+    assert_eq!(pipe.quarantined().unwrap().len(), 2, "raw DLQ untouched");
+
+    // Requeueing replays the payload through the normal queue. The
+    // duplicate key now fails again and re-quarantines under a fresh
+    // sequence — proof the full retry/DLQ machinery handled the replay.
+    let old = entries[1].index;
+    let new_seq = pipe.requeue_dlq(old).unwrap().expect("entry existed");
+    assert!(new_seq > old);
+    drain(&pipe, &wh);
+    let after = pipe.dlq_entries().unwrap();
+    assert_eq!(
+        after.len(),
+        1,
+        "replayed batch re-quarantined, old resolved"
+    );
+    assert_eq!(after[0].index, new_seq);
+    assert_eq!(after[0].payload, entries[1].payload, "payload preserved");
+
+    // Requeueing a resolved/unknown entry is a no-op.
+    assert!(pipe.requeue_dlq(old).unwrap().is_none());
+    assert!(pipe.requeue_dlq(999_999).unwrap().is_none());
+}
