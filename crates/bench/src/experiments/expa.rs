@@ -82,7 +82,7 @@ fn mirrored(b: &SourceBuilder, label: &str, src: &Arc<Database>, pipe: &Pipeline
 fn pipeline(b: &SourceBuilder, label: &str) -> Pipeline {
     let qp = b.path(&format!("{label}.q"));
     for ext in [
-        "ack",
+        "q.ack",
         "dlq",
         "dlq.ack",
         "dlq.resolved",

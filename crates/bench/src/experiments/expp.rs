@@ -209,7 +209,7 @@ pub fn run(scale: &Scale) -> TableReport {
         let wh = warehouse(&b, &format!("wh-{workers}"));
         let qp = b.path(&format!("queue-{workers}.q"));
         let _ = std::fs::remove_file(&qp);
-        let _ = std::fs::remove_file(qp.with_extension("ack"));
+        let _ = std::fs::remove_file(delta_transport::PersistentQueue::ack_file(&qp));
         let pipe = Pipeline::open(&qp)
             .expect("pipeline")
             .with_batch_size(16)

@@ -479,7 +479,11 @@ fn descend(
         diverged.push(lo);
         return;
     }
-    let mid = lo + (hi - lo) / 2;
+    // Widen to i128: bucket ids from corrupt or phantom rows can sit near
+    // both i64 extremes at once, where `hi - lo` overflows. Floor division
+    // (not truncation) keeps `lo <= mid < hi` for negative sums, so the
+    // recursion always shrinks.
+    let mid = ((lo as i128 + hi as i128).div_euclid(2)) as i64;
     descend(left, right, lo, mid, diff, diverged);
     descend(left, right, mid + 1, hi, diff, diverged);
 }
@@ -652,6 +656,27 @@ mod tests {
         }
         assert_eq!(keys.len(), 20);
         assert!(keys.iter().all(|k| key_in_ranges(&ranges, *k)));
+    }
+
+    #[test]
+    fn extreme_bucket_ids_compare_without_overflow() {
+        // A phantom/corrupt row can land a bucket near i64::MIN while the
+        // real data sits near i64::MAX; the interval midpoint must not
+        // compute `hi - lo` in i64 (overflow) and must floor-divide so the
+        // recursion shrinks on negative intervals too.
+        let a = digest_of(&[row(i64::MIN, "phantom"), row(i64::MAX, "x")], 1);
+        let b = digest_of(&[row(i64::MAX, "x")], 1);
+        let diff = compare_digests(&a, &b).unwrap();
+        assert_eq!(diff.ranges.len(), 1);
+        assert!(diff.ranges[0].contains(i64::MIN));
+
+        // [-1, 0] is the smallest interval where a truncated (toward-zero)
+        // midpoint equals `hi` and the recursion would never terminate.
+        let c = digest_of(&[row(-1, "x"), row(0, "x")], 1);
+        let d = digest_of(&[row(0, "x")], 1);
+        let diff = compare_digests(&c, &d).unwrap();
+        assert_eq!(diff.ranges.len(), 1);
+        assert!(diff.ranges[0].contains(-1));
     }
 
     #[test]

@@ -49,14 +49,29 @@ pub struct PersistentQueue {
 }
 
 impl PersistentQueue {
+    /// The ack-file path of a queue spooled at `path`: the full spool name
+    /// plus `.ack`. Appending (rather than *replacing* the extension) keeps
+    /// sibling queues that share a stem — `pipe.q`, `pipe.dlq`, `pipe.audit`
+    /// — from colliding on one ack file and clobbering each other's durable
+    /// watermark.
+    pub fn ack_file(path: impl AsRef<Path>) -> PathBuf {
+        let spool = path.as_ref();
+        let mut name = spool
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(".ack");
+        spool.with_file_name(name)
+    }
+
     /// Open (or create) a queue rooted at `path` (two files: `path` and
-    /// `path.ack`).
+    /// `path.ack`, see [`PersistentQueue::ack_file`]).
     pub fn open(path: impl AsRef<Path>) -> StorageResult<PersistentQueue> {
         let spool_path = path.as_ref().to_path_buf();
         if let Some(parent) = spool_path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let ack_path = spool_path.with_extension("ack");
+        let ack_path = PersistentQueue::ack_file(&spool_path);
 
         // Scan the spool to rebuild frame offsets (torn tail tolerated).
         let mut offsets = Vec::new();
@@ -422,8 +437,36 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join(name);
         let _ = std::fs::remove_file(&p);
-        let _ = std::fs::remove_file(p.with_extension("ack"));
+        let _ = std::fs::remove_file(PersistentQueue::ack_file(&p));
         p
+    }
+
+    #[test]
+    fn sibling_queues_get_distinct_ack_files() {
+        // `pipe.q`, `pipe.dlq`, and `pipe.audit` share a stem; replacing the
+        // extension would collapse all three onto `pipe.ack`, letting one
+        // queue's ack clobber another's durable watermark.
+        let main = qpath("pipe.q");
+        let side = PersistentQueue::ack_file(main.with_extension("audit"));
+        assert_ne!(PersistentQueue::ack_file(&main), side);
+        let _ = std::fs::remove_file(&side);
+
+        let q = PersistentQueue::open(&main).unwrap();
+        q.enqueue(b"a").unwrap();
+        q.enqueue(b"b").unwrap();
+        let (idx, _) = q.dequeue().unwrap().unwrap();
+        q.ack(idx).unwrap();
+
+        // An independently acked sibling must not move the main watermark.
+        let audit = PersistentQueue::open(main.with_extension("audit")).unwrap();
+        audit.enqueue(b"digest").unwrap();
+        let (aidx, _) = audit.dequeue().unwrap().unwrap();
+        audit.ack(aidx).unwrap();
+
+        let reopened = PersistentQueue::open(&main).unwrap();
+        assert_eq!(reopened.acked(), 1, "main ack watermark survived");
+        let (_, payload) = reopened.dequeue().unwrap().unwrap();
+        assert_eq!(payload, b"b", "only the unacked suffix redelivers");
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn legacy_spool_bytes_reopen_and_drain_unchanged() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("legacy.q");
     let _ = std::fs::remove_file(&path);
-    let _ = std::fs::remove_file(path.with_extension("ack"));
+    let _ = std::fs::remove_file(PersistentQueue::ack_file(&path));
     std::fs::write(&path, spool_fixture()).unwrap();
 
     let q = PersistentQueue::open(&path).unwrap();

@@ -22,7 +22,7 @@ fn qdir() -> std::path::PathBuf {
 fn fresh(label: &str) -> std::path::PathBuf {
     let p = qdir().join(format!("{label}.q"));
     let _ = std::fs::remove_file(&p);
-    let _ = std::fs::remove_file(p.with_extension("ack"));
+    let _ = std::fs::remove_file(PersistentQueue::ack_file(&p));
     p
 }
 
@@ -129,7 +129,7 @@ proptest! {
             }
         }
         // Overwrite the ack file with an arbitrary (possibly bogus) count.
-        std::fs::write(path.with_extension("ack"), bogus_ack.to_string()).unwrap();
+        std::fs::write(PersistentQueue::ack_file(&path), bogus_ack.to_string()).unwrap();
         let q = PersistentQueue::open(&path).unwrap();
         prop_assert_eq!(q.total(), lens.len() as u64);
         prop_assert!(q.acked() <= q.total(), "ack watermark clamped to spool");

@@ -13,7 +13,7 @@ fn qpath(label: &str) -> std::path::PathBuf {
     std::fs::create_dir_all(&dir).unwrap();
     let p = dir.join(format!("{label}.q"));
     let _ = std::fs::remove_file(&p);
-    let _ = std::fs::remove_file(p.with_extension("ack"));
+    let _ = std::fs::remove_file(PersistentQueue::ack_file(&p));
     p
 }
 

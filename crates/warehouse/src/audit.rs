@@ -191,6 +191,14 @@ fn snapshot_key_bounds(
 /// the digest exchange, CRC-framed end to end.
 fn exchange_digest(pipe: &Pipeline, digest: &TableDigest) -> EngineResult<(TableDigest, u64)> {
     let audit_q = pipe.audit_queue()?;
+    // A prior audit that crashed between enqueue and ack leaves its stale
+    // digest as the next unacked frame; discard the leftovers so the
+    // dequeue below hands back the digest shipped *this* exchange.
+    let stale = audit_q.total();
+    if audit_q.acked() < stale {
+        audit_q.rewind_to(stale);
+        audit_q.ack(stale - 1).map_err(EngineError::Storage)?;
+    }
     let encoded = digest.encode();
     let bytes = encoded.len() as u64;
     audit_q.enqueue(&encoded).map_err(EngineError::Storage)?;
@@ -201,6 +209,12 @@ fn exchange_digest(pipe: &Pipeline, digest: &TableDigest) -> EngineResult<(Table
     };
     audit_q.ack(idx).map_err(EngineError::Storage)?;
     let received = TableDigest::decode(&payload).map_err(EngineError::Storage)?;
+    if received.table != digest.table {
+        return Err(EngineError::Invalid(format!(
+            "audit channel delivered a digest for '{}' while exchanging '{}'",
+            received.table, digest.table
+        )));
+    }
     Ok((received, bytes))
 }
 
@@ -233,20 +247,21 @@ fn publish_repair(
 /// (the source snapshot already reflects whatever they carried, so
 /// re-applying them could only re-diverge the mirror). Returns the count.
 fn reconcile_dlq(pipe: &Pipeline, table: &str, watermark: u64) -> EngineResult<u64> {
-    let mut resolved = 0u64;
-    for entry in pipe.dlq_entries()? {
-        if entry.index >= watermark {
-            continue; // quarantined after the audit saw the source: keep
-        }
-        let targets_table = match DeltaBatch::from_bytes(&entry.payload) {
+    // One pass: the open-entry set is read once and every superseded id is
+    // appended to the resolved sidecar in a single batch, so reconciliation
+    // stays O(DLQ size) instead of re-reading the spool per entry.
+    let superseded: Vec<u64> = pipe
+        .dlq_entries()?
+        .into_iter()
+        .filter(|entry| entry.index < watermark) // older than the audit snapshot
+        .filter(|entry| match DeltaBatch::from_bytes(&entry.payload) {
             Ok(DeltaBatch::Value(vd)) => vd.table == table,
             _ => false, // op batches and undecodable payloads: keep for the operator
-        };
-        if targets_table && pipe.resolve_dlq(entry.index)? {
-            resolved += 1;
-        }
-    }
-    Ok(resolved)
+        })
+        .map(|entry| entry.index)
+        .collect();
+    pipe.mark_resolved_batch(&superseded)?;
+    Ok(superseded.len() as u64)
 }
 
 /// Scratch directory for one audit pass's snapshot files.

@@ -436,6 +436,29 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Append every id in `seqs` to the resolved sidecar with one file open
+    /// and no per-id re-read of the DLQ spool — the bulk form the audit's
+    /// reconciliation uses after computing the superseded set itself from a
+    /// single [`Pipeline::dlq_entries`] pass. Duplicate and already-resolved
+    /// ids are harmless (set semantics absorb them on read).
+    pub(crate) fn mark_resolved_batch(&self, seqs: &[u64]) -> EngineResult<()> {
+        if seqs.is_empty() {
+            return Ok(());
+        }
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.resolved_path)?;
+        let mut body = String::with_capacity(seqs.len() * 8);
+        for seq in seqs {
+            body.push_str(&seq.to_string());
+            body.push('\n');
+        }
+        f.write_all(body.as_bytes())?;
+        Ok(())
+    }
+
     /// The dead-letter queue's *open* entries: everything quarantined and
     /// not yet resolved or requeued — the operator's (and the auditor's)
     /// reprocessing worklist, oldest first.
@@ -519,7 +542,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join(format!("{label}.q"));
         let _ = std::fs::remove_file(&p);
-        let _ = std::fs::remove_file(p.with_extension("ack"));
+        let _ = std::fs::remove_file(PersistentQueue::ack_file(&p));
         p
     }
 

@@ -48,7 +48,7 @@ fn qpath(label: &str) -> std::path::PathBuf {
     std::fs::create_dir_all(&dir).unwrap();
     let p = dir.join(format!("{label}.q"));
     for ext in [
-        "ack",
+        "q.ack",
         "dlq",
         "dlq.ack",
         "dlq.resolved",
@@ -267,6 +267,85 @@ fn audit_of_consistent_table_is_a_cheap_noop() {
         "digest unexpectedly large: {} bytes",
         report.digest_bytes
     );
+}
+
+#[test]
+fn main_queue_ack_watermark_survives_an_audit_and_restart() {
+    // Regression: the audit side channel (`<q>.audit`) must keep its own
+    // ack file. When it shared `<q>.ack` with the main queue, acking the
+    // digest frame clobbered the main watermark, and a restarted consumer
+    // redelivered the entire queue history.
+    let source = open_temp("audit-ack-src").unwrap();
+    let mut s = source.session();
+    s.execute(&format!(
+        "CREATE TABLE {TABLE} (id INT PRIMARY KEY, v INT, note VARCHAR)"
+    ))
+    .unwrap();
+    let wh_db = open_temp("audit-ack-wh").unwrap();
+    let mut wh = Warehouse::new(wh_db);
+    wh.add_mirror(MirrorConfig::full(TABLE, schema())).unwrap();
+    let qp = qpath("ackwm");
+    let pipe = Pipeline::open(&qp).unwrap();
+    seed_rows(&mut s, &pipe, 0, 500);
+    drain(&pipe, &wh);
+    let acked_before = pipe.queue().acked();
+    assert!(acked_before > 0);
+
+    let report = audit_and_repair(&source, &pipe, &wh, &[TABLE], &AuditConfig::default()).unwrap();
+    assert!(report.converged());
+    assert_eq!(
+        pipe.queue().acked(),
+        acked_before,
+        "audit left the main watermark alone"
+    );
+
+    // A consumer restart must see the durable watermark intact and have
+    // nothing to redeliver.
+    drop(pipe);
+    let reopened = Pipeline::open(&qp).unwrap();
+    assert_eq!(
+        reopened.queue().acked(),
+        acked_before,
+        "durable ack watermark survived the audit"
+    );
+    assert_eq!(reopened.queue().pending(), 0, "no redelivery after restart");
+    let sync = reopened.sync(&wh).unwrap();
+    assert_eq!(sync.batches, 0, "nothing to re-apply");
+}
+
+#[test]
+fn stale_leftover_audit_frame_is_discarded() {
+    // A prior audit that crashed between enqueue and ack leaves its digest
+    // unacked on the audit channel; the next exchange must not compare the
+    // warehouse against that stale frame.
+    let source = open_temp("audit-stale-src").unwrap();
+    let mut s = source.session();
+    s.execute(&format!(
+        "CREATE TABLE {TABLE} (id INT PRIMARY KEY, v INT, note VARCHAR)"
+    ))
+    .unwrap();
+    let wh_db = open_temp("audit-stale-wh").unwrap();
+    let mut wh = Warehouse::new(wh_db);
+    wh.add_mirror(MirrorConfig::full(TABLE, schema())).unwrap();
+    let pipe = Pipeline::open(qpath("stale")).unwrap();
+    seed_rows(&mut s, &pipe, 0, 200);
+    drain(&pipe, &wh);
+
+    // Simulate the crashed audit: a digest for a different table (and one
+    // undecodable frame) sit enqueued but never acked.
+    let leftover = delta_core::digest::DigestBuilder::new(
+        "other_table",
+        0,
+        delta_core::digest::DigestParams::with_span(1),
+    )
+    .finish();
+    let audit_q = pipe.audit_queue().unwrap();
+    audit_q.enqueue(&leftover.encode()).unwrap();
+    audit_q.enqueue(b"torn garbage from a crashed audit").unwrap();
+
+    let report = audit_and_repair(&source, &pipe, &wh, &[TABLE], &AuditConfig::default()).unwrap();
+    assert!(!report.diverged(), "fresh digest exchanged, not the stale one");
+    assert!(report.converged());
 }
 
 #[test]

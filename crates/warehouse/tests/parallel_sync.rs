@@ -81,7 +81,7 @@ fn qpath(label: &str) -> std::path::PathBuf {
     std::fs::create_dir_all(&dir).unwrap();
     let p = dir.join(format!("{label}.q"));
     let _ = std::fs::remove_file(&p);
-    let _ = std::fs::remove_file(p.with_extension("ack"));
+    let _ = std::fs::remove_file(delta_transport::PersistentQueue::ack_file(&p));
     let _ = std::fs::remove_file(p.with_extension("dlq"));
     let _ = std::fs::remove_file(p.with_extension("dlq.ack"));
     p
