@@ -11,13 +11,32 @@
 //! sidecar live next to it (`<queue>.dlq`, `<queue>.dlq.resolved`). The
 //! anti-entropy auditor resolves superseded entries automatically; this
 //! tool is the operator's manual path for everything else.
+//!
+//! Exit codes (scriptable):
+//!
+//! | code | meaning                                              |
+//! |------|------------------------------------------------------|
+//! | 0    | success                                              |
+//! | 2    | usage or I/O error                                   |
+//! | 3    | no queue: the spool file does not exist              |
+//! | 4    | no DLQ entries (nothing parked / nothing unresolved) |
+//! | 5    | bad sequence id (not a number, or not in the DLQ)    |
 
 use delta_core::model::DeltaBatch;
 use delta_warehouse::{Pipeline, QuarantinedDelta};
 
-fn die(msg: &str) -> ! {
+const EXIT_USAGE: i32 = 2;
+const EXIT_NO_QUEUE: i32 = 3;
+const EXIT_NO_ENTRIES: i32 = 4;
+const EXIT_BAD_SEQ: i32 = 5;
+
+fn bail(code: i32, msg: &str) -> ! {
     eprintln!("dlq: {msg}");
-    std::process::exit(2);
+    std::process::exit(code);
+}
+
+fn die(msg: &str) -> ! {
+    bail(EXIT_USAGE, msg);
 }
 
 /// One line per entry: sequence, decoded summary, recorded apply error.
@@ -45,11 +64,24 @@ fn main() {
         [q, rest @ ..] if !rest.is_empty() => (q.clone(), rest.to_vec()),
         _ => die("usage: dlq <queue-path> [list | all | resolve <seq> | requeue <seq>]"),
     };
+    if !std::path::Path::new(&queue_path).exists() {
+        bail(
+            EXIT_NO_QUEUE,
+            &format!("no queue at {queue_path} (spool file does not exist)"),
+        );
+    }
     let pipe = Pipeline::open(&queue_path)
         .unwrap_or_else(|e| die(&format!("opening queue {queue_path}: {e}")));
     let parse_seq = |s: Option<&String>| -> u64 {
-        s.and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| die("expected a sequence number"))
+        s.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            bail(
+                EXIT_BAD_SEQ,
+                &format!(
+                    "bad sequence id {:?} (expected a number)",
+                    s.map(String::as_str).unwrap_or("<missing>")
+                ),
+            )
+        })
     };
     match cmd[0].as_str() {
         "list" | "all" => {
@@ -60,8 +92,14 @@ fn main() {
             }
             .unwrap_or_else(|e| die(&format!("reading DLQ: {e}")));
             if entries.is_empty() {
-                println!("dlq: empty");
-                return;
+                bail(
+                    EXIT_NO_ENTRIES,
+                    if cmd[0] == "all" {
+                        "no DLQ entries (nothing was ever parked)"
+                    } else {
+                        "no unresolved DLQ entries"
+                    },
+                );
             }
             for entry in &entries {
                 describe(entry);
@@ -72,7 +110,10 @@ fn main() {
             let seq = parse_seq(cmd.get(1));
             match pipe.resolve_dlq(seq) {
                 Ok(true) => println!("seq {seq} resolved"),
-                Ok(false) => println!("seq {seq} was already resolved or unknown"),
+                Ok(false) => bail(
+                    EXIT_BAD_SEQ,
+                    &format!("seq {seq} is not an unresolved DLQ entry"),
+                ),
                 Err(e) => die(&format!("resolving {seq}: {e}")),
             }
         }
@@ -80,7 +121,10 @@ fn main() {
             let seq = parse_seq(cmd.get(1));
             match pipe.requeue_dlq(seq) {
                 Ok(Some(new_seq)) => println!("seq {seq} requeued as seq {new_seq}"),
-                Ok(None) => println!("seq {seq} not found among unresolved entries"),
+                Ok(None) => bail(
+                    EXIT_BAD_SEQ,
+                    &format!("seq {seq} not found among unresolved entries"),
+                ),
                 Err(e) => die(&format!("requeueing {seq}: {e}")),
             }
         }

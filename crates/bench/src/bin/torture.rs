@@ -6,6 +6,7 @@
 //! torture --txns 16                # heavier per-cycle workload
 //! torture --sync-workers 4         # parallel staged apply scheduler
 //! torture --audit                  # inject silent divergence, audit + repair
+//! torture --pressure               # shrinking disk budgets + injected stalls
 //! ```
 //!
 //! Exits nonzero on any convergence or exactly-once violation, printing the
@@ -39,9 +40,11 @@ fn main() {
                 }
             }
             "--audit" => cfg.audit = true,
+            "--pressure" => cfg.pressure = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: torture [--seed N] [--cycles N] [--txns N] [--sync-workers N] [--audit]"
+                    "usage: torture [--seed N] [--cycles N] [--txns N] [--sync-workers N] \
+                     [--audit] [--pressure]"
                 );
                 return;
             }
@@ -51,12 +54,13 @@ fn main() {
     }
 
     println!(
-        "torture: seed {} | {} cycles x {} txns | {} sync worker(s){}",
+        "torture: seed {} | {} cycles x {} txns | {} sync worker(s){}{}",
         cfg.seed,
         cfg.cycles,
         cfg.txns,
         cfg.sync_workers,
-        if cfg.audit { " | audit mode" } else { "" }
+        if cfg.audit { " | audit mode" } else { "" },
+        if cfg.pressure { " | pressure mode" } else { "" },
     );
     match torture::run(&cfg) {
         Ok(stats) => println!("torture: CONVERGED — {}", stats.summary()),

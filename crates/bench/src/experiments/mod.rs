@@ -8,6 +8,7 @@ pub mod expc;
 pub mod expg;
 pub mod expp;
 pub mod expr;
+pub mod expr_pressure;
 pub mod expv;
 pub mod expv_codec;
 pub mod expw;
@@ -40,6 +41,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "expa_audit_repair",
         "expb_scan_scaling",
         "expp_parallel_sync",
+        "expr_pressure",
         "ablation_wal",
         "ablation_ts_index",
         "ablation_snapshot",
@@ -66,6 +68,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<TableReport> {
         "expa_audit_repair" => expa::run(scale),
         "expb_scan_scaling" => expb::run(scale),
         "expp_parallel_sync" => expp::run(scale),
+        "expr_pressure" => expr_pressure::run(scale),
         "ablation_wal" => ablations::wal_sync(scale),
         "ablation_ts_index" => ablations::ts_index(scale),
         "ablation_snapshot" => ablations::snapshot_algorithms(scale),

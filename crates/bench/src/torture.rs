@@ -26,15 +26,17 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use std::time::Duration;
+
 use delta_core::logextract::ResilientLogExtractor;
 use delta_core::model::{DeltaBatch, DeltaOp, ValueDelta, ValueDeltaRecord};
 use delta_engine::db::{Database, DbOptions, SyncMode};
 use delta_engine::EngineResult;
 use delta_storage::fault::{splitmix64, FaultInjector, FaultPlan};
-use delta_storage::{Row, Value};
+use delta_storage::{DiskBudget, Row, Value};
 use delta_transport::NetFaultPlan;
 use delta_warehouse::{
-    audit_and_repair, AuditConfig, MirrorConfig, Pipeline, RetryPolicy, Warehouse,
+    audit_and_repair, AuditConfig, MirrorConfig, Pipeline, RetryPolicy, StallPlan, Warehouse,
 };
 
 use crate::workload::{delete_txn_sql, insert_txn_sql, op_schema, update_txn_sql};
@@ -56,6 +58,15 @@ pub struct TortureConfig {
     /// ack-then-drop) and asserts one [`audit_and_repair`] pass converges
     /// the mirror byte-equal before the cycle's convergence check runs.
     pub audit: bool,
+    /// Resource-exhaustion mode: the shipping queue runs under a seeded,
+    /// cycle-by-cycle *shrinking* disk budget (shipping goes through the
+    /// [`Pipeline::ship`] degradation ladder: compact → coalesce → defer),
+    /// the source database runs under its own disk budget (transactions
+    /// fail with typed `DiskFull` errors and recover at reopen), and the
+    /// apply stage runs with injected stalls under the watchdog's
+    /// per-stage deadline. Convergence is still byte-equality once each
+    /// cycle's pressure lifts — zero loss, zero duplicates.
+    pub pressure: bool,
 }
 
 impl Default for TortureConfig {
@@ -66,6 +77,7 @@ impl Default for TortureConfig {
             txns: 8,
             sync_workers: 1,
             audit: false,
+            pressure: false,
         }
     }
 }
@@ -111,6 +123,18 @@ pub struct TortureStats {
     /// ack-then-drop faults; each permanently skews the applied watermark
     /// below the ack frontier until repaired).
     pub acks_dropped: u64,
+    /// Enqueues denied by the queue's disk budget (`--pressure` mode).
+    pub backpressure: u64,
+    /// Ship rounds that degraded to the coalesced snapshot-diff form.
+    pub ship_degradations: u64,
+    /// Spool compactions attempted (ship ladder + post-drain reclaim).
+    pub ship_compactions: u64,
+    /// Ship rounds deferred entirely (nothing fit the budget).
+    pub ship_deferrals: u64,
+    /// Times a cycle's budget had to be lifted for the stream to resume.
+    pub pressure_lifts: u64,
+    /// Apply waves abandoned by the stall watchdog.
+    pub stalls: u64,
 }
 
 impl TortureStats {
@@ -142,6 +166,19 @@ impl TortureStats {
                 self.repair_records,
                 self.dlq_reconciled,
                 self.acks_dropped,
+            )
+        } else {
+            String::new()
+        } + &if self.backpressure + self.ship_deferrals + self.stalls + self.ship_compactions > 0 {
+            format!(
+                " | backpressure {} | ship degradations {} | compactions {} | deferrals {} | \
+                 pressure lifts {} | stalls {}",
+                self.backpressure,
+                self.ship_degradations,
+                self.ship_compactions,
+                self.ship_deferrals,
+                self.pressure_lifts,
+                self.stalls,
             )
         } else {
             String::new()
@@ -225,6 +262,9 @@ struct Driver {
     /// Next fresh primary key. Monotone even across failed inserts so a
     /// transaction that *secretly* committed before a crash never collides.
     next_id: i64,
+    /// The shipping queue's disk budget (`--pressure` mode): shrunk at the
+    /// start of every cycle, lifted when even the coalesced form defers.
+    queue_budget: Option<Arc<DiskBudget>>,
 }
 
 impl Driver {
@@ -264,7 +304,17 @@ impl Driver {
         let budget = 1 + (fault_seed % 4) as usize;
         let plan = FaultPlan::random(fault_seed, budget, 300);
         let inj = Arc::new(FaultInjector::new(plan));
-        let db = match Database::open(source_opts(&self.src_dir, Some(inj.clone()))) {
+        let mut opts = source_opts(&self.src_dir, Some(inj.clone()));
+        if self.cfg.pressure {
+            // Sustained exhaustion on top of the point faults: the source's
+            // durable writes this cycle share a finite byte pool. Hitting
+            // it fails transactions with typed DiskFull errors; the clean
+            // (unbudgeted) reopen below recovers whatever committed.
+            let mut s = fault_seed ^ 0x5EED_D15C;
+            let bytes = 96 * 1024 + splitmix64(&mut s) % (128 * 1024);
+            opts = opts.disk_budget(Arc::new(DiskBudget::bytes(bytes)));
+        }
+        let db = match Database::open(opts) {
             Ok(db) => db,
             Err(_) => {
                 // Open itself hit a fault (possibly a crash point while
@@ -393,6 +443,122 @@ impl Driver {
         Ok(())
     }
 
+    /// Drain the pipeline until the queue is empty, folding sync reports
+    /// into the stats (including watchdog stalls, which end a sync early
+    /// without error and redeliver on the next one).
+    fn drain(&mut self, pipe: &Pipeline, wh: &Warehouse, cycle: u64) -> Result<(), String> {
+        let mut syncs = 0;
+        loop {
+            let report = pipe
+                .sync(wh)
+                .map_err(|e| self.fail(cycle, format!("sync: {e}")))?;
+            self.stats.syncs += 1;
+            self.stats.applied_batches += report.batches;
+            self.stats.deduped += report.deduped;
+            self.stats.retries += report.retries;
+            self.stats.stalls += report.stalls;
+            if report.quarantined > 0 {
+                return Err(self.fail(
+                    cycle,
+                    format!(
+                        "{} healthy batch(es) quarantined: {:?}",
+                        report.quarantined,
+                        pipe.quarantined()
+                    ),
+                ));
+            }
+            if pipe.queue().pending() == 0 {
+                break;
+            }
+            syncs += 1;
+            if syncs > MAX_DRAIN_SYNCS {
+                return Err(self.fail(
+                    cycle,
+                    format!(
+                        "queue failed to drain after {MAX_DRAIN_SYNCS} syncs ({} pending)",
+                        pipe.queue().pending()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// One `--pressure` shipping round: shrink the cycle's queue budget,
+    /// then ship through the degradation ladder until the round lands —
+    /// compacting the drained spool between attempts, and lifting the
+    /// budget entirely when even the coalesced form cannot fit in it
+    /// (that is the "pressure lifts" moment the convergence check relies
+    /// on; the stream must resume with zero loss).
+    fn pressured_ship(
+        &mut self,
+        db: &Arc<Database>,
+        wh: &Warehouse,
+        pipe: &Pipeline,
+        extractor: &mut ResilientLogExtractor,
+        cycle: u64,
+        chaos: u64,
+    ) -> Result<(), String> {
+        let budget = Arc::clone(self.queue_budget.as_ref().expect("pressure mode arms a budget"));
+        let shrink = (cycle / 2).min(8) as u32;
+        let mut brng = chaos ^ 0xB0D6_E7B0;
+        let bytes = ((16 * 1024u64) >> shrink).max(64) + splitmix64(&mut brng) % 256;
+        budget.set_global(Some(bytes));
+        let mut lifted = false;
+        loop {
+            let round = pipe
+                .ship(db, extractor)
+                .map_err(|e| self.fail(cycle, format!("ship: {e}")))?;
+            if std::env::var_os("TORTURE_DEBUG").is_some() {
+                eprintln!(
+                    "cycle {cycle}: budget {bytes} (rem {:?}) | ship pub {} bp {} deg {} cmp {} \
+                     def {} | wm {} next_lsn {} | q pending {} acked {}",
+                    budget.remaining(std::path::Path::new("")),
+                    round.published,
+                    round.backpressure,
+                    round.degradations,
+                    round.compactions,
+                    round.deferred,
+                    extractor.watermark(),
+                    db.wal().next_lsn(),
+                    pipe.queue().pending(),
+                    pipe.queue().acked(),
+                );
+            }
+            self.stats.published += round.published;
+            self.stats.backpressure += round.backpressure;
+            self.stats.ship_degradations += round.degradations;
+            self.stats.ship_compactions += round.compactions;
+            self.stats.ship_deferrals += round.deferred;
+            self.drain(pipe, wh, cycle)?;
+            if round.deferred == 0 {
+                // Release the budget for the rest of the cycle (audit
+                // repair, divergence injection); the next cycle re-arms it.
+                budget.set_global(None);
+                return Ok(());
+            }
+            if lifted {
+                return Err(self.fail(cycle, "round still deferred after pressure lifted"));
+            }
+            // The drain acked everything shipped so far; compacting the
+            // spool prefix credits those bytes back to the budget. If that
+            // reclaims nothing, the budget is simply smaller than this
+            // round: pressure lifts.
+            let reclaimed = pipe
+                .queue()
+                .compact()
+                .map_err(|e| self.fail(cycle, format!("compact: {e}")))?
+                .bytes_reclaimed;
+            if reclaimed > 0 {
+                self.stats.ship_compactions += 1;
+            } else {
+                budget.set_global(None);
+                self.stats.pressure_lifts += 1;
+                lifted = true;
+            }
+        }
+    }
+
     fn run(&mut self) -> Result<TortureStats, String> {
         let mut rng = self.cfg.seed;
 
@@ -452,74 +618,60 @@ impl Driver {
 
             // 4: extract (degrading to snapshot diff if the archive is
             // damaged) and ship through a lossy link with bounded retry.
-            let wm_before = extractor.watermark();
-            let extract = extractor
-                .extract(&db)
-                .map_err(|e| self.fail(cycle, format!("extract: {e}")))?;
-            if std::env::var_os("TORTURE_DEBUG").is_some() {
-                eprintln!(
-                    "cycle {cycle}: chaos%3={} %5={} %4={} | wm {wm_before} -> {} (next_lsn {}) | \
-                     {} delta(s) with {:?} records | degraded {:?}",
-                    chaos % 3,
-                    chaos % 5,
-                    chaos % 4,
-                    extractor.watermark(),
-                    db.wal().next_lsn(),
-                    extract.deltas.len(),
-                    extract
-                        .deltas
-                        .iter()
-                        .map(|d| d.records.len())
-                        .collect::<Vec<_>>(),
-                    extract.degraded,
-                );
-            }
-            if !extract.degraded.is_empty() {
-                self.stats.degraded_extracts += 1;
-            }
-            let pipe = Pipeline::open(&self.queue_path)
+            let mut pipe = Pipeline::open(&self.queue_path)
                 .and_then(|p| p.with_retry(RetryPolicy::quick(4)))
                 .map_err(|e| self.fail(cycle, format!("pipeline open: {e}")))?
                 .with_batch_size(3)
                 .with_net_faults(NetFaultPlan::lossy(net_seed))
-                .with_sync_workers(self.cfg.sync_workers);
-            for vd in extract.deltas {
-                pipe.publish(&DeltaBatch::Value(vd))
-                    .map_err(|e| self.fail(cycle, format!("publish: {e}")))?;
-                self.stats.published += 1;
-            }
-            let mut syncs = 0;
-            loop {
-                let report = pipe
-                    .sync(&wh)
-                    .map_err(|e| self.fail(cycle, format!("sync: {e}")))?;
-                self.stats.syncs += 1;
-                self.stats.applied_batches += report.batches;
-                self.stats.deduped += report.deduped;
-                self.stats.retries += report.retries;
-                if report.quarantined > 0 {
-                    return Err(self.fail(
-                        cycle,
-                        format!(
-                            "{} healthy batch(es) quarantined: {:?}",
-                            report.quarantined,
-                            pipe.quarantined()
-                        ),
-                    ));
+                .with_sync_workers(if self.cfg.pressure {
+                    self.cfg.sync_workers.max(2)
+                } else {
+                    self.cfg.sync_workers
+                });
+            if self.cfg.pressure {
+                // Pressure mode: a shrinking spool budget forces the ship
+                // ladder (compact → coalesce → defer), a stage deadline arms
+                // the stall watchdog, and seeded stalls give it work.
+                let mut srng = chaos ^ 0x57A1_157A_57A1_157A;
+                pipe = pipe
+                    .with_queue_budget(Arc::clone(
+                        self.queue_budget.as_ref().expect("pressure mode arms a budget"),
+                    ))
+                    .with_stage_deadline(Duration::from_millis(25))
+                    .with_injected_stalls(StallPlan::new(splitmix64(&mut srng), 20, 60));
+                self.pressured_ship(&db, &wh, &pipe, &mut extractor, cycle, chaos)?;
+            } else {
+                let wm_before = extractor.watermark();
+                let extract = extractor
+                    .extract(&db)
+                    .map_err(|e| self.fail(cycle, format!("extract: {e}")))?;
+                if std::env::var_os("TORTURE_DEBUG").is_some() {
+                    eprintln!(
+                        "cycle {cycle}: chaos%3={} %5={} %4={} | wm {wm_before} -> {} (next_lsn {}) | \
+                         {} delta(s) with {:?} records | degraded {:?}",
+                        chaos % 3,
+                        chaos % 5,
+                        chaos % 4,
+                        extractor.watermark(),
+                        db.wal().next_lsn(),
+                        extract.deltas.len(),
+                        extract
+                            .deltas
+                            .iter()
+                            .map(|d| d.records.len())
+                            .collect::<Vec<_>>(),
+                        extract.degraded,
+                    );
                 }
-                if pipe.queue().pending() == 0 {
-                    break;
+                if !extract.degraded.is_empty() {
+                    self.stats.degraded_extracts += 1;
                 }
-                syncs += 1;
-                if syncs > MAX_DRAIN_SYNCS {
-                    return Err(self.fail(
-                        cycle,
-                        format!(
-                            "queue failed to drain after {MAX_DRAIN_SYNCS} syncs ({} pending)",
-                            pipe.queue().pending()
-                        ),
-                    ));
+                for vd in extract.deltas {
+                    pipe.publish(&DeltaBatch::Value(vd))
+                        .map_err(|e| self.fail(cycle, format!("publish: {e}")))?;
+                    self.stats.published += 1;
                 }
+                self.drain(&pipe, &wh, cycle)?;
             }
 
             // 4b (`--audit` mode): inject a seeded silent divergence, then
@@ -620,6 +772,7 @@ pub fn run(cfg: &TortureConfig) -> Result<TortureStats, String> {
         root,
         stats: TortureStats::default(),
         next_id: 0,
+        queue_budget: cfg.pressure.then(|| Arc::new(DiskBudget::unlimited())),
     };
     let result = driver.run();
     if result.is_ok() {

@@ -12,6 +12,7 @@ fn twenty_seeded_cycles_converge() {
         txns: 8,
         sync_workers: 1,
         audit: false,
+        pressure: false,
     };
     let stats = run(&cfg).expect("every cycle must converge");
     assert_eq!(stats.cycles, 20);
@@ -33,6 +34,7 @@ fn alternate_seed_also_converges_and_is_deterministic() {
         txns: 6,
         sync_workers: 1,
         audit: false,
+        pressure: false,
     };
     let a = run(&cfg).expect("seed 99 must converge");
     let b = run(&cfg).expect("seed 99 must converge again");
@@ -53,12 +55,45 @@ fn parallel_scheduler_converges_on_the_ci_seed_matrix() {
             txns: 8,
             sync_workers: 4,
             audit: false,
+            pressure: false,
         };
         let stats =
             run(&cfg).unwrap_or_else(|e| panic!("seed {seed} with 4 workers must converge: {e}"));
         assert_eq!(stats.cycles, 6, "seed {seed}");
         assert!(stats.published > 0, "seed {seed}: no delta ever shipped");
     }
+}
+
+#[test]
+fn pressure_mode_converges_under_shrinking_budgets_and_stalls() {
+    // Resource-exhaustion smoke: shrinking spool budgets force the ship
+    // degradation ladder (compact → coalesce → defer) and seeded stalls
+    // exercise the watchdog; every cycle must still end byte-equal.
+    let cfg = TortureConfig {
+        seed: 424242,
+        cycles: 20,
+        txns: 8,
+        sync_workers: 2,
+        audit: false,
+        pressure: true,
+    };
+    let stats = run(&cfg).expect("every pressured cycle must converge");
+    assert_eq!(stats.cycles, 20);
+    assert!(
+        stats.backpressure > 0,
+        "the budget never bit: {}",
+        stats.summary()
+    );
+    assert!(
+        stats.ship_compactions > 0,
+        "backpressure never triggered spool compaction: {}",
+        stats.summary()
+    );
+    assert!(
+        stats.ship_deferrals > 0 && stats.pressure_lifts > 0,
+        "no round was ever deferred past a pressure lift: {}",
+        stats.summary()
+    );
 }
 
 #[test]
@@ -73,6 +108,7 @@ fn audit_mode_detects_and_repairs_seeded_divergence() {
         txns: 8,
         sync_workers: 1,
         audit: true,
+        pressure: false,
     };
     let stats = run(&cfg).expect("every audited cycle must converge");
     assert_eq!(stats.cycles, 8);

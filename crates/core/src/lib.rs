@@ -62,7 +62,7 @@ pub use digest::{
 pub use extractor::{
     DeltaSource, LogSource, Method, SnapshotSource, TimestampSource, TriggerSource,
 };
-pub use logextract::{LogExtractor, ResilientExtract, ResilientLogExtractor};
+pub use logextract::{LogExtractor, ResilientExtract, ResilientLogExtractor, StagedExtract};
 pub use model::{DeltaBatch, DeltaOp, OpDelta, OpLogRecord, ValueDelta, ValueDeltaRecord};
 pub use opdelta::{OpDeltaCapture, OpLogSink};
 pub use selfmaint::{MaintRequirement, SelfMaintAnalyzer, WarehouseProfile};

@@ -52,6 +52,17 @@ impl LogExtractor {
     /// and advance the watermark. Requires archive mode (otherwise recycled
     /// segments would silently hole the stream).
     pub fn extract(&mut self, db: &Database) -> EngineResult<Vec<ValueDelta>> {
+        let (deltas, new_watermark) = self.peek(db)?;
+        self.watermark = new_watermark;
+        Ok(deltas)
+    }
+
+    /// The read-only half of [`LogExtractor::extract`]: compute the
+    /// committed changes past the watermark and the watermark they advance
+    /// it to, without mutating the extractor. Callers that must publish the
+    /// deltas before the advance is safe (staged extraction) peek first and
+    /// assign the watermark only after the publish succeeds.
+    pub fn peek(&self, db: &Database) -> EngineResult<(Vec<ValueDelta>, Lsn)> {
         if !db.wal().archive_mode() {
             return Err(EngineError::Invalid(
                 "log-based extraction requires archive mode (redo segments must not be recycled)"
@@ -115,10 +126,9 @@ impl LogExtractor {
                 _ => {}
             }
         }
-        self.watermark = max_lsn;
         let mut out: Vec<ValueDelta> = per_table.into_values().filter(|v| !v.is_empty()).collect();
         out.sort_by(|a, b| a.table.cmp(&b.table));
-        Ok(out)
+        Ok((out, max_lsn))
     }
 
     /// Paths of archived segments ready to ship (the file-level transport of
@@ -142,6 +152,26 @@ pub struct ResilientExtract {
     pub quarantined_segments: Vec<PathBuf>,
 }
 
+/// One extraction round staged but not yet committed: the deltas are ready
+/// to publish, the refreshed baselines sit in sibling `*.baseline.staged`
+/// files, and the watermark advance is recorded but not applied. Publish the
+/// deltas, then [`ResilientLogExtractor::commit`] (rename baselines into
+/// place, advance the watermark) or [`ResilientLogExtractor::abort`] (delete
+/// the staged files, leave the extractor untouched so the next round
+/// re-extracts the same changes). This is what lets a publish that hits a
+/// disk-full transport budget retry later with zero loss.
+#[derive(Debug)]
+pub struct StagedExtract {
+    /// The round's outcome: deltas to publish plus degradation bookkeeping.
+    pub outcome: ResilientExtract,
+    /// True when the deltas came from snapshot differencing (coalesced: one
+    /// net record per changed row, no transaction context).
+    pub coalesced: bool,
+    new_watermark: Lsn,
+    /// `(staged, final)` baseline pairs renamed into place at commit.
+    staged: Vec<(PathBuf, PathBuf)>,
+}
+
 /// A [`LogExtractor`] that *degrades instead of wedging*: when the redo log
 /// turns out to be unreadable (a corrupt archived segment), extraction falls
 /// back to per-table snapshot differencing against baselines captured at the
@@ -161,6 +191,12 @@ pub struct ResilientLogExtractor {
     tables: Vec<String>,
     baseline_dir: PathBuf,
     primed: bool,
+    /// Set when corrupt segments were quarantined before a diff round
+    /// committed. Quarantine removes the bytes from the log view, so until
+    /// a snapshot diff lands, a fresh `peek` would see a clean-looking log
+    /// with a silent gap — this flag forces every staged round to the diff
+    /// path until one commits.
+    diff_owed: bool,
 }
 
 impl ResilientLogExtractor {
@@ -176,6 +212,7 @@ impl ResilientLogExtractor {
             tables: tables.iter().map(|s| s.to_string()).collect(),
             baseline_dir,
             primed: false,
+            diff_owed: false,
         })
     }
 
@@ -201,41 +238,114 @@ impl ResilientLogExtractor {
     }
 
     /// Extract committed changes past the watermark — from the log when it
-    /// is readable, from snapshot diffs when it is not.
+    /// is readable, from snapshot diffs when it is not — committing the
+    /// round immediately. Equivalent to `stage` followed by `commit`; use
+    /// the staged pair directly when a publish step sits between them.
     pub fn extract(&mut self, db: &Database) -> EngineResult<ResilientExtract> {
-        match self.inner.extract(db) {
-            Ok(deltas) => {
-                self.refresh_baselines(db)?;
-                Ok(ResilientExtract {
-                    deltas,
-                    ..Default::default()
+        let staged = self.stage(db)?;
+        self.commit(staged)
+    }
+
+    /// Stage one extraction round without mutating durable extractor state:
+    /// compute the deltas (from the log, or via snapshot diff when the log
+    /// is unreadable), refresh baselines into `*.baseline.staged` siblings,
+    /// and record — but do not apply — the watermark advance.
+    pub fn stage(&mut self, db: &Database) -> EngineResult<StagedExtract> {
+        if self.diff_owed {
+            // A previous round quarantined segments and then aborted; the
+            // log now has a silent gap, so the op path would under-extract.
+            return self.stage_diff(db, ResilientExtract::default());
+        }
+        match self.inner.peek(db) {
+            Ok((deltas, new_watermark)) => {
+                let staged = self.stage_baselines(db)?;
+                Ok(StagedExtract {
+                    outcome: ResilientExtract {
+                        deltas,
+                        ..Default::default()
+                    },
+                    coalesced: false,
+                    new_watermark,
+                    staged,
                 })
             }
-            Err(EngineError::Storage(delta_storage::StorageError::Corrupt(_))) => self.degrade(db),
+            Err(EngineError::Storage(delta_storage::StorageError::Corrupt(_))) => {
+                let mut out = ResilientExtract::default();
+                self.quarantine_corrupt_segments(db, &mut out)?;
+                self.diff_owed = true;
+                self.stage_diff(db, out)
+            }
             Err(e) => Err(e),
         }
     }
 
-    fn refresh_baselines(&self, db: &Database) -> EngineResult<()> {
-        for t in &self.tables {
-            crate::snapshot::take_snapshot(db, t, self.baseline_path(t))?;
-        }
-        Ok(())
+    /// Stage a *coalesced* round: skip the log entirely and diff every
+    /// tracked table against its baseline, yielding at most one net record
+    /// per changed row. This is the graceful-degradation path for transport
+    /// backpressure — when the op-delta stream cannot fit in the queue's
+    /// disk budget, the coalesced form is strictly smaller (per §3.1.2,
+    /// snapshot diffs observe only final states) and covers the same
+    /// changes, at the cost of transaction context.
+    pub fn stage_coalesced(&mut self, db: &Database) -> EngineResult<StagedExtract> {
+        self.stage_diff(db, ResilientExtract::default())
     }
 
-    /// The fallback: quarantine unreadable archived segments, diff every
-    /// tracked table against its baseline, and fast-forward the watermark
-    /// past the damage.
-    fn degrade(&mut self, db: &Database) -> EngineResult<ResilientExtract> {
-        if !self.primed {
-            return Err(EngineError::Invalid(
-                "resilient extraction hit a corrupt log before prime() captured baselines".into(),
-            ));
+    /// Apply a staged round: rename the staged baselines into place and
+    /// advance the watermark. Call only after the round's deltas have been
+    /// durably published.
+    pub fn commit(&mut self, staged: StagedExtract) -> EngineResult<ResilientExtract> {
+        for (from, to) in &staged.staged {
+            std::fs::rename(from, to)?;
         }
-        let mut out = ResilientExtract::default();
-        // Move unreadable archived segments aside so later rounds don't trip
-        // over the same bytes. (A corrupt *resident* segment belongs to the
-        // engine's recovery path and is left alone; we degrade around it.)
+        self.inner.watermark = staged.new_watermark;
+        if staged.coalesced {
+            // A committed diff covers everything up to its watermark,
+            // including any gap left by quarantined segments.
+            self.diff_owed = false;
+        }
+        Ok(staged.outcome)
+    }
+
+    /// Discard a staged round: delete the staged baseline files and leave
+    /// the watermark and committed baselines untouched, so the next round
+    /// re-extracts the same changes.
+    pub fn abort(&self, staged: StagedExtract) {
+        for (from, _) in &staged.staged {
+            let _ = std::fs::remove_file(from);
+        }
+    }
+
+    fn staged_baseline_path(&self, table: &str) -> PathBuf {
+        self.baseline_dir.join(format!("{table}.baseline.staged"))
+    }
+
+    /// Snapshot every tracked table into its `.baseline.staged` sibling,
+    /// cleaning up on failure so aborted stages leave no debris.
+    fn stage_baselines(&self, db: &Database) -> EngineResult<Vec<(PathBuf, PathBuf)>> {
+        let mut staged = Vec::with_capacity(self.tables.len());
+        for t in &self.tables {
+            let s = self.staged_baseline_path(t);
+            if let Err(e) = crate::snapshot::take_snapshot(db, t, &s) {
+                for (p, _) in &staged {
+                    let _ = std::fs::remove_file(p);
+                }
+                return Err(e);
+            }
+            staged.push((s, self.baseline_path(t)));
+        }
+        Ok(staged)
+    }
+
+    /// Move unreadable archived segments aside so later rounds don't trip
+    /// over the same bytes. (A corrupt *resident* segment belongs to the
+    /// engine's recovery path and is left alone; we degrade around it.)
+    /// Quarantine is repair, not extraction state — it happens at stage
+    /// time and is not rolled back by `abort`.
+    fn quarantine_corrupt_segments(
+        &self,
+        db: &Database,
+        out: &mut ResilientExtract,
+    ) -> EngineResult<()> {
         for p in db.wal().archived_segments()? {
             if delta_engine::wal::read_segment(&p).is_err() {
                 let quarantined = p.with_extension("wal.corrupt");
@@ -243,31 +353,65 @@ impl ResilientLogExtractor {
                 out.quarantined_segments.push(quarantined);
             }
         }
+        Ok(())
+    }
+
+    /// The snapshot-diff body shared by degradation and coalescing: stage a
+    /// fresh snapshot of each table, diff it against the committed baseline,
+    /// and record a watermark advance to the log head (the diffs cover
+    /// everything up to it).
+    fn stage_diff(
+        &mut self,
+        db: &Database,
+        mut out: ResilientExtract,
+    ) -> EngineResult<StagedExtract> {
+        if !self.primed {
+            return Err(EngineError::Invalid(
+                "resilient extraction needs prime() to capture baselines before it can diff".into(),
+            ));
+        }
+        let mut staged = Vec::with_capacity(self.tables.len());
+        let fail = |staged: &[(PathBuf, PathBuf)], e: EngineError| {
+            for (p, _) in staged {
+                let _ = std::fs::remove_file(p);
+            }
+            Err(e)
+        };
         for t in &self.tables {
-            let meta = db.table(t)?;
+            let meta = match db.table(t) {
+                Ok(m) => m,
+                Err(e) => return fail(&staged, e),
+            };
             let key_cols = meta.schema.primary_key_indices();
-            let current = self.baseline_dir.join(format!("{t}.current"));
-            crate::snapshot::take_snapshot(db, t, &current)?;
-            let baseline = self.baseline_path(t);
-            let (vd, _stats) = crate::snapshot::diff_snapshots(
+            let current = self.staged_baseline_path(t);
+            if let Err(e) = crate::snapshot::take_snapshot(db, t, &current) {
+                return fail(&staged, e);
+            }
+            staged.push((current.clone(), self.baseline_path(t)));
+            let diff = crate::snapshot::diff_snapshots(
                 t,
                 &meta.schema,
                 &key_cols,
-                &baseline,
+                &self.baseline_path(t),
                 &current,
                 crate::snapshot::DiffAlgorithm::SortMerge { run_size: 1024 },
-            )
-            .map_err(EngineError::Storage)?;
-            // The current snapshot becomes the baseline for the next round.
-            std::fs::rename(&current, &baseline)?;
+            );
+            let (vd, _stats) = match diff {
+                Ok(v) => v,
+                Err(e) => return fail(&staged, EngineError::Storage(e)),
+            };
             out.degraded.push(t.clone());
             if !vd.is_empty() {
                 out.deltas.push(vd);
             }
         }
-        // Everything up to the log head is now covered by the diffs.
-        self.inner.watermark = db.wal().next_lsn().saturating_sub(1);
-        Ok(out)
+        // Everything up to the log head is covered by the diffs.
+        Ok(StagedExtract {
+            outcome: out,
+            coalesced: true,
+            new_watermark: db.wal().next_lsn().saturating_sub(1),
+            staged,
+        })
     }
 }
 
@@ -451,6 +595,129 @@ mod tests {
         assert_eq!(round.deltas.len(), 1);
         assert_eq!(round.deltas[0].len(), 1);
         assert_eq!(round.deltas[0].records[0].row.values()[0], Value::Int(101));
+    }
+
+    fn baseline_dir(label: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "delta-logx-stage-{}-{:?}-{label}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn aborted_stage_re_extracts_the_same_deltas() {
+        let db = setup("abort");
+        let mut x = ResilientLogExtractor::new(baseline_dir("abort"), &["parts"]).unwrap();
+        x.prime(&db).unwrap();
+        let mut s = db.session();
+        s.execute("INSERT INTO parts VALUES (1, 'a')").unwrap();
+
+        let staged = x.stage(&db).unwrap();
+        assert_eq!(staged.outcome.deltas.len(), 1);
+        assert!(!staged.coalesced);
+        x.abort(staged);
+        assert_eq!(x.watermark(), 0, "abort leaves the watermark untouched");
+
+        // Publish "failed"; the retry sees the exact same changes.
+        let retry = x.stage(&db).unwrap();
+        assert_eq!(retry.outcome.deltas.len(), 1);
+        assert_eq!(retry.outcome.deltas[0].len(), 1);
+        let done = x.commit(retry).unwrap();
+        assert_eq!(done.deltas.len(), 1);
+        assert!(x.watermark() > 0);
+
+        // Committed round is consumed: nothing left to extract.
+        let empty = x.stage(&db).unwrap();
+        assert!(empty.outcome.deltas.is_empty());
+        x.abort(empty);
+        // No staged debris survives an abort.
+        let leftover: Vec<_> = std::fs::read_dir(&x.baseline_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".staged"))
+            .collect();
+        assert!(leftover.is_empty());
+    }
+
+    #[test]
+    fn coalesced_stage_nets_op_deltas_into_final_states() {
+        let db = setup("coalesce");
+        let mut x = ResilientLogExtractor::new(baseline_dir("coalesce"), &["parts"]).unwrap();
+        x.prime(&db).unwrap();
+        let mut s = db.session();
+        // Three ops on one row + one op on another: the op stream has 5
+        // records (insert, before, after, insert, delete-never) — the
+        // coalesced form has 2 (one net insert per surviving row).
+        s.execute("INSERT INTO parts VALUES (1, 'a')").unwrap();
+        s.execute("UPDATE parts SET name = 'b' WHERE id = 1")
+            .unwrap();
+        s.execute("INSERT INTO parts VALUES (2, 'c')").unwrap();
+
+        let op_form = x.stage(&db).unwrap();
+        assert_eq!(op_form.outcome.deltas[0].len(), 4, "op stream: 4 records");
+        x.abort(op_form);
+
+        let coalesced = x.stage_coalesced(&db).unwrap();
+        assert!(coalesced.coalesced);
+        assert_eq!(coalesced.outcome.degraded, vec!["parts".to_string()]);
+        assert_eq!(
+            coalesced.outcome.deltas[0].len(),
+            2,
+            "coalesced stream: one net record per changed row"
+        );
+        x.commit(coalesced).unwrap();
+
+        // The commit advanced the watermark past the coalesced changes, so
+        // the log path resumes cleanly afterwards.
+        s.execute("INSERT INTO parts VALUES (3, 'd')").unwrap();
+        let next = x.extract(&db).unwrap();
+        assert!(next.degraded.is_empty());
+        assert_eq!(next.deltas[0].len(), 1);
+        assert_eq!(next.deltas[0].records[0].row.values()[0], Value::Int(3));
+    }
+
+    #[test]
+    fn aborted_round_after_quarantine_still_owes_the_diff() {
+        let db = setup("owed");
+        let mut x = ResilientLogExtractor::new(baseline_dir("owed"), &["parts"]).unwrap();
+        x.prime(&db).unwrap();
+        let mut s = db.session();
+        for i in 0..20 {
+            s.execute(&format!("INSERT INTO parts VALUES ({i}, 'v')"))
+                .unwrap();
+        }
+        db.checkpoint().unwrap();
+        let victim = &LogExtractor::shippable_segments(&db).unwrap()[0];
+        let mut bytes = std::fs::read(victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(victim, &bytes).unwrap();
+
+        // Stage: corruption is quarantined, diff staged — then the publish
+        // "fails" and the round aborts. The quarantine is not rolled back,
+        // so the log now has a silent gap.
+        let staged = x.stage(&db).unwrap();
+        assert!(staged.coalesced);
+        assert_eq!(staged.outcome.quarantined_segments.len(), 1);
+        x.abort(staged);
+
+        // The retry must NOT trust the (clean-looking, gapped) log: it owes
+        // the snapshot diff until one commits.
+        let retry = x.stage(&db).unwrap();
+        assert!(retry.coalesced, "gap forces the diff path");
+        assert_eq!(retry.outcome.deltas[0].len(), 20, "no rows lost");
+        x.commit(retry).unwrap();
+
+        // Once the diff lands, the log path resumes.
+        s.execute("INSERT INTO parts VALUES (100, 'after')")
+            .unwrap();
+        let next = x.stage(&db).unwrap();
+        assert!(!next.coalesced);
+        assert_eq!(next.outcome.deltas[0].len(), 1);
+        x.commit(next).unwrap();
     }
 
     #[test]

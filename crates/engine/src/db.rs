@@ -12,6 +12,7 @@ use parking_lot::RwLock;
 
 use delta_storage::codec::export::ProductTag;
 use delta_storage::fault::FaultInjector;
+use delta_storage::pressure::DiskBudget;
 use delta_storage::{
     BufferPool, BufferPoolStats, DeltaCodec, DiskFile, HeapFile, RecordId, Row, Schema, Value,
 };
@@ -68,6 +69,12 @@ pub struct DbOptions {
     /// Armed fault-injection plan threaded into every disk file and the WAL
     /// writer (deterministic torture testing). `None` in production.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Armed disk-space budget (byte countdown + per-path quotas) threaded
+    /// into every disk file, the WAL writer, checkpoint archive compression
+    /// and snapshot dumps. Exhaustion surfaces as a typed
+    /// `StorageError::DiskFull` that leaves on-disk state recoverable.
+    /// `None` means unlimited.
+    pub disk_budget: Option<Arc<DiskBudget>>,
     /// Replay the durable WAL onto the heaps at open, bringing them to the
     /// exact committed state after a crash. On by default; harnesses that
     /// want to inspect the raw post-crash heap can turn it off.
@@ -103,6 +110,7 @@ impl DbOptions {
             product: ProductTag::new("cotsdb", 1),
             trigger_max_depth: 8,
             faults: None,
+            disk_budget: None,
             recover_on_open: true,
             delta_codec: DeltaCodec::default(),
             codec_block_rows: delta_storage::colbatch::DEFAULT_BLOCK_ROWS,
@@ -137,6 +145,13 @@ impl DbOptions {
     /// Builder-style fault injector (deterministic torture testing).
     pub fn faults(mut self, inj: Arc<FaultInjector>) -> DbOptions {
         self.faults = Some(inj);
+        self
+    }
+
+    /// Builder-style disk budget (deterministic resource-exhaustion
+    /// testing; also usable as a hard cap in production).
+    pub fn disk_budget(mut self, budget: Arc<DiskBudget>) -> DbOptions {
+        self.disk_budget = Some(budget);
         self
     }
 
@@ -199,6 +214,7 @@ impl Database {
             opts.archive_mode,
             opts.wal_group_commit,
             opts.faults.clone(),
+            opts.disk_budget.clone(),
         )?;
         let locks = LockManager::new(opts.lock_timeout);
         let db = Arc::new(Database {
@@ -304,7 +320,11 @@ impl Database {
 
     fn attach_heap(&self, meta: &TableMeta) -> EngineResult<Arc<HeapFile>> {
         let path = self.opts.dir.join(meta.heap_file_name());
-        let file = Arc::new(DiskFile::open_with_faults(path, self.opts.faults.clone())?);
+        let file = Arc::new(DiskFile::open_with_io(
+            path,
+            self.opts.faults.clone(),
+            self.opts.disk_budget.clone(),
+        )?);
         self.pool.register_file(meta.file_id, file);
         let heap = Arc::new(HeapFile::new(self.pool.clone(), meta.file_id));
         self.heaps.write().insert(meta.name.clone(), heap.clone());

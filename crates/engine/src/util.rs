@@ -16,9 +16,9 @@
 //!   SQL*Loader run, it is unlogged; indexes are rebuilt afterwards).
 
 use std::collections::HashSet;
-use std::fs::File;
+use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use delta_storage::codec::{ascii, export};
 use delta_storage::{colbatch, DeltaCodec, Row, SlottedPage};
@@ -174,15 +174,48 @@ pub fn columnar_dump(db: &Database, table: &str, path: impl AsRef<Path>) -> Engi
     result
 }
 
+/// The sibling temp file a snapshot dump stages through before its rename.
+fn snapshot_tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
 /// Dump `table` to `path` in the snapshot format the database's
 /// `delta_codec` option selects: ASCII under `Raw`, columnar blocks under
 /// `Columnar`. Snapshot readers sniff the format, so consumers never care
 /// which one was written.
+///
+/// The dump is staged to a sibling `.tmp` file and renamed into place, so a
+/// crash or failure mid-dump never clobbers the previous snapshot, and every
+/// failure path removes its temp. Under an armed disk budget the staged
+/// bytes (net of any previous snapshot the rename replaces) must be
+/// admitted before the rename; denial surfaces as a typed `DiskFull` with
+/// the old snapshot intact.
 pub fn snapshot_dump(db: &Database, table: &str, path: impl AsRef<Path>) -> EngineResult<u64> {
-    match db.options().delta_codec {
-        DeltaCodec::Raw => ascii_dump(db, table, path),
-        DeltaCodec::Columnar => columnar_dump(db, table, path),
+    let path = path.as_ref();
+    let tmp = snapshot_tmp_path(path);
+    let result = match db.options().delta_codec {
+        DeltaCodec::Raw => ascii_dump(db, table, &tmp),
+        DeltaCodec::Columnar => columnar_dump(db, table, &tmp),
+    };
+    let rows = match result {
+        Ok(rows) => rows,
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+    };
+    if let Some(budget) = &db.options().disk_budget {
+        let staged = fs::metadata(&tmp).map(|m| m.len()).unwrap_or(0);
+        let replaced = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        if let Err(e) = budget.admit_full(&tmp, staged.saturating_sub(replaced)) {
+            let _ = fs::remove_file(&tmp);
+            return Err(EngineError::Storage(e));
+        }
     }
+    fs::rename(&tmp, path)?;
+    Ok(rows)
 }
 
 /// Direct-path load of an ASCII dump into `table`: rows are validated, packed

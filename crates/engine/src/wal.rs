@@ -38,6 +38,7 @@ use parking_lot::{Condvar, Mutex};
 
 use delta_storage::colbatch;
 use delta_storage::fault::{FaultAction, FaultInjector};
+use delta_storage::pressure::{Admission, DiskBudget};
 use delta_storage::{invariant, IoOp, Row, StorageError, StorageResult};
 
 use crate::db::SyncMode;
@@ -451,6 +452,10 @@ pub struct LogManager {
     /// Armed fault plan shared with the database's disk files; group writes
     /// and syncs consult it (deterministic torture testing).
     faults: Option<Arc<FaultInjector>>,
+    /// Armed disk budget: group writes, archive compression and the LSN
+    /// hint ask it for space first. Exhaustion mid-group acts like a torn
+    /// write (typed error, tail truncated at reopen).
+    budget: Option<Arc<DiskBudget>>,
 }
 
 struct WalInner {
@@ -498,6 +503,7 @@ impl LogManager {
         archive_mode: bool,
         group_commit: bool,
         faults: Option<Arc<FaultInjector>>,
+        budget: Option<Arc<DiskBudget>>,
     ) -> EngineResult<LogManager> {
         let wal_dir = wal_dir.as_ref().to_path_buf();
         let archive_dir = archive_dir.as_ref().to_path_buf();
@@ -579,6 +585,7 @@ impl LogManager {
             spares: Mutex::new(Vec::new()),
             counters: WalCounters::default(),
             faults,
+            budget,
         })
     }
 
@@ -809,6 +816,27 @@ impl LogManager {
                     }
                 }
             }
+            if let Some(budget) = &self.budget {
+                let total: u64 = group.iter().map(|b| b.bytes.len() as u64).sum();
+                match budget.admit(&segment_path, total) {
+                    Admission::Granted => {}
+                    Admission::Short { keep } => {
+                        // ENOSPC mid-group: the admitted prefix reaches the
+                        // file (and poisons the log); reopen truncates the
+                        // torn tail back to the last whole entry.
+                        let all: Vec<u8> =
+                            group.iter().flat_map(|b| b.bytes.iter().copied()).collect();
+                        let keep = (keep as usize).min(all.len());
+                        inner.writer.out.write_all(&all[..keep])?;
+                        inner.writer.out.flush()?;
+                        inner.writer.segment_bytes += keep as u64;
+                        return Err(EngineError::Storage(budget.error(&segment_path, total)));
+                    }
+                    Admission::Denied => {
+                        return Err(EngineError::Storage(budget.error(&segment_path, total)));
+                    }
+                }
+            }
             for b in group.iter() {
                 inner.writer.out.write_all(&b.bytes)?;
                 inner.writer.segment_bytes += b.bytes.len() as u64;
@@ -911,7 +939,11 @@ impl LogManager {
                 );
                 fs::rename(&p, &dest)?;
             } else {
+                let freed = fs::metadata(&p).map(|m| m.len()).unwrap_or(0);
                 fs::remove_file(&p)?;
+                if let Some(budget) = &self.budget {
+                    budget.credit(&p, freed);
+                }
             }
         }
         #[cfg(feature = "invariants")]
@@ -954,7 +986,14 @@ impl LogManager {
             self.seq.lock().next_lsn
         };
         let tmp = self.wal_dir.join(format!("{LSN_HINT_FILE}.tmp"));
-        fs::write(&tmp, format!("{next}\n"))?;
+        let body = format!("{next}\n");
+        if let Some(budget) = &self.budget {
+            budget.admit_full(&tmp, body.len() as u64)?;
+        }
+        if let Err(e) = fs::write(&tmp, &body) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
         fs::rename(&tmp, self.wal_dir.join(LSN_HINT_FILE))?;
         Ok(())
     }
@@ -988,12 +1027,31 @@ impl LogManager {
             }
             let compressed = colbatch::compress_segment(&bytes);
             let tmp = p.with_extension("wal.tmp");
-            {
+            if let Some(budget) = &self.budget {
+                // All-or-nothing: the compressed copy coexists with the
+                // original until the rename, so it needs its own space.
+                budget.admit_full(&tmp, compressed.len() as u64)?;
+            }
+            let write_tmp = || -> EngineResult<()> {
                 let mut f = File::create(&tmp)?;
                 f.write_all(&compressed)?;
                 f.sync_all()?;
+                Ok(())
+            };
+            if let Err(e) = write_tmp() {
+                // Never leave a half-written temp behind; credit the space
+                // back since the bytes were not kept.
+                let _ = fs::remove_file(&tmp);
+                if let Some(budget) = &self.budget {
+                    budget.credit(&tmp, compressed.len() as u64);
+                }
+                return Err(e);
             }
             fs::rename(&tmp, &p)?;
+            if let Some(budget) = &self.budget {
+                // The uncompressed original is gone; its bytes are free again.
+                budget.credit(&p, bytes.len() as u64);
+            }
             n += 1;
         }
         Ok(n)
@@ -1160,6 +1218,7 @@ mod tests {
             archive,
             true,
             None,
+            None,
         )
         .unwrap()
     }
@@ -1172,6 +1231,7 @@ mod tests {
             SyncMode::Flush,
             false,
             false,
+            None,
             None,
         )
         .unwrap()

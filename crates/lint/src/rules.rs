@@ -92,6 +92,9 @@ pub const PANIC_FREE_FILES: &[&str] = &[
     "crates/storage/src/scrub.rs",
     "crates/engine/src/scrub.rs",
     "crates/warehouse/src/audit.rs",
+    "crates/storage/src/pressure.rs",
+    "crates/transport/src/compact.rs",
+    "crates/warehouse/src/watchdog.rs",
 ];
 
 /// Path prefixes whose every file is panic-free scoped. `crates/lint/src`

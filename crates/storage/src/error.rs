@@ -67,6 +67,25 @@ pub enum StorageError {
         path: String,
         detail: String,
     },
+    /// The disk (or an armed [`crate::pressure::DiskBudget`]) had no room
+    /// for the write. Unlike [`StorageError::Corrupt`] this is *transient*:
+    /// on-disk state stays recoverable and the operation can be retried once
+    /// space is reclaimed.
+    DiskFull {
+        path: String,
+        /// Bytes the failed write needed.
+        needed: u64,
+        /// Bytes that were still admissible when it failed.
+        remaining: u64,
+    },
+}
+
+impl StorageError {
+    /// True for the transient out-of-space condition (retryable once
+    /// pressure lifts), as opposed to corruption or logic errors.
+    pub fn is_disk_full(&self) -> bool {
+        matches!(self, StorageError::DiskFull { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -103,6 +122,16 @@ impl fmt::Display for StorageError {
             StorageError::InjectedFault { op, path, detail } => {
                 write!(f, "injected fault on {op} of {path}: {detail}")
             }
+            StorageError::DiskFull {
+                path,
+                needed,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "disk full writing {path}: needed {needed} bytes, {remaining} admissible"
+                )
+            }
         }
     }
 }
@@ -119,6 +148,19 @@ impl std::error::Error for StorageError {
 
 impl From<io::Error> for StorageError {
     fn from(e: io::Error) -> Self {
+        // Budget-aware writers below an `io::Write` boundary smuggle a
+        // typed marker through `io::Error` (see `pressure::enospc`); unwrap
+        // it here so every `?` site surfaces a typed `DiskFull`.
+        if let Some(mark) = e
+            .get_ref()
+            .and_then(|inner| inner.downcast_ref::<crate::pressure::DiskFullMark>())
+        {
+            return StorageError::DiskFull {
+                path: mark.path.clone(),
+                needed: mark.needed,
+                remaining: 0,
+            };
+        }
         StorageError::Io(e)
     }
 }

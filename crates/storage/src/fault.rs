@@ -10,6 +10,11 @@
 //! schedule, operations are counted per kind, and a torture-harness failure
 //! reproduces exactly from its printed seed. Nothing here uses wall-clock
 //! time or OS randomness.
+//!
+//! Point faults ("fail the 7th write") live here; *sustained* resource
+//! exhaustion — ENOSPC byte budgets and per-path quotas that count every
+//! written byte down to a deterministic wall — lives in [`crate::pressure`]
+//! and is threaded through the same `DbOptions` plumbing.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

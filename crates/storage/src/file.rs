@@ -15,6 +15,7 @@ use parking_lot::Mutex;
 
 use crate::error::{IoOp, StorageError, StorageResult};
 use crate::fault::{FaultAction, FaultInjector};
+use crate::pressure::DiskBudget;
 
 /// Size of every page in the system.
 pub const PAGE_SIZE: usize = 8192;
@@ -52,6 +53,9 @@ pub struct DiskFile {
     writes: AtomicU64,
     /// Armed fault plan; every physical operation consults it first.
     faults: Option<Arc<FaultInjector>>,
+    /// Armed disk budget; page allocations (the only operations that grow
+    /// the file) ask it for space first.
+    budget: Option<Arc<DiskBudget>>,
 }
 
 impl DiskFile {
@@ -65,6 +69,20 @@ impl DiskFile {
     pub fn open_with_faults(
         path: impl AsRef<Path>,
         faults: Option<Arc<FaultInjector>>,
+    ) -> StorageResult<DiskFile> {
+        DiskFile::open_with_io(path, faults, None)
+    }
+
+    /// Open with both a fault injector and a disk budget armed. Page
+    /// allocations — the only operation that grows the file — ask the
+    /// budget for space first; exhaustion surfaces as a typed
+    /// [`StorageError::DiskFull`] with the file unchanged (a partially
+    /// allocated page would fail the page-multiple check on reopen, so
+    /// allocation is all-or-nothing).
+    pub fn open_with_io(
+        path: impl AsRef<Path>,
+        faults: Option<Arc<FaultInjector>>,
+        budget: Option<Arc<DiskBudget>>,
     ) -> StorageResult<DiskFile> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new()
@@ -87,6 +105,7 @@ impl DiskFile {
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             faults,
+            budget,
         })
     }
 
@@ -139,6 +158,9 @@ impl DiskFile {
     /// Append a fresh zeroed page, returning its page number.
     pub fn allocate_page(&self) -> StorageResult<u32> {
         self.consult(IoOp::Allocate)?;
+        if let Some(b) = &self.budget {
+            b.admit_full(&self.path, PAGE_SIZE as u64)?;
+        }
         // lint: allow(lock_hygiene) -- the mutex *is* the file handle; seek+write must be atomic
         let mut f = self.file.lock();
         let page_no = self.page_count.load(Ordering::Acquire);
@@ -228,7 +250,10 @@ impl DiskFile {
         let f = self.file.lock();
         f.set_len(0)
             .map_err(|e| self.page_io(IoOp::Truncate, None, e))?;
-        self.page_count.store(0, Ordering::Release);
+        let freed = self.page_count.swap(0, Ordering::AcqRel);
+        if let Some(b) = &self.budget {
+            b.credit(&self.path, freed * PAGE_SIZE as u64);
+        }
         Ok(())
     }
 }
@@ -370,6 +395,30 @@ mod tests {
         assert!(f.sync().is_err());
         inj.disarm();
         f.read_page(0, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn budget_exhaustion_on_allocate_is_typed_and_recoverable() {
+        use crate::pressure::DiskBudget;
+        let p = tmpdir().join("t10.db");
+        let _ = std::fs::remove_file(&p);
+        let budget = Arc::new(DiskBudget::bytes(PAGE_SIZE as u64 * 2));
+        let f = DiskFile::open_with_io(&p, None, Some(budget.clone())).unwrap();
+        f.allocate_page().unwrap();
+        f.allocate_page().unwrap();
+        match f.allocate_page() {
+            Err(StorageError::DiskFull { needed, .. }) => {
+                assert_eq!(needed, PAGE_SIZE as u64)
+            }
+            other => panic!("expected DiskFull, got {other:?}"),
+        }
+        drop(f);
+        // The denied allocation wrote nothing: the file reopens clean.
+        let f = DiskFile::open_with_io(&p, None, Some(budget)).unwrap();
+        assert_eq!(f.page_count(), 2);
+        // Truncation credits the space back; allocation succeeds again.
+        f.truncate().unwrap();
+        f.allocate_page().unwrap();
     }
 
     #[test]

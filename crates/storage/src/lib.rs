@@ -31,6 +31,7 @@ pub mod file;
 pub mod heap;
 pub mod invariant;
 pub mod page;
+pub mod pressure;
 pub mod record;
 pub mod schema;
 pub mod scrub;
@@ -43,6 +44,7 @@ pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultStats, ScheduledFaul
 pub use file::{DiskFile, FileId, PageId, PAGE_SIZE};
 pub use heap::{HeapFile, RecordId};
 pub use page::SlottedPage;
+pub use pressure::{Admission, BudgetStats, DiskBudget};
 pub use record::Row;
 pub use schema::{Column, Schema};
 pub use scrub::{scrub_page_file, PageCheck, PageScrubOutcome};

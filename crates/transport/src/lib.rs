@@ -7,19 +7,24 @@
 //!
 //! * [`mod@file`] — file shipping with checksummed manifests (the ftp analogue);
 //! * [`queue`] — a durable at-least-once queue with consumer acknowledgements
-//!   (the persistent-queue analogue);
+//!   (the persistent-queue analogue), with optional disk budgets and a
+//!   producer-side backpressure signal;
+//! * [`compact`] — prefix compaction for the queue's spool (drop fully-acked
+//!   frames, atomically, preserving absolute message indices);
 //! * [`netsim`] — a deterministic **virtual-time network simulator** used to
 //!   reproduce the §3.1.3 remote-write findings (the 10 Mb/s switched LAN,
 //!   connection-establishment penalties, per-row round trips) without real
 //!   hardware. See DESIGN.md §2 for the substitution rationale.
 
+pub mod compact;
 pub mod file;
 pub mod netsim;
 pub mod queue;
 
+pub use compact::CompactStats;
 pub use file::FileTransport;
 pub use netsim::{
     LinkProfile, NetFault, NetFaultPlan, NetFaultSim, NetFaultStats, SimulatedConnection,
     TransferStats, VirtualClock,
 };
-pub use queue::{FaultyQueue, PersistentQueue};
+pub use queue::{FaultyQueue, PersistentQueue, SpoolPressure, PRESSURE_NEAR_BYTES};

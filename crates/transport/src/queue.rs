@@ -7,16 +7,23 @@
 //! appliers deduplicate by transaction where exactly-once matters).
 //!
 //! Layout: a spool file of length-prefixed, checksummed frames plus a tiny
-//! ack file holding the count of acknowledged messages.
+//! ack file holding the count of acknowledged messages. A spool that has
+//! been prefix-compacted (see [`crate::compact`]) starts with a small header
+//! recording how many frames were dropped; message indices are *absolute*
+//! over the queue's lifetime, so acks, consumer dedupe state, and sibling
+//! `.audit`/`.dlq` files all survive compaction unchanged.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use delta_storage::pressure::{Admission, DiskBudget};
 use delta_storage::{invariant, StorageError, StorageResult};
 
+use crate::compact;
 use crate::netsim::{NetFault, NetFaultSim, NetFaultStats};
 
 fn checksum(bytes: &[u8]) -> u64 {
@@ -28,24 +35,50 @@ fn checksum(bytes: &[u8]) -> u64 {
     h
 }
 
-struct QueueInner {
-    writer: BufWriter<File>,
-    /// Byte offsets of each message frame in the spool.
-    offsets: Vec<u64>,
+pub(crate) struct QueueInner {
+    pub(crate) writer: BufWriter<File>,
+    /// Byte offsets of each resident message frame in the spool file.
+    pub(crate) offsets: Vec<u64>,
     /// Total spool length.
-    spool_len: u64,
-    /// Messages acknowledged (a prefix of the queue).
-    acked: u64,
+    pub(crate) spool_len: u64,
+    /// Messages acknowledged (a prefix of the queue; absolute count).
+    pub(crate) acked: u64,
     /// Next message index to hand to the consumer (≥ acked; reset to acked
-    /// on reopen — unacked deliveries are repeated).
-    cursor: u64,
+    /// on reopen — unacked deliveries are repeated). Absolute.
+    pub(crate) cursor: u64,
+    /// Absolute index of the first resident frame: the number of frames
+    /// prefix compaction has physically dropped from the spool.
+    pub(crate) base: u64,
+    /// Bytes of a torn frame left at the spool tail by a short-write
+    /// admission; truncated away (and credited back) before the next append.
+    pub(crate) dirty_tail: Option<u64>,
 }
+
+/// How close the spool is to its disk budget — the producer-side
+/// backpressure signal. Producers seeing [`SpoolPressure::Near`] should
+/// compact and/or coalesce; [`SpoolPressure::Exhausted`] means the next
+/// enqueue of any size will fail with a typed `DiskFull`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpoolPressure {
+    /// Plenty of headroom (or no budget armed).
+    Normal,
+    /// Headroom below [`PRESSURE_NEAR_BYTES`]: degrade before it runs out.
+    Near,
+    /// No headroom at all.
+    Exhausted,
+}
+
+/// Headroom threshold below which [`PersistentQueue::pressure`] reports
+/// [`SpoolPressure::Near`].
+pub const PRESSURE_NEAR_BYTES: u64 = 16 * 1024;
 
 /// The queue: durable across process restarts.
 pub struct PersistentQueue {
-    spool_path: PathBuf,
-    ack_path: PathBuf,
-    inner: Mutex<QueueInner>,
+    pub(crate) spool_path: PathBuf,
+    pub(crate) ack_path: PathBuf,
+    pub(crate) inner: Mutex<QueueInner>,
+    /// Armed disk budget for the spool; `None` = unbounded.
+    pub(crate) budget: Option<Arc<DiskBudget>>,
 }
 
 impl PersistentQueue {
@@ -72,14 +105,22 @@ impl PersistentQueue {
             std::fs::create_dir_all(parent)?;
         }
         let ack_path = PersistentQueue::ack_file(&spool_path);
+        // A crash mid-compaction can leave a staged rewrite behind; the
+        // rename never happened, so the original spool is authoritative.
+        let _ = std::fs::remove_file(compact::compact_tmp_path(&spool_path));
 
         // Scan the spool to rebuild frame offsets (torn tail tolerated).
         let mut offsets = Vec::new();
         let mut spool_len = 0u64;
+        let mut base = 0u64;
         if spool_path.exists() {
             let mut bytes = Vec::new();
             File::open(&spool_path)?.read_to_end(&mut bytes)?;
             let mut at = 0usize;
+            if let Some(b) = compact::decode_header(&bytes) {
+                base = b;
+                at = compact::HEADER_LEN;
+            }
             while at + 12 <= bytes.len() {
                 let lenb: [u8; 4] = bytes[at..at + 4]
                     .try_into()
@@ -115,39 +156,158 @@ impl PersistentQueue {
             .open(&spool_path)?;
         // If a torn tail was detected, truncate it away before appending.
         file.set_len(spool_len)?;
+        // The durable ack count is absolute; compaction only ever drops
+        // fully-acked frames, so it can never legally sit below `base`.
+        let total = base + offsets.len() as u64;
+        let acked = acked.max(base).min(total);
         invariant!(
-            acked.min(offsets.len() as u64) <= offsets.len() as u64,
-            "recovered ack count {acked} exceeds {} spooled frames",
-            offsets.len()
+            acked <= total,
+            "recovered ack count {acked} exceeds {total} spooled frames"
         );
         Ok(PersistentQueue {
             spool_path,
             ack_path,
             inner: Mutex::new(QueueInner {
                 writer: BufWriter::new(file),
-                acked: acked.min(offsets.len() as u64),
-                cursor: acked.min(offsets.len() as u64),
+                acked,
+                cursor: acked,
                 offsets,
                 spool_len,
+                base,
+                dirty_tail: None,
             }),
+            budget: None,
         })
     }
 
-    /// Append a message; returns its index.
+    /// Arm a disk budget on the spool (builder style): every append asks it
+    /// for space first. A short-write admission persists the admitted
+    /// prefix as a torn tail (truncated away before the next append, or at
+    /// reopen), a denial writes nothing; both surface as typed
+    /// `StorageError::DiskFull`. Compaction credits reclaimed bytes back.
+    pub fn with_spool_budget(mut self, budget: Arc<DiskBudget>) -> PersistentQueue {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// [`PersistentQueue::with_spool_budget`] for queues owned by a larger
+    /// structure (a pipeline) that cannot rebuild them in place.
+    pub fn set_spool_budget(&mut self, budget: Arc<DiskBudget>) {
+        self.budget = Some(budget);
+    }
+
+    /// Bytes the budget would still admit for the spool (`None` = no budget
+    /// armed / unconstrained).
+    pub fn spool_headroom(&self) -> Option<u64> {
+        self.budget.as_ref().and_then(|b| b.remaining(&self.spool_path))
+    }
+
+    /// The producer-side backpressure signal — see [`SpoolPressure`].
+    pub fn pressure(&self) -> SpoolPressure {
+        match self.spool_headroom() {
+            None => SpoolPressure::Normal,
+            Some(0) => SpoolPressure::Exhausted,
+            Some(r) if r < PRESSURE_NEAR_BYTES => SpoolPressure::Near,
+            Some(_) => SpoolPressure::Normal,
+        }
+    }
+
+    /// Absolute index of the first frame still resident in the spool file
+    /// (the number of frames prefix compaction has dropped).
+    pub fn compacted_base(&self) -> u64 {
+        self.inner.lock().base
+    }
+
+    /// Truncate away a torn frame left by an earlier short-write admission,
+    /// crediting its bytes back to the budget. Appends call this first.
+    pub(crate) fn repair_dirty_tail(&self, inner: &mut QueueInner) -> StorageResult<()> {
+        if let Some(torn) = inner.dirty_tail.take() {
+            inner.writer.get_ref().set_len(inner.spool_len)?;
+            if let Some(b) = &self.budget {
+                b.credit(&self.spool_path, torn);
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a message; returns its (absolute) index.
     pub fn enqueue(&self, payload: &[u8]) -> StorageResult<u64> {
         // lint: allow(lock_hygiene) -- the queue mutex guards the spool
         // writer itself; frames must hit the file in index order.
         let mut inner = self.inner.lock();
+        self.repair_dirty_tail(&mut inner)?;
         let mut frame = Vec::with_capacity(payload.len() + 12);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(payload);
         frame.extend_from_slice(&checksum(payload).to_le_bytes());
+        if let Some(b) = &self.budget {
+            match b.admit(&self.spool_path, frame.len() as u64) {
+                Admission::Granted => {}
+                Admission::Short { keep } => {
+                    // ENOSPC mid-append: the admitted prefix reaches the
+                    // file as a torn tail (recovered by truncation — at
+                    // reopen, or before the next append while live).
+                    let keep = (keep as usize).min(frame.len());
+                    inner.writer.write_all(&frame[..keep])?;
+                    inner.writer.flush()?;
+                    inner.dirty_tail = Some(keep as u64);
+                    return Err(b.error(&self.spool_path, frame.len() as u64));
+                }
+                Admission::Denied => {
+                    return Err(b.error(&self.spool_path, frame.len() as u64));
+                }
+            }
+        }
         inner.writer.write_all(&frame)?;
         inner.writer.flush()?;
         let offset = inner.spool_len;
         inner.offsets.push(offset);
         inner.spool_len += frame.len() as u64;
-        Ok(inner.offsets.len() as u64 - 1)
+        Ok(inner.base + inner.offsets.len() as u64 - 1)
+    }
+
+    /// Append a batch of messages **all-or-nothing**: either every payload
+    /// is durably framed (returning the absolute index of the first) or the
+    /// spool is byte-identical to before the call and a typed error is
+    /// returned. Publishers use this so a mid-batch failure can be retried
+    /// wholesale without leaving duplicate frames under fresh indices.
+    pub fn enqueue_all(&self, payloads: &[Vec<u8>]) -> StorageResult<u64> {
+        // lint: allow(lock_hygiene) -- the queue mutex guards the spool
+        // writer itself; frames must hit the file in index order.
+        let mut inner = self.inner.lock();
+        self.repair_dirty_tail(&mut inner)?;
+        if payloads.is_empty() {
+            return Ok(inner.base + inner.offsets.len() as u64);
+        }
+        let mut buf = Vec::with_capacity(payloads.iter().map(|p| p.len() + 12).sum());
+        let mut frame_offsets = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            frame_offsets.push(inner.spool_len + buf.len() as u64);
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(payload);
+            buf.extend_from_slice(&checksum(payload).to_le_bytes());
+        }
+        if let Some(b) = &self.budget {
+            // All-or-nothing: a batch that does not fit entirely writes
+            // nothing (no partial-publish under pressure).
+            b.admit_full(&self.spool_path, buf.len() as u64)?;
+        }
+        let wrote = inner.writer.write_all(&buf);
+        let wrote = wrote.and_then(|()| inner.writer.flush());
+        if let Err(e) = wrote {
+            // Roll the file back to the pre-batch length: a real short
+            // write must not leave a frame prefix that a reopen would
+            // mistake for a torn single append.
+            let _ = inner.writer.get_ref().set_len(inner.spool_len);
+            if let Some(b) = &self.budget {
+                b.credit(&self.spool_path, buf.len() as u64);
+            }
+            return Err(e.into());
+        }
+        let first = inner.base + inner.offsets.len() as u64;
+        inner.offsets.extend(frame_offsets);
+        inner.spool_len += buf.len() as u64;
+        Ok(first)
     }
 
     /// Next undelivered message as `(index, payload)`, or `None` when drained.
@@ -187,25 +347,28 @@ impl PersistentQueue {
         let mut inner = self.inner.lock();
         // The cursor may legitimately sit *below* the ack watermark after a
         // fault-injected `rewind_to` (redelivery of already-acked messages),
-        // so only the upper bound is invariant.
+        // but never below the compaction base (those frames are gone) and
+        // never past the end.
+        let total = inner.base + inner.offsets.len() as u64;
         invariant!(
-            inner.cursor <= inner.offsets.len() as u64,
-            "queue cursor accounting broken: acked {} cursor {} total {}",
+            inner.cursor >= inner.base && inner.cursor <= total,
+            "queue cursor accounting broken: base {} acked {} cursor {} total {}",
+            inner.base,
             inner.acked,
             inner.cursor,
-            inner.offsets.len()
+            total
         );
-        let total = inner.offsets.len() as u64;
         if inner.cursor >= total || max == 0 {
             return Ok(Vec::new());
         }
         inner.writer.flush()?;
         let first = inner.cursor;
         let count = max.min(total - first);
-        let start = inner.offsets[first as usize];
+        let pos = (first - inner.base) as usize;
+        let start = inner.offsets[pos];
         let end = inner
             .offsets
-            .get((first + count) as usize)
+            .get(pos + count as usize)
             .copied()
             .unwrap_or(inner.spool_len);
         let mut f = File::open(&self.spool_path)?;
@@ -251,14 +414,16 @@ impl PersistentQueue {
         inner.cursor = inner.acked;
     }
 
-    /// Force the delivery cursor to `index` (clamped to the spool length).
-    /// Unlike [`PersistentQueue::rewind_to_acked`], this may rewind *below*
-    /// the ack watermark — the transport-fault hook modelling a lost consumer
+    /// Force the delivery cursor to `index` (clamped to the resident frame
+    /// range — frames below the compaction base are physically gone, and
+    /// only fully-acked frames are ever compacted away). Unlike
+    /// [`PersistentQueue::rewind_to_acked`], this may rewind *below* the ack
+    /// watermark — the transport-fault hook modelling a lost consumer
     /// acknowledgement: the sender redelivers messages the consumer already
     /// applied, so consumers must deduplicate by sequence id.
     pub fn rewind_to(&self, index: u64) {
         let mut inner = self.inner.lock();
-        inner.cursor = index.min(inner.offsets.len() as u64);
+        inner.cursor = index.clamp(inner.base, inner.base + inner.offsets.len() as u64);
     }
 
     /// Acknowledge every message up to and including `index`. Persisted.
@@ -271,10 +436,10 @@ impl PersistentQueue {
         // a fault-injected rewind the cursor may trail `acked`, and snapping
         // it forward here would skip messages withheld by an injected loss.
         invariant!(
-            inner.acked <= inner.offsets.len() as u64,
+            inner.acked <= inner.base + inner.offsets.len() as u64,
             "acked {} messages but only {} were ever spooled",
             inner.acked,
-            inner.offsets.len()
+            inner.base + inner.offsets.len() as u64
         );
         std::fs::write(&self.ack_path, inner.acked.to_string())?;
         Ok(())
@@ -283,12 +448,14 @@ impl PersistentQueue {
     /// Messages not yet delivered this session.
     pub fn pending(&self) -> u64 {
         let inner = self.inner.lock();
-        inner.offsets.len() as u64 - inner.cursor
+        inner.base + inner.offsets.len() as u64 - inner.cursor
     }
 
-    /// Messages enqueued over the queue's lifetime.
+    /// Messages enqueued over the queue's lifetime (compacted frames
+    /// included — indices are absolute).
     pub fn total(&self) -> u64 {
-        self.inner.lock().offsets.len() as u64
+        let inner = self.inner.lock();
+        inner.base + inner.offsets.len() as u64
     }
 
     /// Messages durably acknowledged.
@@ -770,6 +937,99 @@ mod tests {
         let mut arena = Vec::new();
         let err = q.dequeue_run(10, &mut arena).unwrap_err();
         assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+
+    #[test]
+    fn short_write_admission_leaves_a_recoverable_spool() {
+        use delta_storage::pressure::DiskBudget;
+        let path = qpath("short.q");
+        // 112-byte frames; the second append is admitted only partially.
+        let budget = Arc::new(DiskBudget::bytes(112 + 50));
+        let q = PersistentQueue::open(&path)
+            .unwrap()
+            .with_spool_budget(budget);
+        q.enqueue(&[1u8; 100]).unwrap();
+        let err = q.enqueue(&[2u8; 100]).unwrap_err();
+        assert!(matches!(err, StorageError::DiskFull { .. }));
+        // The torn tail reached the file (short write acted out)...
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 112 + 50);
+        drop(q);
+        // ...and a restart truncates it back to the last whole frame.
+        let q = PersistentQueue::open(&path).unwrap();
+        assert_eq!(q.total(), 1);
+        let (_, payload) = q.dequeue().unwrap().unwrap();
+        assert_eq!(payload, vec![1u8; 100]);
+        q.enqueue(b"after recovery").unwrap();
+    }
+
+    #[test]
+    fn live_queue_repairs_its_own_torn_tail() {
+        use delta_storage::pressure::DiskBudget;
+        let path = qpath("repair.q");
+        let budget = Arc::new(DiskBudget::bytes(112 + 50));
+        let q = PersistentQueue::open(&path)
+            .unwrap()
+            .with_spool_budget(budget.clone());
+        q.enqueue(&[1u8; 100]).unwrap();
+        assert!(q.enqueue(&[2u8; 100]).is_err());
+        // Pressure lifts; the next append first truncates the torn tail
+        // (crediting its bytes) and then writes a whole frame.
+        budget.set_global(None);
+        q.enqueue(&[3u8; 100]).unwrap();
+        let run = q.dequeue_up_to(10).unwrap();
+        assert_eq!(run.len(), 2);
+        assert_eq!(run[1].1, vec![3u8; 100]);
+        drop(q);
+        let q = PersistentQueue::open(&path).unwrap();
+        assert_eq!(q.total(), 2, "no torn bytes left behind");
+    }
+
+    #[test]
+    fn enqueue_all_is_all_or_nothing_under_budget() {
+        use delta_storage::pressure::DiskBudget;
+        let path = qpath("batch-budget.q");
+        // Three 13-byte frames would need 39; admit fewer.
+        let budget = Arc::new(DiskBudget::bytes(30));
+        let q = PersistentQueue::open(&path)
+            .unwrap()
+            .with_spool_budget(budget.clone());
+        let batch: Vec<Vec<u8>> = vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()];
+        let err = q.enqueue_all(&batch).unwrap_err();
+        assert!(matches!(err, StorageError::DiskFull { .. }));
+        assert_eq!(q.total(), 0, "denied batch wrote nothing");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        // With room, the whole batch lands and indices are contiguous.
+        budget.set_global(None);
+        let first = q.enqueue_all(&batch).unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(q.total(), 3);
+        let run = q.dequeue_up_to(10).unwrap();
+        assert_eq!(run[2], (2, b"c".to_vec()));
+        // An empty batch is a no-op that reports the next index.
+        assert_eq!(q.enqueue_all(&[]).unwrap(), 3);
+    }
+
+    #[test]
+    fn pressure_signal_tracks_headroom() {
+        use delta_storage::pressure::DiskBudget;
+        let path = qpath("pressure.q");
+        let budget = Arc::new(DiskBudget::bytes(PRESSURE_NEAR_BYTES * 4));
+        let q = PersistentQueue::open(&path)
+            .unwrap()
+            .with_spool_budget(budget.clone());
+        assert_eq!(q.pressure(), SpoolPressure::Normal);
+        // Burn headroom down into the Near band.
+        let frame = vec![0u8; PRESSURE_NEAR_BYTES as usize * 3];
+        q.enqueue(&frame).unwrap();
+        assert_eq!(q.pressure(), SpoolPressure::Near);
+        budget.set_global(Some(0));
+        assert_eq!(q.pressure(), SpoolPressure::Exhausted);
+        budget.set_global(None);
+        assert_eq!(q.pressure(), SpoolPressure::Normal);
+        // No budget armed: always Normal.
+        let free = PersistentQueue::open(qpath("free.q")).unwrap();
+        assert_eq!(free.pressure(), SpoolPressure::Normal);
+        assert_eq!(free.spool_headroom(), None);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! ENOSPC exhaustion corpus for the transport spool: an injected disk-full
+//! at **every byte offset** of an enqueue must surface as a typed
+//! `StorageError::DiskFull`, and a restart must recover exactly the frames
+//! that were durably enqueued before the pressure — the torn tail (short
+//! writes are acted out byte-for-byte) is truncated, never replayed.
+
+use std::sync::Arc;
+
+use delta_storage::pressure::DiskBudget;
+use delta_storage::StorageError;
+use delta_transport::queue::PersistentQueue;
+use proptest::prelude::*;
+
+fn qpath(label: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "deltaforge-q-enospc-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    let p = d.join(format!("{label}.q"));
+    for ext in ["q", "q.ack", "q.tmp"] {
+        let _ = std::fs::remove_file(p.with_extension(ext));
+    }
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For a proptest-chosen payload, walk the budget through every byte
+    /// offset of the second frame's append: each offset must fail typed
+    /// and recover to exactly the first frame.
+    #[test]
+    fn spool_enqueue_enospc_at_every_offset_recovers(
+        payload in prop::collection::vec(any::<u8>(), 1..48),
+        first in prop::collection::vec(any::<u8>(), 1..48),
+    ) {
+        // Measure the frame cost of `payload` on a throwaway spool.
+        let probe = qpath("probe");
+        let budget = Arc::new(DiskBudget::unlimited());
+        let q = PersistentQueue::open(&probe).unwrap().with_spool_budget(Arc::clone(&budget));
+        let before = budget.stats().charged;
+        q.enqueue(&payload).unwrap();
+        let need = budget.stats().charged - before;
+        prop_assert!(need > payload.len() as u64, "frame must carry overhead");
+        drop(q);
+
+        for k in 0..need {
+            let path = qpath(&format!("walk-{k}"));
+            let budget = Arc::new(DiskBudget::unlimited());
+            let q = PersistentQueue::open(&path)
+                .unwrap()
+                .with_spool_budget(Arc::clone(&budget));
+            q.enqueue(&first).unwrap();
+            budget.set_global(Some(k));
+            let err = q.enqueue(&payload).unwrap_err();
+            prop_assert!(
+                matches!(err, StorageError::DiskFull { .. }),
+                "budget {k}: expected typed DiskFull, got {err}"
+            );
+            // Crash with whatever torn tail the short write left behind.
+            drop(q);
+            let q = PersistentQueue::open(&path).unwrap();
+            prop_assert_eq!(q.total(), 1, "budget {k}: only the durable frame survives");
+            let (idx, got) = q.dequeue().unwrap().unwrap();
+            prop_assert_eq!(idx, 0);
+            prop_assert_eq!(&got, &first, "budget {k}: durable frame intact");
+            // Pressure lifted (no budget on the reopened queue): the spool
+            // accepts the failed payload and indices stay contiguous.
+            let at = q.enqueue(&payload).unwrap();
+            prop_assert_eq!(at, 1, "budget {k}: torn tail claimed no index");
+        }
+    }
+}

@@ -32,6 +32,7 @@ pub mod olap;
 pub mod pipeline;
 mod sched;
 pub mod view;
+pub mod watchdog;
 
 pub use aggview::{AggSpec, AggViewDef, AggregateView};
 pub use apply::{
@@ -41,5 +42,8 @@ pub use apply::{
 pub use audit::{audit_and_repair, AuditConfig, AuditReport, TableAudit};
 pub use mirror::MirrorConfig;
 pub use olap::{OlapDriver, OlapStats};
-pub use pipeline::{Pipeline, QuarantinedDelta, RetryPolicy, SyncReport, DEFAULT_SYNC_BATCH};
+pub use pipeline::{
+    Pipeline, QuarantinedDelta, RetryPolicy, ShipReport, SyncReport, DEFAULT_SYNC_BATCH,
+};
 pub use view::{JoinCond, SpjView};
+pub use watchdog::{StallInjector, StallPlan};

@@ -21,6 +21,7 @@
 use std::time::Duration;
 
 use delta_core::extractor::DeltaSource;
+use delta_core::logextract::{ResilientLogExtractor, StagedExtract};
 use delta_core::model::DeltaBatch;
 use delta_core::opdelta::{clear_table, collect_from_table};
 use delta_core::stmtcache::{CacheStats, StatementCache};
@@ -66,6 +67,31 @@ pub struct SyncReport {
     pub worker_busy_nanos: u64,
     /// Most concurrent apply workers used by any wave this sync.
     pub workers_used: u64,
+    /// Waves abandoned by the stall watchdog (a worker missed the
+    /// per-stage deadline; its groups stay unacked and redeliver).
+    pub stalls: u64,
+    /// Producer-side disk-budget denials observed (folded in from
+    /// [`ShipReport`]s by drivers that aggregate both sides).
+    pub backpressure: u64,
+    /// Extraction rounds that degraded to coalesced snapshot-diff form
+    /// under transport backpressure (folded in from [`ShipReport`]s).
+    pub degradations: u64,
+}
+
+/// What one [`Pipeline::ship`] round did on the producer side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShipReport {
+    /// Delta batches durably enqueued this round.
+    pub published: u64,
+    /// Enqueues denied by the queue's disk budget.
+    pub backpressure: u64,
+    /// Spool compactions attempted while climbing the ladder.
+    pub compactions: u64,
+    /// Rounds that fell back to the coalesced snapshot-diff form.
+    pub degradations: u64,
+    /// Rounds deferred entirely (even the coalesced form did not fit);
+    /// nothing advanced, the next round retries from the same watermark.
+    pub deferred: u64,
 }
 
 /// Bounded retry with exponential backoff and seeded jitter for failed
@@ -125,6 +151,13 @@ pub struct QuarantinedDelta {
 /// Default number of queued payloads pulled per dequeue run.
 pub const DEFAULT_SYNC_BATCH: u64 = 64;
 
+/// Whether an engine error is the transport budget's typed disk-full
+/// signal (the only error the ship ladder degrades on — everything else
+/// propagates).
+fn is_disk_full(e: &EngineError) -> bool {
+    matches!(e, EngineError::Storage(s) if s.is_disk_full())
+}
+
 /// A queue-backed delta pipeline into one warehouse.
 pub struct Pipeline {
     pub(crate) queue: PersistentQueue,
@@ -156,6 +189,11 @@ pub struct Pipeline {
     /// [`DbOptions::sync_workers`](delta_engine::db::DbOptions) on the
     /// warehouse database.
     pub(crate) sync_workers: Option<usize>,
+    /// Per-wave deadline for the stall watchdog (see [`crate::watchdog`]);
+    /// `None` waits forever (the historical behaviour).
+    pub(crate) stage_deadline: Option<Duration>,
+    /// Deterministic injected stalls for torture testing the watchdog.
+    pub(crate) stall_injector: Option<crate::watchdog::StallInjector>,
 }
 
 impl Pipeline {
@@ -178,7 +216,36 @@ impl Pipeline {
             codec: DeltaCodec::default(),
             codec_block_rows: DEFAULT_BLOCK_ROWS,
             sync_workers: None,
+            stage_deadline: None,
+            stall_injector: None,
         })
+    }
+
+    /// Arm a disk budget on the pipeline's queue spool: enqueues that
+    /// exceed it fail with the typed
+    /// [`DiskFull`](delta_storage::StorageError::DiskFull) error, which
+    /// [`Pipeline::ship`] turns into graceful degradation instead of loss.
+    pub fn with_queue_budget(mut self, budget: std::sync::Arc<delta_storage::DiskBudget>) -> Pipeline {
+        self.queue.set_spool_budget(budget);
+        self
+    }
+
+    /// Bound how long `sync` waits for any parallel apply wave. A wave
+    /// that misses the deadline is abandoned: its unfinished groups stay
+    /// unacknowledged (the next `sync` redelivers them), remaining workers
+    /// stand down at their next group boundary, and the sync reports a
+    /// stall instead of hanging. Serial applies (one worker) are not
+    /// guarded — there is no second thread to hand control back to.
+    pub fn with_stage_deadline(mut self, deadline: Duration) -> Pipeline {
+        self.stage_deadline = Some(deadline);
+        self
+    }
+
+    /// Inject deterministic apply-stage stalls (see
+    /// [`StallPlan`](crate::watchdog::StallPlan)) for watchdog testing.
+    pub fn with_injected_stalls(mut self, plan: crate::watchdog::StallPlan) -> Pipeline {
+        self.stall_injector = Some(crate::watchdog::StallInjector::new(plan));
+        self
     }
 
     /// Set how many workers `sync` may use to apply delta groups for
@@ -293,14 +360,136 @@ impl Pipeline {
 
     /// Publish the contents of an Op-Delta log table and clear it (the
     /// capture-side handoff for `OpDeltaCapture` with a table sink).
+    ///
+    /// The publish is all-or-nothing: every captured transaction is
+    /// enqueued in one spool append, and the log table is cleared only
+    /// after that append is durable. If the queue's disk budget denies the
+    /// append, one spool compaction is attempted and the append retried;
+    /// if it still does not fit, the typed [`DiskFull`] error surfaces
+    /// *with the capture table intact* — nothing is lost, the next collect
+    /// retries the same transactions.
+    ///
+    /// [`DiskFull`]: delta_storage::StorageError::DiskFull
     pub fn collect_op_log(&self, db: &Database, log_table: &str) -> EngineResult<u64> {
-        let mut published = 0;
-        for od in collect_from_table(db, log_table)? {
-            self.publish(&DeltaBatch::Op(od))?;
-            published += 1;
+        let frames: Vec<Vec<u8>> = collect_from_table(db, log_table)?
+            .into_iter()
+            .map(|od| DeltaBatch::Op(od).to_bytes_with(self.codec, self.codec_block_rows))
+            .collect();
+        if frames.is_empty() {
+            return Ok(0);
+        }
+        if let Err(e) = self.queue.enqueue_all(&frames) {
+            if !e.is_disk_full() {
+                return Err(EngineError::Storage(e));
+            }
+            self.queue.compact().map_err(EngineError::Storage)?;
+            self.queue
+                .enqueue_all(&frames)
+                .map_err(EngineError::Storage)?;
         }
         clear_table(db, log_table)?;
-        Ok(published)
+        Ok(frames.len() as u64)
+    }
+
+    /// Run one staged extraction round and publish it, degrading
+    /// gracefully under transport backpressure instead of erroring. The
+    /// ladder, climbed one rung per denial of the queue's disk budget:
+    ///
+    /// 1. **Op form** — stage via [`ResilientLogExtractor::stage`] (full
+    ///    transaction context) and enqueue all batches in one append.
+    /// 2. **Compact** — reclaim the spool's fully-acked prefix
+    ///    ([`PersistentQueue::compact`]) and retry the same staged round.
+    /// 3. **Coalesce** — abort the op-form round and restage via
+    ///    [`stage_coalesced`](ResilientLogExtractor::stage_coalesced):
+    ///    snapshot-diff deltas carry one net record per changed row
+    ///    (§3.1.2's trade — fewer bytes, no transaction context).
+    /// 4. **Defer** — if even the coalesced form does not fit, abort and
+    ///    return with `deferred = 1`. The watermark and baselines did not
+    ///    move, so the next round re-extracts everything; once pressure
+    ///    lifts, the stream resumes with zero loss.
+    ///
+    /// The extractor commits (watermark + baselines advance) only after
+    /// its round's batches are durably enqueued, so a round that fails
+    /// half way — including a crash — is simply re-staged.
+    pub fn ship(
+        &self,
+        db: &Database,
+        extractor: &mut ResilientLogExtractor,
+    ) -> EngineResult<ShipReport> {
+        let mut report = ShipReport::default();
+        let staged = extractor.stage(db)?;
+        match self.publish_staged(&staged) {
+            Ok(n) => {
+                report.published = n;
+                extractor.commit(staged)?;
+                return Ok(report);
+            }
+            Err(e) if is_disk_full(&e) => report.backpressure += 1,
+            Err(e) => {
+                extractor.abort(staged);
+                return Err(e);
+            }
+        }
+        // Rung 2: make room from our own fully-acked history and retry.
+        report.compactions += 1;
+        if let Err(e) = self.queue.compact() {
+            extractor.abort(staged);
+            return Err(EngineError::Storage(e));
+        }
+        match self.publish_staged(&staged) {
+            Ok(n) => {
+                report.published = n;
+                extractor.commit(staged)?;
+                return Ok(report);
+            }
+            Err(e) if is_disk_full(&e) => report.backpressure += 1,
+            Err(e) => {
+                extractor.abort(staged);
+                return Err(e);
+            }
+        }
+        // Rung 3: trade transaction context for bytes.
+        extractor.abort(staged);
+        report.degradations += 1;
+        let coalesced = extractor.stage_coalesced(db)?;
+        match self.publish_staged(&coalesced) {
+            Ok(n) => {
+                report.published = n;
+                extractor.commit(coalesced)?;
+                Ok(report)
+            }
+            Err(e) if is_disk_full(&e) => {
+                // Rung 4: defer the whole round; nothing advanced.
+                report.backpressure += 1;
+                report.deferred = 1;
+                extractor.abort(coalesced);
+                Ok(report)
+            }
+            Err(e) => {
+                extractor.abort(coalesced);
+                Err(e)
+            }
+        }
+    }
+
+    /// Enqueue every delta of a staged round in one all-or-nothing spool
+    /// append. Returns the number of batches enqueued.
+    fn publish_staged(&self, staged: &StagedExtract) -> EngineResult<u64> {
+        let frames: Vec<Vec<u8>> = staged
+            .outcome
+            .deltas
+            .iter()
+            .map(|vd| {
+                DeltaBatch::Value(vd.clone()).to_bytes_with(self.codec, self.codec_block_rows)
+            })
+            .collect();
+        if frames.is_empty() {
+            return Ok(0);
+        }
+        self.queue
+            .enqueue_all(&frames)
+            .map_err(EngineError::Storage)?;
+        Ok(frames.len() as u64)
     }
 
     /// Drain the queue into the warehouse through the staged apply
@@ -795,6 +984,241 @@ mod tests {
             parked[0].error
         );
         assert_eq!(parked[0].payload, bad_bytes, "payload kept for inspection");
+    }
+
+    fn source(label: &str) -> std::sync::Arc<Database> {
+        use delta_engine::db::DbOptions;
+        let dir = std::env::temp_dir().join(format!(
+            "delta-pipe-src-{}-{:?}-{label}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Database::open(DbOptions::new(dir).archive(true)).unwrap()
+    }
+
+    fn baseline_dir(label: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "delta-pipe-base-{}-{:?}-{label}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn table_rows(db: &Database, table: &str) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = db
+            .scan_table(table)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r.values().to_vec())
+            .collect();
+        rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        rows
+    }
+
+    #[test]
+    fn ship_publishes_and_commits_only_after_durable_enqueue() {
+        use delta_core::logextract::ResilientLogExtractor;
+        let wh = warehouse("ship0");
+        let src = source("ship0");
+        let mut s = src.session();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        let mut x = ResilientLogExtractor::new(baseline_dir("ship0"), &["t"]).unwrap();
+        x.prime(&src).unwrap();
+        for i in 0..8 {
+            s.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        }
+        let pipe = Pipeline::open(qpath("ship0")).unwrap();
+        let report = pipe.ship(&src, &mut x).unwrap();
+        assert_eq!(report.published, 1, "one value batch for table t");
+        assert_eq!(report.backpressure + report.degradations + report.deferred, 0);
+        assert!(x.watermark() > 0, "publish succeeded, watermark advanced");
+        pipe.sync(&wh).unwrap();
+        assert_eq!(table_rows(&src, "t"), table_rows(wh.db(), "t"));
+        // Nothing new: the next round publishes nothing.
+        let r2 = pipe.ship(&src, &mut x).unwrap();
+        assert_eq!(r2.published, 0);
+    }
+
+    #[test]
+    fn ship_degrades_to_coalesced_form_under_budget_pressure() {
+        use delta_core::logextract::ResilientLogExtractor;
+        use delta_storage::DiskBudget;
+        let wh = warehouse("ship1");
+        let src = source("ship1");
+        let mut s = src.session();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        let mut x = ResilientLogExtractor::new(baseline_dir("ship1"), &["t"]).unwrap();
+        x.prime(&src).unwrap();
+        // A churn-heavy workload: the op stream carries every intermediate
+        // state, the coalesced diff only the final ones.
+        for i in 0..10 {
+            s.execute(&format!("INSERT INTO t VALUES ({i}, 0)")).unwrap();
+        }
+        for round in 1..=20 {
+            s.execute(&format!("UPDATE t SET v = {round} WHERE id < 10"))
+                .unwrap();
+        }
+
+        // Measure both forms to size a budget that fits only the coalesced
+        // one (4 bytes of spool framing per payload).
+        let sized = |deltas: &[delta_core::model::ValueDelta]| -> u64 {
+            deltas
+                .iter()
+                .map(|vd| {
+                    DeltaBatch::Value(vd.clone())
+                        .to_bytes_with(DeltaCodec::default(), DEFAULT_BLOCK_ROWS)
+                        .len() as u64
+                        + 4
+                })
+                .sum()
+        };
+        let op_form = x.stage(&src).unwrap();
+        let op_bytes = sized(&op_form.outcome.deltas);
+        x.abort(op_form);
+        let co_form = x.stage_coalesced(&src).unwrap();
+        let co_bytes = sized(&co_form.outcome.deltas);
+        x.abort(co_form);
+        assert!(
+            co_bytes * 2 < op_bytes,
+            "coalesced form must be much smaller (co {co_bytes}, op {op_bytes})"
+        );
+
+        let budget = std::sync::Arc::new(DiskBudget::bytes(co_bytes + (op_bytes - co_bytes) / 2));
+        let pipe = Pipeline::open(qpath("ship1"))
+            .unwrap()
+            .with_queue_budget(budget);
+        let report = pipe.ship(&src, &mut x).unwrap();
+        assert_eq!(report.degradations, 1, "fell back to the coalesced form");
+        assert_eq!(
+            report.backpressure, 2,
+            "op form denied, then denied again after the compaction rung"
+        );
+        assert_eq!(report.compactions, 1);
+        assert_eq!(report.deferred, 0);
+        assert_eq!(report.published, 1);
+
+        pipe.sync(&wh).unwrap();
+        assert_eq!(
+            table_rows(&src, "t"),
+            table_rows(wh.db(), "t"),
+            "coalesced round converges byte-equal"
+        );
+    }
+
+    #[test]
+    fn ship_defers_round_when_nothing_fits_then_recovers() {
+        use delta_core::logextract::ResilientLogExtractor;
+        use delta_storage::DiskBudget;
+        let wh = warehouse("ship2");
+        let src = source("ship2");
+        let mut s = src.session();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        let mut x = ResilientLogExtractor::new(baseline_dir("ship2"), &["t"]).unwrap();
+        x.prime(&src).unwrap();
+        for i in 0..6 {
+            s.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        }
+        let budget = std::sync::Arc::new(DiskBudget::bytes(8)); // not even one frame fits
+        let pipe = Pipeline::open(qpath("ship2"))
+            .unwrap()
+            .with_queue_budget(std::sync::Arc::clone(&budget));
+        let report = pipe.ship(&src, &mut x).unwrap();
+        assert_eq!(report.deferred, 1, "round deferred, not errored");
+        assert_eq!(report.published, 0);
+        assert_eq!(report.degradations, 1, "the coalesced rung was tried");
+        assert_eq!(x.watermark(), 0, "nothing advanced");
+
+        // Pressure lifts; the same changes ship in full op form.
+        budget.set_global(None);
+        let r2 = pipe.ship(&src, &mut x).unwrap();
+        assert_eq!(r2.published, 1);
+        assert_eq!(r2.degradations, 0, "op form fits once pressure lifts");
+        assert!(x.watermark() > 0);
+        pipe.sync(&wh).unwrap();
+        assert_eq!(table_rows(&src, "t"), table_rows(wh.db(), "t"));
+    }
+
+    #[test]
+    fn stalled_wave_is_abandoned_counted_and_redelivered() {
+        use crate::watchdog::StallPlan;
+        let db = open_temp("stall-wh").unwrap();
+        let mut wh = Warehouse::new(db);
+        wh.add_mirror(MirrorConfig::full("t", schema())).unwrap();
+        wh.add_mirror(MirrorConfig::full("u", schema())).unwrap();
+        let pipe = Pipeline::open(qpath("stall"))
+            .unwrap()
+            .with_sync_workers(2)
+            .with_stage_deadline(Duration::from_millis(40))
+            .with_injected_stalls(StallPlan::new(0, 100, 250));
+        let batch = |table: &str, id: i64| {
+            let mut vd = ValueDelta::new(table, schema());
+            vd.records.push(ValueDeltaRecord {
+                op: DeltaOp::Insert,
+                txn: 0,
+                row: Row::new(vec![Value::Int(id), Value::Int(id)]),
+            });
+            DeltaBatch::Value(vd)
+        };
+        // Two tables in one run → one wave with two concurrency classes.
+        pipe.publish(&batch("t", 1)).unwrap();
+        pipe.publish(&batch("u", 2)).unwrap();
+
+        let first = pipe.sync(&wh).unwrap();
+        assert!(first.stalls >= 1, "the watchdog abandoned the stalled wave");
+
+        // Every stall fires once, so the drain converges.
+        let mut stalls = first.stalls;
+        for _ in 0..20 {
+            if pipe.queue().pending() == 0 && pipe.queue().acked() == 2 {
+                break;
+            }
+            stalls += pipe.sync(&wh).unwrap().stalls;
+        }
+        assert_eq!(pipe.queue().acked(), 2, "stalled groups settled");
+        assert_eq!(pipe.queue().pending(), 0);
+        assert_eq!(wh.db().row_count("t").unwrap(), 1);
+        assert_eq!(wh.db().row_count("u").unwrap(), 1);
+        assert!(stalls >= 1);
+    }
+
+    #[test]
+    fn collect_op_log_keeps_capture_when_budget_denies_publish() {
+        use delta_core::opdelta::{OpDeltaCapture, OpLogSink};
+        use delta_storage::DiskBudget;
+        let src = source("oplog");
+        let mut s = src.session();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        let mut cap =
+            OpDeltaCapture::new(src.session(), OpLogSink::Table("t_oplog".into())).unwrap();
+        cap.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        cap.execute("INSERT INTO t VALUES (2, 20)").unwrap();
+        drop(cap);
+
+        let budget = std::sync::Arc::new(DiskBudget::bytes(4)); // nothing fits
+        let pipe = Pipeline::open(qpath("oplog"))
+            .unwrap()
+            .with_queue_budget(std::sync::Arc::clone(&budget));
+        let err = pipe.collect_op_log(&src, "t_oplog").unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Storage(se) if se.is_disk_full()),
+            "typed disk-full error, got {err}"
+        );
+        assert!(
+            src.row_count("t_oplog").unwrap() > 0,
+            "capture table intact — nothing lost"
+        );
+
+        budget.set_global(None);
+        let n = pipe.collect_op_log(&src, "t_oplog").unwrap();
+        assert!(n > 0, "retry publishes the same capture");
+        assert_eq!(src.row_count("t_oplog").unwrap(), 0, "cleared after publish");
     }
 
     #[test]

@@ -36,7 +36,7 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
@@ -185,10 +185,13 @@ struct RunShared {
 }
 
 /// One unit of parallel work: the group ordinals of one concurrency class
-/// within one wave, applied in sequence order by a single worker.
+/// within one wave, applied in sequence order by a single worker. The
+/// epoch identifies the wave, so results of a wave the watchdog abandoned
+/// are recognized as stale and discarded.
 struct WorkItem {
     run: Arc<RunShared>,
     class: Vec<usize>,
+    epoch: u64,
 }
 
 /// What one group's execution reported back.
@@ -217,24 +220,34 @@ impl GroupOutcome {
 }
 
 /// The apply worker pool spawned once per sync: classes flow out through a
-/// shared work channel, per-class outcome vectors flow back. Workers exit
-/// when the work channel closes.
+/// shared work channel, per-class outcome vectors flow back tagged with
+/// their wave epoch. Workers exit when the work channel closes.
 struct WorkerPool {
     work: mpsc::Sender<WorkItem>,
-    results: mpsc::Receiver<Vec<(usize, GroupOutcome)>>,
+    results: mpsc::Receiver<(u64, Vec<(usize, GroupOutcome)>)>,
     /// Total nanos workers spent executing groups, across the sync.
     busy_nanos: Arc<AtomicU64>,
+    /// Watchdog stand-down flag: set when a wave misses its deadline;
+    /// workers observe it at group boundaries and stop early. Reset before
+    /// each wave is dispatched.
+    cancel: Arc<AtomicBool>,
+    /// Monotone wave counter for tagging work and results.
+    epoch: AtomicU64,
 }
 
 /// Apply-worker loop: take one class at a time and run its groups in
 /// sequence order, stopping at the first fail-stop failure (later groups
-/// of the class must not apply past a hole in their table's order).
+/// of the class must not apply past a hole in their table's order) or at
+/// a watchdog stand-down (cancellation is cooperative and only observed
+/// between groups — a group mid-apply runs to completion, which is safe
+/// because redelivery dedupes whatever it commits).
 fn apply_worker(
     pipe: &Pipeline,
     wh: &Warehouse,
     work: &Mutex<mpsc::Receiver<WorkItem>>,
-    results: mpsc::Sender<Vec<(usize, GroupOutcome)>>,
+    results: mpsc::Sender<(u64, Vec<(usize, GroupOutcome)>)>,
     busy_nanos: &AtomicU64,
+    cancel: &AtomicBool,
 ) {
     loop {
         // Holding the lock across the blocking recv is fine: at most one
@@ -247,6 +260,11 @@ fn apply_worker(
         let started = Instant::now();
         let mut out = Vec::with_capacity(item.class.len());
         for &g in &item.class {
+            if cancel.load(Ordering::Acquire) {
+                // The wave was abandoned; unexecuted groups stay `None`
+                // in the outcome table and redeliver.
+                break;
+            }
             let group = &item.run.groups[g];
             let outcome = execute_group(
                 pipe,
@@ -263,7 +281,7 @@ fn apply_worker(
             }
         }
         busy_nanos.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        if results.send(out).is_err() {
+        if results.send((item.epoch, out)).is_err() {
             return;
         }
     }
@@ -309,19 +327,23 @@ pub(crate) fn run_sync(pipe: &Pipeline, wh: &Warehouse) -> EngineResult<SyncRepo
         };
         let pool = if workers > 1 {
             let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
-            let (result_tx, result_rx) = mpsc::channel::<Vec<(usize, GroupOutcome)>>();
+            let (result_tx, result_rx) = mpsc::channel::<(u64, Vec<(usize, GroupOutcome)>)>();
             let work_rx = Arc::new(Mutex::new(work_rx));
             let busy = Arc::new(AtomicU64::new(0));
+            let cancel = Arc::new(AtomicBool::new(false));
             for _ in 0..workers {
                 let work_rx = Arc::clone(&work_rx);
                 let result_tx = result_tx.clone();
                 let busy = Arc::clone(&busy);
-                scope.spawn(move || apply_worker(pipe, wh, &work_rx, result_tx, &busy));
+                let cancel = Arc::clone(&cancel);
+                scope.spawn(move || apply_worker(pipe, wh, &work_rx, result_tx, &busy, &cancel));
             }
             Some(WorkerPool {
                 work: work_tx,
                 results: result_rx,
                 busy_nanos: busy,
+                cancel,
+                epoch: AtomicU64::new(0),
             })
         } else {
             None
@@ -336,7 +358,7 @@ pub(crate) fn run_sync(pipe: &Pipeline, wh: &Warehouse) -> EngineResult<SyncRepo
                 break;
             }
             report.decode_nanos += run.decode_nanos;
-            spare = sync_one_run(
+            match sync_one_run(
                 pipe,
                 wh,
                 run,
@@ -346,7 +368,14 @@ pub(crate) fn run_sync(pipe: &Pipeline, wh: &Warehouse) -> EngineResult<SyncRepo
                 &mut prefetch,
                 &mut spare,
                 &mut report,
-            )?;
+            )? {
+                Some(arena) => spare = arena,
+                // A stalled wave ended the drain: the cursor has been
+                // rewound to the ack so the next sync redelivers, and the
+                // scope join below waits out any late worker (its commits
+                // dedupe on redelivery).
+                None => break,
+            }
         }
         if let Some(pool) = &pool {
             report.worker_busy_nanos += pool.busy_nanos.load(Ordering::Relaxed);
@@ -355,9 +384,10 @@ pub(crate) fn run_sync(pipe: &Pipeline, wh: &Warehouse) -> EngineResult<SyncRepo
     })
 }
 
-/// Apply one decoded run and return its arena for recycling. On a
-/// fail-stop error the decode stage is drained, the completed prefix is
-/// acked, the cursor rewinds to the ack, and the error surfaces.
+/// Apply one decoded run and return its arena for recycling (`None` ends
+/// the sync early: the stall watchdog abandoned a wave). On a fail-stop
+/// error the decode stage is drained, the completed prefix is acked, the
+/// cursor rewinds to the ack, and the error surfaces.
 #[allow(clippy::too_many_arguments)]
 fn sync_one_run(
     pipe: &Pipeline,
@@ -369,7 +399,7 @@ fn sync_one_run(
     prefetch: &mut Prefetch,
     spare_arena: &mut Vec<u8>,
     report: &mut SyncReport,
-) -> EngineResult<Vec<u8>> {
+) -> EngineResult<Option<Vec<u8>>> {
     let DecodedRun {
         arena, mut frames, ..
     } = run;
@@ -455,6 +485,7 @@ fn sync_one_run(
         groups,
     });
     let mut outcomes: Vec<Option<GroupOutcome>> = Vec::new();
+    let stalls_before = report.stalls;
     if decode_failure.is_none() {
         let apply_started = Instant::now();
         outcomes = run_waves(pipe, wh, &shared, classes, workers, pool, report);
@@ -520,10 +551,22 @@ fn sync_one_run(
             pipe.queue.rewind_to_acked();
             Err(e)
         }
+        // A stalled wave isn't an error — the incomplete suffix is a
+        // normal redelivery case — but the drain must stop: rewind the
+        // cursor so the next sync re-dequeues the abandoned sequences
+        // (late commits from the stuck worker dedupe against the
+        // watermark ranges it recorded).
+        None if report.stalls > stalls_before => {
+            prefetch.cancel();
+            pipe.queue.rewind_to_acked();
+            Ok(None)
+        }
         // Recover the arena for recycling when the workers have already
         // dropped their handles (they have: every class result was
         // collected; the unwrap only races a worker's final drop).
-        None => Ok(Arc::try_unwrap(shared).map(|s| s.arena).unwrap_or_default()),
+        None => Ok(Some(
+            Arc::try_unwrap(shared).map(|s| s.arena).unwrap_or_default(),
+        )),
     }
 }
 
@@ -611,10 +654,15 @@ fn run_waves(
         }
         let mut failed_wave = false;
         match pool {
-            Some(pool) if class_groups.len() > 1 => {
+            // A single-class wave normally applies inline, but when a stage
+            // deadline is armed it must still run on the pool: the watchdog
+            // can only abandon work it is *waiting* on, not work it is doing.
+            Some(pool) if class_groups.len() > 1 || pipe.stage_deadline.is_some() => {
                 let concurrency = workers.min(class_groups.len()) as u64;
                 report.workers_used = report.workers_used.max(concurrency);
                 let dispatched = class_groups.len();
+                let epoch = pool.epoch.fetch_add(1, Ordering::Relaxed);
+                pool.cancel.store(false, Ordering::Release);
                 for class in class_groups {
                     // A failed send means a worker panicked and the
                     // channel died; the missing outcomes below surface it
@@ -622,13 +670,41 @@ fn run_waves(
                     let _ = pool.work.send(WorkItem {
                         run: Arc::clone(shared),
                         class,
+                        epoch,
                     });
                 }
-                for _ in 0..dispatched {
-                    let Ok(class_out) = pool.results.recv() else {
+                let mut received = 0;
+                while received < dispatched {
+                    let msg = match pipe.stage_deadline {
+                        Some(deadline) => match pool.results.recv_timeout(deadline) {
+                            Ok(msg) => Some(msg),
+                            Err(mpsc::RecvTimeoutError::Timeout) => {
+                                // Watchdog: the wave missed its deadline.
+                                // Flag the stand-down, count the stall,
+                                // and abandon the wave — its incomplete
+                                // groups stay unacked and redeliver. Any
+                                // late result carries this epoch and is
+                                // discarded by later waves.
+                                pool.cancel.store(true, Ordering::Release);
+                                report.stalls += 1;
+                                failed_wave = true;
+                                break;
+                            }
+                            Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                        },
+                        None => pool.results.recv().ok(),
+                    };
+                    let Some((ep, class_out)) = msg else {
                         failed_wave = true;
                         break;
                     };
+                    if ep != epoch {
+                        // Stale result from a wave the watchdog abandoned
+                        // (possibly in an earlier run): its outcome table
+                        // is gone; redelivery settles whatever it did.
+                        continue;
+                    }
+                    received += 1;
                     for (g, out) in class_out {
                         failed_wave |= out.failed.is_some();
                         outcomes[g] = Some(out);
@@ -689,6 +765,14 @@ fn execute_group(
     ranged: bool,
 ) -> GroupOutcome {
     let mut out = GroupOutcome::empty();
+    // Deterministic injected stall (watchdog torture): sleep once per
+    // planned group, before the apply, so the wave's deadline fires while
+    // no transaction is open.
+    if let (Some(inj), Some(first)) = (&pipe.stall_injector, group.first()) {
+        if let Some(pause) = inj.take_stall(first.0) {
+            std::thread::sleep(pause);
+        }
+    }
     match apply_with_retry(pipe, wh, group, mark, &mut out.retries) {
         Ok(applied) => {
             out.report.merge(applied);
